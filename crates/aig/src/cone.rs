@@ -1,0 +1,261 @@
+//! Transitive-fanin cones, topological iteration and MFFC computation.
+
+use crate::fxhash::FxHashSet;
+use crate::{Aig, AigNode, Lit, NodeId};
+
+/// Iterator over the nodes reachable from a set of roots, in topological
+/// order (fanins before fanouts).
+///
+/// Because [`Aig`] stores nodes in creation order, topological order is simply
+/// ascending node-id order restricted to the reachable set.
+pub struct TopoIter {
+    ids: std::vec::IntoIter<NodeId>,
+}
+
+impl TopoIter {
+    /// Builds a topological iterator over the transitive fanin of `roots`.
+    pub fn new(aig: &Aig, roots: impl IntoIterator<Item = NodeId>) -> Self {
+        let set = tfi(aig, roots);
+        let mut ids: Vec<NodeId> = set.into_iter().collect();
+        ids.sort_unstable();
+        TopoIter {
+            ids: ids.into_iter(),
+        }
+    }
+}
+
+impl Iterator for TopoIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        self.ids.next()
+    }
+}
+
+/// Computes the transitive fanin (including the roots themselves).
+pub fn tfi(aig: &Aig, roots: impl IntoIterator<Item = NodeId>) -> FxHashSet<NodeId> {
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    let mut stack: Vec<NodeId> = roots.into_iter().collect();
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        if let AigNode::And { fanin0, fanin1 } = aig.node(id) {
+            stack.push(fanin0.node());
+            stack.push(fanin1.node());
+        }
+    }
+    seen
+}
+
+/// A sub-circuit extracted from a host AIG.
+///
+/// The cone's inputs are the host's primary inputs that appear in the
+/// transitive fanin of the selected outputs (or an explicit leaf set), and
+/// its outputs are the selected root literals.
+#[derive(Debug, Clone)]
+pub struct Cone {
+    /// The extracted sub-network.
+    pub aig: Aig,
+    /// For every cone input, the host node it corresponds to.
+    pub leaf_map: Vec<NodeId>,
+    /// For every cone output, the host literal it corresponds to.
+    pub root_map: Vec<Lit>,
+}
+
+/// Extracts the logic cone driving `roots`.
+///
+/// If `leaves` is `None`, the cone extends down to the host's primary inputs;
+/// otherwise the given nodes are treated as cut points and become the cone's
+/// primary inputs (in the given order).
+pub fn extract_cone(aig: &Aig, roots: &[Lit], leaves: Option<&[NodeId]>) -> Cone {
+    let mut cone = Aig::new(format!("{}_cone", aig.name()));
+    let mut map: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
+    map[NodeId::CONST.index()] = Some(Lit::FALSE);
+    let mut leaf_map = Vec::new();
+
+    if let Some(leaves) = leaves {
+        for &leaf in leaves {
+            let lit = cone.add_input(format!("{leaf}"));
+            map[leaf.index()] = Some(lit);
+            leaf_map.push(leaf);
+        }
+    }
+
+    // Walk the fanin of the roots, stopping at explicit leaves so that logic
+    // below the cut is not pulled into the cone.
+    let mut reachable: FxHashSet<NodeId> = FxHashSet::default();
+    let mut stack: Vec<NodeId> = roots.iter().map(|l| l.node()).collect();
+    while let Some(id) = stack.pop() {
+        if map[id.index()].is_some() || !reachable.insert(id) {
+            continue;
+        }
+        if let AigNode::And { fanin0, fanin1 } = aig.node(id) {
+            stack.push(fanin0.node());
+            stack.push(fanin1.node());
+        }
+    }
+    let mut ids: Vec<NodeId> = reachable.into_iter().collect();
+    ids.sort_unstable();
+    for id in ids {
+        if map[id.index()].is_some() {
+            continue;
+        }
+        match aig.node(id) {
+            AigNode::Const => {
+                map[id.index()] = Some(Lit::FALSE);
+            }
+            AigNode::Input { index } => {
+                let lit = cone.add_input(aig.input_name(*index as usize));
+                map[id.index()] = Some(lit);
+                leaf_map.push(id);
+            }
+            AigNode::And { fanin0, fanin1 } => {
+                // When an explicit leaf cuts the cone, fanins below the cut may
+                // be unmapped only if the node itself is above the cut; in a
+                // well-formed cut this cannot happen because every path from
+                // the root crosses the cut.
+                let a = map[fanin0.node().index()]
+                    .expect("cut does not cover the cone")
+                    .xor(fanin0.is_complemented());
+                let b = map[fanin1.node().index()]
+                    .expect("cut does not cover the cone")
+                    .xor(fanin1.is_complemented());
+                map[id.index()] = Some(cone.and(a, b));
+            }
+        }
+    }
+
+    let mut root_map = Vec::new();
+    for (i, root) in roots.iter().enumerate() {
+        let lit = map[root.node().index()]
+            .expect("root not reachable")
+            .xor(root.is_complemented());
+        cone.add_output(lit, format!("root{i}"));
+        root_map.push(*root);
+    }
+
+    Cone {
+        aig: cone,
+        leaf_map,
+        root_map,
+    }
+}
+
+/// Computes the size of the maximum fanout-free cone (MFFC) of `node`: the
+/// number of AND gates that would become dangling if `node` were removed.
+///
+/// `fanout_counts` must come from [`Aig::fanout_counts`] on the same network.
+pub fn mffc_size(aig: &Aig, node: NodeId, fanout_counts: &[u32]) -> usize {
+    fn deref(aig: &Aig, node: NodeId, counts: &mut [u32]) -> usize {
+        if !aig.node(node).is_and() {
+            return 0;
+        }
+        let (f0, f1) = aig.fanins(node);
+        let mut size = 1;
+        for child in [f0.node(), f1.node()] {
+            counts[child.index()] -= 1;
+            if counts[child.index()] == 0 {
+                size += deref(aig, child, counts);
+            }
+        }
+        size
+    }
+    let mut counts = fanout_counts.to_vec();
+    deref(aig, node, &mut counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new("sample");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        let other = aig.or(a, c);
+        aig.add_output(abc, "f");
+        aig.add_output(other, "g");
+        aig
+    }
+
+    #[test]
+    fn tfi_contains_roots_and_inputs() {
+        let aig = sample();
+        let f = aig.outputs()[0];
+        let set = tfi(&aig, [f.node()]);
+        assert!(set.contains(&f.node()));
+        assert!(set.contains(&aig.inputs()[0]));
+        assert!(set.contains(&aig.inputs()[1]));
+        assert!(set.contains(&aig.inputs()[2]));
+    }
+
+    #[test]
+    fn topo_iter_is_sorted_and_complete() {
+        let aig = sample();
+        let f = aig.outputs()[0];
+        let ids: Vec<NodeId> = TopoIter::new(&aig, [f.node()]).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert!(ids.contains(&f.node()));
+    }
+
+    #[test]
+    fn extract_cone_to_primary_inputs() {
+        let aig = sample();
+        let f = aig.outputs()[0];
+        let cone = extract_cone(&aig, &[f], None);
+        assert_eq!(cone.aig.num_outputs(), 1);
+        assert_eq!(cone.aig.num_inputs(), 3);
+        // f = a & b & c
+        assert_eq!(cone.aig.evaluate(&[true, true, true]), vec![true]);
+        assert_eq!(cone.aig.evaluate(&[true, true, false]), vec![false]);
+    }
+
+    #[test]
+    fn extract_cone_with_explicit_cut() {
+        let aig = sample();
+        let f = aig.outputs()[0];
+        // Cut at {ab, c}: the cone should be a single AND of its two leaves.
+        // Pick whichever fanin of the root is the internal AND node `ab`.
+        let ab_node = match aig.node(f.node()) {
+            crate::AigNode::And { fanin0, fanin1 } => {
+                if aig.node(fanin0.node()).is_and() {
+                    fanin0.node()
+                } else {
+                    fanin1.node()
+                }
+            }
+            _ => unreachable!(),
+        };
+        let c_node = aig.inputs()[2];
+        let cone = extract_cone(&aig, &[f], Some(&[ab_node, c_node]));
+        assert_eq!(cone.aig.num_inputs(), 2);
+        assert_eq!(cone.aig.num_ands(), 1);
+        assert_eq!(cone.leaf_map, vec![ab_node, c_node]);
+    }
+
+    #[test]
+    fn mffc_of_single_fanout_chain() {
+        let mut aig = Aig::new("chain");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        aig.add_output(abc, "f");
+        let fanouts = aig.fanout_counts();
+        // Removing the top AND frees the whole chain of 2 gates.
+        assert_eq!(mffc_size(&aig, abc.node(), &fanouts), 2);
+        // The shared sample: removing abc in `sample()` frees 2 gates too
+        // because `ab` has a single fanout there.
+        let s = sample();
+        let f = s.outputs()[0];
+        let fo = s.fanout_counts();
+        assert_eq!(mffc_size(&s, f.node(), &fo), 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Graphviz (DOT) export of AIGs, for debugging and documentation.
+
+use crate::{Aig, AigNode};
+
+/// Renders the network in Graphviz DOT syntax.
+///
+/// Inputs are drawn as boxes, AND gates as circles; complemented edges are
+/// drawn dashed with a dot arrowhead, matching the usual AIG drawing
+/// convention.
+pub fn to_dot(aig: &Aig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", aig.name()));
+    out.push_str("  rankdir=BT;\n  node [fontsize=10];\n");
+    for id in aig.node_ids() {
+        match aig.node(id) {
+            AigNode::Const => {
+                out.push_str(&format!("  n{} [label=\"0\", shape=box, style=filled, fillcolor=gray];\n", id.0));
+            }
+            AigNode::Input { index } => {
+                out.push_str(&format!(
+                    "  n{} [label=\"{}\", shape=box, style=filled, fillcolor=lightblue];\n",
+                    id.0,
+                    aig.input_name(*index as usize)
+                ));
+            }
+            AigNode::And { fanin0, fanin1 } => {
+                out.push_str(&format!("  n{} [label=\"&\", shape=circle];\n", id.0));
+                for lit in [fanin0, fanin1] {
+                    let style = if lit.is_complemented() {
+                        " [style=dashed, arrowhead=dot]"
+                    } else {
+                        ""
+                    };
+                    out.push_str(&format!("  n{} -> n{}{};\n", lit.node().0, id.0, style));
+                }
+            }
+        }
+    }
+    for (i, po) in aig.outputs().iter().enumerate() {
+        let name = aig.output_name(i);
+        out.push_str(&format!(
+            "  po{i} [label=\"{name}\", shape=invtriangle, style=filled, fillcolor=lightyellow];\n"
+        ));
+        let style = if po.is_complemented() {
+            " [style=dashed, arrowhead=dot]"
+        } else {
+            ""
+        };
+        out.push_str(&format!("  n{} -> po{i}{};\n", po.node().0, style));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let mut aig = Aig::new("dot_demo");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let f = aig.nand(a, b);
+        aig.add_output(f, "f");
+        let dot = to_dot(&aig);
+        assert!(dot.starts_with("digraph \"dot_demo\""));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("-> po0"));
+        // The complemented output edge is dashed.
+        assert!(dot.contains("style=dashed"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn every_node_and_output_is_declared() {
+        let mut aig = Aig::new("d");
+        let inputs = aig.add_inputs("x", 3);
+        let f = aig.and_many(&inputs);
+        aig.add_output(f, "f");
+        let dot = to_dot(&aig);
+        for id in aig.node_ids() {
+            assert!(dot.contains(&format!("n{} [", id.0)), "missing node {id}");
+        }
+        assert!(dot.contains("po0 ["));
+    }
+}

@@ -1,0 +1,388 @@
+//! ABC-style equation (`.eqn`) reader and writer.
+//!
+//! The equation format is a list of Boolean assignments:
+//!
+//! ```text
+//! INORDER = a b cin;
+//! OUTORDER = sum cout;
+//! w1 = a ^ b;
+//! sum = w1 ^ cin;
+//! cout = (a * b) + (cin * w1);
+//! ```
+//!
+//! Supported operators (loosest to tightest binding): `+` (OR), `^` (XOR),
+//! `*` (AND), `!` (NOT), plus parentheses and the constants `0`/`1`.
+//! This is the text format E-morphic uses when exchanging circuits with the
+//! conventional synthesis flow (paper Fig. 5, step "Equation Format").
+
+use crate::fxhash::FxHashMap;
+use crate::{Aig, AigError, Lit, Result};
+
+/// Serializes an AIG as a list of equations (one per AND gate).
+pub fn write_eqn(aig: &Aig) -> String {
+    let mut out = String::new();
+    out.push_str("INORDER = ");
+    out.push_str(&aig.input_names().join(" "));
+    out.push_str(";\n");
+    out.push_str("OUTORDER = ");
+    out.push_str(&aig.output_names().join(" "));
+    out.push_str(";\n");
+
+    let name_of = |lit: Lit, aig: &Aig| -> String {
+        let base = if lit.node() == crate::NodeId::CONST {
+            // Complemented constant-false is constant-true.
+            return if lit.is_complemented() { "1".into() } else { "0".into() };
+        } else {
+            match aig.node(lit.node()) {
+                crate::AigNode::Input { index } => aig.input_name(*index as usize).to_string(),
+                _ => format!("new_n{}", lit.node().0),
+            }
+        };
+        if lit.is_complemented() {
+            format!("!{base}")
+        } else {
+            base
+        }
+    };
+
+    for id in aig.and_ids() {
+        let (f0, f1) = aig.fanins(id);
+        out.push_str(&format!(
+            "new_n{} = {} * {};\n",
+            id.0,
+            name_of(f0, aig),
+            name_of(f1, aig)
+        ));
+    }
+    for (i, &po) in aig.outputs().iter().enumerate() {
+        out.push_str(&format!(
+            "{} = {};\n",
+            aig.output_name(i),
+            name_of(po, aig)
+        ));
+    }
+    out
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Const(bool),
+    Not,
+    And,
+    Or,
+    Xor,
+    LParen,
+    RParen,
+}
+
+fn tokenize(expr: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = expr.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '!' => {
+                chars.next();
+                tokens.push(Token::Not);
+            }
+            '*' | '&' => {
+                chars.next();
+                tokens.push(Token::And);
+            }
+            '+' | '|' => {
+                chars.next();
+                tokens.push(Token::Or);
+            }
+            '^' => {
+                chars.next();
+                tokens.push(Token::Xor);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' || c == '.' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '[' || c == ']' || c == '.' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if ident == "0" {
+                    tokens.push(Token::Const(false));
+                } else if ident == "1" {
+                    tokens.push(Token::Const(true));
+                } else {
+                    tokens.push(Token::Ident(ident));
+                }
+            }
+            other => {
+                return Err(AigError::Parse(format!(
+                    "unexpected character '{other}' in expression '{expr}'"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    aig: &'a mut Aig,
+    env: &'a FxHashMap<String, Lit>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let tok = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        tok
+    }
+
+    // expr := xor_term ('+' xor_term)*
+    fn expr(&mut self) -> Result<Lit> {
+        let mut acc = self.xor_term()?;
+        while matches!(self.peek(), Some(Token::Or)) {
+            self.bump();
+            let rhs = self.xor_term()?;
+            acc = self.aig.or(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    // xor_term := term ('^' term)*
+    fn xor_term(&mut self) -> Result<Lit> {
+        let mut acc = self.term()?;
+        while matches!(self.peek(), Some(Token::Xor)) {
+            self.bump();
+            let rhs = self.term()?;
+            acc = self.aig.xor(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    // term := factor ('*' factor)*
+    fn term(&mut self) -> Result<Lit> {
+        let mut acc = self.factor()?;
+        while matches!(self.peek(), Some(Token::And)) {
+            self.bump();
+            let rhs = self.factor()?;
+            acc = self.aig.and(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    // factor := '!' factor | '(' expr ')' | ident | const
+    fn factor(&mut self) -> Result<Lit> {
+        match self.bump() {
+            Some(Token::Not) => Ok(self.factor()?.not()),
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(AigError::Parse("missing closing parenthesis".into())),
+                }
+            }
+            Some(Token::Const(b)) => Ok(if b { Lit::TRUE } else { Lit::FALSE }),
+            Some(Token::Ident(name)) => self
+                .env
+                .get(&name)
+                .copied()
+                .ok_or_else(|| AigError::Parse(format!("undefined signal '{name}'"))),
+            other => Err(AigError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Parses an equation file into an [`Aig`].
+///
+/// Signals assigned before use become internal wires; identifiers listed in
+/// `INORDER` become primary inputs; identifiers listed in `OUTORDER` become
+/// primary outputs (in that order).
+///
+/// # Errors
+/// Returns [`AigError::Parse`] for syntax errors, undefined signals, or
+/// missing `INORDER`/`OUTORDER` declarations.
+pub fn read_eqn(text: &str) -> Result<Aig> {
+    let mut aig = Aig::new("eqn");
+    let mut env: FxHashMap<String, Lit> = FxHashMap::default();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut saw_inorder = false;
+    let mut saw_outorder = false;
+
+    // Statements are ';'-separated; comments start with '#'.
+    let cleaned: String = text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    for stmt in cleaned.split(';') {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let (lhs, rhs) = stmt
+            .split_once('=')
+            .ok_or_else(|| AigError::Parse(format!("statement without '=': {stmt}")))?;
+        let lhs = lhs.trim();
+        let rhs = rhs.trim();
+        match lhs {
+            "INORDER" => {
+                saw_inorder = true;
+                for name in rhs.split_whitespace() {
+                    let lit = aig.add_input(name);
+                    env.insert(name.to_string(), lit);
+                }
+            }
+            "OUTORDER" => {
+                saw_outorder = true;
+                outputs = rhs.split_whitespace().map(|s| s.to_string()).collect();
+            }
+            name => {
+                let tokens = tokenize(rhs)?;
+                let mut parser = Parser {
+                    tokens,
+                    pos: 0,
+                    aig: &mut aig,
+                    env: &env,
+                };
+                let lit = parser.expr()?;
+                if parser.pos != parser.tokens.len() {
+                    return Err(AigError::Parse(format!(
+                        "trailing tokens in expression for '{name}'"
+                    )));
+                }
+                env.insert(name.to_string(), lit);
+            }
+        }
+    }
+
+    if !saw_inorder || !saw_outorder {
+        return Err(AigError::Parse(
+            "equation file must declare INORDER and OUTORDER".into(),
+        ));
+    }
+    for name in &outputs {
+        let lit = env
+            .get(name)
+            .copied()
+            .ok_or_else(|| AigError::Parse(format!("output '{name}' never assigned")))?;
+        aig.add_output(lit, name.clone());
+    }
+    Ok(aig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_adder() {
+        let text = "\
+INORDER = a b cin;
+OUTORDER = sum cout;
+w1 = a ^ b;
+sum = w1 ^ cin;
+cout = (a * b) + (cin * w1);
+";
+        let aig = read_eqn(text).unwrap();
+        assert_eq!(aig.num_inputs(), 3);
+        assert_eq!(aig.num_outputs(), 2);
+        for p in 0..8u32 {
+            let a = p & 1 != 0;
+            let b = p & 2 != 0;
+            let cin = p & 4 != 0;
+            let out = aig.evaluate(&[a, b, cin]);
+            let total = u32::from(a) + u32::from(b) + u32::from(cin);
+            assert_eq!(out[0], total & 1 == 1, "sum at {p}");
+            assert_eq!(out[1], total >= 2, "carry at {p}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_write_then_read() {
+        let mut aig = Aig::new("rt");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let f = aig.mux(a, b, c);
+        aig.add_output(f, "f");
+        aig.add_output(f.not(), "nf");
+        let text = write_eqn(&aig);
+        let back = read_eqn(&text).unwrap();
+        for p in 0..8u32 {
+            let bits = [(p & 1) != 0, (p & 2) != 0, (p & 4) != 0];
+            assert_eq!(aig.evaluate(&bits), back.evaluate(&bits));
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a + b * c must parse as a + (b * c).
+        let text = "INORDER = a b c;\nOUTORDER = f;\nf = a + b * c;\n";
+        let aig = read_eqn(text).unwrap();
+        assert_eq!(aig.evaluate(&[true, false, false]), vec![true]);
+        assert_eq!(aig.evaluate(&[false, true, false]), vec![false]);
+        assert_eq!(aig.evaluate(&[false, true, true]), vec![true]);
+    }
+
+    #[test]
+    fn not_binds_tightest() {
+        let text = "INORDER = a b;\nOUTORDER = f;\nf = !a * b;\n";
+        let aig = read_eqn(text).unwrap();
+        assert_eq!(aig.evaluate(&[false, true]), vec![true]);
+        assert_eq!(aig.evaluate(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn constants_in_expressions() {
+        let text = "INORDER = a;\nOUTORDER = f g;\nf = a * 1;\ng = a + 0;\n";
+        let aig = read_eqn(text).unwrap();
+        assert_eq!(aig.evaluate(&[true]), vec![true, true]);
+        assert_eq!(aig.evaluate(&[false]), vec![false, false]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# full comment\nINORDER = a; # trailing\nOUTORDER = f;\n\nf = !a;\n";
+        let aig = read_eqn(text).unwrap();
+        assert_eq!(aig.evaluate(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn error_on_undefined_signal() {
+        let text = "INORDER = a;\nOUTORDER = f;\nf = a * ghost;\n";
+        assert!(matches!(read_eqn(text), Err(AigError::Parse(_))));
+    }
+
+    #[test]
+    fn error_on_missing_orders() {
+        assert!(read_eqn("f = a;").is_err());
+        let text = "INORDER = a;\nf = a;\n";
+        assert!(read_eqn(text).is_err());
+    }
+
+    #[test]
+    fn error_on_bad_syntax() {
+        let text = "INORDER = a b;\nOUTORDER = f;\nf = (a * b;\n";
+        assert!(read_eqn(text).is_err());
+        let text2 = "INORDER = a b;\nOUTORDER = f;\nf = a ** b;\n";
+        assert!(read_eqn(text2).is_err());
+    }
+}

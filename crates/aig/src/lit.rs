@@ -1,0 +1,194 @@
+//! Node identifiers and complemented literals.
+//!
+//! An AIG edge is a *literal*: a node identifier plus a complement bit. We
+//! follow the AIGER convention of packing both into a single integer, with
+//! the least-significant bit holding the complement flag.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node inside an [`crate::Aig`].
+///
+/// Node `0` is always the constant-false node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The constant-false node present in every AIG.
+    pub const CONST: NodeId = NodeId(0);
+
+    /// Returns the raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive (non-complemented) literal pointing at this node.
+    #[inline]
+    pub fn lit(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A possibly complemented edge to an AIG node.
+///
+/// Internally packed as `node_index * 2 + complement`, matching the AIGER
+/// literal encoding, so that `Lit::FALSE` is `0` and `Lit::TRUE` is `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Creates a literal from a node and a complement flag.
+    #[inline]
+    pub fn new(node: NodeId, complemented: bool) -> Self {
+        Lit(node.0 * 2 + u32::from(complemented))
+    }
+
+    /// Creates a literal from a raw AIGER-style encoding.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        Lit(raw)
+    }
+
+    /// Returns the raw AIGER-style encoding of this literal.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the node this literal points to.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is complemented.
+    #[inline]
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the complemented version of this literal.
+    #[inline]
+    #[must_use]
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Applies an optional complement: `lit.xor(true)` is `!lit`.
+    #[inline]
+    #[must_use]
+    pub fn xor(self, complement: bool) -> Lit {
+        Lit(self.0 ^ u32::from(complement))
+    }
+
+    /// Returns this literal without its complement bit.
+    #[inline]
+    #[must_use]
+    pub fn regular(self) -> Lit {
+        Lit(self.0 & !1)
+    }
+
+    /// Returns `true` if this literal is one of the two constants.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.node() == NodeId::CONST
+    }
+
+    /// Returns `true` if this literal is constant false.
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Lit::FALSE
+    }
+
+    /// Returns `true` if this literal is constant true.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Lit::TRUE
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit::not(self)
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node().0)
+        } else {
+            write!(f, "n{}", self.node().0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Lit::FALSE.node(), NodeId::CONST);
+        assert_eq!(Lit::TRUE.node(), NodeId::CONST);
+        assert!(!Lit::FALSE.is_complemented());
+        assert!(Lit::TRUE.is_complemented());
+        assert!(Lit::FALSE.is_false());
+        assert!(Lit::TRUE.is_true());
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+    }
+
+    #[test]
+    fn packing_roundtrip() {
+        for idx in [0u32, 1, 2, 17, 1000, 65535] {
+            for compl in [false, true] {
+                let lit = Lit::new(NodeId(idx), compl);
+                assert_eq!(lit.node(), NodeId(idx));
+                assert_eq!(lit.is_complemented(), compl);
+                assert_eq!(Lit::from_raw(lit.raw()), lit);
+            }
+        }
+    }
+
+    #[test]
+    fn complement_involution() {
+        let lit = Lit::new(NodeId(5), false);
+        assert_eq!(lit.not().not(), lit);
+        assert_ne!(lit.not(), lit);
+        assert_eq!(lit.xor(false), lit);
+        assert_eq!(lit.xor(true), lit.not());
+    }
+
+    #[test]
+    fn regular_strips_complement() {
+        let lit = Lit::new(NodeId(7), true);
+        assert_eq!(lit.regular(), Lit::new(NodeId(7), false));
+        assert_eq!(lit.regular().regular(), lit.regular());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{}", Lit::new(NodeId(3), true)), "!n3");
+        assert_eq!(format!("{}", Lit::new(NodeId(3), false)), "n3");
+    }
+}

@@ -1,0 +1,630 @@
+//! The structurally hashed And-Inverter Graph network.
+
+use crate::fxhash::FxHashMap;
+use crate::{AigError, Lit, NodeId, Result};
+use serde::{Deserialize, Serialize};
+
+/// A single node of an [`Aig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AigNode {
+    /// The constant-false node (always node 0).
+    Const,
+    /// A primary input; `index` is the position in the input list.
+    Input {
+        /// Position of the input in [`Aig::inputs`].
+        index: u32,
+    },
+    /// A two-input AND gate over two (possibly complemented) literals.
+    And {
+        /// First fanin literal (always `<=` the second after normalization).
+        fanin0: Lit,
+        /// Second fanin literal.
+        fanin1: Lit,
+    },
+}
+
+impl AigNode {
+    /// Returns `true` if the node is an AND gate.
+    #[inline]
+    pub fn is_and(&self) -> bool {
+        matches!(self, AigNode::And { .. })
+    }
+
+    /// Returns `true` if the node is a primary input.
+    #[inline]
+    pub fn is_input(&self) -> bool {
+        matches!(self, AigNode::Input { .. })
+    }
+
+    /// Returns `true` if the node is the constant node.
+    #[inline]
+    pub fn is_const(&self) -> bool {
+        matches!(self, AigNode::Const)
+    }
+
+    /// Returns the fanin literals of an AND node, or an empty slice otherwise.
+    #[inline]
+    pub fn fanins(&self) -> [Option<Lit>; 2] {
+        match self {
+            AigNode::And { fanin0, fanin1 } => [Some(*fanin0), Some(*fanin1)],
+            _ => [None, None],
+        }
+    }
+}
+
+/// A structurally hashed combinational And-Inverter Graph.
+///
+/// Nodes are stored in creation order, which is always a valid topological
+/// order because an AND gate can only be created after both of its fanins
+/// exist. Node `0` is the constant-false node.
+///
+/// Construction applies *two-level structural hashing*: trivial
+/// simplifications (`x & 0`, `x & 1`, `x & x`, `x & !x`) are folded away and
+/// identical `(fanin0, fanin1)` pairs are shared.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Aig {
+    name: String,
+    nodes: Vec<AigNode>,
+    #[serde(skip)]
+    strash: FxHashMap<(Lit, Lit), NodeId>,
+    inputs: Vec<NodeId>,
+    input_names: Vec<String>,
+    outputs: Vec<Lit>,
+    output_names: Vec<String>,
+}
+
+impl Aig {
+    /// Creates an empty AIG with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Aig {
+            name: name.into(),
+            nodes: vec![AigNode::Const],
+            strash: FxHashMap::default(),
+            inputs: Vec::new(),
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+            output_names: Vec::new(),
+        }
+    }
+
+    /// Returns the design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Adds a primary input and returns its (positive) literal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Lit {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(AigNode::Input {
+            index: self.inputs.len() as u32,
+        });
+        self.inputs.push(id);
+        self.input_names.push(name.into());
+        id.lit()
+    }
+
+    /// Adds `count` anonymous inputs named `prefix0 .. prefix{count-1}`.
+    pub fn add_inputs(&mut self, prefix: &str, count: usize) -> Vec<Lit> {
+        (0..count)
+            .map(|i| self.add_input(format!("{prefix}{i}")))
+            .collect()
+    }
+
+    /// Registers a primary output driven by `lit` and returns its index.
+    pub fn add_output(&mut self, lit: Lit, name: impl Into<String>) -> usize {
+        debug_assert!(lit.node().index() < self.nodes.len());
+        self.outputs.push(lit);
+        self.output_names.push(name.into());
+        self.outputs.len() - 1
+    }
+
+    /// Replaces the literal driving output `index`.
+    pub fn set_output(&mut self, index: usize, lit: Lit) {
+        self.outputs[index] = lit;
+    }
+
+    /// Creates (or reuses) the AND of two literals, applying constant folding
+    /// and trivial-case simplification before structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant and trivial cases.
+        if a.is_false() || b.is_false() || a == b.not() {
+            return Lit::FALSE;
+        }
+        if a.is_true() {
+            return b;
+        }
+        if b.is_true() || a == b {
+            return a;
+        }
+        // Canonical ordering so that (a, b) and (b, a) share a node.
+        let (f0, f1) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if let Some(&id) = self.strash.get(&(f0, f1)) {
+            return id.lit();
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(AigNode::And {
+            fanin0: f0,
+            fanin1: f1,
+        });
+        self.strash.insert((f0, f1), id);
+        id.lit()
+    }
+
+    /// Creates the OR of two literals (via De Morgan on the AND).
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// Creates the NAND of two literals.
+    pub fn nand(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a, b).not()
+    }
+
+    /// Creates the NOR of two literals.
+    pub fn nor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.or(a, b).not()
+    }
+
+    /// Creates the XOR of two literals (three AND nodes).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let ab = self.and(a, b.not());
+        let ba = self.and(a.not(), b);
+        self.or(ab, ba)
+    }
+
+    /// Creates the XNOR of two literals.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        self.xor(a, b).not()
+    }
+
+    /// Creates the multiplexer `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let pos = self.and(sel, t);
+        let neg = self.and(sel.not(), e);
+        self.or(pos, neg)
+    }
+
+    /// Creates the three-input majority function.
+    pub fn maj3(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let bc = self.and(b, c);
+        let ac = self.and(a, c);
+        let t = self.or(ab, bc);
+        self.or(t, ac)
+    }
+
+    /// Creates a balanced AND over an arbitrary number of literals.
+    ///
+    /// Returns constant true for an empty slice.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::TRUE, Self::and)
+    }
+
+    /// Creates a balanced OR over an arbitrary number of literals.
+    ///
+    /// Returns constant false for an empty slice.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::FALSE, Self::or)
+    }
+
+    /// Creates a balanced XOR over an arbitrary number of literals.
+    pub fn xor_many(&mut self, lits: &[Lit]) -> Lit {
+        self.reduce_balanced(lits, Lit::FALSE, Self::xor)
+    }
+
+    fn reduce_balanced(
+        &mut self,
+        lits: &[Lit],
+        empty: Lit,
+        mut op: impl FnMut(&mut Self, Lit, Lit) -> Lit,
+    ) -> Lit {
+        match lits.len() {
+            0 => empty,
+            1 => lits[0],
+            _ => {
+                let mut layer = lits.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        if pair.len() == 2 {
+                            next.push(op(self, pair[0], pair[1]));
+                        } else {
+                            next.push(pair[0]);
+                        }
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Total number of nodes (constant + inputs + AND gates).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of AND gates.
+    pub fn num_ands(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_and()).count()
+    }
+
+    /// Returns the node with the given id.
+    pub fn node(&self, id: NodeId) -> &AigNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Attempts to return the node with the given id.
+    pub fn try_node(&self, id: NodeId) -> Result<&AigNode> {
+        self.nodes
+            .get(id.index())
+            .ok_or_else(|| AigError::InvalidNode(format!("{id} out of range")))
+    }
+
+    /// Iterates over all node ids in topological order (constant first).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over the ids of all AND gates in topological order.
+    pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().enumerate().filter_map(|(i, n)| {
+            if n.is_and() {
+                Some(NodeId(i as u32))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Returns the fanin literals of an AND node.
+    ///
+    /// # Panics
+    /// Panics if the node is not an AND gate.
+    pub fn fanins(&self, id: NodeId) -> (Lit, Lit) {
+        match self.node(id) {
+            AigNode::And { fanin0, fanin1 } => (*fanin0, *fanin1),
+            other => panic!("node {id} is not an AND gate: {other:?}"),
+        }
+    }
+
+    /// Returns the primary-input node ids.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Returns the primary-input names.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Returns the name of input `index`.
+    pub fn input_name(&self, index: usize) -> &str {
+        &self.input_names[index]
+    }
+
+    /// Returns the literals driving the primary outputs.
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// Returns the primary-output names.
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// Returns the name of output `index`.
+    pub fn output_name(&self, index: usize) -> &str {
+        &self.output_names[index]
+    }
+
+    // ------------------------------------------------------------------
+    // Structural queries
+    // ------------------------------------------------------------------
+
+    /// Computes the logic level of every node (inputs and constant are level 0).
+    pub fn levels(&self) -> Vec<u32> {
+        let mut levels = vec![0u32; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And { fanin0, fanin1 } = node {
+                levels[i] = 1 + levels[fanin0.node().index()].max(levels[fanin1.node().index()]);
+            }
+        }
+        levels
+    }
+
+    /// Returns the depth (number of AND levels on the longest PI→PO path).
+    pub fn depth(&self) -> u32 {
+        let levels = self.levels();
+        self.outputs
+            .iter()
+            .map(|lit| levels[lit.node().index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Counts the fanouts of every node (including output references).
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nodes.len()];
+        for node in &self.nodes {
+            if let AigNode::And { fanin0, fanin1 } = node {
+                counts[fanin0.node().index()] += 1;
+                counts[fanin1.node().index()] += 1;
+            }
+        }
+        for lit in &self.outputs {
+            counts[lit.node().index()] += 1;
+        }
+        counts
+    }
+
+    /// Returns, for every node, the list of AND nodes that use it as a fanin.
+    pub fn fanout_lists(&self) -> Vec<Vec<NodeId>> {
+        let mut lists = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And { fanin0, fanin1 } = node {
+                lists[fanin0.node().index()].push(NodeId(i as u32));
+                if fanin1.node() != fanin0.node() {
+                    lists[fanin1.node().index()].push(NodeId(i as u32));
+                }
+            }
+        }
+        lists
+    }
+
+    // ------------------------------------------------------------------
+    // Rebuilding
+    // ------------------------------------------------------------------
+
+    /// Produces a structurally hashed copy containing only the logic
+    /// reachable from the primary outputs (the ABC `strash`/sweep analogue).
+    pub fn strash_copy(&self) -> Aig {
+        let mut fresh = Aig::new(self.name.clone());
+        let mut map: Vec<Option<Lit>> = vec![None; self.nodes.len()];
+        map[0] = Some(Lit::FALSE);
+        for (idx, &input) in self.inputs.iter().enumerate() {
+            let lit = fresh.add_input(self.input_names[idx].clone());
+            map[input.index()] = Some(lit);
+        }
+        // Nodes are already topologically ordered.
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And { fanin0, fanin1 } = node {
+                let a = map[fanin0.node().index()].expect("fanin visited").xor(fanin0.is_complemented());
+                let b = map[fanin1.node().index()].expect("fanin visited").xor(fanin1.is_complemented());
+                map[i] = Some(fresh.and(a, b));
+            }
+        }
+        for (idx, lit) in self.outputs.iter().enumerate() {
+            let mapped = map[lit.node().index()].expect("output driver visited").xor(lit.is_complemented());
+            fresh.add_output(mapped, self.output_names[idx].clone());
+        }
+        fresh.cleanup()
+    }
+
+    /// Removes dangling nodes (not reachable from any output), preserving the
+    /// input list, and returns the compacted network.
+    pub fn cleanup(&self) -> Aig {
+        let mut reachable = vec![false; self.nodes.len()];
+        reachable[0] = true;
+        for &input in &self.inputs {
+            reachable[input.index()] = true;
+        }
+        let mut stack: Vec<NodeId> = self.outputs.iter().map(|l| l.node()).collect();
+        while let Some(id) = stack.pop() {
+            if reachable[id.index()] {
+                continue;
+            }
+            reachable[id.index()] = true;
+            if let AigNode::And { fanin0, fanin1 } = self.node(id) {
+                stack.push(fanin0.node());
+                stack.push(fanin1.node());
+            }
+        }
+        let mut fresh = Aig::new(self.name.clone());
+        let mut map: Vec<Option<Lit>> = vec![None; self.nodes.len()];
+        map[0] = Some(Lit::FALSE);
+        for (idx, &input) in self.inputs.iter().enumerate() {
+            let lit = fresh.add_input(self.input_names[idx].clone());
+            map[input.index()] = Some(lit);
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !reachable[i] {
+                continue;
+            }
+            if let AigNode::And { fanin0, fanin1 } = node {
+                let a = map[fanin0.node().index()].expect("fanin visited").xor(fanin0.is_complemented());
+                let b = map[fanin1.node().index()].expect("fanin visited").xor(fanin1.is_complemented());
+                map[i] = Some(fresh.and(a, b));
+            }
+        }
+        for (idx, lit) in self.outputs.iter().enumerate() {
+            let mapped = map[lit.node().index()].expect("output driver visited").xor(lit.is_complemented());
+            fresh.add_output(mapped, self.output_names[idx].clone());
+        }
+        fresh
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluates the network on a single Boolean input assignment.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.inputs.len(),
+            "expected {} input values, got {}",
+            self.inputs.len(),
+            inputs.len()
+        );
+        let mut values = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match node {
+                AigNode::Const => false,
+                AigNode::Input { index } => inputs[*index as usize],
+                AigNode::And { fanin0, fanin1 } => {
+                    let a = values[fanin0.node().index()] ^ fanin0.is_complemented();
+                    let b = values[fanin1.node().index()] ^ fanin1.is_complemented();
+                    a && b
+                }
+            };
+        }
+        self.outputs
+            .iter()
+            .map(|lit| values[lit.node().index()] ^ lit.is_complemented())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_net() -> (Aig, Lit) {
+        let mut aig = Aig::new("xor");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.xor(a, b);
+        aig.add_output(x, "y");
+        (aig, x)
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(Lit::FALSE, a), Lit::FALSE);
+        assert_eq!(aig.and(a, Lit::TRUE), a);
+        assert_eq!(aig.and(Lit::TRUE, a), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, a.not()), Lit::FALSE);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_shares_nodes() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.and(a, b);
+        let y = aig.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        let (aig, _) = xor_net();
+        assert_eq!(aig.evaluate(&[false, false]), vec![false]);
+        assert_eq!(aig.evaluate(&[true, false]), vec![true]);
+        assert_eq!(aig.evaluate(&[false, true]), vec![true]);
+        assert_eq!(aig.evaluate(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn mux_and_maj_semantics() {
+        let mut aig = Aig::new("t");
+        let s = aig.add_input("s");
+        let t = aig.add_input("t");
+        let e = aig.add_input("e");
+        let m = aig.mux(s, t, e);
+        let j = aig.maj3(s, t, e);
+        aig.add_output(m, "mux");
+        aig.add_output(j, "maj");
+        for bits in 0..8u32 {
+            let s_v = bits & 1 != 0;
+            let t_v = bits & 2 != 0;
+            let e_v = bits & 4 != 0;
+            let out = aig.evaluate(&[s_v, t_v, e_v]);
+            assert_eq!(out[0], if s_v { t_v } else { e_v });
+            let maj = (s_v && t_v) || (t_v && e_v) || (s_v && e_v);
+            assert_eq!(out[1], maj);
+        }
+    }
+
+    #[test]
+    fn and_many_balanced_depth() {
+        let mut aig = Aig::new("t");
+        let lits = aig.add_inputs("x", 16);
+        let all = aig.and_many(&lits);
+        aig.add_output(all, "y");
+        assert_eq!(aig.depth(), 4);
+        assert_eq!(aig.num_ands(), 15);
+        assert_eq!(aig.and_many(&[]), Lit::TRUE);
+        assert_eq!(aig.or_many(&[]), Lit::FALSE);
+    }
+
+    #[test]
+    fn levels_and_fanouts() {
+        let (aig, x) = xor_net();
+        let levels = aig.levels();
+        assert_eq!(levels[x.node().index()], 2);
+        let fanouts = aig.fanout_counts();
+        // Each input feeds two AND gates.
+        assert_eq!(fanouts[aig.inputs()[0].index()], 2);
+        assert_eq!(fanouts[aig.inputs()[1].index()], 2);
+    }
+
+    #[test]
+    fn cleanup_removes_dangling() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let keep = aig.and(a, b);
+        let _dangling = aig.xor(a, b);
+        aig.add_output(keep, "y");
+        assert!(aig.num_ands() > 1);
+        let clean = aig.cleanup();
+        assert_eq!(clean.num_ands(), 1);
+        assert_eq!(clean.num_inputs(), 2);
+        assert_eq!(clean.evaluate(&[true, true]), vec![true]);
+        assert_eq!(clean.evaluate(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn strash_copy_preserves_function() {
+        let (aig, _) = xor_net();
+        let copy = aig.strash_copy();
+        for bits in 0..4u32 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            assert_eq!(aig.evaluate(&[a, b]), copy.evaluate(&[a, b]));
+        }
+    }
+
+    #[test]
+    fn complemented_output() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        aig.add_output(a.not(), "na");
+        assert_eq!(aig.evaluate(&[true]), vec![false]);
+        assert_eq!(aig.evaluate(&[false]), vec![true]);
+    }
+}

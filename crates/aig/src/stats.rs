@@ -1,0 +1,66 @@
+//! Summary statistics of an AIG, analogous to ABC's `print_stats`.
+
+use crate::Aig;
+use serde::{Deserialize, Serialize};
+
+/// Size and depth statistics of an AIG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AigStats {
+    /// Design name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of AND gates.
+    pub ands: usize,
+    /// Number of AND levels on the longest path.
+    pub depth: u32,
+}
+
+impl AigStats {
+    /// Collects statistics from a network.
+    pub fn of(aig: &Aig) -> Self {
+        AigStats {
+            name: aig.name().to_string(),
+            inputs: aig.num_inputs(),
+            outputs: aig.num_outputs(),
+            ands: aig.num_ands(),
+            depth: aig.depth(),
+        }
+    }
+}
+
+impl std::fmt::Display for AigStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<12} i/o = {:>5}/{:>5}  and = {:>8}  lev = {:>5}",
+            self.name, self.inputs, self.outputs, self.ands, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aig;
+
+    #[test]
+    fn stats_of_small_network() {
+        let mut aig = Aig::new("demo");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let y = aig.xor(a, b);
+        aig.add_output(y, "y");
+        let stats = AigStats::of(&aig);
+        assert_eq!(stats.name, "demo");
+        assert_eq!(stats.inputs, 2);
+        assert_eq!(stats.outputs, 1);
+        assert_eq!(stats.ands, 3);
+        assert_eq!(stats.depth, 2);
+        let line = stats.to_string();
+        assert!(line.contains("demo"));
+        assert!(line.contains("and ="));
+    }
+}

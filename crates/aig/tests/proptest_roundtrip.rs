@@ -1,0 +1,113 @@
+//! Property-based tests of the AIG core: structural hashing invariants,
+//! cleanup/strash idempotence and I/O round-trips on random networks.
+
+use aig::io::{read_aiger, read_eqn, write_aiger, write_eqn};
+use aig::{Aig, Lit};
+use proptest::prelude::*;
+
+/// A recipe for building a deterministic pseudo-random AIG inside proptest.
+#[derive(Debug, Clone)]
+struct Recipe {
+    num_inputs: usize,
+    ops: Vec<(u8, usize, bool, usize, bool)>,
+    out_complement: bool,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    (2usize..7, 1usize..60, any::<bool>()).prop_flat_map(|(num_inputs, num_ops, out_complement)| {
+        let op = (0u8..3, 0usize..1000, any::<bool>(), 0usize..1000, any::<bool>());
+        proptest::collection::vec(op, num_ops).prop_map(move |ops| Recipe {
+            num_inputs,
+            ops,
+            out_complement,
+        })
+    })
+}
+
+fn build(recipe: &Recipe) -> Aig {
+    let mut aig = Aig::new("prop");
+    let mut pool: Vec<Lit> = (0..recipe.num_inputs)
+        .map(|i| aig.add_input(format!("i{i}")))
+        .collect();
+    for (kind, ai, ac, bi, bc) in &recipe.ops {
+        let a = pool[ai % pool.len()].xor(*ac);
+        let b = pool[bi % pool.len()].xor(*bc);
+        let lit = match kind % 3 {
+            0 => aig.and(a, b),
+            1 => aig.or(a, b),
+            _ => aig.xor(a, b),
+        };
+        pool.push(lit);
+    }
+    let out = pool.last().copied().unwrap().xor(recipe.out_complement);
+    aig.add_output(out, "f");
+    // A second output taps the middle of the pool to exercise sharing.
+    aig.add_output(pool[pool.len() / 2], "g");
+    aig
+}
+
+fn equivalent(a: &Aig, b: &Aig) -> bool {
+    let n = a.num_inputs();
+    (0..(1usize << n)).all(|p| {
+        let bits: Vec<bool> = (0..n).map(|i| p >> i & 1 == 1).collect();
+        a.evaluate(&bits) == b.evaluate(&bits)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cleanup_preserves_function_and_never_grows(recipe in recipe_strategy()) {
+        let aig = build(&recipe);
+        let cleaned = aig.cleanup();
+        prop_assert!(equivalent(&aig, &cleaned));
+        prop_assert!(cleaned.num_ands() <= aig.num_ands());
+        // Cleanup is idempotent.
+        prop_assert_eq!(cleaned.cleanup().num_ands(), cleaned.num_ands());
+    }
+
+    #[test]
+    fn strash_copy_preserves_function(recipe in recipe_strategy()) {
+        let aig = build(&recipe);
+        let copy = aig.strash_copy();
+        prop_assert!(equivalent(&aig, &copy));
+        prop_assert!(copy.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn aiger_roundtrip(recipe in recipe_strategy()) {
+        let aig = build(&recipe);
+        let text = write_aiger(&aig);
+        let back = read_aiger(&text).unwrap();
+        prop_assert_eq!(back.num_inputs(), aig.num_inputs());
+        prop_assert_eq!(back.num_outputs(), aig.num_outputs());
+        prop_assert!(equivalent(&aig, &back));
+    }
+
+    #[test]
+    fn eqn_roundtrip(recipe in recipe_strategy()) {
+        let aig = build(&recipe);
+        let text = write_eqn(&aig);
+        let back = read_eqn(&text).unwrap();
+        prop_assert!(equivalent(&aig, &back));
+    }
+
+    #[test]
+    fn levels_are_consistent_with_depth(recipe in recipe_strategy()) {
+        let aig = build(&recipe);
+        let levels = aig.levels();
+        let max_level = aig
+            .outputs()
+            .iter()
+            .map(|po| levels[po.node().index()])
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(max_level, aig.depth());
+        // Every AND node sits strictly above both fanins.
+        for id in aig.and_ids() {
+            let (f0, f1) = aig.fanins(id);
+            prop_assert!(levels[id.index()] > levels[f0.node().index()].min(levels[f1.node().index()]));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Criterion bench: circuit ↔ e-graph conversion (Table III micro-benchmark).
+//!
+//! Compares E-morphic's direct DAG-to-DAG conversion with the E-Syn-style
+//! S-expression baseline across circuit sizes, in both directions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egraph::{AstSize, Extractor};
+use emorphic::esyn::{esyn_forward, EsynLimits};
+use emorphic::{aig_to_egraph, selection_to_aig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conversion_forward");
+    group.sample_size(10);
+    for width in [6usize, 10, 14] {
+        let circuit = benchgen::adder(width).aig;
+        group.bench_with_input(
+            BenchmarkId::new("dag_to_dag", circuit.num_ands()),
+            &circuit,
+            |b, aig| b.iter(|| black_box(aig_to_egraph(aig))),
+        );
+        // The E-Syn baseline is only benchmarked where it completes quickly.
+        if width <= 10 {
+            let limits = EsynLimits {
+                max_tree_nodes: 500_000,
+                time_limit: Duration::from_secs(5),
+            };
+            group.bench_with_input(
+                BenchmarkId::new("esyn_sexpr", circuit.num_ands()),
+                &circuit,
+                |b, aig| b.iter(|| black_box(esyn_forward(aig, &limits).ok())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conversion_backward");
+    group.sample_size(10);
+    for width in [6usize, 10, 14] {
+        let circuit = benchgen::adder(width).aig;
+        let conversion = aig_to_egraph(&circuit);
+        let extractor = Extractor::new(&conversion.egraph, AstSize);
+        let selection = extractor.selection();
+        group.bench_with_input(
+            BenchmarkId::new("dag_to_dag", circuit.num_ands()),
+            &conversion,
+            |b, conv| {
+                b.iter(|| {
+                    black_box(selection_to_aig(
+                        &conv.egraph,
+                        &selection,
+                        &conv.roots,
+                        &conv.input_names,
+                        &conv.output_names,
+                        &conv.name,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward);
+criterion_main!(benches);

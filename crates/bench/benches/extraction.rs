@@ -1,0 +1,73 @@
+//! Criterion bench: e-graph extraction — solution-space pruning ablation
+//! (Fig. 6) and the simulated-annealing extractor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use costmodel::TechMapCost;
+use egraph::{Runner, Scheduler};
+use emorphic::extract::sa::{SaExtractor, SaOptions};
+use emorphic::extract::{bottom_up_extract, bottom_up_extract_unpruned, ExtractionCost};
+use emorphic::{aig_to_egraph, all_rules};
+use std::hint::black_box;
+use techmap::library::asap7_like;
+
+fn saturated(width: usize, iters: usize) -> emorphic::convert::ConversionResult {
+    let circuit = benchgen::adder(width).aig;
+    let conversion = aig_to_egraph(&circuit);
+    let runner = Runner::with_egraph(conversion.egraph.clone())
+        .with_iter_limit(iters)
+        .with_node_limit(40_000)
+        .with_scheduler(Scheduler::Backoff {
+            match_limit: 500,
+            ban_length: 2,
+        })
+        .run(&all_rules());
+    emorphic::convert::ConversionResult {
+        roots: conversion.roots.iter().map(|&r| runner.egraph.find(r)).collect(),
+        egraph: runner.egraph,
+        ..conversion
+    }
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extraction_pruning");
+    group.sample_size(10);
+    for width in [5usize, 8] {
+        let conv = saturated(width, 4);
+        group.bench_with_input(
+            BenchmarkId::new("pruned", conv.egraph.total_nodes()),
+            &conv,
+            |b, conv| b.iter(|| black_box(bottom_up_extract(&conv.egraph, ExtractionCost::Depth))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unpruned", conv.egraph.total_nodes()),
+            &conv,
+            |b, conv| {
+                b.iter(|| black_box(bottom_up_extract_unpruned(&conv.egraph, ExtractionCost::Depth)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extraction_sa");
+    group.sample_size(10);
+    let conv = saturated(5, 3);
+    let evaluator = TechMapCost::new(asap7_like());
+    for threads in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let extractor = SaExtractor::new(SaOptions {
+                    iterations: 2,
+                    threads: t,
+                    ..SaOptions::default()
+                });
+                black_box(extractor.extract(&conv, &evaluator))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning, bench_sa);
+criterion_main!(benches);

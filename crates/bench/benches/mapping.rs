@@ -1,0 +1,63 @@
+//! Criterion bench: technology mapping — cut enumeration, LUT mapping, SOP
+//! balancing and standard-cell mapping across circuit sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use techmap::cell::map_to_cells;
+use techmap::cuts::{enumerate_cuts, CutsOptions};
+use techmap::library::asap7_like;
+use techmap::lut::map_to_luts;
+use techmap::sop::sop_balance;
+use techmap::MapOptions;
+
+fn bench_cuts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_enumeration");
+    group.sample_size(10);
+    for width in [6usize, 10] {
+        let circuit = benchgen::multiplier(width).aig;
+        group.bench_with_input(
+            BenchmarkId::new("k6c8", circuit.num_ands()),
+            &circuit,
+            |b, aig| {
+                b.iter(|| {
+                    black_box(enumerate_cuts(
+                        aig,
+                        &CutsOptions {
+                            cut_size: 6,
+                            cut_limit: 8,
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping");
+    group.sample_size(10);
+    let library = asap7_like();
+    for width in [6usize, 10] {
+        let circuit = benchgen::multiplier(width).aig;
+        group.bench_with_input(
+            BenchmarkId::new("lut6", circuit.num_ands()),
+            &circuit,
+            |b, aig| b.iter(|| black_box(map_to_luts(aig, &MapOptions::lut6()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sop_balance", circuit.num_ands()),
+            &circuit,
+            |b, aig| b.iter(|| black_box(sop_balance(aig, &MapOptions::lut6()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cell_map", circuit.num_ands()),
+            &circuit,
+            |b, aig| b.iter(|| black_box(map_to_cells(aig, &library, &MapOptions::default()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cuts, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: equality-saturation rewriting — how e-graph growth and
+//! iteration time scale with the number of rewriting iterations (the paper's
+//! "few iterations suffice" argument).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use egraph::{Runner, Scheduler};
+use emorphic::{aig_to_egraph, all_rules};
+use std::hint::black_box;
+
+fn bench_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewriting_iterations");
+    group.sample_size(10);
+    let circuit = benchgen::adder(8).aig;
+    let conversion = aig_to_egraph(&circuit);
+    for iters in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            b.iter(|| {
+                let runner = Runner::with_egraph(conversion.egraph.clone())
+                    .with_iter_limit(iters)
+                    .with_node_limit(50_000)
+                    .with_scheduler(Scheduler::Backoff {
+                        match_limit: 1_000,
+                        ban_length: 2,
+                    })
+                    .run(&all_rules());
+                black_box(runner.egraph.total_nodes())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_circuit_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewriting_circuit_size");
+    group.sample_size(10);
+    for width in [4usize, 8, 12] {
+        let circuit = benchgen::adder(width).aig;
+        let conversion = aig_to_egraph(&circuit);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(circuit.num_ands()),
+            &conversion,
+            |b, conv| {
+                b.iter(|| {
+                    let runner = Runner::with_egraph(conv.egraph.clone())
+                        .with_iter_limit(3)
+                        .with_node_limit(50_000)
+                        .with_scheduler(Scheduler::Backoff {
+                            match_limit: 500,
+                            ban_length: 2,
+                        })
+                        .run(&all_rules());
+                    black_box(runner.egraph.num_classes())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iterations, bench_circuit_scaling);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: the SAT substrate — pigeonhole instances and
+//! combinational equivalence-checking miters.
+
+use cec::{check_equivalence, CecOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use logic_opt::balance;
+use sat::{Lit, Solver};
+use std::hint::black_box;
+
+fn pigeonhole(n: usize) -> Solver {
+    let mut solver = Solver::new();
+    let x: Vec<Vec<Lit>> = (0..=n)
+        .map(|_| (0..n).map(|_| Lit::pos(solver.new_var())).collect())
+        .collect();
+    for p in 0..=n {
+        solver.add_clause(&x[p]);
+    }
+    for h in 0..n {
+        for p1 in 0..=n {
+            for p2 in (p1 + 1)..=n {
+                solver.add_clause(&[!x[p1][h], !x[p2][h]]);
+            }
+        }
+    }
+    solver
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_pigeonhole");
+    group.sample_size(10);
+    for n in [4usize, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut solver = pigeonhole(n);
+                black_box(solver.solve())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cec_miter");
+    group.sample_size(10);
+    for width in [6usize, 10] {
+        let golden = benchgen::adder(width).aig;
+        let revised = balance(&golden);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(golden.num_ands()),
+            &(golden, revised),
+            |b, (golden, revised)| {
+                b.iter(|| black_box(check_equivalence(golden, revised, &CecOptions::default())))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_cec);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//! solution-space pruning, SA vs. greedy extraction, the number of rewriting
+//! iterations, and the number of parallel annealing chains.
+//!
+//! Usage: `cargo run -p emorphic-bench --bin ablation --release`
+
+use costmodel::{CostEvaluator, TechMapCost};
+use egraph::{Runner, Scheduler};
+use emorphic::extract::sa::{SaExtractor, SaOptions};
+use emorphic::extract::{bottom_up_extract, bottom_up_extract_unpruned, ExtractionCost};
+use emorphic::{aig_to_egraph, all_rules, selection_to_aig};
+use emorphic_bench::scale_from_env;
+use std::time::Instant;
+use techmap::library::asap7_like;
+
+fn saturate(
+    conversion: &emorphic::convert::ConversionResult,
+    iterations: usize,
+    node_limit: usize,
+) -> emorphic::convert::ConversionResult {
+    let runner = Runner::with_egraph(conversion.egraph.clone())
+        .with_iter_limit(iterations)
+        .with_node_limit(node_limit)
+        .with_scheduler(Scheduler::Backoff {
+            match_limit: 1_000,
+            ban_length: 2,
+        })
+        .run(&all_rules());
+    emorphic::convert::ConversionResult {
+        roots: conversion.roots.iter().map(|&r| runner.egraph.find(r)).collect(),
+        egraph: runner.egraph,
+        ..conversion.clone()
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let width = match scale {
+        benchgen::SuiteScale::Tiny => 5,
+        benchgen::SuiteScale::Small => 8,
+        benchgen::SuiteScale::Default => 12,
+    };
+    let circuit = benchgen::adder(width).aig;
+    let conversion = aig_to_egraph(&circuit);
+    let evaluator = TechMapCost::new(asap7_like());
+
+    println!("Ablation studies on adder({width}) — {} AND nodes\n", circuit.num_ands());
+
+    // 1. Rewriting iterations vs. e-graph size (scalability of rewriting).
+    println!("[1] rewriting iterations vs. e-graph size");
+    println!("{:>10} {:>12} {:>12} {:>12}", "iters", "e-nodes", "e-classes", "time (s)");
+    for iters in [1usize, 2, 3, 4, 5, 6, 8] {
+        let t = Instant::now();
+        let saturated = saturate(&conversion, iters, 100_000);
+        println!(
+            "{:>10} {:>12} {:>12} {:>12.2}",
+            iters,
+            saturated.egraph.total_nodes(),
+            saturated.egraph.num_classes(),
+            t.elapsed().as_secs_f64()
+        );
+    }
+
+    let saturated = saturate(&conversion, 4, 60_000);
+
+    // 2. Solution-space pruning on/off.
+    println!("\n[2] solution-space pruning (bottom-up extraction)");
+    let t = Instant::now();
+    let (_, pruned_stats) = bottom_up_extract(&saturated.egraph, ExtractionCost::Depth);
+    let pruned_time = t.elapsed();
+    let t = Instant::now();
+    let (_, unpruned_stats) = bottom_up_extract_unpruned(&saturated.egraph, ExtractionCost::Depth);
+    let unpruned_time = t.elapsed();
+    println!(
+        "  pruned  : {:>10} node evaluations, {:>8.3}s",
+        pruned_stats.nodes_evaluated,
+        pruned_time.as_secs_f64()
+    );
+    println!(
+        "  unpruned: {:>10} node evaluations, {:>8.3}s",
+        unpruned_stats.nodes_evaluated,
+        unpruned_time.as_secs_f64()
+    );
+    println!(
+        "  evaluation reduction: {:.1}x",
+        unpruned_stats.nodes_evaluated as f64 / pruned_stats.nodes_evaluated.max(1) as f64
+    );
+
+    // 3. SA extraction vs. plain greedy extraction (post-mapping delay).
+    println!("\n[3] greedy vs. simulated-annealing extraction");
+    let (greedy_sel, _) = bottom_up_extract(&saturated.egraph, ExtractionCost::Depth);
+    let greedy_aig = selection_to_aig(
+        &saturated.egraph,
+        &greedy_sel,
+        &saturated.roots,
+        &saturated.input_names,
+        &saturated.output_names,
+        "greedy",
+    );
+    let greedy_cost = evaluator.evaluate(&greedy_aig);
+    println!("  greedy bottom-up cost : {greedy_cost:.2}");
+    for (label, options) in [
+        ("SA, 2 iterations", SaOptions { iterations: 2, threads: 2, ..SaOptions::default() }),
+        ("SA, 4 iterations", SaOptions { iterations: 4, threads: 2, ..SaOptions::default() }),
+    ] {
+        let result = SaExtractor::new(options).extract(&saturated, &evaluator);
+        println!(
+            "  {label:<22}: {:.2}  (improvement over greedy: {:.1}%)",
+            result.best_cost,
+            (greedy_cost - result.best_cost) / greedy_cost * 100.0
+        );
+    }
+
+    // 4. Parallel annealing chains.
+    println!("\n[4] parallel annealing chains (best-of-batch quality)");
+    println!("{:>10} {:>14} {:>12}", "threads", "best cost", "time (s)");
+    for threads in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let result = SaExtractor::new(SaOptions {
+            iterations: 3,
+            threads,
+            ..SaOptions::default()
+        })
+        .extract(&saturated, &evaluator);
+        println!(
+            "{:>10} {:>14.2} {:>12.2}",
+            threads,
+            result.best_cost,
+            t.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Section IV-D: the learned cost model — training on structural variants,
+//! prediction quality (MAPE, Kendall's τ) and the runtime saving it brings to
+//! the E-morphic flow.
+//!
+//! Usage: `cargo run -p emorphic-bench --bin mlmodel --release`
+
+use costmodel::metrics::{kendall_tau, mape};
+use emorphic::flow::emorphic_flow;
+use emorphic_bench::{flow_config_for, scale_from_env, suite, train_learned_model};
+use std::time::Instant;
+
+fn main() {
+    let scale = scale_from_env();
+    let circuits = suite();
+    let config = flow_config_for(scale);
+
+    println!("Section IV-D reproduction: learned (HOGA-style) cost model");
+
+    // Training set: structural variants of the smaller circuits, labelled by
+    // the technology mapper (the OpenABC-D stand-in).
+    let training: Vec<aig::Aig> = circuits
+        .iter()
+        .filter(|c| c.aig.num_ands() < 3_000)
+        .map(|c| c.aig.clone())
+        .collect();
+    let variants = match scale {
+        benchgen::SuiteScale::Tiny => 4,
+        benchgen::SuiteScale::Small => 8,
+        benchgen::SuiteScale::Default => 12,
+    };
+    println!(
+        "Training on {} circuits x {} structural variants each ...",
+        training.len(),
+        variants
+    );
+    let t0 = Instant::now();
+    let (model, predictions, truth) = train_learned_model(&training, variants);
+    println!("Training + labelling time: {:.1}s", t0.elapsed().as_secs_f64());
+
+    let model_mape = mape(&predictions, &truth);
+    let model_tau = kendall_tau(&predictions, &truth);
+    println!("\nHeld-out delay prediction quality:");
+    println!("  MAPE        = {model_mape:.1}%   (paper: 25.2%)");
+    println!("  Kendall tau = {model_tau:.2}    (paper: 0.62)");
+
+    // Runtime saving of the E-morphic flow when the SA extraction is guided
+    // by the learned model instead of the mapper.
+    println!("\nRuntime comparison on a subset of the suite:");
+    println!("{:<12} {:>16} {:>16} {:>12}", "circuit", "quality mode (s)", "runtime mode (s)", "saving %");
+    let mut total_quality = 0.0;
+    let mut total_runtime_mode = 0.0;
+    for circuit in circuits.iter().filter(|c| c.aig.num_ands() < 4_000) {
+        let t_quality = Instant::now();
+        let quality = emorphic_flow(&circuit.aig, &config);
+        let quality_s = t_quality.elapsed().as_secs_f64();
+
+        let ml_config = config.clone().with_learned_model(model.clone());
+        let t_ml = Instant::now();
+        let runtime_mode = emorphic_flow(&circuit.aig, &ml_config);
+        let ml_s = t_ml.elapsed().as_secs_f64();
+
+        total_quality += quality_s;
+        total_runtime_mode += ml_s;
+        println!(
+            "{:<12} {:>16.2} {:>16.2} {:>11.1}%   (delay {:.0} -> {:.0} ps)",
+            circuit.name,
+            quality_s,
+            ml_s,
+            (quality_s - ml_s) / quality_s.max(1e-9) * 100.0,
+            quality.qor.delay_ps,
+            runtime_mode.qor.delay_ps,
+        );
+    }
+    println!(
+        "\nTotal runtime saving with the learned model: {:.1}% (paper reports ~28%)",
+        (total_quality - total_runtime_mode) / total_quality.max(1e-9) * 100.0
+    );
+}

@@ -1,0 +1,101 @@
+//! Table II: QoR and runtime comparison between the delay-oriented baseline
+//! flow, the E-morphic flow without the ML model, and the E-morphic flow with
+//! the ML model, over the ten EPFL-like benchmark circuits.
+//!
+//! Usage: `cargo run -p emorphic-bench --bin table2 --release`
+//! Set `EMORPHIC_SCALE=tiny|small|default` to control circuit sizes.
+
+use emorphic::flow::{baseline_flow, emorphic_flow};
+use emorphic_bench::{flow_config_for, format_qor_row, scale_from_env, suite, train_learned_model};
+use techmap::Qor;
+
+fn main() {
+    let scale = scale_from_env();
+    let circuits = suite();
+    let config = flow_config_for(scale);
+
+    println!("Table II reproduction: QoR and runtime comparison (scale {scale:?})");
+    println!(
+        "{:<12} {:>12} {:>12} {:>6} {:>10}",
+        "Circuit", "Area(um2)", "Delay(ps)", "lev", "runtime(s)"
+    );
+
+    // Train the learned model once on the smaller half of the suite.
+    println!("\n[training the learned cost model on structural variants ...]");
+    let training_circuits: Vec<aig::Aig> = circuits
+        .iter()
+        .filter(|c| c.aig.num_ands() < 2_000)
+        .map(|c| c.aig.clone())
+        .collect();
+    let (model, predictions, truth) = train_learned_model(&training_circuits, 6);
+    println!(
+        "[model trained: MAPE = {:.1}%, Kendall tau = {:.2}]\n",
+        costmodel::metrics::mape(&predictions, &truth),
+        costmodel::metrics::kendall_tau(&predictions, &truth)
+    );
+
+    let mut rows_base: Vec<(Qor, f64)> = Vec::new();
+    let mut rows_em: Vec<(Qor, f64)> = Vec::new();
+    let mut rows_ml: Vec<(Qor, f64)> = Vec::new();
+
+    for circuit in &circuits {
+        let name = circuit.name.as_str();
+        eprintln!("--- {name} ({} ANDs) ---", circuit.aig.num_ands());
+
+        let base = baseline_flow(&circuit.aig, &config);
+        eprintln!("  baseline      : {}", base.qor);
+        let em = emorphic_flow(&circuit.aig, &config);
+        eprintln!("  emorphic      : {} (verified: {})", em.qor, em.verified);
+        let ml_config = config.clone().with_learned_model(model.clone());
+        let ml = emorphic_flow(&circuit.aig, &ml_config);
+        eprintln!("  emorphic (ML) : {} (verified: {})", ml.qor, ml.verified);
+
+        rows_base.push((base.qor, base.runtime.as_secs_f64()));
+        rows_em.push((em.qor, em.runtime.as_secs_f64()));
+        rows_ml.push((ml.qor, ml.runtime.as_secs_f64()));
+    }
+
+    for (title, rows) in [
+        ("SOP Balancing Baseline", &rows_base),
+        ("SOP Balancing + E-morphic (w/o ML model)", &rows_em),
+        ("SOP Balancing + E-morphic (w/ ML model)", &rows_ml),
+    ] {
+        println!("\n== {title} ==");
+        for (circuit, (qor, runtime)) in circuits.iter().zip(rows.iter()) {
+            println!("{}", format_qor_row(&circuit.name, qor, *runtime));
+        }
+        let geo = Qor::geomean(&rows.iter().map(|(q, _)| q.clone()).collect::<Vec<_>>()).unwrap();
+        let geo_rt = (rows.iter().map(|(_, r)| r.max(1e-9).ln()).sum::<f64>() / rows.len() as f64).exp();
+        println!("{}", format_qor_row("GEOMEAN", &geo, geo_rt));
+    }
+
+    // Improvement rows (geomean of E-morphic vs baseline), as in the paper.
+    let geo_base = Qor::geomean(&rows_base.iter().map(|(q, _)| q.clone()).collect::<Vec<_>>()).unwrap();
+    let geo_em = Qor::geomean(&rows_em.iter().map(|(q, _)| q.clone()).collect::<Vec<_>>()).unwrap();
+    let geo_ml = Qor::geomean(&rows_ml.iter().map(|(q, _)| q.clone()).collect::<Vec<_>>()).unwrap();
+    let imp_em = geo_em.improvement_over(&geo_base);
+    let imp_ml = geo_ml.improvement_over(&geo_base);
+    println!("\nImprovements of E-morphic (w/o ML) over the baseline:");
+    println!(
+        "  area saving = {:.2}%   delay reduction = {:.2}%   level reduction = {:.2}%",
+        imp_em.area_pct, imp_em.delay_pct, imp_em.level_pct
+    );
+    println!("Improvements of E-morphic (w/ ML) over the baseline:");
+    println!(
+        "  area saving = {:.2}%   delay reduction = {:.2}%   level reduction = {:.2}%",
+        imp_ml.area_pct, imp_ml.delay_pct, imp_ml.level_pct
+    );
+    let rt_base: f64 = rows_base.iter().map(|(_, r)| r).sum();
+    let rt_em: f64 = rows_em.iter().map(|(_, r)| r).sum();
+    let rt_ml: f64 = rows_ml.iter().map(|(_, r)| r).sum();
+    println!(
+        "Runtime: baseline {rt_base:.1}s, E-morphic {rt_em:.1}s, E-morphic+ML {rt_ml:.1}s \
+         (ML saves {:.1}% of the E-morphic runtime)",
+        (rt_em - rt_ml) / rt_em.max(1e-9) * 100.0
+    );
+
+    // Paper reference values for EXPERIMENTS.md cross-checking.
+    println!("\nPaper (Table II, GEOMEAN): baseline area 25274.02 um2 / delay 5620.01 ps / lev 292;");
+    println!("  E-morphic w/o ML: 22104.32 / 5210.55 / 287 (12.54% area, 7.29% delay improvement);");
+    println!("  E-morphic w/ ML : 24660.84 / 5390.13 / 295, with ~28% runtime saving vs w/o ML.");
+}

@@ -1,0 +1,97 @@
+//! Table III: circuit ↔ e-graph conversion comparison between the E-Syn-style
+//! S-expression baseline and E-morphic's direct DAG-to-DAG conversion.
+//!
+//! Usage: `cargo run -p emorphic-bench --bin table3 --release`
+
+use egraph::{AstSize, Extractor};
+use emorphic::esyn::{esyn_backward, esyn_forward, flattened_tree_size, EsynLimits};
+use emorphic::{aig_to_egraph, selection_to_aig};
+use emorphic_bench::{scale_from_env, suite};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let circuits = suite();
+    println!(
+        "Table III reproduction: e-graph <-> circuit conversion (scale {:?})",
+        scale_from_env()
+    );
+    println!(
+        "{:<12} {:>10} | {:>14} {:>14} | {:>14} {:>14}",
+        "Design", "#e-nodes", "E-Syn fwd", "E-Syn bwd", "E-morphic fwd", "E-morphic bwd"
+    );
+
+    // Scaled-down stand-ins for the paper's 3600 s / 8 GB limits.
+    let limits = EsynLimits {
+        max_tree_nodes: 5_000_000,
+        time_limit: Duration::from_secs(20),
+    };
+
+    let mut fwd_times = Vec::new();
+    let mut bwd_times = Vec::new();
+
+    for circuit in &circuits {
+        let aig = &circuit.aig;
+
+        // E-morphic direct DAG-to-DAG conversion.
+        let t0 = Instant::now();
+        let conversion = aig_to_egraph(aig);
+        let forward = t0.elapsed();
+        let enodes = conversion.egraph.total_nodes();
+        let t1 = Instant::now();
+        let extractor = Extractor::new(&conversion.egraph, AstSize);
+        let back = selection_to_aig(
+            &conversion.egraph,
+            &extractor.selection(),
+            &conversion.roots,
+            &conversion.input_names,
+            &conversion.output_names,
+            &conversion.name,
+        );
+        let backward = t1.elapsed();
+        assert_eq!(back.num_outputs(), aig.num_outputs());
+        fwd_times.push(forward.as_secs_f64());
+        bwd_times.push(backward.as_secs_f64());
+
+        // E-Syn baseline (S-expression flattening).
+        let esyn_fwd_desc;
+        let esyn_bwd_desc;
+        match esyn_forward(aig, &limits) {
+            Ok(conv) => {
+                esyn_fwd_desc = format!("{:.2}s", conv.forward_time.as_secs_f64());
+                match esyn_backward(&conv, aig.input_names(), aig.output_names(), &limits) {
+                    Ok((_, time)) => esyn_bwd_desc = format!("{:.2}s", time.as_secs_f64()),
+                    Err(failure) => esyn_bwd_desc = failure.to_string(),
+                }
+            }
+            Err(failure) => {
+                esyn_fwd_desc = failure.to_string();
+                esyn_bwd_desc = "N.A.".to_string();
+            }
+        }
+
+        println!(
+            "{:<12} {:>10} | {:>14} {:>14} | {:>13.3}s {:>13.3}s   (flattened tree would be {} nodes)",
+            circuit.name,
+            enodes,
+            esyn_fwd_desc,
+            esyn_bwd_desc,
+            forward.as_secs_f64(),
+            backward.as_secs_f64(),
+            flattened_tree_size(aig)
+        );
+    }
+
+    let geomean = |xs: &[f64]| (xs.iter().map(|x| x.max(1e-9).ln()).sum::<f64>() / xs.len() as f64).exp();
+    println!(
+        "{:<12} {:>10} | {:>14} {:>14} | {:>13.3}s {:>13.3}s",
+        "GEOMEAN",
+        "-",
+        "-",
+        "-",
+        geomean(&fwd_times),
+        geomean(&bwd_times)
+    );
+    println!("\nPaper (Table III): E-Syn times out / runs out of memory on all circuits above");
+    println!("~24k e-nodes, while E-morphic converts every circuit (up to 420k e-nodes) in");
+    println!("under 10 seconds (geomean 0.65s forward / 0.46s backward).");
+}

@@ -1,0 +1,204 @@
+//! Shared helpers for the E-morphic benchmark harness.
+//!
+//! The binaries in `src/bin` regenerate every table and figure of the paper's
+//! evaluation section (see `DESIGN.md` for the experiment index); the
+//! Criterion benches in `benches/` cover the micro-benchmarks and ablations.
+//! This library holds the pieces they share: suite selection, learned-model
+//! training, and table formatting.
+
+#![warn(missing_docs)]
+
+use aig::Aig;
+use benchgen::{BenchCircuit, SuiteScale};
+use costmodel::{CostEvaluator, LearnedCost, TechMapCost};
+use emorphic::extract::sa::{SaExtractor, SaOptions};
+use emorphic::extract::ExtractionCost;
+use emorphic::flow::FlowConfig;
+use emorphic::{aig_to_egraph, all_rules, bottom_up_extract, selection_to_aig};
+use logic_opt::{balance, refactor, rewrite};
+use techmap::library::asap7_like;
+use techmap::Qor;
+
+/// Reads the benchmark scale from the `EMORPHIC_SCALE` environment variable
+/// (`tiny`, `small` or `default`), defaulting to `small` so the whole harness
+/// finishes in minutes on a laptop.
+pub fn scale_from_env() -> SuiteScale {
+    match std::env::var("EMORPHIC_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "tiny" => SuiteScale::Tiny,
+        "default" | "full" => SuiteScale::Default,
+        _ => SuiteScale::Small,
+    }
+}
+
+/// Returns the benchmark suite at the environment-selected scale.
+pub fn suite() -> Vec<BenchCircuit> {
+    benchgen::epfl_like_suite(scale_from_env())
+}
+
+/// Returns a flow configuration sized to the given suite scale.
+pub fn flow_config_for(scale: SuiteScale) -> FlowConfig {
+    match scale {
+        SuiteScale::Tiny => FlowConfig::fast(),
+        SuiteScale::Small => FlowConfig {
+            rounds: 3,
+            rewrite_iterations: 4,
+            node_limit: 60_000,
+            match_limit: 1_000,
+            sa: SaOptions {
+                iterations: 3,
+                threads: 2,
+                ..SaOptions::default()
+            },
+            ..FlowConfig::paper()
+        },
+        SuiteScale::Default => FlowConfig::paper(),
+    }
+}
+
+/// Generates structural variants of a circuit: technology-independent pass
+/// combinations plus e-graph extractions with different seeds. Used as the
+/// training set of the learned cost model (the OpenABC-D stand-in).
+pub fn structural_variants(circuit: &Aig, variants: usize, seed: u64) -> Vec<Aig> {
+    let mut out = Vec::with_capacity(variants);
+    out.push(circuit.clone());
+    out.push(balance(circuit));
+    out.push(rewrite(circuit));
+    out.push(refactor(&balance(circuit)));
+    if out.len() >= variants {
+        out.truncate(variants);
+        return out;
+    }
+    // E-graph-derived variants: different annealing seeds give different
+    // extracted structures.
+    let conversion = aig_to_egraph(circuit);
+    let runner = egraph::Runner::with_egraph(conversion.egraph.clone())
+        .with_iter_limit(3)
+        .with_node_limit(30_000)
+        .with_scheduler(egraph::Scheduler::Backoff {
+            match_limit: 500,
+            ban_length: 2,
+        })
+        .run(&all_rules());
+    let saturated = emorphic::convert::ConversionResult {
+        roots: conversion.roots.iter().map(|&r| runner.egraph.find(r)).collect(),
+        egraph: runner.egraph,
+        ..conversion
+    };
+    let (greedy, _) = bottom_up_extract(&saturated.egraph, ExtractionCost::Size);
+    out.push(selection_to_aig(
+        &saturated.egraph,
+        &greedy,
+        &saturated.roots,
+        &saturated.input_names,
+        &saturated.output_names,
+        circuit.name(),
+    ));
+    let mut index = 0u64;
+    while out.len() < variants {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ index);
+        let neighbor = emorphic::extract::sa::generate_neighbor(
+            &saturated.egraph,
+            &greedy,
+            if index % 2 == 0 {
+                ExtractionCost::Size
+            } else {
+                ExtractionCost::Depth
+            },
+            0.3,
+            &mut rng,
+        );
+        out.push(selection_to_aig(
+            &saturated.egraph,
+            &neighbor,
+            &saturated.roots,
+            &saturated.input_names,
+            &saturated.output_names,
+            circuit.name(),
+        ));
+        index += 1;
+    }
+    out
+}
+
+/// Trains the learned delay model on structural variants of the given
+/// circuits, labelled with the real technology mapper. Returns the model plus
+/// the held-out predictions and labels used for MAPE / Kendall τ reporting.
+pub fn train_learned_model(
+    circuits: &[Aig],
+    variants_per_circuit: usize,
+) -> (LearnedCost, Vec<f64>, Vec<f64>) {
+    let mapper = TechMapCost::new(asap7_like());
+    let mut samples: Vec<(Aig, f64)> = Vec::new();
+    for (i, circuit) in circuits.iter().enumerate() {
+        for variant in structural_variants(circuit, variants_per_circuit, 0xC0DE + i as u64) {
+            let delay = mapper.qor(&variant).delay_ps;
+            samples.push((variant, delay));
+        }
+    }
+    // Hold out every 4th sample for evaluation.
+    let mut train = Vec::new();
+    let mut held_out = Vec::new();
+    for (i, sample) in samples.into_iter().enumerate() {
+        if i % 4 == 3 {
+            held_out.push(sample);
+        } else {
+            train.push(sample);
+        }
+    }
+    let model = LearnedCost::train(&train, 1e-2);
+    let predictions: Vec<f64> = held_out.iter().map(|(aig, _)| model.evaluate(aig)).collect();
+    let truth: Vec<f64> = held_out.iter().map(|(_, d)| *d).collect();
+    (model, predictions, truth)
+}
+
+/// Formats one Table II-style row.
+pub fn format_qor_row(name: &str, qor: &Qor, runtime_s: f64) -> String {
+    format!(
+        "{:<12} {:>12.2} {:>12.2} {:>6} {:>10.2}",
+        name, qor.area_um2, qor.delay_ps, qor.levels, runtime_s
+    )
+}
+
+/// Simulated-annealing extraction on an already converted + rewritten
+/// circuit, used by benches that want to time extraction in isolation.
+pub fn run_sa_extraction(
+    conversion: &emorphic::convert::ConversionResult,
+    options: SaOptions,
+) -> emorphic::extract::sa::SaResult {
+    let evaluator = TechMapCost::new(asap7_like());
+    SaExtractor::new(options).extract(conversion, &evaluator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_are_distinct_and_equivalent() {
+        let circuit = benchgen::adder(5).aig;
+        let variants = structural_variants(&circuit, 6, 1);
+        assert_eq!(variants.len(), 6);
+        for variant in &variants {
+            let res = cec::check_equivalence(&circuit, variant, &cec::CecOptions::default());
+            assert!(res.is_equivalent());
+        }
+    }
+
+    #[test]
+    fn learned_model_training_produces_finite_metrics() {
+        let circuits = vec![benchgen::adder(4).aig, benchgen::adder(6).aig];
+        let (model, predictions, truth) = train_learned_model(&circuits, 5);
+        assert!(!predictions.is_empty());
+        assert_eq!(predictions.len(), truth.len());
+        let mape = costmodel::metrics::mape(&predictions, &truth);
+        assert!(mape.is_finite());
+        let _ = model.evaluate(&benchgen::adder(5).aig);
+    }
+
+    #[test]
+    fn scale_parsing_defaults_to_small() {
+        assert_eq!(flow_config_for(SuiteScale::Tiny).rounds, 2);
+        assert_eq!(flow_config_for(SuiteScale::Default).rounds, 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! Combinational equivalence checking (CEC) and SAT sweeping over AIGs.
+//!
+//! This crate plays the role of ABC's `cec` and `fraig`/`dch` machinery in
+//! the E-morphic reproduction:
+//!
+//! * [`check_equivalence`] builds a miter between two AIGs and decides output
+//!   equivalence with random simulation (fast refutation) followed by SAT
+//!   (proof), returning a counterexample when the circuits differ.
+//! * [`SatSweeper`] detects internal functionally equivalent nodes of a
+//!   single AIG by simulation-guided candidate grouping plus SAT proofs —
+//!   the engine behind structural *choice* computation in `logic-opt`.
+//!
+//! Every circuit that E-morphic produces is verified against the original
+//! with [`check_equivalence`], mirroring the paper's use of `cec` in ABC.
+
+#![warn(missing_docs)]
+
+mod tseitin;
+mod miter;
+mod sweep;
+
+pub use miter::{check_equivalence, CecOptions, CecResult, Counterexample};
+pub use sweep::{EquivClasses, SatSweeper, SweepOptions, SweepStats};
+pub use tseitin::AigCnf;

@@ -1,0 +1,324 @@
+//! Miter-based combinational equivalence checking.
+
+use crate::tseitin::AigCnf;
+use aig::{Aig, Simulator};
+use sat::{cnf, Lit as SLit, SatResult, Solver};
+
+/// Options controlling a CEC run.
+#[derive(Debug, Clone)]
+pub struct CecOptions {
+    /// Number of 64-bit random simulation words used for fast refutation.
+    pub sim_words: usize,
+    /// Seed for random simulation.
+    pub sim_seed: u64,
+    /// Conflict budget per SAT call (`None` = unlimited).
+    pub conflict_budget: Option<u64>,
+    /// Check each output pair with its own SAT call instead of one global
+    /// miter (usually faster for many-output circuits).
+    pub per_output: bool,
+}
+
+impl Default for CecOptions {
+    fn default() -> Self {
+        CecOptions {
+            sim_words: 16,
+            sim_seed: 0xE5EED,
+            conflict_budget: None,
+            per_output: true,
+        }
+    }
+}
+
+/// An input assignment on which two circuits differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// One value per primary input.
+    pub inputs: Vec<bool>,
+    /// Index of an output where the two circuits disagree.
+    pub output: usize,
+}
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CecResult {
+    /// The circuits are functionally equivalent on all outputs.
+    Equivalent,
+    /// The circuits differ; a witness is attached.
+    NotEquivalent(Counterexample),
+    /// The SAT budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+impl CecResult {
+    /// Returns `true` if the result proves equivalence.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, CecResult::Equivalent)
+    }
+}
+
+/// Checks combinational equivalence of two AIGs with the same number of
+/// inputs and outputs (matched by position).
+///
+/// The check first runs bit-parallel random simulation to look for a cheap
+/// counterexample, then proves the remaining outputs pairwise with SAT.
+///
+/// # Panics
+/// Panics if the interface sizes differ.
+pub fn check_equivalence(golden: &Aig, revised: &Aig, options: &CecOptions) -> CecResult {
+    assert_eq!(
+        golden.num_inputs(),
+        revised.num_inputs(),
+        "CEC requires matching input counts ({} vs {})",
+        golden.num_inputs(),
+        revised.num_inputs()
+    );
+    assert_eq!(
+        golden.num_outputs(),
+        revised.num_outputs(),
+        "CEC requires matching output counts ({} vs {})",
+        golden.num_outputs(),
+        revised.num_outputs()
+    );
+
+    // Phase 1: random simulation for fast refutation.
+    if golden.num_inputs() > 0 && options.sim_words > 0 {
+        let sim_a = Simulator::random(golden, options.sim_words, options.sim_seed);
+        let sim_b = Simulator::random(revised, options.sim_words, options.sim_seed);
+        let outs_a = sim_a.output_signatures(golden);
+        let outs_b = sim_b.output_signatures(revised);
+        for (o, (sa, sb)) in outs_a.iter().zip(outs_b.iter()).enumerate() {
+            for (w, (wa, wb)) in sa.iter().zip(sb.iter()).enumerate() {
+                let diff = wa ^ wb;
+                if diff != 0 {
+                    let bit = diff.trailing_zeros() as usize;
+                    let pattern_index = w * 64 + bit;
+                    let inputs = recover_pattern(golden, options, pattern_index);
+                    return CecResult::NotEquivalent(Counterexample { inputs, output: o });
+                }
+            }
+        }
+    }
+
+    // Phase 2: SAT proof.
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(options.conflict_budget);
+    let shared: Vec<SLit> = (0..golden.num_inputs())
+        .map(|_| SLit::pos(solver.new_var()))
+        .collect();
+    let cnf_a = AigCnf::encode(&mut solver, golden, Some(&shared));
+    let cnf_b = AigCnf::encode(&mut solver, revised, Some(&shared));
+
+    if options.per_output {
+        for o in 0..golden.num_outputs() {
+            let res = solve_output_pair(&mut solver, &shared, cnf_a.output_lits[o], cnf_b.output_lits[o]);
+            match res {
+                OutputVerdict::Equal => {}
+                OutputVerdict::Differs(inputs) => {
+                    return CecResult::NotEquivalent(Counterexample { inputs, output: o })
+                }
+                OutputVerdict::Unknown => return CecResult::Unknown,
+            }
+        }
+        CecResult::Equivalent
+    } else {
+        // Single global miter: OR of all pairwise XORs must be unsatisfiable.
+        let mut xor_outs = Vec::with_capacity(golden.num_outputs());
+        for o in 0..golden.num_outputs() {
+            let x = SLit::pos(solver.new_var());
+            cnf::encode_xor(&mut solver, x, cnf_a.output_lits[o], cnf_b.output_lits[o]);
+            xor_outs.push(x);
+        }
+        solver.add_clause(&xor_outs);
+        match solver.solve() {
+            SatResult::Unsat => CecResult::Equivalent,
+            SatResult::Unknown => CecResult::Unknown,
+            SatResult::Sat => {
+                let inputs = shared
+                    .iter()
+                    .map(|&l| solver.value(l).unwrap_or(false))
+                    .collect::<Vec<bool>>();
+                let output = xor_outs
+                    .iter()
+                    .position(|&x| solver.value(x) == Some(true))
+                    .unwrap_or(0);
+                CecResult::NotEquivalent(Counterexample { inputs, output })
+            }
+        }
+    }
+}
+
+enum OutputVerdict {
+    Equal,
+    Differs(Vec<bool>),
+    Unknown,
+}
+
+fn solve_output_pair(
+    solver: &mut Solver,
+    shared: &[SLit],
+    out_a: SLit,
+    out_b: SLit,
+) -> OutputVerdict {
+    // a != b is satisfiable in exactly two phases; check both with assumptions
+    // so the solver stays reusable for the next output.
+    for (phase_a, phase_b) in [(true, false), (false, true)] {
+        let assumptions = [
+            if phase_a { out_a } else { !out_a },
+            if phase_b { out_b } else { !out_b },
+        ];
+        match solver.solve_with_assumptions(&assumptions) {
+            SatResult::Sat => {
+                let inputs = shared
+                    .iter()
+                    .map(|&l| solver.value(l).unwrap_or(false))
+                    .collect();
+                return OutputVerdict::Differs(inputs);
+            }
+            SatResult::Unknown => return OutputVerdict::Unknown,
+            SatResult::Unsat => {}
+        }
+    }
+    OutputVerdict::Equal
+}
+
+fn recover_pattern(aig: &Aig, options: &CecOptions, pattern_index: usize) -> Vec<bool> {
+    // Re-generate the same random stimulus to recover the differing pattern.
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(options.sim_seed);
+    let words = options.sim_words;
+    let mut inputs = Vec::with_capacity(aig.num_inputs());
+    for _ in 0..aig.num_inputs() {
+        let sig: Vec<u64> = (0..words).map(|_| rng.random::<u64>()).collect();
+        inputs.push(sig[pattern_index / 64] >> (pattern_index % 64) & 1 == 1);
+    }
+    inputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::Lit;
+
+    fn adder(width: usize, use_xor_form: bool) -> Aig {
+        let mut aig = Aig::new("adder");
+        let a: Vec<Lit> = (0..width).map(|i| aig.add_input(format!("a{i}"))).collect();
+        let b: Vec<Lit> = (0..width).map(|i| aig.add_input(format!("b{i}"))).collect();
+        let mut carry = Lit::FALSE;
+        for i in 0..width {
+            let (sum, cout) = if use_xor_form {
+                let axb = aig.xor(a[i], b[i]);
+                let sum = aig.xor(axb, carry);
+                let cout = aig.maj3(a[i], b[i], carry);
+                (sum, cout)
+            } else {
+                // mux-based formulation: sum = carry ? !(a^b) : (a^b)
+                let axb = aig.xor(a[i], b[i]);
+                let sum = aig.mux(carry, axb.not(), axb);
+                let ab = aig.and(a[i], b[i]);
+                let c_and_axb = aig.and(carry, axb);
+                let cout = aig.or(ab, c_and_axb);
+                (sum, cout)
+            };
+            aig.add_output(sum, format!("s{i}"));
+            carry = cout;
+        }
+        aig.add_output(carry, "cout");
+        aig
+    }
+
+    #[test]
+    fn equivalent_adder_formulations() {
+        let a = adder(4, true);
+        let b = adder(4, false);
+        let res = check_equivalence(&a, &b, &CecOptions::default());
+        assert!(res.is_equivalent(), "got {res:?}");
+    }
+
+    #[test]
+    fn detects_single_gate_bug() {
+        let golden = adder(3, true);
+        // Build a buggy version: swap an AND for an OR in the carry chain.
+        let mut buggy = Aig::new("buggy");
+        let a: Vec<Lit> = (0..3).map(|i| buggy.add_input(format!("a{i}"))).collect();
+        let b: Vec<Lit> = (0..3).map(|i| buggy.add_input(format!("b{i}"))).collect();
+        let mut carry = Lit::FALSE;
+        for i in 0..3 {
+            let axb = buggy.xor(a[i], b[i]);
+            let sum = buggy.xor(axb, carry);
+            let cout = if i == 1 {
+                // Bug: OR of the three instead of majority.
+                let t = buggy.or(a[i], b[i]);
+                buggy.or(t, carry)
+            } else {
+                buggy.maj3(a[i], b[i], carry)
+            };
+            buggy.add_output(sum, format!("s{i}"));
+            carry = cout;
+        }
+        buggy.add_output(carry, "cout");
+
+        let res = check_equivalence(&golden, &buggy, &CecOptions::default());
+        match res {
+            CecResult::NotEquivalent(cex) => {
+                // The counterexample must really distinguish the two circuits.
+                let ga = golden.evaluate(&cex.inputs);
+                let gb = buggy.evaluate(&cex.inputs);
+                assert_ne!(ga, gb);
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_output_inversion_without_simulation() {
+        // Disable simulation so the SAT path produces the counterexample.
+        let mut a = Aig::new("a");
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let f = a.and(x, y);
+        a.add_output(f, "f");
+        let mut b = Aig::new("b");
+        let x2 = b.add_input("x");
+        let y2 = b.add_input("y");
+        let g = b.and(x2, y2);
+        b.add_output(g.not(), "f");
+        let opts = CecOptions {
+            sim_words: 0,
+            per_output: true,
+            ..CecOptions::default()
+        };
+        let res = check_equivalence(&a, &b, &opts);
+        match res {
+            CecResult::NotEquivalent(cex) => {
+                assert_ne!(a.evaluate(&cex.inputs), b.evaluate(&cex.inputs));
+            }
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_miter_mode_agrees() {
+        let a = adder(3, true);
+        let b = adder(3, false);
+        let opts = CecOptions {
+            per_output: false,
+            ..CecOptions::default()
+        };
+        assert!(check_equivalence(&a, &b, &opts).is_equivalent());
+    }
+
+    #[test]
+    fn constant_only_circuits() {
+        let mut a = Aig::new("a");
+        let _ = a.add_input("x");
+        a.add_output(Lit::TRUE, "one");
+        let mut b = Aig::new("b");
+        let _ = b.add_input("x");
+        b.add_output(Lit::FALSE, "one");
+        let res = check_equivalence(&a, &b, &CecOptions::default());
+        assert!(matches!(res, CecResult::NotEquivalent(_)));
+        let res_same = check_equivalence(&a, &a, &CecOptions::default());
+        assert!(res_same.is_equivalent());
+    }
+}

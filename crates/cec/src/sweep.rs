@@ -1,0 +1,331 @@
+//! SAT sweeping (fraig-style): detect and merge functionally equivalent
+//! internal nodes of an AIG.
+//!
+//! Sweeping is the mechanism behind the `dch`-style structural choice
+//! computation used by `logic-opt`: candidate equivalences are proposed by
+//! bit-parallel random simulation and then proved (or refuted) one by one
+//! with SAT.
+
+use crate::tseitin::AigCnf;
+use aig::{Aig, Lit as ALit, Simulator};
+use sat::{Lit as SLit, SatResult, Solver};
+
+/// Options controlling a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Number of 64-bit random simulation words used to form candidates.
+    pub sim_words: usize,
+    /// Seed for the candidate simulation.
+    pub sim_seed: u64,
+    /// Conflict budget per SAT proof (`None` = unlimited).
+    pub conflict_budget: Option<u64>,
+    /// Skip candidate classes larger than this (guards worst-case blowup).
+    pub max_class_size: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            sim_words: 8,
+            sim_seed: 0x5EEDu64,
+            conflict_budget: Some(10_000),
+            max_class_size: 64,
+        }
+    }
+}
+
+/// Statistics of a sweep run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Number of candidate pairs submitted to SAT.
+    pub sat_calls: usize,
+    /// Pairs proved equivalent.
+    pub proved: usize,
+    /// Pairs refuted.
+    pub disproved: usize,
+    /// Pairs abandoned due to the conflict budget.
+    pub unknown: usize,
+    /// AND nodes removed by merging (in [`SatSweeper::sweep`]).
+    pub merged_nodes: usize,
+}
+
+/// Groups of functionally equivalent literals.
+///
+/// Each class lists literals that are pairwise equivalent; the first entry is
+/// the representative (topologically earliest, uncomplemented). Other entries
+/// are expressed relative to it: a complemented literal means the node equals
+/// the *negation* of the representative.
+#[derive(Debug, Clone, Default)]
+pub struct EquivClasses {
+    /// The proved equivalence classes (each with at least two members).
+    pub classes: Vec<Vec<ALit>>,
+}
+
+impl EquivClasses {
+    /// Total number of non-representative members (i.e. mergeable nodes).
+    pub fn num_redundant(&self) -> usize {
+        self.classes.iter().map(|c| c.len().saturating_sub(1)).sum()
+    }
+}
+
+/// SAT sweeping engine.
+#[derive(Debug, Clone, Default)]
+pub struct SatSweeper {
+    /// Options used by this sweeper.
+    pub options: SweepOptions,
+}
+
+impl SatSweeper {
+    /// Creates a sweeper with the given options.
+    pub fn new(options: SweepOptions) -> Self {
+        SatSweeper { options }
+    }
+
+    /// Finds proved equivalence classes among the nodes of `aig`.
+    pub fn find_equivalences(&self, aig: &Aig) -> (EquivClasses, SweepStats) {
+        let mut stats = SweepStats::default();
+        if aig.num_inputs() == 0 {
+            return (EquivClasses::default(), stats);
+        }
+        let sim = Simulator::random(aig, self.options.sim_words, self.options.sim_seed);
+
+        // Group nodes by canonical signature (complement so that bit 0 is 0).
+        use std::collections::HashMap;
+        let mut groups: HashMap<Vec<u64>, Vec<ALit>> = HashMap::new();
+        for id in aig.node_ids() {
+            let node = aig.node(id);
+            if !(node.is_and() || node.is_const()) {
+                continue;
+            }
+            let sig = sim.node_signature(id);
+            let complemented = sig.first().map_or(false, |w| w & 1 == 1);
+            let canon: Vec<u64> = if complemented {
+                sig.iter().map(|w| !w).collect()
+            } else {
+                sig.clone()
+            };
+            groups
+                .entry(canon)
+                .or_default()
+                .push(ALit::new(id, complemented));
+        }
+
+        let mut candidate_classes: Vec<Vec<ALit>> = groups
+            .into_values()
+            .filter(|g| g.len() >= 2 && g.len() <= self.options.max_class_size)
+            .collect();
+        // Deterministic order: by the representative node id.
+        for class in &mut candidate_classes {
+            class.sort_by_key(|l| l.node());
+        }
+        candidate_classes.sort_by_key(|c| c[0].node());
+
+        if candidate_classes.is_empty() {
+            return (EquivClasses::default(), stats);
+        }
+
+        // One solver instance for all proofs.
+        let mut solver = Solver::new();
+        solver.set_conflict_budget(self.options.conflict_budget);
+        let cnf = AigCnf::encode(&mut solver, aig, None);
+
+        let mut proved_classes = Vec::new();
+        for class in candidate_classes {
+            let rep = class[0];
+            // The representative is stored uncomplemented; members carry the
+            // relative phase.
+            let rep_node = rep.node();
+            let mut proved: Vec<ALit> = vec![ALit::new(rep_node, false)];
+            for &member in &class[1..] {
+                let phase = member.is_complemented() != rep.is_complemented();
+                let a = cnf.node(rep_node);
+                let b = cnf.node(member.node());
+                let b = if phase { !b } else { b };
+                match prove_equal(&mut solver, a, b, &mut stats) {
+                    Verdict::Equal => proved.push(ALit::new(member.node(), phase)),
+                    Verdict::Different | Verdict::Unknown => {}
+                }
+            }
+            if proved.len() >= 2 {
+                proved_classes.push(proved);
+            }
+        }
+        (
+            EquivClasses {
+                classes: proved_classes,
+            },
+            stats,
+        )
+    }
+
+    /// Merges proved-equivalent nodes, returning the reduced network.
+    pub fn sweep(&self, aig: &Aig) -> (Aig, SweepStats) {
+        let (classes, mut stats) = self.find_equivalences(aig);
+        // replacement[node] = literal (in the OLD network) it should be
+        // replaced with.
+        let mut replacement: Vec<Option<ALit>> = vec![None; aig.num_nodes()];
+        for class in &classes.classes {
+            let rep = class[0];
+            for &member in &class[1..] {
+                replacement[member.node().index()] =
+                    Some(ALit::new(rep.node(), member.is_complemented()));
+            }
+        }
+
+        let mut fresh = Aig::new(aig.name().to_string());
+        let mut map: Vec<Option<ALit>> = vec![None; aig.num_nodes()];
+        map[0] = Some(ALit::FALSE);
+        for (idx, &input) in aig.inputs().iter().enumerate() {
+            map[input.index()] = Some(fresh.add_input(aig.input_name(idx)));
+        }
+        for id in aig.and_ids() {
+            // If this node is replaced, point it at the (already built)
+            // representative instead of building a gate.
+            if let Some(rep_lit) = replacement[id.index()] {
+                let base = map[rep_lit.node().index()]
+                    .expect("representative precedes member in topological order");
+                map[id.index()] = Some(base.xor(rep_lit.is_complemented()));
+                stats.merged_nodes += 1;
+                continue;
+            }
+            let (f0, f1) = aig.fanins(id);
+            let a = map[f0.node().index()].expect("fanin built").xor(f0.is_complemented());
+            let b = map[f1.node().index()].expect("fanin built").xor(f1.is_complemented());
+            map[id.index()] = Some(fresh.and(a, b));
+        }
+        for (idx, &po) in aig.outputs().iter().enumerate() {
+            let lit = map[po.node().index()].expect("output driver built").xor(po.is_complemented());
+            fresh.add_output(lit, aig.output_name(idx));
+        }
+        (fresh.cleanup(), stats)
+    }
+}
+
+enum Verdict {
+    Equal,
+    Different,
+    Unknown,
+}
+
+fn prove_equal(solver: &mut Solver, a: SLit, b: SLit, stats: &mut SweepStats) -> Verdict {
+    stats.sat_calls += 1;
+    let mut unknown = false;
+    for (pa, pb) in [(true, false), (false, true)] {
+        let assumptions = [if pa { a } else { !a }, if pb { b } else { !b }];
+        match solver.solve_with_assumptions(&assumptions) {
+            SatResult::Sat => {
+                stats.disproved += 1;
+                return Verdict::Different;
+            }
+            SatResult::Unknown => unknown = true,
+            SatResult::Unsat => {}
+        }
+    }
+    if unknown {
+        stats.unknown += 1;
+        Verdict::Unknown
+    } else {
+        stats.proved += 1;
+        Verdict::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_equivalence, CecOptions};
+
+    /// A circuit with deliberately duplicated logic in different shapes:
+    /// `(a & b) | c` written both in sum-of-products and product-of-sums
+    /// form, so structural hashing cannot merge the two cones.
+    fn redundant_circuit() -> Aig {
+        let mut aig = Aig::new("redundant");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let f1 = aig.or(ab, c);
+        let a_or_c = aig.or(a, c);
+        let b_or_c = aig.or(b, c);
+        let f2 = aig.and(a_or_c, b_or_c); // distributed form of (a & b) | c
+        aig.add_output(f1, "f1");
+        aig.add_output(f2, "f2");
+        aig
+    }
+
+    #[test]
+    fn finds_equivalent_nodes() {
+        let aig = redundant_circuit();
+        let sweeper = SatSweeper::default();
+        let (classes, stats) = sweeper.find_equivalences(&aig);
+        assert!(classes.num_redundant() >= 1, "stats: {stats:?}");
+        assert!(stats.proved >= 1);
+    }
+
+    #[test]
+    fn sweep_reduces_and_preserves_function() {
+        let aig = redundant_circuit();
+        let sweeper = SatSweeper::default();
+        let (reduced, stats) = sweeper.sweep(&aig);
+        assert!(stats.merged_nodes >= 1);
+        assert!(reduced.num_ands() < aig.num_ands());
+        let res = check_equivalence(&aig, &reduced, &CecOptions::default());
+        assert!(res.is_equivalent(), "{res:?}");
+    }
+
+    #[test]
+    fn sweep_handles_antiphase_equivalence() {
+        let mut aig = Aig::new("phase");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        // x = !(a & b), y = a & b: x == !y.
+        let y = aig.and(a, b);
+        let na = a.not();
+        let nb = b.not();
+        let t = aig.or(na, nb); // == !(a&b)
+        aig.add_output(y, "y");
+        aig.add_output(t, "x");
+        let sweeper = SatSweeper::default();
+        let (reduced, _) = sweeper.sweep(&aig);
+        let res = check_equivalence(&aig, &reduced, &CecOptions::default());
+        assert!(res.is_equivalent());
+        assert!(reduced.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn sweep_of_irredundant_circuit_is_identity_sized() {
+        let mut aig = Aig::new("irred");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let f = aig.mux(a, b, c);
+        aig.add_output(f, "f");
+        let sweeper = SatSweeper::default();
+        let (reduced, _) = sweeper.sweep(&aig);
+        assert_eq!(reduced.num_ands(), aig.cleanup().num_ands());
+        assert!(check_equivalence(&aig, &reduced, &CecOptions::default()).is_equivalent());
+    }
+
+    #[test]
+    fn detects_constant_nodes() {
+        let mut aig = Aig::new("const");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        // (a & b) & (!a) is constant false but is not simplified structurally
+        // because the sharing pattern hides it:
+        let ab = aig.and(a, b);
+        let f = aig.and(ab, a.not());
+        let g = aig.or(f, b); // == b
+        aig.add_output(g, "g");
+        let sweeper = SatSweeper::default();
+        let (classes, _) = sweeper.find_equivalences(&aig);
+        // The class containing the constant node should include f's node.
+        let has_const_class = classes
+            .classes
+            .iter()
+            .any(|c| c.iter().any(|l| l.node() == aig::NodeId::CONST));
+        assert!(has_const_class);
+        let (reduced, _) = sweeper.sweep(&aig);
+        assert!(check_equivalence(&aig, &reduced, &CecOptions::default()).is_equivalent());
+    }
+}

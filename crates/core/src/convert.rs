@@ -1,0 +1,327 @@
+//! Direct DAG-to-DAG conversion between AIGs and e-graphs (Section III-D1).
+//!
+//! Prior work (E-Syn) flattened the circuit into an S-expression before
+//! handing it to the e-graph library, duplicating every shared node. Here the
+//! circuit DAG is traversed once and every AIG node becomes exactly one
+//! e-node (plus one `Not` e-node per complemented edge polarity actually
+//! used), so conversion time and memory are linear in the circuit size in
+//! both directions.
+
+use crate::lang::BoolLang;
+use aig::{Aig, AigNode, Lit, NodeId};
+use egraph::{DagSelection, EGraph, FxHashMap, Id, RecExpr};
+use std::time::{Duration, Instant};
+
+/// The result of converting a circuit into an e-graph.
+#[derive(Debug, Clone)]
+pub struct ConversionResult {
+    /// The initial e-graph (one class per distinct circuit signal).
+    pub egraph: EGraph<BoolLang>,
+    /// Root class of every primary output, in output order.
+    pub roots: Vec<Id>,
+    /// Design name carried over from the AIG.
+    pub name: String,
+    /// Primary-input names (index `i` corresponds to `BoolLang::Var(i)`).
+    pub input_names: Vec<String>,
+    /// Primary-output names.
+    pub output_names: Vec<String>,
+    /// Wall-clock time of the forward conversion.
+    pub forward_time: Duration,
+}
+
+/// Converts an AIG into an initial e-graph, one e-node per circuit node.
+pub fn aig_to_egraph(aig: &Aig) -> ConversionResult {
+    let start = Instant::now();
+    let mut egraph: EGraph<BoolLang> = EGraph::new();
+    // Positive-phase class of every AIG node.
+    let mut pos: Vec<Option<Id>> = vec![None; aig.num_nodes()];
+    // Lazily created negative-phase (Not) class of every AIG node.
+    let mut neg: Vec<Option<Id>> = vec![None; aig.num_nodes()];
+
+    pos[NodeId::CONST.index()] = Some(egraph.add(BoolLang::Const(false)));
+
+    let lit_to_id = |lit: Lit,
+                         egraph: &mut EGraph<BoolLang>,
+                         pos: &mut Vec<Option<Id>>,
+                         neg: &mut Vec<Option<Id>>|
+     -> Id {
+        let base = pos[lit.node().index()].expect("fanin visited before fanout");
+        if !lit.is_complemented() {
+            return base;
+        }
+        if let Some(existing) = neg[lit.node().index()] {
+            return existing;
+        }
+        let id = egraph.add(BoolLang::Not(base));
+        neg[lit.node().index()] = Some(id);
+        id
+    };
+
+    for id in aig.node_ids() {
+        match aig.node(id) {
+            AigNode::Const => {}
+            AigNode::Input { index } => {
+                pos[id.index()] = Some(egraph.add(BoolLang::Var(*index)));
+            }
+            AigNode::And { fanin0, fanin1 } => {
+                let a = lit_to_id(*fanin0, &mut egraph, &mut pos, &mut neg);
+                let b = lit_to_id(*fanin1, &mut egraph, &mut pos, &mut neg);
+                pos[id.index()] = Some(egraph.add(BoolLang::And([a, b])));
+            }
+        }
+    }
+
+    let roots: Vec<Id> = aig
+        .outputs()
+        .iter()
+        .map(|&po| lit_to_id(po, &mut egraph, &mut pos, &mut neg))
+        .collect();
+    egraph.rebuild();
+    let roots = roots.into_iter().map(|r| egraph.find(r)).collect();
+
+    ConversionResult {
+        egraph,
+        roots,
+        name: aig.name().to_string(),
+        input_names: aig.input_names().to_vec(),
+        output_names: aig.output_names().to_vec(),
+        forward_time: start.elapsed(),
+    }
+}
+
+/// Converts a per-class e-node selection back into an AIG (the backward
+/// direction of the DAG-to-DAG conversion).
+///
+/// `input_names` supplies the primary-input list; `Var(i)` maps to input `i`.
+/// Classes reachable from the roots must all have a selection.
+///
+/// # Panics
+/// Panics if a reachable class has no selected node or the selection is
+/// cyclic.
+pub fn selection_to_aig(
+    egraph: &EGraph<BoolLang>,
+    selection: &DagSelection<BoolLang>,
+    roots: &[Id],
+    input_names: &[String],
+    output_names: &[String],
+    name: &str,
+) -> Aig {
+    assert_eq!(roots.len(), output_names.len(), "one name per output root");
+    let mut aig = Aig::new(name.to_string());
+    let inputs: Vec<Lit> = input_names.iter().map(|n| aig.add_input(n.clone())).collect();
+    let mut cache: FxHashMap<Id, Lit> = FxHashMap::default();
+
+    fn build(
+        egraph: &EGraph<BoolLang>,
+        selection: &DagSelection<BoolLang>,
+        id: Id,
+        aig: &mut Aig,
+        inputs: &[Lit],
+        cache: &mut FxHashMap<Id, Lit>,
+        depth: usize,
+    ) -> Lit {
+        let id = egraph.find(id);
+        if let Some(&lit) = cache.get(&id) {
+            return lit;
+        }
+        assert!(
+            depth <= egraph.num_classes() + 1,
+            "cyclic extraction selection at class {id}"
+        );
+        let node = selection
+            .node(id)
+            .unwrap_or_else(|| panic!("no selection for reachable class {id}"))
+            .clone();
+        let lit = match node {
+            BoolLang::Const(b) => {
+                if b {
+                    Lit::TRUE
+                } else {
+                    Lit::FALSE
+                }
+            }
+            BoolLang::Var(i) => inputs[i as usize],
+            BoolLang::Not(c) => build(egraph, selection, c, aig, inputs, cache, depth + 1).not(),
+            BoolLang::And([a, b]) => {
+                let la = build(egraph, selection, a, aig, inputs, cache, depth + 1);
+                let lb = build(egraph, selection, b, aig, inputs, cache, depth + 1);
+                aig.and(la, lb)
+            }
+            BoolLang::Or([a, b]) => {
+                let la = build(egraph, selection, a, aig, inputs, cache, depth + 1);
+                let lb = build(egraph, selection, b, aig, inputs, cache, depth + 1);
+                aig.or(la, lb)
+            }
+        };
+        cache.insert(id, lit);
+        lit
+    }
+
+    for (root, name) in roots.iter().zip(output_names) {
+        let lit = build(egraph, selection, *root, &mut aig, &inputs, &mut cache, 0);
+        aig.add_output(lit, name.clone());
+    }
+    aig.cleanup()
+}
+
+/// Converts a tree-shaped term back into an AIG (used by the E-Syn baseline's
+/// backward path and by tests on extracted [`RecExpr`]s).
+pub fn recexpr_to_aig(
+    expr: &RecExpr<BoolLang>,
+    input_names: &[String],
+    output_name: &str,
+    name: &str,
+) -> Aig {
+    let mut aig = Aig::new(name.to_string());
+    let inputs: Vec<Lit> = input_names.iter().map(|n| aig.add_input(n.clone())).collect();
+    let mut lits: Vec<Lit> = Vec::with_capacity(expr.len());
+    for node in expr.as_ref() {
+        let lit = match node {
+            BoolLang::Const(b) => {
+                if *b {
+                    Lit::TRUE
+                } else {
+                    Lit::FALSE
+                }
+            }
+            BoolLang::Var(i) => inputs[*i as usize],
+            BoolLang::Not(c) => lits[c.index()].not(),
+            BoolLang::And([a, b]) => aig.and(lits[a.index()], lits[b.index()]),
+            BoolLang::Or([a, b]) => aig.or(lits[a.index()], lits[b.index()]),
+        };
+        lits.push(lit);
+    }
+    let root = *lits.last().expect("non-empty expression");
+    aig.add_output(root, output_name);
+    aig.cleanup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use egraph::{AstSize, Extractor};
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new("sample");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let f = aig.or(ab, c);
+        let g = aig.xor(a, c);
+        aig.add_output(f, "f");
+        aig.add_output(g.not(), "ng");
+        aig
+    }
+
+    fn check_equiv_exhaustive(a: &Aig, b: &Aig) {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        for p in 0..(1usize << a.num_inputs()) {
+            let bits: Vec<bool> = (0..a.num_inputs()).map(|i| p >> i & 1 == 1).collect();
+            assert_eq!(a.evaluate(&bits), b.evaluate(&bits), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn forward_conversion_is_linear_in_circuit_size() {
+        let aig = sample();
+        let conv = aig_to_egraph(&aig);
+        // One class per distinct signal plus Not wrappers: strictly fewer than
+        // 2x the node count.
+        assert!(conv.egraph.num_classes() <= 2 * aig.num_nodes());
+        assert!(conv.egraph.num_classes() >= aig.num_nodes() - 1);
+        assert_eq!(conv.roots.len(), 2);
+        assert_eq!(conv.input_names.len(), 3);
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let aig = sample();
+        let conv = aig_to_egraph(&aig);
+        let extractor = Extractor::new(&conv.egraph, AstSize);
+        let selection = extractor.selection();
+        let back = selection_to_aig(
+            &conv.egraph,
+            &selection,
+            &conv.roots,
+            &conv.input_names,
+            &conv.output_names,
+            &conv.name,
+        );
+        check_equiv_exhaustive(&aig, &back);
+        assert_eq!(back.output_names(), aig.output_names());
+    }
+
+    #[test]
+    fn roundtrip_on_larger_benchmark_circuits() {
+        for circuit in [benchgen::adder(6), benchgen::multiplier(4)] {
+            let aig = circuit.aig;
+            let conv = aig_to_egraph(&aig);
+            let extractor = Extractor::new(&conv.egraph, AstSize);
+            let back = selection_to_aig(
+                &conv.egraph,
+                &extractor.selection(),
+                &conv.roots,
+                &conv.input_names,
+                &conv.output_names,
+                &conv.name,
+            );
+            check_equiv_exhaustive(&aig, &back);
+        }
+    }
+
+    #[test]
+    fn shared_nodes_are_not_duplicated() {
+        // (a&b) feeding two outputs must create a single And e-node.
+        let mut aig = Aig::new("shared");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let f = aig.and(ab, c);
+        let g = aig.or(ab, c);
+        aig.add_output(f, "f");
+        aig.add_output(g, "g");
+        let conv = aig_to_egraph(&aig);
+        let and_nodes: usize = conv
+            .egraph
+            .classes()
+            .flat_map(|c| c.nodes.iter())
+            .filter(|n| matches!(n, BoolLang::And(_)))
+            .count();
+        // ab, f, and the AND inside g's OR: exactly 3.
+        assert_eq!(and_nodes, 3);
+    }
+
+    #[test]
+    fn constant_outputs_convert() {
+        let mut aig = Aig::new("consts");
+        let _x = aig.add_input("x");
+        aig.add_output(Lit::TRUE, "one");
+        aig.add_output(Lit::FALSE, "zero");
+        let conv = aig_to_egraph(&aig);
+        let extractor = Extractor::new(&conv.egraph, AstSize);
+        let back = selection_to_aig(
+            &conv.egraph,
+            &extractor.selection(),
+            &conv.roots,
+            &conv.input_names,
+            &conv.output_names,
+            &conv.name,
+        );
+        assert_eq!(back.evaluate(&[true]), vec![true, false]);
+        assert_eq!(back.evaluate(&[false]), vec![true, false]);
+    }
+
+    #[test]
+    fn recexpr_conversion_matches_eval() {
+        let expr: RecExpr<BoolLang> = "(| (& x0 x1) (! x2))".parse().unwrap();
+        let names = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let aig = recexpr_to_aig(&expr, &names, "f", "expr");
+        for p in 0..8usize {
+            let bits = [(p & 1) != 0, (p & 2) != 0, (p & 4) != 0];
+            let expected = (bits[0] && bits[1]) || !bits[2];
+            assert_eq!(aig.evaluate(&bits), vec![expected]);
+        }
+    }
+}

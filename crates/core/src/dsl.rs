@@ -1,0 +1,117 @@
+//! The intermediate DSL of Fig. 7: a JSON serialization of the initial
+//! e-graph in which every circuit signal is referred to by a unique id.
+//!
+//! The format stores one entry per e-class with its e-nodes (operator plus
+//! child class ids) and its parent classes, exactly the information needed to
+//! rebuild either the e-graph or the circuit without parsing S-expressions.
+
+use crate::convert::ConversionResult;
+use crate::lang::BoolLang;
+use egraph::serialize::{from_serialized, to_serialized, SerializedEGraph};
+use egraph::{EGraph, Id, ParseError};
+use serde::{Deserialize, Serialize};
+
+/// The top-level DSL document: the serialized e-graph plus the circuit
+/// interface needed to reconstruct a netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DslDocument {
+    /// Design name.
+    pub name: String,
+    /// Primary-input names (`x<i>` in the e-graph corresponds to entry `i`).
+    pub inputs: Vec<String>,
+    /// Primary-output names, aligned with `SerializedEGraph::roots`.
+    pub outputs: Vec<String>,
+    /// The e-graph body (`"egraph"` object of Fig. 7).
+    pub egraph: SerializedEGraph,
+}
+
+impl DslDocument {
+    /// Builds a DSL document from a forward conversion result.
+    pub fn from_conversion(conversion: &ConversionResult) -> Self {
+        DslDocument {
+            name: conversion.name.clone(),
+            inputs: conversion.input_names.clone(),
+            outputs: conversion.output_names.clone(),
+            egraph: to_serialized(&conversion.egraph, &conversion.roots),
+        }
+    }
+
+    /// Serializes the document to JSON text.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("DSL serialization cannot fail")
+    }
+
+    /// Parses a document from JSON text.
+    ///
+    /// # Errors
+    /// Returns a [`ParseError`] describing the malformed JSON.
+    pub fn from_json(text: &str) -> Result<Self, ParseError> {
+        serde_json::from_str(text).map_err(|e| ParseError(e.to_string()))
+    }
+
+    /// Reconstructs the e-graph and root classes described by the document.
+    ///
+    /// # Errors
+    /// Returns a [`ParseError`] if the document references unknown operators
+    /// or undefined classes.
+    pub fn to_egraph(&self) -> Result<(EGraph<BoolLang>, Vec<Id>), ParseError> {
+        let (egraph, _map, roots) = from_serialized::<BoolLang>(&self.egraph)?;
+        Ok((egraph, roots))
+    }
+
+    /// Number of e-nodes stored in the document.
+    pub fn num_enodes(&self) -> usize {
+        self.egraph.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{aig_to_egraph, selection_to_aig};
+    use egraph::{AstSize, Extractor};
+
+    #[test]
+    fn document_roundtrips_through_json() {
+        let aig = benchgen::adder(4).aig;
+        let conv = aig_to_egraph(&aig);
+        let doc = DslDocument::from_conversion(&conv);
+        let json = doc.to_json();
+        assert!(json.contains("\"egraph\""));
+        assert!(json.contains("\"parents\""));
+        let back = DslDocument::from_json(&json).unwrap();
+        assert_eq!(doc, back);
+        assert!(DslDocument::from_json("{").is_err());
+    }
+
+    #[test]
+    fn reconstructed_egraph_preserves_circuit_function() {
+        let aig = benchgen::adder(3).aig;
+        let conv = aig_to_egraph(&aig);
+        let doc = DslDocument::from_conversion(&conv);
+        let (egraph, roots) = doc.to_egraph().unwrap();
+        assert_eq!(egraph.num_classes(), conv.egraph.num_classes());
+        let extractor = Extractor::new(&egraph, AstSize);
+        let back = selection_to_aig(
+            &egraph,
+            &extractor.selection(),
+            &roots,
+            &doc.inputs,
+            &doc.outputs,
+            &doc.name,
+        );
+        for p in 0..(1usize << aig.num_inputs()) {
+            let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| p >> i & 1 == 1).collect();
+            assert_eq!(aig.evaluate(&bits), back.evaluate(&bits), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn enode_counts_match_paper_style_reporting() {
+        let aig = benchgen::multiplier(4).aig;
+        let conv = aig_to_egraph(&aig);
+        let doc = DslDocument::from_conversion(&conv);
+        assert_eq!(doc.num_enodes(), conv.egraph.total_nodes());
+        assert!(doc.num_enodes() >= aig.num_ands());
+    }
+}

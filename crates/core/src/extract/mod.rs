@@ -1,0 +1,317 @@
+//! E-graph extraction: pruned bottom-up extraction and the simulated
+//! annealing extractor.
+
+pub mod sa;
+
+use crate::lang::BoolLang;
+use egraph::{DagSelection, EGraph, FxHashMap, Id, Language};
+use std::collections::VecDeque;
+
+/// A concrete choice of one e-node per e-class over the Boolean language.
+pub type Selection = DagSelection<BoolLang>;
+
+/// The structural cost driving bottom-up extraction and neighbor generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractionCost {
+    /// "Sum cost" in Algorithm 1: total number of gate nodes (circuit size).
+    Size,
+    /// "Depth cost" in Algorithm 1: longest gate path (circuit depth).
+    Depth,
+}
+
+/// Per-node gate cost: AND/OR count as one gate, inverters and leaves are free
+/// (inverters are edge attributes in the AIG back-end).
+fn node_cost(node: &BoolLang) -> u64 {
+    match node {
+        BoolLang::And(_) | BoolLang::Or(_) => 1,
+        BoolLang::Not(_) | BoolLang::Const(_) | BoolLang::Var(_) => 0,
+    }
+}
+
+/// Statistics of one extraction run, used by the solution-space-pruning
+/// ablation (Fig. 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractStats {
+    /// Number of e-node cost evaluations performed.
+    pub nodes_evaluated: usize,
+    /// Number of class-cost improvements committed.
+    pub improvements: usize,
+}
+
+/// Greedy bottom-up extraction with **solution-space pruning**: a worklist
+/// seeded with the leaf e-nodes; a class's parents are only re-examined when
+/// the class's best cost improves, and e-nodes are never re-evaluated when
+/// none of their children changed (their cached cost in `Costs_map` stays
+/// valid). Returns the selection plus evaluation statistics.
+pub fn bottom_up_extract(
+    egraph: &EGraph<BoolLang>,
+    cost_kind: ExtractionCost,
+) -> (Selection, ExtractStats) {
+    let mut stats = ExtractStats::default();
+    let parent_index = egraph.parent_index();
+    let mut costs: FxHashMap<Id, u64> = FxHashMap::default();
+    let mut choices: FxHashMap<Id, BoolLang> = FxHashMap::default();
+
+    // Seed the queue with the leaf e-nodes of every class.
+    let mut queue: VecDeque<(Id, BoolLang)> = VecDeque::new();
+    for class in egraph.classes() {
+        for node in &class.nodes {
+            if node.is_leaf() {
+                queue.push_back((class.id, node.clone()));
+            }
+        }
+    }
+
+    while let Some((class_id, node)) = queue.pop_front() {
+        // All children must already have a cost, otherwise the node will be
+        // re-enqueued when the missing child class gets one.
+        let mut ready = true;
+        let mut combined = 0u64;
+        for &child in node.children() {
+            match costs.get(&egraph.find(child)) {
+                Some(&c) => {
+                    combined = match cost_kind {
+                        ExtractionCost::Size => combined.saturating_add(c),
+                        ExtractionCost::Depth => combined.max(c),
+                    }
+                }
+                None => {
+                    ready = false;
+                    break;
+                }
+            }
+        }
+        if !ready {
+            continue;
+        }
+        stats.nodes_evaluated += 1;
+        let new_cost = combined.saturating_add(node_cost(&node));
+        let previous = costs.get(&class_id).copied();
+        if previous.map_or(true, |prev| new_cost < prev) {
+            costs.insert(class_id, new_cost);
+            choices.insert(class_id, node);
+            stats.improvements += 1;
+            // Propagate to the parents of this class (solution-space pruning:
+            // nodes whose children did not improve are never revisited).
+            if let Some(parents) = parent_index.get(&class_id) {
+                for (parent_class, parent_node) in parents {
+                    queue.push_back((*parent_class, parent_node.clone()));
+                }
+            }
+        }
+    }
+
+    (Selection { choices }, stats)
+}
+
+/// Baseline extraction without pruning: repeatedly sweeps every e-node of
+/// every class until a fixpoint is reached, re-evaluating node costs even when
+/// nothing changed underneath (the behaviour Fig. 6 contrasts against).
+pub fn bottom_up_extract_unpruned(
+    egraph: &EGraph<BoolLang>,
+    cost_kind: ExtractionCost,
+) -> (Selection, ExtractStats) {
+    let mut stats = ExtractStats::default();
+    let mut costs: FxHashMap<Id, u64> = FxHashMap::default();
+    let mut choices: FxHashMap<Id, BoolLang> = FxHashMap::default();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for class in egraph.classes() {
+            for node in &class.nodes {
+                let mut ready = true;
+                let mut combined = 0u64;
+                for &child in node.children() {
+                    match costs.get(&egraph.find(child)) {
+                        Some(&c) => {
+                            combined = match cost_kind {
+                                ExtractionCost::Size => combined.saturating_add(c),
+                                ExtractionCost::Depth => combined.max(c),
+                            }
+                        }
+                        None => {
+                            ready = false;
+                            break;
+                        }
+                    }
+                }
+                if !ready {
+                    continue;
+                }
+                stats.nodes_evaluated += 1;
+                let new_cost = combined.saturating_add(node_cost(node));
+                if costs.get(&class.id).map_or(true, |&prev| new_cost < prev) {
+                    costs.insert(class.id, new_cost);
+                    choices.insert(class.id, node.clone());
+                    stats.improvements += 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+    (Selection { choices }, stats)
+}
+
+/// Computes the structural cost of a selection at the given roots.
+pub fn selection_cost(
+    egraph: &EGraph<BoolLang>,
+    selection: &Selection,
+    roots: &[Id],
+    cost_kind: ExtractionCost,
+) -> u64 {
+    match cost_kind {
+        ExtractionCost::Size => {
+            // Count distinct gate classes reachable under the selection.
+            let mut seen: egraph::FxHashSet<Id> = egraph::FxHashSet::default();
+            let mut stack: Vec<Id> = roots.iter().map(|&r| egraph.find(r)).collect();
+            let mut total = 0u64;
+            while let Some(id) = stack.pop() {
+                if !seen.insert(id) {
+                    continue;
+                }
+                if let Some(node) = selection.node(id) {
+                    total += node_cost(node);
+                    for &child in node.children() {
+                        stack.push(egraph.find(child));
+                    }
+                }
+            }
+            total
+        }
+        ExtractionCost::Depth => {
+            let mut memo: FxHashMap<Id, u64> = FxHashMap::default();
+            fn depth_of(
+                egraph: &EGraph<BoolLang>,
+                selection: &Selection,
+                id: Id,
+                memo: &mut FxHashMap<Id, u64>,
+            ) -> u64 {
+                if let Some(&d) = memo.get(&id) {
+                    return d;
+                }
+                memo.insert(id, 0);
+                let d = match selection.node(id) {
+                    Some(node) => {
+                        let child_max = node
+                            .children()
+                            .iter()
+                            .map(|&c| depth_of(egraph, selection, egraph.find(c), memo))
+                            .max()
+                            .unwrap_or(0);
+                        child_max + node_cost(node)
+                    }
+                    None => 0,
+                };
+                memo.insert(id, d);
+                d
+            }
+            roots
+                .iter()
+                .map(|&r| depth_of(egraph, selection, egraph.find(r), &mut memo))
+                .max()
+                .unwrap_or(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::aig_to_egraph;
+    use crate::rules::all_rules;
+    use egraph::{Runner, Scheduler};
+
+    fn saturated_egraph(aig: &aig::Aig, iters: usize) -> (EGraph<BoolLang>, Vec<Id>) {
+        let conv = aig_to_egraph(aig);
+        let runner = Runner::with_egraph(conv.egraph)
+            .with_iter_limit(iters)
+            .with_node_limit(20_000)
+            .with_scheduler(Scheduler::Backoff {
+                match_limit: 2_000,
+                ban_length: 2,
+            })
+            .run(&all_rules());
+        let roots = conv.roots.iter().map(|&r| runner.egraph.find(r)).collect();
+        (runner.egraph, roots)
+    }
+
+    #[test]
+    fn pruned_and_unpruned_agree_on_cost() {
+        // Both algorithms compute the same per-class least fixpoint; under the
+        // depth cost the resulting root cost is identical (the size cost is a
+        // tree cost, so equally-optimal selections may differ in DAG sharing).
+        let aig = benchgen::adder(4).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 3);
+        let (sel_p, _) = bottom_up_extract(&egraph, ExtractionCost::Depth);
+        let (sel_u, _) = bottom_up_extract_unpruned(&egraph, ExtractionCost::Depth);
+        let cost_p = selection_cost(&egraph, &sel_p, &roots, ExtractionCost::Depth);
+        let cost_u = selection_cost(&egraph, &sel_u, &roots, ExtractionCost::Depth);
+        assert_eq!(cost_p, cost_u);
+    }
+
+    #[test]
+    fn pruning_reduces_evaluations() {
+        let aig = benchgen::adder(5).aig;
+        let (egraph, _roots) = saturated_egraph(&aig, 3);
+        let (_, stats_p) = bottom_up_extract(&egraph, ExtractionCost::Size);
+        let (_, stats_u) = bottom_up_extract_unpruned(&egraph, ExtractionCost::Size);
+        assert!(
+            stats_p.nodes_evaluated < stats_u.nodes_evaluated,
+            "pruned {} vs unpruned {}",
+            stats_p.nodes_evaluated,
+            stats_u.nodes_evaluated
+        );
+    }
+
+    #[test]
+    fn every_reachable_class_gets_a_choice() {
+        let aig = benchgen::multiplier(3).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 2);
+        let (selection, _) = bottom_up_extract(&egraph, ExtractionCost::Depth);
+        // Walk the selection from the roots: every visited class has a node.
+        let mut stack: Vec<Id> = roots.clone();
+        let mut seen = egraph::FxHashSet::default();
+        while let Some(id) = stack.pop() {
+            let id = egraph.find(id);
+            if !seen.insert(id) {
+                continue;
+            }
+            let node = selection.node(id).expect("reachable class has a selection");
+            for &c in node.children() {
+                stack.push(c);
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn depth_extraction_not_deeper_than_size_extraction() {
+        let aig = benchgen::adder(6).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 4);
+        let (sel_depth, _) = bottom_up_extract(&egraph, ExtractionCost::Depth);
+        let (sel_size, _) = bottom_up_extract(&egraph, ExtractionCost::Size);
+        let d_depth = selection_cost(&egraph, &sel_depth, &roots, ExtractionCost::Depth);
+        let d_size = selection_cost(&egraph, &sel_size, &roots, ExtractionCost::Depth);
+        assert!(d_depth <= d_size);
+    }
+
+    #[test]
+    fn extraction_result_converts_to_equivalent_circuit() {
+        let aig = benchgen::adder(4).aig;
+        let conv = aig_to_egraph(&aig);
+        let (egraph, roots) = saturated_egraph(&aig, 3);
+        let (selection, _) = bottom_up_extract(&egraph, ExtractionCost::Size);
+        let back = crate::convert::selection_to_aig(
+            &egraph,
+            &selection,
+            &roots,
+            &conv.input_names,
+            &conv.output_names,
+            "extracted",
+        );
+        for p in 0..(1usize << aig.num_inputs()) {
+            let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| p >> i & 1 == 1).collect();
+            assert_eq!(aig.evaluate(&bits), back.evaluate(&bits), "pattern {p}");
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! End-to-end synthesis flows (paper Section IV).
+//!
+//! * [`baseline_flow`] — the delay-oriented reference flow
+//!   `(st; if -g -K 6 -C 8)(st; dch; map) × 4` built from the workspace
+//!   substrates: SOP balancing, structural choices via SAT sweeping, and
+//!   standard-cell mapping against the built-in 7-nm-style library.
+//! * [`emorphic_flow`] — the same flow with e-graph-based resynthesis
+//!   inserted before the final mapping round: DAG-to-DAG conversion, a small
+//!   number of Table-I rewriting iterations, and parallel simulated-annealing
+//!   extraction guided by either the technology mapper (quality mode) or the
+//!   learned cost model (runtime mode). The result is verified against the
+//!   input with SAT-based CEC, mirroring the paper's use of `cec`.
+//!
+//! Both flows record a wall-clock breakdown (conventional optimization,
+//! e-graph conversion, SA extraction) used to regenerate Fig. 9.
+
+use crate::convert::aig_to_egraph;
+use crate::extract::sa::{SaExtractor, SaOptions};
+use crate::rules::all_rules;
+use aig::Aig;
+use cec::{check_equivalence, CecOptions};
+use costmodel::{LearnedCost, TechMapCost};
+use egraph::{Runner, Scheduler};
+use logic_opt::{dch_like, DchOptions};
+use techmap::library::{asap7_like, CellLibrary};
+use techmap::{cell::map_to_cells, sop::sop_balance, MapOptions, Qor};
+use std::time::{Duration, Instant};
+
+/// Which cost model guides the SA extraction (paper Section III-C).
+#[derive(Debug, Clone)]
+pub enum CostMode {
+    /// Quality-prioritized: evaluate candidates with the real mapper.
+    Quality,
+    /// Runtime-prioritized: evaluate candidates with a learned delay model.
+    Runtime(LearnedCost),
+}
+
+/// Configuration of the synthesis flows.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Number of `(st; if -g)(st; dch; map)` rounds (4 in the paper).
+    pub rounds: usize,
+    /// LUT-mapping options used by SOP balancing (`if -g -K 6 -C 8`).
+    pub lut_options: MapOptions,
+    /// Standard-cell mapping options.
+    pub map_options: MapOptions,
+    /// Structural-choice (dch) options.
+    pub dch_options: DchOptions,
+    /// The standard-cell library.
+    pub library: CellLibrary,
+    /// Number of e-graph rewriting iterations (5 in the paper).
+    pub rewrite_iterations: usize,
+    /// E-node limit for the rewriting phase.
+    pub node_limit: usize,
+    /// Per-rule match limit per iteration (back-off scheduling).
+    pub match_limit: usize,
+    /// Simulated-annealing extraction options.
+    pub sa: SaOptions,
+    /// Cost model used during extraction.
+    pub cost_mode: CostMode,
+    /// Verify the resynthesized circuit against the input with CEC.
+    pub verify: bool,
+}
+
+impl FlowConfig {
+    /// The paper's experimental configuration (Section IV-A), with the SA
+    /// extractor in quality-prioritized mode.
+    pub fn paper() -> Self {
+        FlowConfig {
+            rounds: 4,
+            lut_options: MapOptions::lut6(),
+            map_options: MapOptions::default(),
+            dch_options: DchOptions::default(),
+            library: asap7_like(),
+            rewrite_iterations: 5,
+            node_limit: 200_000,
+            match_limit: 2_000,
+            sa: SaOptions {
+                iterations: 4,
+                threads: 4,
+                ..SaOptions::default()
+            },
+            cost_mode: CostMode::Quality,
+            verify: true,
+        }
+    }
+
+    /// A reduced configuration for tests, examples and CI.
+    pub fn fast() -> Self {
+        FlowConfig {
+            rounds: 2,
+            rewrite_iterations: 3,
+            node_limit: 20_000,
+            match_limit: 500,
+            sa: SaOptions::fast(),
+            ..FlowConfig::paper()
+        }
+    }
+
+    /// Switches the flow to the runtime-prioritized (learned) cost model with
+    /// the paper's 6 parallel threads.
+    #[must_use]
+    pub fn with_learned_model(mut self, model: LearnedCost) -> Self {
+        self.cost_mode = CostMode::Runtime(model);
+        self.sa.threads = 6;
+        self
+    }
+}
+
+/// Wall-clock breakdown of a flow run (the Fig. 9 data).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RuntimeBreakdown {
+    /// Time spent in the conventional delay-oriented flow (SOP balancing,
+    /// choices, mapping).
+    pub conventional: Duration,
+    /// Time spent converting between the circuit and the e-graph.
+    pub conversion: Duration,
+    /// Time spent in rewriting plus SA extraction and evaluation.
+    pub extraction: Duration,
+}
+
+impl RuntimeBreakdown {
+    /// Total wall-clock time.
+    pub fn total(&self) -> Duration {
+        self.conventional + self.conversion + self.extraction
+    }
+
+    /// Percentage split `(conventional, conversion, extraction)`.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.conventional.as_secs_f64() / total * 100.0,
+            self.conversion.as_secs_f64() / total * 100.0,
+            self.extraction.as_secs_f64() / total * 100.0,
+        )
+    }
+}
+
+/// Result of running a flow on one circuit.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Post-mapping quality of the final netlist.
+    pub qor: Qor,
+    /// Total runtime of the flow.
+    pub runtime: Duration,
+    /// Runtime breakdown (Fig. 9).
+    pub breakdown: RuntimeBreakdown,
+    /// The technology-independent network right before the final mapping.
+    pub final_aig: Aig,
+    /// Whether CEC against the input succeeded (always `true` when
+    /// verification is disabled).
+    pub verified: bool,
+    /// Statistics of the rewriting phase (empty for the baseline flow).
+    pub egraph_nodes: usize,
+    /// Number of e-classes after rewriting (0 for the baseline flow).
+    pub egraph_classes: usize,
+}
+
+fn conventional_round(aig: &Aig, config: &FlowConfig, with_sop: bool) -> (Aig, Qor) {
+    let mut current = aig.strash_copy();
+    if with_sop {
+        current = sop_balance(&current, &config.lut_options);
+    }
+    current = current.strash_copy();
+    current = dch_like(&current, &config.dch_options);
+    let netlist = map_to_cells(&current, &config.library, &config.map_options);
+    (current, netlist.qor())
+}
+
+/// Runs the delay-oriented baseline flow.
+pub fn baseline_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
+    let start = Instant::now();
+    let mut current = aig.clone();
+    let mut qor = map_to_cells(&current, &config.library, &config.map_options).qor();
+    for _ in 0..config.rounds {
+        let (next, round_qor) = conventional_round(&current, config, true);
+        current = next;
+        qor = round_qor;
+    }
+    qor.name = aig.name().to_string();
+    let runtime = start.elapsed();
+    FlowResult {
+        qor,
+        runtime,
+        breakdown: RuntimeBreakdown {
+            conventional: runtime,
+            conversion: Duration::ZERO,
+            extraction: Duration::ZERO,
+        },
+        final_aig: current,
+        verified: true,
+        egraph_nodes: 0,
+        egraph_classes: 0,
+    }
+}
+
+/// Runs the E-morphic flow: the baseline rounds with e-graph resynthesis
+/// inserted before the final mapping round.
+pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
+    let start = Instant::now();
+    let mut conventional_time = Duration::ZERO;
+
+    // Rounds 1..N-1 of the conventional flow.
+    let mut current = aig.clone();
+    let pre_rounds = config.rounds.saturating_sub(1);
+    let t0 = Instant::now();
+    for _ in 0..pre_rounds {
+        let (next, _) = conventional_round(&current, config, true);
+        current = next;
+    }
+    // The technology-independent part of the final round (st; if -g).
+    current = sop_balance(&current.strash_copy(), &config.lut_options);
+    conventional_time += t0.elapsed();
+
+    // E-graph resynthesis: conversion, limited rewriting, SA extraction.
+    let t_convert = Instant::now();
+    let conversion = aig_to_egraph(&current);
+    let mut conversion_time = t_convert.elapsed();
+
+    let t_extract = Instant::now();
+    let runner = Runner::with_egraph(conversion.egraph.clone())
+        .with_iter_limit(config.rewrite_iterations)
+        .with_node_limit(config.node_limit)
+        .with_scheduler(Scheduler::Backoff {
+            match_limit: config.match_limit,
+            ban_length: 2,
+        })
+        .run(&all_rules());
+    let saturated = crate::convert::ConversionResult {
+        roots: conversion.roots.iter().map(|&r| runner.egraph.find(r)).collect(),
+        egraph: runner.egraph,
+        ..conversion
+    };
+    let egraph_nodes = saturated.egraph.total_nodes();
+    let egraph_classes = saturated.egraph.num_classes();
+
+    let techmap_cost = TechMapCost::new(config.library.clone());
+    let sa = SaExtractor::new(config.sa.clone());
+    let sa_result = match &config.cost_mode {
+        CostMode::Quality => sa.extract(&saturated, &techmap_cost),
+        CostMode::Runtime(model) => sa.extract(&saturated, model),
+    };
+    let extraction_time = t_extract.elapsed();
+
+    // Verify and fall back to the pre-resynthesis network if anything is off.
+    let mut verified = true;
+    let mut resynthesized = sa_result.best_aig;
+    if config.verify {
+        let check = check_equivalence(&current, &resynthesized, &CecOptions::default());
+        verified = check.is_equivalent();
+        if !verified {
+            resynthesized = current.clone();
+        }
+    }
+
+    // Backward conversion time is part of the extraction phase already; the
+    // remaining work is the final (st; dch; map) round.
+    let t_final = Instant::now();
+    let (final_aig, mut qor) = conventional_round(&resynthesized, config, false);
+    conventional_time += t_final.elapsed();
+    // Account the forward conversion measured inside `aig_to_egraph` as well.
+    conversion_time += conversion_forward_time(&saturated);
+
+    qor.name = aig.name().to_string();
+    FlowResult {
+        qor,
+        runtime: start.elapsed(),
+        breakdown: RuntimeBreakdown {
+            conventional: conventional_time,
+            conversion: conversion_time,
+            extraction: extraction_time,
+        },
+        final_aig,
+        verified,
+        egraph_nodes,
+        egraph_classes,
+    }
+}
+
+fn conversion_forward_time(conversion: &crate::convert::ConversionResult) -> Duration {
+    conversion.forward_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_flow_produces_sane_qor() {
+        let circuit = benchgen::adder(8).aig;
+        let config = FlowConfig::fast();
+        let result = baseline_flow(&circuit, &config);
+        assert!(result.qor.area_um2 > 0.0);
+        assert!(result.qor.delay_ps > 0.0);
+        assert!(result.qor.levels > 0);
+        assert_eq!(result.qor.name, "adder");
+        assert!(result.verified);
+        assert_eq!(result.breakdown.conversion, Duration::ZERO);
+    }
+
+    #[test]
+    fn emorphic_flow_verifies_and_reports_breakdown() {
+        let circuit = benchgen::adder(6).aig;
+        let config = FlowConfig::fast();
+        let result = emorphic_flow(&circuit, &config);
+        assert!(result.verified, "resynthesized circuit must be equivalent");
+        assert!(result.qor.delay_ps > 0.0);
+        assert!(result.egraph_nodes > 0);
+        assert!(result.egraph_classes > 0);
+        let (conv_pct, conversion_pct, extract_pct) = result.breakdown.percentages();
+        let total = conv_pct + conversion_pct + extract_pct;
+        assert!((total - 100.0).abs() < 1.0, "percentages sum to ~100, got {total}");
+        assert!(extract_pct > 0.0);
+    }
+
+    #[test]
+    fn emorphic_final_circuit_is_equivalent_to_input() {
+        let circuit = benchgen::multiplier(3).aig;
+        let config = FlowConfig::fast();
+        let result = emorphic_flow(&circuit, &config);
+        let check = check_equivalence(&circuit, &result.final_aig, &CecOptions::default());
+        assert!(check.is_equivalent(), "{check:?}");
+    }
+
+    #[test]
+    fn emorphic_not_worse_than_baseline_on_small_adder() {
+        // On a tiny circuit both flows should land in the same ballpark; the
+        // E-morphic result must never be dramatically worse.
+        let circuit = benchgen::adder(6).aig;
+        let config = FlowConfig::fast();
+        let base = baseline_flow(&circuit, &config);
+        let emorphic = emorphic_flow(&circuit, &config);
+        assert!(emorphic.qor.delay_ps <= base.qor.delay_ps * 1.25 + 1.0);
+    }
+
+    #[test]
+    fn runtime_mode_uses_learned_model() {
+        let circuit = benchgen::adder(5).aig;
+        // Train a tiny model on adders of various widths.
+        let mapper = TechMapCost::new(asap7_like());
+        let samples: Vec<(Aig, f64)> = [3usize, 4, 6, 8]
+            .iter()
+            .map(|&w| {
+                let c = benchgen::adder(w).aig;
+                let delay = mapper.qor(&c).delay_ps;
+                (c, delay)
+            })
+            .collect();
+        let model = LearnedCost::train(&samples, 1e-3);
+        let config = FlowConfig::fast().with_learned_model(model);
+        assert!(matches!(config.cost_mode, CostMode::Runtime(_)));
+        assert_eq!(config.sa.threads, 6);
+        let result = emorphic_flow(&circuit, &config);
+        assert!(result.verified);
+        assert!(result.qor.delay_ps > 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! E-morphic: scalable equality saturation for structural exploration in
+//! logic synthesis.
+//!
+//! This crate implements the paper's primary contribution on top of the
+//! workspace substrates (`aig`, `egraph`, `logic-opt`, `techmap`, `cec`,
+//! `costmodel`):
+//!
+//! * [`lang`] — the Boolean term language used inside the e-graph and the
+//!   Table-I rewrite-rule set ([`rules`]).
+//! * [`convert`] — **direct DAG-to-DAG conversion** between AIGs and e-graphs
+//!   (Section III-D1), with the S-expression-based E-Syn baseline in
+//!   [`esyn`] for the Table III comparison.
+//! * [`dsl`] — the intermediate JSON DSL of Fig. 7.
+//! * [`extract`] — bottom-up extraction with **solution-space pruning**
+//!   (Fig. 6) and the **simulated-annealing extractor** of Algorithm 1 /
+//!   Fig. 4, with multi-threaded parallel annealing batches.
+//! * [`flow`] — the end-to-end synthesis flows: the delay-oriented baseline
+//!   `(st; if -g -K 6 -C 8)(st; dch; map)×4` and the E-morphic flow that
+//!   inserts e-graph resynthesis before the final mapping round, with the
+//!   runtime breakdown instrumentation used for Fig. 9.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use emorphic::flow::{emorphic_flow, FlowConfig};
+//!
+//! // A small adder stands in for an EPFL circuit.
+//! let circuit = benchgen::adder(8).aig;
+//! let config = FlowConfig::fast();
+//! let result = emorphic_flow(&circuit, &config);
+//! assert!(result.verified);
+//! assert!(result.qor.delay_ps > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lang;
+pub mod rules;
+pub mod convert;
+pub mod esyn;
+pub mod dsl;
+pub mod extract;
+pub mod flow;
+pub mod report;
+
+pub use convert::{aig_to_egraph, selection_to_aig, ConversionResult};
+pub use extract::sa::{SaExtractor, SaOptions, SaResult};
+pub use extract::{bottom_up_extract, ExtractionCost, Selection};
+pub use flow::{baseline_flow, emorphic_flow, FlowConfig, FlowResult};
+pub use lang::BoolLang;
+pub use rules::{all_rules, table1_rules};

@@ -1,0 +1,216 @@
+//! Structural feature extraction from AIGs.
+//!
+//! The learned cost model predicts post-mapping delay from cheap structural
+//! features: size, depth, fanout statistics, level-profile statistics and
+//! edge-polarity counts. This mirrors the inputs the paper's GNN consumes
+//! (node type, topological order, connectivity) collapsed into a fixed-size
+//! vector so a linear model can be trained without an ML framework.
+
+use aig::{Aig, AigNode};
+
+/// A fixed-length feature vector describing an AIG's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitFeatures {
+    values: Vec<f64>,
+}
+
+/// Names of the extracted features, in order.
+pub const FEATURE_NAMES: &[&str] = &[
+    "num_ands",
+    "num_inputs",
+    "num_outputs",
+    "depth",
+    "log_num_ands",
+    "ands_per_level",
+    "avg_fanout",
+    "max_fanout",
+    "fanout_variance",
+    "complemented_edge_ratio",
+    "both_complemented_ratio",
+    "level_mean",
+    "level_variance",
+    "critical_width_ratio",
+    "output_depth_mean",
+    "and_per_input",
+];
+
+impl CircuitFeatures {
+    /// Number of features in a vector.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the vector is empty (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw feature values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Extracts features from a network.
+    pub fn extract(aig: &Aig) -> Self {
+        let num_ands = aig.num_ands() as f64;
+        let num_inputs = aig.num_inputs() as f64;
+        let num_outputs = aig.num_outputs() as f64;
+        let levels = aig.levels();
+        let depth = aig.depth() as f64;
+        let fanouts = aig.fanout_counts();
+
+        // Fanout statistics over driven nodes (inputs + ANDs).
+        let fanout_values: Vec<f64> = aig
+            .node_ids()
+            .filter(|id| !aig.node(*id).is_const())
+            .map(|id| fanouts[id.index()] as f64)
+            .collect();
+        let avg_fanout = mean(&fanout_values);
+        let max_fanout = fanout_values.iter().copied().fold(0.0, f64::max);
+        let fanout_variance = variance(&fanout_values, avg_fanout);
+
+        // Edge polarity statistics.
+        let mut complemented_edges = 0usize;
+        let mut both_complemented = 0usize;
+        let mut total_edges = 0usize;
+        for id in aig.and_ids() {
+            let (f0, f1) = aig.fanins(id);
+            total_edges += 2;
+            complemented_edges += usize::from(f0.is_complemented()) + usize::from(f1.is_complemented());
+            both_complemented += usize::from(f0.is_complemented() && f1.is_complemented());
+        }
+        let comp_ratio = ratio(complemented_edges, total_edges);
+        let both_ratio = ratio(both_complemented, total_edges / 2);
+
+        // Level-profile statistics over AND nodes.
+        let and_levels: Vec<f64> = aig
+            .and_ids()
+            .map(|id| levels[id.index()] as f64)
+            .collect();
+        let level_mean = mean(&and_levels);
+        let level_variance = variance(&and_levels, level_mean);
+        // Width of the most populated level relative to the size.
+        let mut per_level = vec![0usize; depth as usize + 1];
+        for id in aig.and_ids() {
+            per_level[levels[id.index()] as usize] += 1;
+        }
+        let max_width = per_level.iter().copied().max().unwrap_or(0) as f64;
+        let critical_width_ratio = if num_ands > 0.0 { max_width / num_ands } else { 0.0 };
+
+        // Output depth statistics.
+        let output_depths: Vec<f64> = aig
+            .outputs()
+            .iter()
+            .map(|po| match aig.node(po.node()) {
+                AigNode::Const => 0.0,
+                _ => levels[po.node().index()] as f64,
+            })
+            .collect();
+        let output_depth_mean = mean(&output_depths);
+
+        let values = vec![
+            num_ands,
+            num_inputs,
+            num_outputs,
+            depth,
+            (num_ands + 1.0).ln(),
+            if depth > 0.0 { num_ands / depth } else { num_ands },
+            avg_fanout,
+            max_fanout,
+            fanout_variance,
+            comp_ratio,
+            both_ratio,
+            level_mean,
+            level_variance,
+            critical_width_ratio,
+            output_depth_mean,
+            if num_inputs > 0.0 { num_ands / num_inputs } else { 0.0 },
+        ];
+        debug_assert_eq!(values.len(), FEATURE_NAMES.len());
+        CircuitFeatures { values }
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+fn variance(values: &[f64], mean: f64) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64
+    }
+}
+
+fn ratio(a: usize, b: usize) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(depth_chain: usize) -> Aig {
+        let mut aig = Aig::new("s");
+        let inputs = aig.add_inputs("x", depth_chain + 1);
+        let mut acc = inputs[0];
+        for &lit in &inputs[1..] {
+            acc = aig.and(acc, lit);
+        }
+        aig.add_output(acc, "f");
+        aig
+    }
+
+    #[test]
+    fn feature_vector_has_documented_length() {
+        let features = CircuitFeatures::extract(&sample(5));
+        assert_eq!(features.len(), FEATURE_NAMES.len());
+        assert!(!features.is_empty());
+        assert!(features.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn depth_and_size_features_reflect_structure() {
+        let shallow = CircuitFeatures::extract(&sample(3));
+        let deep = CircuitFeatures::extract(&sample(12));
+        // Feature 0 is the AND count, feature 3 is the depth.
+        assert!(deep.values()[0] > shallow.values()[0]);
+        assert!(deep.values()[3] > shallow.values()[3]);
+    }
+
+    #[test]
+    fn polarity_features_distinguish_or_from_and() {
+        let mut and_net = Aig::new("and");
+        let a = and_net.add_input("a");
+        let b = and_net.add_input("b");
+        let f = and_net.and(a, b);
+        and_net.add_output(f, "f");
+        let mut or_net = Aig::new("or");
+        let a = or_net.add_input("a");
+        let b = or_net.add_input("b");
+        let f = or_net.or(a, b);
+        or_net.add_output(f, "f");
+        let f_and = CircuitFeatures::extract(&and_net);
+        let f_or = CircuitFeatures::extract(&or_net);
+        // complemented_edge_ratio (index 9) differs.
+        assert!(f_or.values()[9] > f_and.values()[9]);
+    }
+
+    #[test]
+    fn handles_trivial_networks() {
+        let mut aig = Aig::new("t");
+        let _a = aig.add_input("a");
+        aig.add_output(aig::Lit::TRUE, "one");
+        let features = CircuitFeatures::extract(&aig);
+        assert!(features.values().iter().all(|v| v.is_finite()));
+    }
+}

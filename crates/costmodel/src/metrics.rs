@@ -1,0 +1,101 @@
+//! Prediction-quality metrics: MAPE and Kendall's τ.
+//!
+//! Section IV-D of the paper reports the learned delay predictor's Mean
+//! Absolute Percentage Error (25.2 %) and Kendall's τ rank correlation
+//! (0.62); the benchmark harness reproduces both numbers with these
+//! functions.
+
+/// Mean absolute percentage error between predictions and ground truth, in
+/// percent. Entries with a zero ground-truth value are skipped.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mape(predictions: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truth.len(), "length mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, t) in predictions.iter().zip(truth) {
+        if t.abs() > 1e-12 {
+            total += ((p - t) / t).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64 * 100.0
+    }
+}
+
+/// Kendall's τ-a rank correlation between predictions and ground truth.
+///
+/// Returns a value in `[-1, 1]`; 1 means the prediction ranks candidates in
+/// exactly the same order as the ground truth.
+///
+/// # Panics
+/// Panics if the slices have different lengths or fewer than two entries.
+pub fn kendall_tau(predictions: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truth.len(), "length mismatch");
+    let n = predictions.len();
+    assert!(n >= 2, "Kendall's tau requires at least two samples");
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dp = predictions[i] - predictions[j];
+            let dt = truth[i] - truth[j];
+            let product = dp * dt;
+            if product > 0.0 {
+                concordant += 1;
+            } else if product < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_of_perfect_prediction_is_zero() {
+        let truth = [10.0, 20.0, 30.0];
+        assert_eq!(mape(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn mape_of_constant_offset() {
+        // +10% everywhere.
+        let truth = [100.0, 200.0, 400.0];
+        let pred = [110.0, 220.0, 440.0];
+        assert!((mape(&pred, &truth) - 10.0).abs() < 1e-9);
+        // Zero-truth entries are skipped, not divided by.
+        assert!((mape(&[5.0, 110.0], &[0.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let same = [10.0, 20.0, 30.0, 40.0];
+        let reversed = [40.0, 30.0, 20.0, 10.0];
+        assert!((kendall_tau(&same, &truth) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&reversed, &truth) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_partial_agreement() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [1.0, 3.0, 2.0];
+        // Pairs: (1,2) concordant, (1,3) concordant, (2,3) discordant: (2-1)/3.
+        assert!((kendall_tau(&pred, &truth) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = mape(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Ridge regression on standardized features.
+//!
+//! The learned cost model is a linear map from [`crate::CircuitFeatures`] to a
+//! predicted post-mapping delay. Training solves the regularized normal
+//! equations `(XᵀX + λI) w = Xᵀy` by Gaussian elimination with partial
+//! pivoting; features are standardized (zero mean, unit variance) first so a
+//! single regularization strength works across heterogeneous feature scales.
+
+use serde::{Deserialize, Serialize};
+
+/// A trained ridge-regression model.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RidgeModel {
+    /// Per-feature means used for standardization.
+    pub feature_means: Vec<f64>,
+    /// Per-feature standard deviations used for standardization.
+    pub feature_stds: Vec<f64>,
+    /// Learned weights (one per feature).
+    pub weights: Vec<f64>,
+    /// Learned intercept.
+    pub intercept: f64,
+    /// Regularization strength used during training.
+    pub lambda: f64,
+}
+
+impl RidgeModel {
+    /// Fits a model to `(samples, targets)` with regularization `lambda`.
+    ///
+    /// # Panics
+    /// Panics if the sample matrix is empty, ragged, or the target length
+    /// does not match.
+    pub fn fit(samples: &[Vec<f64>], targets: &[f64], lambda: f64) -> Self {
+        assert!(!samples.is_empty(), "at least one training sample is required");
+        assert_eq!(samples.len(), targets.len(), "one target per sample required");
+        let dim = samples[0].len();
+        assert!(samples.iter().all(|s| s.len() == dim), "ragged sample matrix");
+
+        // Standardize features.
+        let n = samples.len() as f64;
+        let mut means = vec![0.0; dim];
+        for sample in samples {
+            for (m, v) in means.iter_mut().zip(sample) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for sample in samples {
+            for ((s, v), m) in stds.iter_mut().zip(sample).zip(&means) {
+                *s += (v - m).powi(2);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave it centered at zero
+            }
+        }
+        let standardized: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .zip(&means)
+                    .zip(&stds)
+                    .map(|((v, m), sd)| (v - m) / sd)
+                    .collect()
+            })
+            .collect();
+        let target_mean = targets.iter().sum::<f64>() / n;
+        let centered_targets: Vec<f64> = targets.iter().map(|t| t - target_mean).collect();
+
+        // Normal equations: A = XᵀX + λI, b = Xᵀy.
+        let mut a = vec![vec![0.0f64; dim]; dim];
+        let mut b = vec![0.0f64; dim];
+        for (sample, &target) in standardized.iter().zip(&centered_targets) {
+            for i in 0..dim {
+                b[i] += sample[i] * target;
+                for j in 0..dim {
+                    a[i][j] += sample[i] * sample[j];
+                }
+            }
+        }
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += lambda;
+        }
+        let weights = solve_linear_system(a, b);
+
+        RidgeModel {
+            feature_means: means,
+            feature_stds: stds,
+            weights,
+            intercept: target_mean,
+            lambda,
+        }
+    }
+
+    /// Predicts the target for one feature vector.
+    ///
+    /// # Panics
+    /// Panics if the feature dimension does not match the trained model.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.weights.len(), "feature dimension mismatch");
+        let mut out = self.intercept;
+        for ((v, m), (sd, w)) in features
+            .iter()
+            .zip(&self.feature_means)
+            .zip(self.feature_stds.iter().zip(&self.weights))
+        {
+            out += (v - m) / sd * w;
+        }
+        out
+    }
+
+    /// Serializes the model to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("model serialization cannot fail")
+    }
+
+    /// Loads a model from JSON.
+    ///
+    /// # Errors
+    /// Returns the underlying serde error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting.
+fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .expect("non-empty range");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-12 {
+            continue; // singular direction: leave the weight at zero
+        }
+        for row in (col + 1)..n {
+            let factor = a[row][col] / diag;
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for k in (col + 1)..n {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = if a[col][col].abs() < 1e-12 {
+            0.0
+        } else {
+            sum / a[col][col]
+        };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_relationship() {
+        // y = 3*x0 - 2*x1 + 5
+        let samples: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * 7 % 13) as f64])
+            .collect();
+        let targets: Vec<f64> = samples.iter().map(|s| 3.0 * s[0] - 2.0 * s[1] + 5.0).collect();
+        let model = RidgeModel::fit(&samples, &targets, 1e-9);
+        for (sample, target) in samples.iter().zip(&targets) {
+            assert!((model.predict(sample) - target).abs() < 1e-4);
+        }
+        // Extrapolation stays close for a noiseless linear target.
+        assert!((model.predict(&[100.0, 4.0]) - (300.0 - 8.0 + 5.0)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn handles_constant_features() {
+        let samples: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 42.0]).collect();
+        let targets: Vec<f64> = samples.iter().map(|s| 2.0 * s[0] + 1.0).collect();
+        let model = RidgeModel::fit(&samples, &targets, 1e-6);
+        assert!((model.predict(&[10.0, 42.0]) - 21.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let samples: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = samples.iter().map(|s| 10.0 * s[0]).collect();
+        let weak = RidgeModel::fit(&samples, &targets, 1e-6);
+        let strong = RidgeModel::fit(&samples, &targets, 1e6);
+        assert!(strong.weights[0].abs() < weak.weights[0].abs());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let samples: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let targets: Vec<f64> = samples.iter().map(|s| s[0] + s[1]).collect();
+        let model = RidgeModel::fit(&samples, &targets, 0.1);
+        let back = RidgeModel::from_json(&model.to_json()).unwrap();
+        assert_eq!(model, back);
+        assert!(RidgeModel::from_json("{bad").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per sample")]
+    fn mismatched_targets_panic() {
+        let _ = RidgeModel::fit(&[vec![1.0]], &[1.0, 2.0], 0.1);
+    }
+}

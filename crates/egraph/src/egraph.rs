@@ -1,0 +1,467 @@
+//! The e-graph: hash-consed e-nodes grouped into e-classes with deferred
+//! congruence-closure maintenance ("rebuilding").
+
+use crate::fxhash::FxHashMap;
+use crate::{Id, Language, RecExpr, UnionFind};
+
+/// An equivalence class of e-nodes.
+#[derive(Debug, Clone)]
+pub struct EClass<L> {
+    /// Canonical id of this class.
+    pub id: Id,
+    /// The e-nodes belonging to this class. After [`EGraph::rebuild`] the
+    /// children of every node are canonical and the list is deduplicated.
+    pub nodes: Vec<L>,
+}
+
+impl<L: Language> EClass<L> {
+    /// Number of e-nodes in the class.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the class has no nodes (never the case in a
+    /// well-formed e-graph).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over the e-nodes of this class.
+    pub fn iter(&self) -> impl Iterator<Item = &L> {
+        self.nodes.iter()
+    }
+}
+
+/// An e-graph over language `L`.
+///
+/// The e-graph maintains a congruence relation over its e-classes: if two
+/// classes are merged, any two nodes that become structurally identical up to
+/// class equivalence are merged as well. Following egg, congruence repair is
+/// *deferred*: callers perform any number of [`EGraph::add`] / [`EGraph::union`]
+/// operations and then call [`EGraph::rebuild`] once, which restores the
+/// invariants in bulk. This crate implements rebuilding as whole-graph
+/// canonicalization passes, which is simpler than egg's incremental parent
+/// repair and fast enough for the few rewrite iterations E-morphic uses.
+#[derive(Debug, Clone, Default)]
+pub struct EGraph<L: Language> {
+    unionfind: UnionFind,
+    memo: FxHashMap<L, Id>,
+    classes: FxHashMap<Id, EClass<L>>,
+    dirty: bool,
+    n_unions: usize,
+}
+
+impl<L: Language> EGraph<L> {
+    /// Creates an empty e-graph.
+    pub fn new() -> Self {
+        EGraph {
+            unionfind: UnionFind::new(),
+            memo: FxHashMap::default(),
+            classes: FxHashMap::default(),
+            dirty: false,
+            n_unions: 0,
+        }
+    }
+
+    /// Canonicalizes an e-class id.
+    #[inline]
+    pub fn find(&self, id: Id) -> Id {
+        self.unionfind.find(id)
+    }
+
+    /// Returns the canonical form of an e-node (children canonicalized).
+    pub fn canonicalize(&self, node: &L) -> L {
+        node.map_children(|c| self.find(c))
+    }
+
+    /// Looks up an e-node, returning its class if it is already represented.
+    pub fn lookup(&self, node: &L) -> Option<Id> {
+        let node = self.canonicalize(node);
+        self.memo.get(&node).map(|&id| self.find(id))
+    }
+
+    /// Adds an e-node (hash-consed); returns the id of its e-class.
+    pub fn add(&mut self, node: L) -> Id {
+        let node = self.canonicalize(&node);
+        if let Some(&id) = self.memo.get(&node) {
+            return self.find(id);
+        }
+        let id = self.unionfind.make_set();
+        self.classes.insert(
+            id,
+            EClass {
+                id,
+                nodes: vec![node.clone()],
+            },
+        );
+        self.memo.insert(node, id);
+        id
+    }
+
+    /// Adds every node of a [`RecExpr`], returning the class of its root.
+    pub fn add_expr(&mut self, expr: &RecExpr<L>) -> Id {
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for node in expr.as_ref() {
+            let node = node.map_children(|c| ids[c.index()]);
+            ids.push(self.add(node));
+        }
+        *ids.last().expect("cannot add an empty expression")
+    }
+
+    /// Merges two e-classes. Returns the surviving canonical id and whether
+    /// anything changed. Congruence is restored lazily by [`EGraph::rebuild`].
+    pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
+        let a = self.find(a);
+        let b = self.find(b);
+        if a == b {
+            return (a, false);
+        }
+        let root = self.unionfind.union(a, b);
+        let loser = if root == a { b } else { a };
+        let loser_class = self
+            .classes
+            .remove(&loser)
+            .expect("loser class must exist");
+        self.classes
+            .get_mut(&root)
+            .expect("winner class must exist")
+            .nodes
+            .extend(loser_class.nodes);
+        self.n_unions += 1;
+        self.dirty = true;
+        (root, true)
+    }
+
+    /// Returns `true` if the two ids refer to the same e-class.
+    pub fn same(&self, a: Id, b: Id) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Restores the congruence and hash-consing invariants after a batch of
+    /// unions. Returns the number of additional unions performed by
+    /// congruence propagation.
+    pub fn rebuild(&mut self) -> usize {
+        let mut congruence_unions = 0;
+        loop {
+            // Detect congruent nodes across classes under the current
+            // union-find and merge their classes.
+            let mut seen: FxHashMap<L, Id> = FxHashMap::default();
+            let mut to_union: Vec<(Id, Id)> = Vec::new();
+            for (&id, class) in &self.classes {
+                for node in &class.nodes {
+                    let canon = node.map_children(|c| self.unionfind.find(c));
+                    match seen.get(&canon) {
+                        Some(&other) => {
+                            if self.unionfind.find(other) != self.unionfind.find(id) {
+                                to_union.push((other, id));
+                            }
+                        }
+                        None => {
+                            seen.insert(canon, id);
+                        }
+                    }
+                }
+            }
+            if to_union.is_empty() {
+                break;
+            }
+            for (a, b) in to_union {
+                let (_, merged) = self.union(a, b);
+                if merged {
+                    congruence_unions += 1;
+                }
+            }
+        }
+        // Canonicalize the node lists and rebuild the hashcons.
+        let uf = &self.unionfind;
+        let mut memo: FxHashMap<L, Id> = FxHashMap::default();
+        for (&id, class) in self.classes.iter_mut() {
+            class.id = id;
+            for node in &mut class.nodes {
+                node.update_children(|c| uf.find(c));
+            }
+            class.nodes.sort();
+            class.nodes.dedup();
+            for node in &class.nodes {
+                memo.insert(node.clone(), id);
+            }
+        }
+        self.memo = memo;
+        self.dirty = false;
+        congruence_unions
+    }
+
+    /// Returns `true` if unions have been performed since the last rebuild.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Number of e-classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of e-nodes across all classes.
+    pub fn total_nodes(&self) -> usize {
+        self.classes.values().map(|c| c.nodes.len()).sum()
+    }
+
+    /// Total number of unions performed (including congruence-induced ones).
+    pub fn num_unions(&self) -> usize {
+        self.n_unions
+    }
+
+    /// Returns the e-class with the given id (canonicalized).
+    ///
+    /// # Panics
+    /// Panics if the id does not refer to an existing class.
+    pub fn class(&self, id: Id) -> &EClass<L> {
+        let id = self.find(id);
+        &self.classes[&id]
+    }
+
+    /// Returns the e-class with the given id, if it exists.
+    pub fn get_class(&self, id: Id) -> Option<&EClass<L>> {
+        let id = self.find(id);
+        self.classes.get(&id)
+    }
+
+    /// Iterates over all e-classes.
+    pub fn classes(&self) -> impl Iterator<Item = &EClass<L>> {
+        self.classes.values()
+    }
+
+    /// Iterates over all canonical class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = Id> + '_ {
+        self.classes.keys().copied()
+    }
+
+    /// Builds, for every class, the list of `(parent class, parent node)`
+    /// pairs that reference it. The e-graph must be clean (rebuilt).
+    pub fn parent_index(&self) -> FxHashMap<Id, Vec<(Id, L)>> {
+        debug_assert!(!self.dirty, "parent_index requires a rebuilt e-graph");
+        let mut parents: FxHashMap<Id, Vec<(Id, L)>> = FxHashMap::default();
+        for class in self.classes.values() {
+            for node in &class.nodes {
+                for &child in node.children() {
+                    parents
+                        .entry(self.find(child))
+                        .or_default()
+                        .push((class.id, node.clone()));
+                }
+            }
+        }
+        parents
+    }
+
+    /// Checks internal invariants (used by tests and property tests):
+    /// every class key is canonical, every node's children are canonical,
+    /// and no two distinct classes contain the same canonical node.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.dirty {
+            return Err("e-graph is dirty; call rebuild() first".into());
+        }
+        let mut seen: FxHashMap<&L, Id> = FxHashMap::default();
+        for (&id, class) in &self.classes {
+            if self.find(id) != id {
+                return Err(format!("class key {id} is not canonical"));
+            }
+            if class.nodes.is_empty() {
+                return Err(format!("class {id} is empty"));
+            }
+            for node in &class.nodes {
+                for &child in node.children() {
+                    if self.find(child) != child {
+                        return Err(format!(
+                            "node {node:?} in class {id} has non-canonical child {child}"
+                        ));
+                    }
+                }
+                if let Some(&other) = seen.get(node) {
+                    if other != id {
+                        return Err(format!(
+                            "congruence violated: {node:?} appears in classes {other} and {id}"
+                        ));
+                    }
+                }
+                seen.insert(node, id);
+                match self.memo.get(node) {
+                    Some(&m) if self.find(m) == id => {}
+                    Some(&m) => {
+                        return Err(format!(
+                            "hashcons points {node:?} to {m} but it lives in {id}"
+                        ))
+                    }
+                    None => return Err(format!("node {node:?} missing from hashcons")),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts an arbitrary concrete term from a class (smallest node first),
+    /// mainly for debugging. Use [`crate::Extractor`] for cost-aware extraction.
+    pub fn id_to_expr(&self, root: Id) -> RecExpr<L> {
+        let mut expr = RecExpr::default();
+        let mut cache: FxHashMap<Id, Id> = FxHashMap::default();
+        self.id_to_expr_rec(self.find(root), &mut expr, &mut cache, 0);
+        expr
+    }
+
+    fn id_to_expr_rec(
+        &self,
+        id: Id,
+        expr: &mut RecExpr<L>,
+        cache: &mut FxHashMap<Id, Id>,
+        depth: usize,
+    ) -> Id {
+        if let Some(&done) = cache.get(&id) {
+            return done;
+        }
+        assert!(depth < 10_000, "id_to_expr recursion too deep (cyclic choice?)");
+        let class = self.class(id);
+        // Prefer leaves to avoid infinite recursion through cyclic classes.
+        let node = class
+            .nodes
+            .iter()
+            .min_by_key(|n| n.children().len())
+            .expect("non-empty class");
+        let node = node.map_children(|c| self.id_to_expr_rec(self.find(c), expr, cache, depth + 1));
+        let out = expr.add(node);
+        cache.insert(id, out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolLang;
+
+    fn leaf(egraph: &mut EGraph<SymbolLang>, name: &str) -> Id {
+        egraph.add(SymbolLang::leaf(name))
+    }
+
+    #[test]
+    fn hashconsing_deduplicates() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a1 = leaf(&mut eg, "a");
+        let a2 = leaf(&mut eg, "a");
+        assert_eq!(a1, a2);
+        assert_eq!(eg.num_classes(), 1);
+        let f1 = eg.add(SymbolLang::new("f", vec![a1]));
+        let f2 = eg.add(SymbolLang::new("f", vec![a2]));
+        assert_eq!(f1, f2);
+        assert_eq!(eg.num_classes(), 2);
+    }
+
+    #[test]
+    fn union_merges_classes() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        assert!(!eg.same(a, b));
+        let (_, changed) = eg.union(a, b);
+        assert!(changed);
+        eg.rebuild();
+        assert!(eg.same(a, b));
+        assert_eq!(eg.num_classes(), 1);
+        assert_eq!(eg.class(a).len(), 2);
+        let (_, changed_again) = eg.union(a, b);
+        assert!(!changed_again);
+    }
+
+    #[test]
+    fn congruence_propagates_upward() {
+        // f(a), f(b): after union(a, b) and rebuild, f(a) == f(b).
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        let fb = eg.add(SymbolLang::new("f", vec![b]));
+        assert!(!eg.same(fa, fb));
+        eg.union(a, b);
+        let extra = eg.rebuild();
+        assert!(extra >= 1);
+        assert!(eg.same(fa, fb));
+        eg.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn congruence_propagates_transitively() {
+        // g(f(a)), g(f(b)): one union at the leaves collapses two levels.
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        let fb = eg.add(SymbolLang::new("f", vec![b]));
+        let gfa = eg.add(SymbolLang::new("g", vec![fa]));
+        let gfb = eg.add(SymbolLang::new("g", vec![fb]));
+        eg.union(a, b);
+        eg.rebuild();
+        assert!(eg.same(gfa, gfb));
+        eg.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_expr_builds_dag() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let expr: RecExpr<SymbolLang> = "(+ (* a b) (* a b))".parse().unwrap();
+        let root = eg.add_expr(&expr);
+        // Shared sub-expressions are hash-consed: a, b, (* a b), (+ _ _).
+        assert_eq!(eg.num_classes(), 4);
+        assert_eq!(eg.find(root), root);
+        eg.rebuild();
+        eg.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn id_to_expr_roundtrip() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let expr: RecExpr<SymbolLang> = "(+ (* a b) c)".parse().unwrap();
+        let root = eg.add_expr(&expr);
+        eg.rebuild();
+        let back = eg.id_to_expr(root);
+        assert_eq!(back.to_string(), "(+ (* a b) c)");
+    }
+
+    #[test]
+    fn lookup_finds_canonical_nodes() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        eg.union(a, b);
+        eg.rebuild();
+        // Looking up f(b) must find the same class as f(a).
+        let found = eg.lookup(&SymbolLang::new("f", vec![b]));
+        assert_eq!(found, Some(eg.find(fa)));
+        assert_eq!(eg.lookup(&SymbolLang::leaf("zzz")), None);
+    }
+
+    #[test]
+    fn parent_index_lists_users() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        let f = eg.add(SymbolLang::new("f", vec![a, b]));
+        eg.rebuild();
+        let parents = eg.parent_index();
+        let pa = &parents[&eg.find(a)];
+        assert_eq!(pa.len(), 1);
+        assert_eq!(pa[0].0, eg.find(f));
+        assert!(!parents.contains_key(&eg.find(f)));
+    }
+
+    #[test]
+    fn total_nodes_counts_all_enode_variants() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        eg.union(a, b);
+        eg.rebuild();
+        assert_eq!(eg.num_classes(), 1);
+        assert_eq!(eg.total_nodes(), 2);
+        assert_eq!(eg.num_unions(), 1);
+    }
+}

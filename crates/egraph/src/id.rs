@@ -1,0 +1,49 @@
+//! E-class identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// An opaque identifier of an e-class inside an [`crate::EGraph`].
+///
+/// Ids are only meaningful relative to the e-graph that produced them and may
+/// become non-canonical after unions; use [`crate::EGraph::find`] to
+/// canonicalize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Id(pub u32);
+
+impl Id {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for Id {
+    fn from(value: usize) -> Self {
+        Id(value as u32)
+    }
+}
+
+impl From<u32> for Id {
+    fn from(value: u32) -> Self {
+        Id(value)
+    }
+}
+
+impl std::fmt::Display for Id {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Id::from(3usize).index(), 3);
+        assert_eq!(Id::from(7u32), Id(7));
+        assert_eq!(Id(5).to_string(), "5");
+    }
+}

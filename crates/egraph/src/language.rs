@@ -1,0 +1,390 @@
+//! The term language an e-graph operates over, plus [`RecExpr`] terms and
+//! s-expression parsing/printing.
+
+use crate::{Id, ParseError};
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::str::FromStr;
+
+/// An operator applied to child e-classes — one node of a term language.
+///
+/// Implementors are plain enums/structs whose children are [`Id`]s. Two nodes
+/// *match* when they have the same operator and arity, regardless of the
+/// specific children; this is the notion the e-graph's congruence closure and
+/// the pattern matcher rely on.
+pub trait Language: Debug + Clone + Eq + Ord + Hash {
+    /// Returns the child e-class ids of this node.
+    fn children(&self) -> &[Id];
+
+    /// Returns the child e-class ids mutably.
+    fn children_mut(&mut self) -> &mut [Id];
+
+    /// Returns `true` if `self` and `other` have the same operator and arity.
+    fn matches(&self, other: &Self) -> bool;
+
+    /// Returns the operator as a display string (used for s-expressions and
+    /// serialization).
+    fn op_str(&self) -> String;
+
+    /// Returns `true` if this node has no children.
+    fn is_leaf(&self) -> bool {
+        self.children().is_empty()
+    }
+
+    /// Applies `f` to every child id, producing an updated copy.
+    fn map_children(&self, mut f: impl FnMut(Id) -> Id) -> Self {
+        let mut node = self.clone();
+        for child in node.children_mut() {
+            *child = f(*child);
+        }
+        node
+    }
+
+    /// Applies `f` to every child id in place.
+    fn update_children(&mut self, mut f: impl FnMut(Id) -> Id) {
+        for child in self.children_mut() {
+            *child = f(*child);
+        }
+    }
+
+    /// Calls `f` on every child id.
+    fn for_each_child(&self, mut f: impl FnMut(Id)) {
+        for &child in self.children() {
+            f(child);
+        }
+    }
+}
+
+/// Construction of language nodes from an operator string and children, used
+/// for parsing terms, patterns and serialized e-graphs.
+pub trait FromOp: Language {
+    /// Builds a node from its operator spelling and child ids.
+    ///
+    /// # Errors
+    /// Returns an error if the operator is unknown or the arity is wrong.
+    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, ParseError>;
+}
+
+/// A generic language where every node is an arbitrary operator symbol with
+/// any number of children — the analogue of egg's `SymbolLang`.
+///
+/// Useful for tests and for quick experiments where a typed language is
+/// unnecessary.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolLang {
+    /// Operator name.
+    pub op: String,
+    /// Child e-classes.
+    pub children: Vec<Id>,
+}
+
+impl SymbolLang {
+    /// Creates a leaf node.
+    pub fn leaf(op: impl Into<String>) -> Self {
+        SymbolLang {
+            op: op.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Creates a node with children.
+    pub fn new(op: impl Into<String>, children: Vec<Id>) -> Self {
+        SymbolLang {
+            op: op.into(),
+            children,
+        }
+    }
+}
+
+impl Language for SymbolLang {
+    fn children(&self) -> &[Id] {
+        &self.children
+    }
+
+    fn children_mut(&mut self) -> &mut [Id] {
+        &mut self.children
+    }
+
+    fn matches(&self, other: &Self) -> bool {
+        self.op == other.op && self.children.len() == other.children.len()
+    }
+
+    fn op_str(&self) -> String {
+        self.op.clone()
+    }
+}
+
+impl FromOp for SymbolLang {
+    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, ParseError> {
+        Ok(SymbolLang::new(op, children))
+    }
+}
+
+/// A term: a DAG of language nodes stored in topological order (children
+/// always precede parents). The last node is the root.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RecExpr<L> {
+    nodes: Vec<L>,
+}
+
+impl<L> Default for RecExpr<L> {
+    fn default() -> Self {
+        RecExpr { nodes: Vec::new() }
+    }
+}
+
+impl<L: Language> RecExpr<L> {
+    /// Adds a node whose children must already be present, returning its id.
+    pub fn add(&mut self, node: L) -> Id {
+        debug_assert!(
+            node.children().iter().all(|c| c.index() < self.nodes.len()),
+            "a RecExpr node's children must be added before the node itself"
+        );
+        self.nodes.push(node);
+        Id::from(self.nodes.len() - 1)
+    }
+
+    /// Returns the nodes in topological order.
+    pub fn as_ref(&self) -> &[L] {
+        &self.nodes
+    }
+
+    /// Returns the node with the given id.
+    pub fn node(&self, id: Id) -> &L {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns the root id (the last node).
+    ///
+    /// # Panics
+    /// Panics if the expression is empty.
+    pub fn root(&self) -> Id {
+        assert!(!self.nodes.is_empty(), "empty RecExpr has no root");
+        Id::from(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes (DAG size).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the expression has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Computes the *tree* size of the expression (with sharing expanded),
+    /// saturating at `u64::MAX`. This is the size an S-expression printout
+    /// would have and is what makes flattened representations blow up.
+    pub fn tree_size(&self) -> u64 {
+        let mut sizes = vec![0u64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut size = 1u64;
+            for child in node.children() {
+                size = size.saturating_add(sizes[child.index()]);
+            }
+            sizes[i] = size;
+        }
+        sizes.last().copied().unwrap_or(0)
+    }
+
+    /// Computes the depth of the expression (leaves have depth 1).
+    pub fn depth(&self) -> u64 {
+        let mut depths = vec![0u64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let child_max = node
+                .children()
+                .iter()
+                .map(|c| depths[c.index()])
+                .max()
+                .unwrap_or(0);
+            depths[i] = 1 + child_max;
+        }
+        depths.last().copied().unwrap_or(0)
+    }
+
+    fn fmt_sexpr(&self, id: Id, out: &mut String) {
+        let node = self.node(id);
+        if node.is_leaf() {
+            out.push_str(&node.op_str());
+        } else {
+            out.push('(');
+            out.push_str(&node.op_str());
+            for &child in node.children() {
+                out.push(' ');
+                self.fmt_sexpr(child, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+impl<L: Language> std::fmt::Display for RecExpr<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.nodes.is_empty() {
+            return write!(f, "()");
+        }
+        let mut out = String::new();
+        self.fmt_sexpr(self.root(), &mut out);
+        write!(f, "{out}")
+    }
+}
+
+/// S-expression tokens and parsing shared by [`RecExpr`] and patterns.
+pub(crate) fn parse_sexpr_into<L, F>(text: &str, mut make: F) -> Result<Vec<L>, ParseError>
+where
+    F: FnMut(&str, Vec<Id>, &mut Vec<L>) -> Result<Id, ParseError>,
+{
+    #[derive(Debug)]
+    enum Tok {
+        Open,
+        Close,
+        Atom(String),
+    }
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        match ch {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    tokens.push(Tok::Atom(std::mem::take(&mut cur)));
+                }
+                tokens.push(if ch == '(' { Tok::Open } else { Tok::Close });
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(Tok::Atom(std::mem::take(&mut cur)));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(Tok::Atom(cur));
+    }
+    if tokens.is_empty() {
+        return Err(ParseError("empty s-expression".into()));
+    }
+
+    // Recursive descent over the token stream.
+    struct P<'a> {
+        tokens: &'a [Tok],
+        pos: usize,
+    }
+    fn parse_node<L>(
+        p: &mut P,
+        nodes: &mut Vec<L>,
+        make: &mut dyn FnMut(&str, Vec<Id>, &mut Vec<L>) -> Result<Id, ParseError>,
+    ) -> Result<Id, ParseError> {
+        match p.tokens.get(p.pos) {
+            Some(Tok::Atom(op)) => {
+                p.pos += 1;
+                make(op, Vec::new(), nodes)
+            }
+            Some(Tok::Open) => {
+                p.pos += 1;
+                let op = match p.tokens.get(p.pos) {
+                    Some(Tok::Atom(op)) => op.clone(),
+                    _ => return Err(ParseError("expected operator after '('".into())),
+                };
+                p.pos += 1;
+                let mut children = Vec::new();
+                loop {
+                    match p.tokens.get(p.pos) {
+                        Some(Tok::Close) => {
+                            p.pos += 1;
+                            break;
+                        }
+                        Some(_) => children.push(parse_node(p, nodes, make)?),
+                        None => return Err(ParseError("unclosed '('".into())),
+                    }
+                }
+                make(&op, children, nodes)
+            }
+            Some(Tok::Close) => Err(ParseError("unexpected ')'".into())),
+            None => Err(ParseError("unexpected end of input".into())),
+        }
+    }
+
+    let mut p = P {
+        tokens: &tokens,
+        pos: 0,
+    };
+    let mut nodes = Vec::new();
+    let mut make_dyn =
+        |op: &str, children: Vec<Id>, nodes: &mut Vec<L>| make(op, children, nodes);
+    parse_node(&mut p, &mut nodes, &mut make_dyn)?;
+    if p.pos != tokens.len() {
+        return Err(ParseError("trailing tokens after s-expression".into()));
+    }
+    Ok(nodes)
+}
+
+impl<L: FromOp> FromStr for RecExpr<L> {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let nodes = parse_sexpr_into::<L, _>(s, |op, children, nodes| {
+            let node = L::from_op(op, children)?;
+            nodes.push(node);
+            Ok(Id::from(nodes.len() - 1))
+        })?;
+        Ok(RecExpr { nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_print_roundtrip() {
+        let expr: RecExpr<SymbolLang> = "(+ (* a b) c)".parse().unwrap();
+        assert_eq!(expr.to_string(), "(+ (* a b) c)");
+        assert_eq!(expr.len(), 5);
+        assert_eq!(expr.depth(), 3);
+    }
+
+    #[test]
+    fn parse_single_atom() {
+        let expr: RecExpr<SymbolLang> = "x".parse().unwrap();
+        assert_eq!(expr.to_string(), "x");
+        assert_eq!(expr.len(), 1);
+        assert!(expr.node(expr.root()).is_leaf());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<RecExpr<SymbolLang>>().is_err());
+        assert!("(+ a".parse::<RecExpr<SymbolLang>>().is_err());
+        assert!("(+ a) b".parse::<RecExpr<SymbolLang>>().is_err());
+        assert!(")".parse::<RecExpr<SymbolLang>>().is_err());
+    }
+
+    #[test]
+    fn tree_size_counts_duplication() {
+        // (+ (* a b) (* a b)) as a tree counts the shared product twice when
+        // built syntactically (the parser does not hash-cons).
+        let expr: RecExpr<SymbolLang> = "(+ (* a b) (* a b))".parse().unwrap();
+        assert_eq!(expr.tree_size(), 7);
+    }
+
+    #[test]
+    fn matches_ignores_children() {
+        let a = SymbolLang::new("+", vec![Id(0), Id(1)]);
+        let b = SymbolLang::new("+", vec![Id(5), Id(9)]);
+        let c = SymbolLang::new("*", vec![Id(0), Id(1)]);
+        let d = SymbolLang::new("+", vec![Id(0)]);
+        assert!(a.matches(&b));
+        assert!(!a.matches(&c));
+        assert!(!a.matches(&d));
+    }
+
+    #[test]
+    fn map_children_updates_ids() {
+        let node = SymbolLang::new("+", vec![Id(0), Id(1)]);
+        let shifted = node.map_children(|id| Id(id.0 + 10));
+        assert_eq!(shifted.children(), &[Id(10), Id(11)]);
+        assert_eq!(node.children(), &[Id(0), Id(1)]);
+    }
+}

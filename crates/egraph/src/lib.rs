@@ -1,0 +1,70 @@
+//! A from-scratch e-graph / equality-saturation engine.
+//!
+//! This crate replaces the `egg` library that the E-morphic paper builds on.
+//! It provides the same conceptual API surface:
+//!
+//! * [`Language`] / [`FromOp`] — the term language an e-graph is built over,
+//!   plus [`RecExpr`] terms and s-expression parsing/printing.
+//! * [`EGraph`] — the e-graph itself: hash-consed e-nodes grouped into
+//!   e-classes, with union-find and congruence-closure *rebuilding*.
+//! * [`Pattern`] / [`Rewrite`] — syntactic rewrite rules applied by
+//!   e-matching; rewriting is non-destructive (it only adds equalities).
+//! * [`Runner`] — the equality-saturation loop with node/iteration/time
+//!   limits and match-throttling schedulers.
+//! * [`Extractor`] with pluggable [`CostFunction`]s — greedy bottom-up
+//!   extraction of a best term per the chosen cost.
+//! * [`serialize`] — a JSON-serializable snapshot of an e-graph, the basis of
+//!   E-morphic's intermediate DSL (paper Fig. 7).
+//!
+//! # Example
+//!
+//! ```
+//! use egraph::{EGraph, Pattern, RecExpr, Rewrite, Runner, SymbolLang, Extractor, AstSize};
+//!
+//! // (/ (* a 2) 2)  ==>  a, via commutativity and cancellation
+//! let rules = vec![
+//!     Rewrite::parse("comm-mul", "(* ?x ?y)", "(* ?y ?x)").unwrap(),
+//!     Rewrite::parse("cancel", "(/ (* ?x ?y) ?y)", "?x").unwrap(),
+//! ];
+//! let expr: RecExpr<SymbolLang> = "(/ (* 2 a) 2)".parse().unwrap();
+//! let runner = Runner::default().with_expr(&expr).run(&rules);
+//! let extractor = Extractor::new(&runner.egraph, AstSize);
+//! let (cost, best) = extractor.find_best(runner.roots[0]);
+//! assert_eq!(best.to_string(), "a");
+//! assert_eq!(cost, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod fxhash;
+mod id;
+mod language;
+mod unionfind;
+mod egraph;
+mod pattern;
+mod rewrite;
+mod runner;
+mod extract;
+pub mod serialize;
+
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use id::Id;
+pub use language::{FromOp, Language, RecExpr, SymbolLang};
+pub use unionfind::UnionFind;
+pub use egraph::{EClass, EGraph};
+pub use pattern::{ENodeOrVar, Pattern, SearchMatches, Subst, Var};
+pub use rewrite::Rewrite;
+pub use runner::{IterationReport, Runner, RunnerLimits, Scheduler, StopReason};
+pub use extract::{AstDepth, AstSize, CostFunction, DagSelection, Extractor};
+
+/// Errors produced while parsing terms, patterns or rewrite rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}

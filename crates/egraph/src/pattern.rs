@@ -1,0 +1,400 @@
+//! Patterns and e-matching.
+//!
+//! A [`Pattern`] is a term over the language extended with pattern variables
+//! (`?x`, `?y`, ...). Searching a pattern against an [`EGraph`] produces, for
+//! each e-class, the set of variable [`Subst`]itutions under which the
+//! pattern matches some term represented by that class.
+
+use crate::language::parse_sexpr_into;
+use crate::{EGraph, FromOp, Id, Language, ParseError, RecExpr};
+use std::str::FromStr;
+
+/// A pattern variable such as `?x`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub String);
+
+impl Var {
+    /// Creates a variable from its name (without the leading `?`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Var(name.into())
+    }
+}
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A node of a pattern: either a concrete language node or a variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ENodeOrVar<L> {
+    /// A concrete operator applied to child pattern nodes.
+    ENode(L),
+    /// A pattern variable.
+    Var(Var),
+}
+
+impl<L: Language> Language for ENodeOrVar<L> {
+    fn children(&self) -> &[Id] {
+        match self {
+            ENodeOrVar::ENode(n) => n.children(),
+            ENodeOrVar::Var(_) => &[],
+        }
+    }
+
+    fn children_mut(&mut self) -> &mut [Id] {
+        match self {
+            ENodeOrVar::ENode(n) => n.children_mut(),
+            ENodeOrVar::Var(_) => &mut [],
+        }
+    }
+
+    fn matches(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ENodeOrVar::ENode(a), ENodeOrVar::ENode(b)) => a.matches(b),
+            (ENodeOrVar::Var(a), ENodeOrVar::Var(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    fn op_str(&self) -> String {
+        match self {
+            ENodeOrVar::ENode(n) => n.op_str(),
+            ENodeOrVar::Var(v) => v.to_string(),
+        }
+    }
+}
+
+/// A variable binding produced by e-matching: maps pattern variables to
+/// e-class ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    bindings: Vec<(Var, Id)>,
+}
+
+impl Subst {
+    /// Returns the class bound to `var`, if any.
+    pub fn get(&self, var: &Var) -> Option<Id> {
+        self.bindings
+            .iter()
+            .find(|(v, _)| v == var)
+            .map(|(_, id)| *id)
+    }
+
+    /// Binds `var` to `id`, returning `false` if it is already bound to a
+    /// different class.
+    pub fn insert(&mut self, var: Var, id: Id) -> bool {
+        match self.get(&var) {
+            Some(existing) => existing == id,
+            None => {
+                self.bindings.push((var, id));
+                true
+            }
+        }
+    }
+
+    /// Iterates over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, Id)> {
+        self.bindings.iter().map(|(v, id)| (v, *id))
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Returns `true` if no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+/// All matches of a pattern inside one e-class.
+#[derive(Debug, Clone)]
+pub struct SearchMatches {
+    /// The e-class in which the pattern matched.
+    pub eclass: Id,
+    /// The substitutions under which it matched.
+    pub substs: Vec<Subst>,
+}
+
+/// A syntactic pattern over language `L` with variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern<L> {
+    /// The pattern term; the last node is the root.
+    pub ast: RecExpr<ENodeOrVar<L>>,
+}
+
+impl<L: Language> std::fmt::Display for Pattern<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.ast)
+    }
+}
+
+impl<L: FromOp> FromStr for Pattern<L> {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let nodes = parse_sexpr_into::<ENodeOrVar<L>, _>(s, |op, children, nodes| {
+            let node = if let Some(name) = op.strip_prefix('?') {
+                if !children.is_empty() {
+                    return Err(ParseError(format!(
+                        "pattern variable ?{name} cannot have children"
+                    )));
+                }
+                ENodeOrVar::Var(Var::new(name))
+            } else {
+                ENodeOrVar::ENode(L::from_op(op, children)?)
+            };
+            nodes.push(node);
+            Ok(Id::from(nodes.len() - 1))
+        })?;
+        let mut ast = RecExpr::default();
+        for node in nodes {
+            ast.add(node);
+        }
+        Ok(Pattern { ast })
+    }
+}
+
+impl<L: Language> Pattern<L> {
+    /// Returns the distinct variables appearing in the pattern.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut vars = Vec::new();
+        for node in self.ast.as_ref() {
+            if let ENodeOrVar::Var(v) = node {
+                if !vars.contains(v) {
+                    vars.push(v.clone());
+                }
+            }
+        }
+        vars
+    }
+
+    /// Searches the pattern in every class of the e-graph.
+    ///
+    /// `match_limit` caps the number of substitutions collected per class to
+    /// keep pathological classes (huge products of commutative matches) from
+    /// exploding; `usize::MAX` disables the cap.
+    pub fn search(&self, egraph: &EGraph<L>, match_limit: usize) -> Vec<SearchMatches> {
+        let mut results = Vec::new();
+        for id in egraph.class_ids() {
+            if let Some(matches) = self.search_class(egraph, id, match_limit) {
+                results.push(matches);
+            }
+        }
+        results
+    }
+
+    /// Searches the pattern in a single e-class.
+    pub fn search_class(
+        &self,
+        egraph: &EGraph<L>,
+        eclass: Id,
+        match_limit: usize,
+    ) -> Option<SearchMatches> {
+        let eclass = egraph.find(eclass);
+        let substs = self.match_in_class(egraph, self.ast.root(), eclass, Subst::default(), match_limit);
+        if substs.is_empty() {
+            None
+        } else {
+            Some(SearchMatches { eclass, substs })
+        }
+    }
+
+    fn match_in_class(
+        &self,
+        egraph: &EGraph<L>,
+        pat: Id,
+        eclass: Id,
+        subst: Subst,
+        limit: usize,
+    ) -> Vec<Subst> {
+        match self.ast.node(pat) {
+            ENodeOrVar::Var(v) => {
+                let mut subst = subst;
+                if subst.insert(v.clone(), egraph.find(eclass)) {
+                    vec![subst]
+                } else {
+                    vec![]
+                }
+            }
+            ENodeOrVar::ENode(pnode) => {
+                let mut out = Vec::new();
+                let class = match egraph.get_class(eclass) {
+                    Some(c) => c,
+                    None => return out,
+                };
+                for enode in &class.nodes {
+                    if !pnode.matches(enode) {
+                        continue;
+                    }
+                    // Match children left to right, threading substitutions.
+                    let mut partial = vec![subst.clone()];
+                    for (pchild, echild) in pnode.children().iter().zip(enode.children()) {
+                        let mut next = Vec::new();
+                        for s in partial {
+                            next.extend(self.match_in_class(egraph, *pchild, *echild, s, limit));
+                            if next.len() >= limit {
+                                next.truncate(limit);
+                                break;
+                            }
+                        }
+                        partial = next;
+                        if partial.is_empty() {
+                            break;
+                        }
+                    }
+                    out.extend(partial);
+                    if out.len() >= limit {
+                        out.truncate(limit);
+                        break;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Instantiates the pattern under a substitution, adding the resulting
+    /// term to the e-graph. Returns the class of the instantiated root.
+    pub fn apply_one(&self, egraph: &mut EGraph<L>, subst: &Subst) -> Id {
+        self.apply_rec(egraph, self.ast.root(), subst)
+    }
+
+    fn apply_rec(&self, egraph: &mut EGraph<L>, pat: Id, subst: &Subst) -> Id {
+        match self.ast.node(pat) {
+            ENodeOrVar::Var(v) => subst
+                .get(v)
+                .unwrap_or_else(|| panic!("unbound pattern variable {v}")),
+            ENodeOrVar::ENode(node) => {
+                let node = node.clone().map_children(|c| self.apply_rec(egraph, c, subst));
+                egraph.add(node)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolLang;
+
+    fn egraph_with(exprs: &[&str]) -> (EGraph<SymbolLang>, Vec<Id>) {
+        let mut eg = EGraph::new();
+        let roots = exprs
+            .iter()
+            .map(|s| {
+                let e: RecExpr<SymbolLang> = s.parse().unwrap();
+                eg.add_expr(&e)
+            })
+            .collect();
+        eg.rebuild();
+        (eg, roots)
+    }
+
+    #[test]
+    fn parse_pattern_with_vars() {
+        let p: Pattern<SymbolLang> = "(+ ?x (* ?y ?x))".parse().unwrap();
+        assert_eq!(p.to_string(), "(+ ?x (* ?y ?x))");
+        assert_eq!(p.vars().len(), 2);
+    }
+
+    #[test]
+    fn variable_with_children_is_an_error() {
+        let r: Result<Pattern<SymbolLang>, _> = "(?f a b)".parse();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn ground_pattern_matches_exact_class() {
+        let (eg, roots) = egraph_with(&["(+ a b)", "(+ a c)"]);
+        let p: Pattern<SymbolLang> = "(+ a b)".parse().unwrap();
+        let matches = p.search(&eg, usize::MAX);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].eclass, eg.find(roots[0]));
+    }
+
+    #[test]
+    fn variable_pattern_matches_everything() {
+        let (eg, _) = egraph_with(&["(+ a b)"]);
+        let p: Pattern<SymbolLang> = "?x".parse().unwrap();
+        let matches = p.search(&eg, usize::MAX);
+        assert_eq!(matches.len(), eg.num_classes());
+    }
+
+    #[test]
+    fn nonlinear_pattern_requires_equal_bindings() {
+        let (eg, roots) = egraph_with(&["(+ a a)", "(+ a b)"]);
+        let p: Pattern<SymbolLang> = "(+ ?x ?x)".parse().unwrap();
+        let matches = p.search(&eg, usize::MAX);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].eclass, eg.find(roots[0]));
+    }
+
+    #[test]
+    fn match_through_equivalence() {
+        // After union(a, b), the pattern (f b) should match (f a)'s class.
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = eg.add(SymbolLang::leaf("a"));
+        let b = eg.add(SymbolLang::leaf("b"));
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        eg.union(a, b);
+        eg.rebuild();
+        let p: Pattern<SymbolLang> = "(f b)".parse().unwrap();
+        let matches = p.search(&eg, usize::MAX);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].eclass, eg.find(fa));
+    }
+
+    #[test]
+    fn apply_one_adds_instantiated_term() {
+        let (mut eg, roots) = egraph_with(&["(+ a b)"]);
+        let lhs: Pattern<SymbolLang> = "(+ ?x ?y)".parse().unwrap();
+        let rhs: Pattern<SymbolLang> = "(+ ?y ?x)".parse().unwrap();
+        let matches = lhs.search(&eg, usize::MAX);
+        let subst = &matches[0].substs[0];
+        let new_id = rhs.apply_one(&mut eg, subst);
+        let (_, changed) = eg.union(roots[0], new_id);
+        assert!(changed);
+        eg.rebuild();
+        // Now both (+ a b) and (+ b a) are in the same class.
+        let ground: Pattern<SymbolLang> = "(+ b a)".parse().unwrap();
+        assert_eq!(ground.search(&eg, usize::MAX).len(), 1);
+    }
+
+    #[test]
+    fn match_limit_caps_substitutions() {
+        // A class with many equivalent nodes can generate many matches; the
+        // limit keeps only the first few.
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let mut ids = Vec::new();
+        for name in ["a", "b", "c", "d"] {
+            ids.push(eg.add(SymbolLang::leaf(name)));
+        }
+        // Make them all equivalent.
+        for pair in ids.windows(2) {
+            eg.union(pair[0], pair[1]);
+        }
+        let x = eg.add(SymbolLang::new("g", vec![ids[0], ids[0]]));
+        let _ = x;
+        eg.rebuild();
+        let p: Pattern<SymbolLang> = "(g ?x ?y)".parse().unwrap();
+        let unlimited = p.search(&eg, usize::MAX);
+        let limited = p.search(&eg, 1);
+        assert_eq!(unlimited.iter().map(|m| m.substs.len()).sum::<usize>(), 1);
+        assert_eq!(limited.iter().map(|m| m.substs.len()).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn subst_rejects_conflicting_binding() {
+        let mut s = Subst::default();
+        assert!(s.insert(Var::new("x"), Id(1)));
+        assert!(s.insert(Var::new("x"), Id(1)));
+        assert!(!s.insert(Var::new("x"), Id(2)));
+        assert_eq!(s.get(&Var::new("x")), Some(Id(1)));
+        assert_eq!(s.get(&Var::new("y")), None);
+        assert_eq!(s.len(), 1);
+    }
+}

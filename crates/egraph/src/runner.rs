@@ -1,0 +1,367 @@
+//! The equality-saturation loop: repeatedly search and apply rewrites until
+//! the e-graph saturates or a resource limit is hit.
+
+use crate::fxhash::FxHashMap;
+use crate::{EGraph, Id, Language, RecExpr, Rewrite};
+use std::time::{Duration, Instant};
+
+/// Why a [`Runner`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StopReason {
+    /// No rewrite produced any new equality — the e-graph is saturated.
+    Saturated,
+    /// The configured iteration limit was reached.
+    IterationLimit,
+    /// The configured e-node limit was reached.
+    NodeLimit,
+    /// The configured wall-clock limit was reached.
+    TimeLimit,
+}
+
+/// Resource limits for a saturation run.
+#[derive(Debug, Clone)]
+pub struct RunnerLimits {
+    /// Maximum number of rewrite iterations.
+    pub iter_limit: usize,
+    /// Maximum number of e-nodes before stopping.
+    pub node_limit: usize,
+    /// Maximum wall-clock time.
+    pub time_limit: Duration,
+}
+
+impl Default for RunnerLimits {
+    fn default() -> Self {
+        RunnerLimits {
+            iter_limit: 30,
+            node_limit: 1_000_000,
+            time_limit: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Match-throttling strategy applied per rule per iteration.
+#[derive(Debug, Clone)]
+pub enum Scheduler {
+    /// Apply every match of every rule each iteration.
+    Simple,
+    /// Cap matches per rule and temporarily ban rules that exceed the cap,
+    /// doubling the ban length on repeated offences (egg's backoff scheduler).
+    Backoff {
+        /// Maximum matches a rule may apply in one iteration before it is banned.
+        match_limit: usize,
+        /// Base number of iterations a banned rule sits out.
+        ban_length: usize,
+    },
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::Backoff {
+            match_limit: 1_000,
+            ban_length: 2,
+        }
+    }
+}
+
+/// Statistics of one saturation iteration.
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Number of e-nodes after the iteration.
+    pub egraph_nodes: usize,
+    /// Number of e-classes after the iteration.
+    pub egraph_classes: usize,
+    /// Per-rule number of unions that changed the e-graph.
+    pub applied: Vec<(String, usize)>,
+    /// Unions added by congruence during rebuild.
+    pub rebuild_unions: usize,
+    /// Wall-clock time of the iteration.
+    pub elapsed: Duration,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RuleStats {
+    bans: usize,
+    banned_until: usize,
+}
+
+/// Drives equality saturation over an [`EGraph`].
+#[derive(Debug, Clone)]
+pub struct Runner<L: Language> {
+    /// The e-graph being saturated.
+    pub egraph: EGraph<L>,
+    /// Classes of the expressions registered with [`Runner::with_expr`].
+    pub roots: Vec<Id>,
+    /// Per-iteration statistics, filled in by [`Runner::run`].
+    pub iterations: Vec<IterationReport>,
+    /// Why the run stopped (`None` before [`Runner::run`]).
+    pub stop_reason: Option<StopReason>,
+    limits: RunnerLimits,
+    scheduler: Scheduler,
+}
+
+impl<L: Language> Default for Runner<L> {
+    fn default() -> Self {
+        Runner {
+            egraph: EGraph::new(),
+            roots: Vec::new(),
+            iterations: Vec::new(),
+            stop_reason: None,
+            limits: RunnerLimits::default(),
+            scheduler: Scheduler::default(),
+        }
+    }
+}
+
+impl<L: Language> Runner<L> {
+    /// Creates a runner around an existing e-graph (used by E-morphic's
+    /// DAG-to-DAG conversion, which builds the initial e-graph directly).
+    pub fn with_egraph(egraph: EGraph<L>) -> Self {
+        Runner {
+            egraph,
+            ..Runner::default()
+        }
+    }
+
+    /// Adds an expression to the e-graph and registers its class as a root.
+    #[must_use]
+    pub fn with_expr(mut self, expr: &RecExpr<L>) -> Self {
+        let id = self.egraph.add_expr(expr);
+        self.egraph.rebuild();
+        self.roots.push(id);
+        self
+    }
+
+    /// Registers an existing class as a root.
+    #[must_use]
+    pub fn with_root(mut self, id: Id) -> Self {
+        self.roots.push(id);
+        self
+    }
+
+    /// Sets the iteration limit.
+    #[must_use]
+    pub fn with_iter_limit(mut self, limit: usize) -> Self {
+        self.limits.iter_limit = limit;
+        self
+    }
+
+    /// Sets the e-node limit.
+    #[must_use]
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.limits.node_limit = limit;
+        self
+    }
+
+    /// Sets the wall-clock limit.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.limits.time_limit = limit;
+        self
+    }
+
+    /// Sets the match scheduler.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Returns the configured limits.
+    pub fn limits(&self) -> &RunnerLimits {
+        &self.limits
+    }
+
+    /// Runs equality saturation with the given rewrites until saturation or a
+    /// limit is reached. Consumes and returns the runner so results can be
+    /// inspected fluently.
+    #[must_use]
+    pub fn run(mut self, rewrites: &[Rewrite<L>]) -> Self {
+        let start = Instant::now();
+        let mut rule_stats: FxHashMap<usize, RuleStats> = FxHashMap::default();
+        if self.egraph.is_dirty() {
+            self.egraph.rebuild();
+        }
+
+        for iteration in 0..self.limits.iter_limit {
+            let iter_start = Instant::now();
+            if start.elapsed() > self.limits.time_limit {
+                self.stop_reason = Some(StopReason::TimeLimit);
+                break;
+            }
+
+            let match_limit = match self.scheduler {
+                Scheduler::Simple => usize::MAX,
+                Scheduler::Backoff { match_limit, .. } => match_limit,
+            };
+
+            // Search phase: collect matches for all non-banned rules before
+            // applying anything, so the search sees a consistent e-graph.
+            let mut all_matches = Vec::with_capacity(rewrites.len());
+            for (ri, rw) in rewrites.iter().enumerate() {
+                let stats = rule_stats.entry(ri).or_default();
+                if stats.banned_until > iteration {
+                    all_matches.push(Vec::new());
+                    continue;
+                }
+                let matches = rw.search(&self.egraph, match_limit);
+                let total: usize = matches.iter().map(|m| m.substs.len()).sum();
+                if let Scheduler::Backoff {
+                    match_limit,
+                    ban_length,
+                } = self.scheduler
+                {
+                    if total >= match_limit {
+                        stats.bans += 1;
+                        stats.banned_until = iteration + 1 + (ban_length << stats.bans);
+                    }
+                }
+                all_matches.push(matches);
+            }
+
+            // Apply phase.
+            let mut applied = Vec::with_capacity(rewrites.len());
+            let mut total_changed = 0;
+            for (rw, matches) in rewrites.iter().zip(&all_matches) {
+                let changed = rw.apply(&mut self.egraph, matches);
+                total_changed += changed;
+                applied.push((rw.name.clone(), changed));
+            }
+            let rebuild_unions = self.egraph.rebuild();
+
+            self.iterations.push(IterationReport {
+                iteration,
+                egraph_nodes: self.egraph.total_nodes(),
+                egraph_classes: self.egraph.num_classes(),
+                applied,
+                rebuild_unions,
+                elapsed: iter_start.elapsed(),
+            });
+
+            if total_changed == 0 && rebuild_unions == 0 {
+                self.stop_reason = Some(StopReason::Saturated);
+                break;
+            }
+            if self.egraph.total_nodes() > self.limits.node_limit {
+                self.stop_reason = Some(StopReason::NodeLimit);
+                break;
+            }
+            if start.elapsed() > self.limits.time_limit {
+                self.stop_reason = Some(StopReason::TimeLimit);
+                break;
+            }
+        }
+
+        if self.stop_reason.is_none() {
+            self.stop_reason = Some(StopReason::IterationLimit);
+        }
+        // Canonicalize roots for downstream extraction.
+        for root in &mut self.roots {
+            *root = self.egraph.find(*root);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AstSize, Extractor, SymbolLang};
+
+    fn arith_rules() -> Vec<Rewrite<SymbolLang>> {
+        vec![
+            Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::parse("comm-mul", "(* ?a ?b)", "(* ?b ?a)").unwrap(),
+            Rewrite::parse("add-zero", "(+ ?a 0)", "?a").unwrap(),
+            Rewrite::parse("mul-one", "(* ?a 1)", "?a").unwrap(),
+            Rewrite::parse("mul-zero", "(* ?a 0)", "0").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn simplifies_to_symbol() {
+        let expr: RecExpr<SymbolLang> = "(+ 0 (* 1 foo))".parse().unwrap();
+        let runner = Runner::default().with_expr(&expr).run(&arith_rules());
+        assert!(matches!(
+            runner.stop_reason,
+            Some(StopReason::Saturated) | Some(StopReason::IterationLimit)
+        ));
+        let extractor = Extractor::new(&runner.egraph, AstSize);
+        let (cost, best) = extractor.find_best(runner.roots[0]);
+        assert_eq!(best.to_string(), "foo");
+        assert_eq!(cost, 1);
+    }
+
+    #[test]
+    fn saturation_detected_on_fixed_point() {
+        let expr: RecExpr<SymbolLang> = "(+ a b)".parse().unwrap();
+        let rules = vec![Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap()];
+        let runner = Runner::default().with_expr(&expr).run(&rules);
+        assert_eq!(runner.stop_reason, Some(StopReason::Saturated));
+        // Commutativity of a 2-leaf sum saturates after a couple of iterations.
+        assert!(runner.iterations.len() <= 3);
+    }
+
+    #[test]
+    fn node_limit_stops_explosion() {
+        // Associativity+commutativity over a chain explodes; the node limit
+        // must stop it.
+        let expr: RecExpr<SymbolLang> =
+            "(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap();
+        let rules = vec![
+            Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::parse("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
+            Rewrite::parse("assoc2", "(+ ?a (+ ?b ?c))", "(+ (+ ?a ?b) ?c)").unwrap(),
+        ];
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_node_limit(500)
+            .with_iter_limit(100)
+            .with_scheduler(Scheduler::Simple)
+            .run(&rules);
+        assert_eq!(runner.stop_reason, Some(StopReason::NodeLimit));
+        assert!(runner.egraph.total_nodes() > 500);
+    }
+
+    #[test]
+    fn iteration_limit_respected() {
+        let expr: RecExpr<SymbolLang> =
+            "(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap();
+        let rules = vec![
+            Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::parse("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
+        ];
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_iter_limit(2)
+            .run(&rules);
+        assert!(runner.iterations.len() <= 2);
+        assert_eq!(runner.stop_reason, Some(StopReason::IterationLimit));
+    }
+
+    #[test]
+    fn reports_track_growth() {
+        let expr: RecExpr<SymbolLang> = "(* (+ a b) c)".parse().unwrap();
+        let rules = vec![
+            Rewrite::parse("distribute", "(* (+ ?a ?b) ?c)", "(+ (* ?a ?c) (* ?b ?c))").unwrap(),
+        ];
+        let runner = Runner::default().with_expr(&expr).run(&rules);
+        assert!(!runner.iterations.is_empty());
+        let first = &runner.iterations[0];
+        assert!(first.egraph_nodes >= 5);
+        assert_eq!(first.applied.len(), 1);
+        assert!(first.applied[0].1 >= 1);
+    }
+
+    #[test]
+    fn with_egraph_preserves_contents() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let expr: RecExpr<SymbolLang> = "(+ x y)".parse().unwrap();
+        let root = eg.add_expr(&expr);
+        eg.rebuild();
+        let runner = Runner::with_egraph(eg).with_root(root).run(&arith_rules());
+        assert!(runner.egraph.num_classes() >= 3);
+        assert_eq!(runner.roots.len(), 1);
+    }
+}

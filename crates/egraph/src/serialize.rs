@@ -1,0 +1,263 @@
+//! JSON-serializable snapshots of an e-graph.
+//!
+//! This is the generic machinery behind E-morphic's intermediate DSL
+//! (paper Fig. 7): every e-class is stored under its id, with its e-nodes
+//! given as an operator string plus child class ids, and a redundant
+//! `parents` list to make bottom-up traversals cheap after deserialization.
+
+use crate::fxhash::FxHashMap;
+use crate::{EGraph, FromOp, Id, Language, ParseError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One e-node in serialized form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SerializedNode {
+    /// Operator spelling (as produced by [`Language::op_str`]).
+    pub op: String,
+    /// Child e-class ids.
+    pub children: Vec<u32>,
+}
+
+/// One e-class in serialized form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SerializedClass {
+    /// Class id (canonical in the source e-graph).
+    pub id: u32,
+    /// The e-nodes of the class.
+    pub nodes: Vec<SerializedNode>,
+    /// Ids of classes containing at least one node that references this class.
+    pub parents: Vec<u32>,
+}
+
+/// A whole e-graph in serialized form, plus the root classes of interest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SerializedEGraph {
+    /// Classes keyed by id (ordered for stable output).
+    pub classes: BTreeMap<u32, SerializedClass>,
+    /// Root class ids (e.g. the circuit outputs).
+    pub roots: Vec<u32>,
+}
+
+impl SerializedEGraph {
+    /// Total number of e-nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.classes.values().map(|c| c.nodes.len()).sum()
+    }
+
+    /// Number of e-classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Serializes to a pretty JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("serialization cannot fail")
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    /// Returns a [`ParseError`] describing the malformed JSON.
+    pub fn from_json(text: &str) -> Result<Self, ParseError> {
+        serde_json::from_str(text).map_err(|e| ParseError(e.to_string()))
+    }
+}
+
+/// Captures a snapshot of `egraph` (which must be rebuilt/clean).
+pub fn to_serialized<L: Language>(egraph: &EGraph<L>, roots: &[Id]) -> SerializedEGraph {
+    let mut classes: BTreeMap<u32, SerializedClass> = BTreeMap::new();
+    for class in egraph.classes() {
+        let nodes = class
+            .nodes
+            .iter()
+            .map(|n| SerializedNode {
+                op: n.op_str(),
+                children: n.children().iter().map(|c| egraph.find(*c).0).collect(),
+            })
+            .collect();
+        classes.insert(
+            class.id.0,
+            SerializedClass {
+                id: class.id.0,
+                nodes,
+                parents: Vec::new(),
+            },
+        );
+    }
+    // Fill parents.
+    let mut parent_pairs: Vec<(u32, u32)> = Vec::new();
+    for class in classes.values() {
+        for node in &class.nodes {
+            for &child in &node.children {
+                parent_pairs.push((child, class.id));
+            }
+        }
+    }
+    for (child, parent) in parent_pairs {
+        if let Some(entry) = classes.get_mut(&child) {
+            if !entry.parents.contains(&parent) {
+                entry.parents.push(parent);
+            }
+        }
+    }
+    SerializedEGraph {
+        classes,
+        roots: roots.iter().map(|r| egraph.find(*r).0).collect(),
+    }
+}
+
+/// Reconstructs an e-graph from a serialized snapshot.
+///
+/// Returns the e-graph plus a mapping from serialized ids to new class ids
+/// and the translated roots.
+///
+/// # Errors
+/// Returns a [`ParseError`] if an operator cannot be parsed by `L` or if the
+/// snapshot references undefined classes.
+pub fn from_serialized<L: FromOp>(
+    data: &SerializedEGraph,
+) -> Result<(EGraph<L>, FxHashMap<u32, Id>, Vec<Id>), ParseError> {
+    let mut egraph: EGraph<L> = EGraph::new();
+    let mut id_map: FxHashMap<u32, Id> = FxHashMap::default();
+
+    // Iterate until every class has been materialized: a class can only be
+    // created once at least one of its nodes has all children available.
+    let mut remaining: Vec<u32> = data.classes.keys().copied().collect();
+    let mut progress = true;
+    while !remaining.is_empty() && progress {
+        progress = false;
+        let mut still: Vec<u32> = Vec::new();
+        for cid in remaining {
+            let class = &data.classes[&cid];
+            // Try to add every node whose children are all mapped.
+            let mut class_new_id: Option<Id> = id_map.get(&cid).copied();
+            let mut added_any = false;
+            for node in &class.nodes {
+                let children: Option<Vec<Id>> = node
+                    .children
+                    .iter()
+                    .map(|c| id_map.get(c).copied())
+                    .collect();
+                let Some(children) = children else { continue };
+                let enode = L::from_op(&node.op, children)?;
+                let new_id = egraph.add(enode);
+                match class_new_id {
+                    Some(existing) => {
+                        egraph.union(existing, new_id);
+                    }
+                    None => {
+                        class_new_id = Some(new_id);
+                        id_map.insert(cid, new_id);
+                    }
+                }
+                added_any = true;
+            }
+            if added_any {
+                progress = true;
+            }
+            // A class stays on the worklist until all of its nodes are in; we
+            // conservatively keep it if any node might still be missing.
+            let fully_done = class.nodes.iter().all(|n| {
+                n.children.iter().all(|c| id_map.contains_key(c)) && id_map.contains_key(&cid)
+            });
+            if !fully_done {
+                still.push(cid);
+            }
+        }
+        remaining = still;
+    }
+    if !remaining.is_empty() {
+        return Err(ParseError(format!(
+            "serialized e-graph has {} classes that could not be reconstructed (cyclic without base case?)",
+            remaining.len()
+        )));
+    }
+    egraph.rebuild();
+    let roots: Vec<Id> = data
+        .roots
+        .iter()
+        .map(|r| {
+            id_map
+                .get(r)
+                .copied()
+                .map(|id| egraph.find(id))
+                .ok_or_else(|| ParseError(format!("root class {r} missing")))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok((egraph, id_map, roots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RecExpr, SymbolLang};
+
+    fn sample_egraph() -> (EGraph<SymbolLang>, Id) {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let e1: RecExpr<SymbolLang> = "(* x (+ y z))".parse().unwrap();
+        let e2: RecExpr<SymbolLang> = "(+ (* x y) (* x z))".parse().unwrap();
+        let r1 = eg.add_expr(&e1);
+        let r2 = eg.add_expr(&e2);
+        eg.union(r1, r2);
+        eg.rebuild();
+        (eg, r1)
+    }
+
+    #[test]
+    fn snapshot_counts_match() {
+        let (eg, root) = sample_egraph();
+        let ser = to_serialized(&eg, &[root]);
+        assert_eq!(ser.num_classes(), eg.num_classes());
+        assert_eq!(ser.num_nodes(), eg.total_nodes());
+        assert_eq!(ser.roots.len(), 1);
+    }
+
+    #[test]
+    fn parents_are_populated() {
+        let (eg, root) = sample_egraph();
+        let ser = to_serialized(&eg, &[root]);
+        // The class of `x` must have parents (it feeds two products).
+        let x_class = ser
+            .classes
+            .values()
+            .find(|c| c.nodes.iter().any(|n| n.op == "x"))
+            .unwrap();
+        assert!(!x_class.parents.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (eg, root) = sample_egraph();
+        let ser = to_serialized(&eg, &[root]);
+        let json = ser.to_json();
+        let back = SerializedEGraph::from_json(&json).unwrap();
+        assert_eq!(ser, back);
+        assert!(SerializedEGraph::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn reconstruction_preserves_equivalences() {
+        let (eg, root) = sample_egraph();
+        let ser = to_serialized(&eg, &[root]);
+        let (eg2, _map, roots2) = from_serialized::<SymbolLang>(&ser).unwrap();
+        assert_eq!(eg2.num_classes(), eg.num_classes());
+        assert_eq!(eg2.total_nodes(), eg.total_nodes());
+        // Both forms of the distributed expression must be in the root class.
+        let f1: RecExpr<SymbolLang> = "(* x (+ y z))".parse().unwrap();
+        let f2: RecExpr<SymbolLang> = "(+ (* x y) (* x z))".parse().unwrap();
+        let mut eg2 = eg2;
+        let a = eg2.add_expr(&f1);
+        let b = eg2.add_expr(&f2);
+        assert_eq!(eg2.find(a), eg2.find(roots2[0]));
+        assert_eq!(eg2.find(b), eg2.find(roots2[0]));
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        let (eg, root) = sample_egraph();
+        let mut ser = to_serialized(&eg, &[root]);
+        ser.roots = vec![9999];
+        assert!(from_serialized::<SymbolLang>(&ser).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Union-find (disjoint set) over e-class ids with path compression.
+
+use crate::Id;
+
+/// A union-find structure mapping every [`Id`] to its canonical representative.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parents: Vec<Id>,
+}
+
+impl UnionFind {
+    /// Creates an empty union-find.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fresh set containing only the returned id.
+    pub fn make_set(&mut self) -> Id {
+        let id = Id::from(self.parents.len());
+        self.parents.push(id);
+        id
+    }
+
+    /// Number of ids ever created (not the number of distinct sets).
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Returns `true` if no ids have been created.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Finds the canonical representative without mutating (no compression).
+    pub fn find(&self, mut id: Id) -> Id {
+        while self.parents[id.index()] != id {
+            id = self.parents[id.index()];
+        }
+        id
+    }
+
+    /// Finds the canonical representative, compressing paths along the way.
+    pub fn find_mut(&mut self, mut id: Id) -> Id {
+        let mut root = id;
+        while self.parents[root.index()] != root {
+            root = self.parents[root.index()];
+        }
+        // Path compression.
+        while self.parents[id.index()] != root {
+            let next = self.parents[id.index()];
+            self.parents[id.index()] = root;
+            id = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`, making `a`'s root the representative.
+    /// Returns the surviving root.
+    pub fn union(&mut self, a: Id, b: Id) -> Id {
+        let ra = self.find_mut(a);
+        let rb = self.find_mut(b);
+        if ra != rb {
+            self.parents[rb.index()] = ra;
+        }
+        ra
+    }
+
+    /// Returns `true` if two ids are currently in the same set.
+    pub fn same(&self, a: Id, b: Id) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_sets_are_distinct() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        let c = uf.make_set();
+        assert_ne!(uf.find(a), uf.find(b));
+        assert_ne!(uf.find(b), uf.find(c));
+        assert_eq!(uf.len(), 3);
+    }
+
+    #[test]
+    fn union_merges_and_keeps_first_root() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        let root = uf.union(a, b);
+        assert_eq!(root, a);
+        assert!(uf.same(a, b));
+        assert_eq!(uf.find(b), a);
+    }
+
+    #[test]
+    fn transitive_unions() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..10).map(|_| uf.make_set()).collect();
+        for pair in ids.chunks(2) {
+            uf.union(pair[0], pair[1]);
+        }
+        uf.union(ids[0], ids[2]);
+        uf.union(ids[2], ids[4]);
+        assert!(uf.same(ids[1], ids[5]));
+        assert!(!uf.same(ids[0], ids[6]));
+    }
+
+    #[test]
+    fn path_compression_preserves_roots() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..100).map(|_| uf.make_set()).collect();
+        for w in ids.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        let root = uf.find(ids[0]);
+        for &id in &ids {
+            assert_eq!(uf.find_mut(id), root);
+        }
+    }
+}

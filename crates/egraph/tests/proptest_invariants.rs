@@ -1,0 +1,130 @@
+//! Property-based tests of the e-graph engine: congruence-closure invariants
+//! under random add/union workloads, and soundness of rewriting/extraction.
+
+use egraph::{AstSize, EGraph, Extractor, Id, RecExpr, Rewrite, Runner, SymbolLang};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf(u8),
+    Node(u8, usize, usize),
+    Union(usize, usize),
+}
+
+fn workload() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0u8..6).prop_map(Op::Leaf),
+        (0u8..4, 0usize..1000, 0usize..1000).prop_map(|(o, a, b)| Op::Node(o, a, b)),
+        (0usize..1000, 0usize..1000).prop_map(|(a, b)| Op::Union(a, b)),
+    ];
+    proptest::collection::vec(op, 5..80)
+}
+
+fn apply(ops: &[Op]) -> (EGraph<SymbolLang>, Vec<Id>) {
+    let mut egraph: EGraph<SymbolLang> = EGraph::new();
+    let mut ids: Vec<Id> = vec![egraph.add(SymbolLang::leaf("seed"))];
+    for op in ops {
+        match op {
+            Op::Leaf(l) => ids.push(egraph.add(SymbolLang::leaf(format!("v{l}")))),
+            Op::Node(o, a, b) => {
+                let a = ids[a % ids.len()];
+                let b = ids[b % ids.len()];
+                ids.push(egraph.add(SymbolLang::new(format!("f{o}"), vec![a, b])));
+            }
+            Op::Union(a, b) => {
+                let a = ids[a % ids.len()];
+                let b = ids[b % ids.len()];
+                egraph.union(a, b);
+            }
+        }
+    }
+    (egraph, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rebuild_restores_invariants(ops in workload()) {
+        let (mut egraph, ids) = apply(&ops);
+        egraph.rebuild();
+        prop_assert!(egraph.check_invariants().is_ok(), "{:?}", egraph.check_invariants());
+        // find() of every id stays within the graph and is canonical.
+        for &id in &ids {
+            let root = egraph.find(id);
+            prop_assert_eq!(egraph.find(root), root);
+            prop_assert!(egraph.get_class(root).is_some());
+        }
+    }
+
+    #[test]
+    fn rebuild_is_idempotent(ops in workload()) {
+        let (mut egraph, _) = apply(&ops);
+        egraph.rebuild();
+        let classes = egraph.num_classes();
+        let nodes = egraph.total_nodes();
+        let extra = egraph.rebuild();
+        prop_assert_eq!(extra, 0);
+        prop_assert_eq!(egraph.num_classes(), classes);
+        prop_assert_eq!(egraph.total_nodes(), nodes);
+    }
+
+    #[test]
+    fn congruence_is_maintained(ops in workload()) {
+        let (mut egraph, ids) = apply(&ops);
+        egraph.rebuild();
+        // For every pair of equivalent ids, wrapping both in the same operator
+        // must produce equivalent results after rebuilding.
+        let a = ids[0];
+        let b = *ids.last().unwrap();
+        let fa = egraph.add(SymbolLang::new("wrap", vec![a]));
+        let fb = egraph.add(SymbolLang::new("wrap", vec![b]));
+        if egraph.same(a, b) {
+            egraph.rebuild();
+            prop_assert!(egraph.same(fa, fb));
+        }
+    }
+
+    #[test]
+    fn extraction_cost_never_exceeds_original_size(
+        depth in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        // Build a random expression, saturate with commutativity/identity
+        // rules, and check the extracted term is never larger than the input.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || { state ^= state << 13; state ^= state >> 7; state ^= state << 17; state };
+        fn gen(depth: usize, next: &mut impl FnMut() -> u64, out: &mut String) {
+            if depth == 0 || next() % 3 == 0 {
+                out.push_str(match next() % 4 { 0 => "a", 1 => "b", 2 => "0", _ => "1" });
+            } else {
+                let op = if next() % 2 == 0 { "+" } else { "*" };
+                out.push_str(&format!("({op} "));
+                gen(depth - 1, next, out);
+                out.push(' ');
+                gen(depth - 1, next, out);
+                out.push(')');
+            }
+        }
+        let mut text = String::new();
+        gen(depth, &mut next, &mut text);
+        let expr: RecExpr<SymbolLang> = text.parse().unwrap();
+        let rules = vec![
+            Rewrite::parse("comm-add", "(+ ?x ?y)", "(+ ?y ?x)").unwrap(),
+            Rewrite::parse("comm-mul", "(* ?x ?y)", "(* ?y ?x)").unwrap(),
+            Rewrite::parse("add-zero", "(+ ?x 0)", "?x").unwrap(),
+            Rewrite::parse("mul-one", "(* ?x 1)", "?x").unwrap(),
+            Rewrite::parse("mul-zero", "(* ?x 0)", "0").unwrap(),
+        ];
+        let original_size = expr.len() as u64;
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_iter_limit(6)
+            .with_node_limit(5_000)
+            .run(&rules);
+        let extractor = Extractor::new(&runner.egraph, AstSize);
+        let (cost, best) = extractor.find_best(runner.roots[0]);
+        prop_assert!(cost <= original_size, "extracted {best} cost {cost} > original {original_size}");
+        runner.egraph.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,182 @@
+//! Structural-choice computation: the `dch` analogue.
+//!
+//! ABC's `dch` accumulates structural choices by rewriting the network in
+//! several ways and detecting functionally equivalent nodes across the
+//! snapshots by simulation and SAT. Our substitute produces the same net
+//! effect for the downstream mapper: it derives an alternative structure
+//! (balance + rewrite), stacks it next to the original over shared inputs,
+//! and SAT-sweeps the combined network so that equivalent cones collapse onto
+//! a single (usually better) implementation.
+
+use crate::{balance, rewrite};
+use aig::{Aig, Lit};
+use cec::{SatSweeper, SweepOptions};
+
+/// Options for [`dch_like`].
+#[derive(Debug, Clone)]
+pub struct DchOptions {
+    /// Options forwarded to the SAT sweeper.
+    pub sweep: SweepOptions,
+    /// Also generate a balanced + rewritten alternative structure before
+    /// sweeping (matches `dch`'s use of multiple synthesis snapshots).
+    pub use_alternative_structure: bool,
+}
+
+impl Default for DchOptions {
+    fn default() -> Self {
+        DchOptions {
+            sweep: SweepOptions::default(),
+            use_alternative_structure: true,
+        }
+    }
+}
+
+/// Computes structural choices and returns the functionally reduced network.
+///
+/// The result is combinationally equivalent to the input; redundant
+/// functionally equivalent cones (including those only exposed by the
+/// alternative structure) are merged.
+pub fn dch_like(aig: &Aig, options: &DchOptions) -> Aig {
+    let combined = if options.use_alternative_structure {
+        let alternative = rewrite(&balance(aig));
+        stack_over_shared_inputs(aig, &alternative)
+    } else {
+        aig.clone()
+    };
+    let sweeper = SatSweeper::new(options.sweep.clone());
+    let (swept, _stats) = sweeper.sweep(&combined);
+    // Keep only the original outputs (the alternative copies were appended
+    // after them and exist purely to seed equivalences).
+    keep_first_outputs(&swept, aig.num_outputs())
+}
+
+/// Builds a network containing both circuits over one shared set of inputs.
+/// Outputs of `a` come first, then the outputs of `b`.
+fn stack_over_shared_inputs(a: &Aig, b: &Aig) -> Aig {
+    assert_eq!(
+        a.num_inputs(),
+        b.num_inputs(),
+        "both structures must have the same inputs"
+    );
+    let mut out = Aig::new(a.name().to_string());
+    let inputs: Vec<Lit> = a
+        .input_names()
+        .iter()
+        .map(|n| out.add_input(n.clone()))
+        .collect();
+    let copy = |src: &Aig, dst: &mut Aig, inputs: &[Lit]| -> Vec<Lit> {
+        let mut map: Vec<Option<Lit>> = vec![None; src.num_nodes()];
+        map[0] = Some(Lit::FALSE);
+        for (idx, &pi) in src.inputs().iter().enumerate() {
+            map[pi.index()] = Some(inputs[idx]);
+        }
+        for id in src.and_ids() {
+            let (f0, f1) = src.fanins(id);
+            let x = map[f0.node().index()].expect("topo").xor(f0.is_complemented());
+            let y = map[f1.node().index()].expect("topo").xor(f1.is_complemented());
+            map[id.index()] = Some(dst.and(x, y));
+        }
+        src.outputs()
+            .iter()
+            .map(|po| map[po.node().index()].expect("driver").xor(po.is_complemented()))
+            .collect()
+    };
+    let outs_a = copy(a, &mut out, &inputs);
+    let outs_b = copy(b, &mut out, &inputs);
+    for (i, lit) in outs_a.into_iter().enumerate() {
+        out.add_output(lit, a.output_name(i));
+    }
+    for (i, lit) in outs_b.into_iter().enumerate() {
+        out.add_output(lit, format!("{}_alt", b.output_name(i)));
+    }
+    out
+}
+
+/// Keeps only the first `count` outputs of a network.
+fn keep_first_outputs(aig: &Aig, count: usize) -> Aig {
+    let mut trimmed = Aig::new(aig.name().to_string());
+    let mut map: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
+    map[0] = Some(Lit::FALSE);
+    for (idx, &pi) in aig.inputs().iter().enumerate() {
+        map[pi.index()] = Some(trimmed.add_input(aig.input_name(idx)));
+    }
+    for id in aig.and_ids() {
+        let (f0, f1) = aig.fanins(id);
+        let x = map[f0.node().index()].expect("topo").xor(f0.is_complemented());
+        let y = map[f1.node().index()].expect("topo").xor(f1.is_complemented());
+        map[id.index()] = Some(trimmed.and(x, y));
+    }
+    for (idx, po) in aig.outputs().iter().take(count).enumerate() {
+        let lit = map[po.node().index()].expect("driver").xor(po.is_complemented());
+        trimmed.add_output(lit, aig.output_name(idx));
+    }
+    trimmed.cleanup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cec::{check_equivalence, CecOptions};
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new("sample");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let ab = aig.and(a, b);
+        let ac = aig.and(a, c);
+        let f = aig.or(ab, ac);
+        let g = aig.mux(d, f, c);
+        aig.add_output(f, "f");
+        aig.add_output(g, "g");
+        aig
+    }
+
+    #[test]
+    fn dch_preserves_function() {
+        let aig = sample();
+        let out = dch_like(&aig, &DchOptions::default());
+        assert_eq!(out.num_outputs(), aig.num_outputs());
+        assert_eq!(out.num_inputs(), aig.num_inputs());
+        assert!(check_equivalence(&aig, &out, &CecOptions::default()).is_equivalent());
+    }
+
+    #[test]
+    fn dch_without_alternative_structure_is_a_sweep() {
+        let aig = sample();
+        let out = dch_like(
+            &aig,
+            &DchOptions {
+                use_alternative_structure: false,
+                ..DchOptions::default()
+            },
+        );
+        assert!(check_equivalence(&aig, &out, &CecOptions::default()).is_equivalent());
+        assert!(out.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn stacking_shares_inputs_and_concatenates_outputs() {
+        let aig = sample();
+        let alt = balance(&aig);
+        let stacked = stack_over_shared_inputs(&aig, &alt);
+        assert_eq!(stacked.num_inputs(), aig.num_inputs());
+        assert_eq!(stacked.num_outputs(), aig.num_outputs() * 2);
+        // Both halves implement the same functions.
+        for p in 0..16usize {
+            let bits: Vec<bool> = (0..4).map(|i| p >> i & 1 == 1).collect();
+            let out = stacked.evaluate(&bits);
+            assert_eq!(out[0], out[2], "pattern {p}");
+            assert_eq!(out[1], out[3], "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn dch_does_not_grow_the_network() {
+        let aig = sample();
+        let out = dch_like(&aig, &DchOptions::default());
+        // Sweeping the stacked structure must fold the duplicate back in.
+        assert!(out.num_ands() <= aig.num_ands() + 2, "{} vs {}", out.num_ands(), aig.num_ands());
+    }
+}

@@ -1,0 +1,255 @@
+//! Algebraic factoring of sum-of-products covers.
+//!
+//! The resynthesis passes re-implement cut functions from factored forms:
+//! an irredundant SOP is computed first (`techmap::truth::isop`-style, but we
+//! keep this crate independent by accepting any cube cover) and then factored
+//! by repeatedly dividing out the most frequent literal. The resulting
+//! expression tree is built back into the AIG with balanced operators.
+
+use aig::{Aig, Lit};
+
+/// A cube over at most 16 variables: positive and negative literal masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactorCube {
+    /// Bit `i` set: variable `i` appears positively.
+    pub pos: u16,
+    /// Bit `i` set: variable `i` appears negatively.
+    pub neg: u16,
+}
+
+impl FactorCube {
+    /// Number of literals.
+    pub fn num_literals(&self) -> u32 {
+        (self.pos | self.neg).count_ones()
+    }
+
+    fn contains(&self, var: usize, negated: bool) -> bool {
+        if negated {
+            self.neg >> var & 1 == 1
+        } else {
+            self.pos >> var & 1 == 1
+        }
+    }
+
+    fn without(&self, var: usize, negated: bool) -> FactorCube {
+        let mut c = *self;
+        if negated {
+            c.neg &= !(1 << var);
+        } else {
+            c.pos &= !(1 << var);
+        }
+        c
+    }
+}
+
+/// A factored expression tree over variables `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactorTree {
+    /// Constant false (empty cover).
+    Zero,
+    /// Constant true (a cover containing the empty cube).
+    One,
+    /// A single literal: variable index and phase (`true` = negated).
+    Literal(usize, bool),
+    /// Conjunction of factors.
+    And(Vec<FactorTree>),
+    /// Disjunction of factors.
+    Or(Vec<FactorTree>),
+}
+
+impl FactorTree {
+    /// Number of literal occurrences in the tree (a proxy for implementation
+    /// cost).
+    pub fn literal_count(&self) -> usize {
+        match self {
+            FactorTree::Zero | FactorTree::One => 0,
+            FactorTree::Literal(..) => 1,
+            FactorTree::And(children) | FactorTree::Or(children) => {
+                children.iter().map(FactorTree::literal_count).sum()
+            }
+        }
+    }
+
+    /// Builds the tree into an AIG given the literal of each variable,
+    /// returning the root literal. Operators are built as balanced trees.
+    pub fn build(&self, aig: &mut Aig, vars: &[Lit]) -> Lit {
+        match self {
+            FactorTree::Zero => Lit::FALSE,
+            FactorTree::One => Lit::TRUE,
+            FactorTree::Literal(v, negated) => vars[*v].xor(*negated),
+            FactorTree::And(children) => {
+                let lits: Vec<Lit> = children.iter().map(|c| c.build(aig, vars)).collect();
+                aig.and_many(&lits)
+            }
+            FactorTree::Or(children) => {
+                let lits: Vec<Lit> = children.iter().map(|c| c.build(aig, vars)).collect();
+                aig.or_many(&lits)
+            }
+        }
+    }
+
+    /// Evaluates the tree on an assignment (bit `i` of `minterm` = variable `i`).
+    pub fn eval(&self, minterm: usize) -> bool {
+        match self {
+            FactorTree::Zero => false,
+            FactorTree::One => true,
+            FactorTree::Literal(v, negated) => (minterm >> v & 1 == 1) ^ negated,
+            FactorTree::And(children) => children.iter().all(|c| c.eval(minterm)),
+            FactorTree::Or(children) => children.iter().any(|c| c.eval(minterm)),
+        }
+    }
+}
+
+/// Factors a cube cover into an expression tree by most-frequent-literal
+/// division (quick algebraic factoring).
+pub fn factor_cover(cubes: &[FactorCube]) -> FactorTree {
+    if cubes.is_empty() {
+        return FactorTree::Zero;
+    }
+    if cubes.iter().any(|c| c.num_literals() == 0) {
+        return FactorTree::One;
+    }
+    if cubes.len() == 1 {
+        return cube_to_tree(&cubes[0]);
+    }
+    // Find the literal occurring in the largest number of cubes.
+    let mut best: Option<(usize, bool, usize)> = None;
+    for var in 0..16usize {
+        for negated in [false, true] {
+            let count = cubes.iter().filter(|c| c.contains(var, negated)).count();
+            if count >= 2 && best.map_or(true, |(_, _, c)| count > c) {
+                best = Some((var, negated, count));
+            }
+        }
+    }
+    match best {
+        None => {
+            // No common literal: plain OR of cube products.
+            FactorTree::Or(cubes.iter().map(cube_to_tree).collect())
+        }
+        Some((var, negated, _)) => {
+            let mut quotient = Vec::new();
+            let mut remainder = Vec::new();
+            for cube in cubes {
+                if cube.contains(var, negated) {
+                    quotient.push(cube.without(var, negated));
+                } else {
+                    remainder.push(*cube);
+                }
+            }
+            let factored_q = factor_cover(&quotient);
+            let with_lit = match factored_q {
+                FactorTree::One => FactorTree::Literal(var, negated),
+                other => FactorTree::And(vec![FactorTree::Literal(var, negated), other]),
+            };
+            if remainder.is_empty() {
+                with_lit
+            } else {
+                FactorTree::Or(vec![with_lit, factor_cover(&remainder)])
+            }
+        }
+    }
+}
+
+fn cube_to_tree(cube: &FactorCube) -> FactorTree {
+    let mut lits = Vec::new();
+    for v in 0..16usize {
+        if cube.pos >> v & 1 == 1 {
+            lits.push(FactorTree::Literal(v, false));
+        }
+        if cube.neg >> v & 1 == 1 {
+            lits.push(FactorTree::Literal(v, true));
+        }
+    }
+    match lits.len() {
+        0 => FactorTree::One,
+        1 => lits.pop().expect("one literal"),
+        _ => FactorTree::And(lits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(pos: u16, neg: u16) -> FactorCube {
+        FactorCube { pos, neg }
+    }
+
+    fn cover_eval(cubes: &[FactorCube], minterm: usize) -> bool {
+        cubes.iter().any(|c| {
+            (0..16).all(|v| {
+                let val = minterm >> v & 1 == 1;
+                (c.pos >> v & 1 == 0 || val) && (c.neg >> v & 1 == 0 || !val)
+            })
+        })
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(factor_cover(&[]), FactorTree::Zero);
+        assert_eq!(factor_cover(&[cube(0, 0)]), FactorTree::One);
+    }
+
+    #[test]
+    fn single_cube_becomes_and() {
+        let tree = factor_cover(&[cube(0b011, 0b100)]);
+        assert_eq!(tree.literal_count(), 3);
+        for m in 0..8 {
+            assert_eq!(tree.eval(m), m & 0b011 == 0b011 && m & 0b100 == 0);
+        }
+    }
+
+    #[test]
+    fn common_literal_is_factored_out() {
+        // ab + ac = a(b + c): 3 literals instead of 4.
+        let cubes = [cube(0b011, 0), cube(0b101, 0)];
+        let tree = factor_cover(&cubes);
+        assert_eq!(tree.literal_count(), 3);
+        for m in 0..8 {
+            assert_eq!(tree.eval(m), cover_eval(&cubes, m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn factoring_preserves_function_on_random_covers() {
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..40 {
+            let n_cubes = 1 + (next() % 6) as usize;
+            let cubes: Vec<FactorCube> = (0..n_cubes)
+                .map(|_| {
+                    let pos = (next() & 0x1F) as u16;
+                    let neg = (next() & 0x1F) as u16 & !pos;
+                    cube(pos, neg)
+                })
+                .collect();
+            let tree = factor_cover(&cubes);
+            for m in 0..32 {
+                assert_eq!(tree.eval(m), cover_eval(&cubes, m));
+            }
+            // Factoring never increases the literal count.
+            let flat: usize = cubes.iter().map(|c| c.num_literals() as usize).sum();
+            assert!(tree.literal_count() <= flat);
+        }
+    }
+
+    #[test]
+    fn build_into_aig_matches_eval() {
+        let cubes = [cube(0b011, 0), cube(0b101, 0), cube(0, 0b110)];
+        let tree = factor_cover(&cubes);
+        let mut aig = Aig::new("f");
+        let vars: Vec<Lit> = (0..3).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let out = tree.build(&mut aig, &vars);
+        aig.add_output(out, "f");
+        for m in 0..8usize {
+            let bits: Vec<bool> = (0..3).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(aig.evaluate(&bits)[0], tree.eval(m), "minterm {m}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Composable optimization scripts, mirroring ABC command sequences.
+
+use crate::{balance, dch_like, refactor, rewrite, DchOptions};
+use aig::Aig;
+
+/// One technology-independent pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Structural hashing + dangling-node sweep (ABC `st`).
+    Strash,
+    /// Depth-oriented balancing (ABC `b`).
+    Balance,
+    /// 4-input cut rewriting (ABC `rw`).
+    Rewrite,
+    /// 6-input cut refactoring (ABC `rf`).
+    Refactor,
+    /// Structural choices / functional reduction (ABC `dch`).
+    Dch,
+}
+
+impl Pass {
+    /// Applies the pass to a network.
+    pub fn apply(self, aig: &Aig) -> Aig {
+        match self {
+            Pass::Strash => aig.strash_copy(),
+            Pass::Balance => balance(aig),
+            Pass::Rewrite => rewrite(aig),
+            Pass::Refactor => refactor(aig),
+            Pass::Dch => dch_like(aig, &DchOptions::default()),
+        }
+    }
+
+    /// The ABC-style short name of the pass.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Strash => "st",
+            Pass::Balance => "b",
+            Pass::Rewrite => "rw",
+            Pass::Refactor => "rf",
+            Pass::Dch => "dch",
+        }
+    }
+}
+
+/// A sequence of passes applied in order.
+#[derive(Debug, Clone, Default)]
+pub struct OptScript {
+    /// The passes to run, in order.
+    pub passes: Vec<Pass>,
+}
+
+impl OptScript {
+    /// Creates a script from a list of passes.
+    pub fn new(passes: Vec<Pass>) -> Self {
+        OptScript { passes }
+    }
+
+    /// The classic size-oriented script `st; rw; b; rf; b` (a `resyn`-style
+    /// sequence).
+    pub fn resyn() -> Self {
+        OptScript::new(vec![
+            Pass::Strash,
+            Pass::Rewrite,
+            Pass::Balance,
+            Pass::Refactor,
+            Pass::Balance,
+        ])
+    }
+
+    /// Runs all passes and returns the optimized network.
+    pub fn run(&self, aig: &Aig) -> Aig {
+        let mut current = aig.clone();
+        for pass in &self.passes {
+            current = pass.apply(&current);
+        }
+        current
+    }
+
+    /// ABC-style textual form of the script, e.g. `st; rw; b`.
+    pub fn to_command_string(&self) -> String {
+        self.passes
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::Lit;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new("sample");
+        let inputs = aig.add_inputs("x", 6);
+        let mut acc = Lit::FALSE;
+        for (i, &lit) in inputs.iter().enumerate() {
+            acc = if i % 2 == 0 {
+                aig.or(acc, lit)
+            } else {
+                aig.xor(acc, lit)
+            };
+        }
+        let extra = aig.and(inputs[0], inputs[5]);
+        let out = aig.and(acc, extra.not());
+        aig.add_output(out, "f");
+        aig
+    }
+
+    #[test]
+    fn script_preserves_function() {
+        let aig = sample();
+        let optimized = OptScript::resyn().run(&aig);
+        for p in 0..64usize {
+            let bits: Vec<bool> = (0..6).map(|i| p >> i & 1 == 1).collect();
+            assert_eq!(aig.evaluate(&bits), optimized.evaluate(&bits), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn script_does_not_grow_network() {
+        let aig = sample();
+        let optimized = OptScript::resyn().run(&aig);
+        assert!(optimized.num_ands() <= aig.num_ands());
+    }
+
+    #[test]
+    fn command_string_matches_abc_names() {
+        assert_eq!(OptScript::resyn().to_command_string(), "st; rw; b; rf; b");
+        assert_eq!(Pass::Dch.name(), "dch");
+        assert_eq!(OptScript::default().to_command_string(), "");
+    }
+
+    #[test]
+    fn individual_passes_preserve_function() {
+        let aig = sample();
+        for pass in [Pass::Strash, Pass::Balance, Pass::Rewrite, Pass::Refactor] {
+            let out = pass.apply(&aig);
+            for p in [0usize, 1, 7, 33, 63] {
+                let bits: Vec<bool> = (0..6).map(|i| p >> i & 1 == 1).collect();
+                assert_eq!(aig.evaluate(&bits), out.evaluate(&bits), "{pass:?} pattern {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_script_is_identity() {
+        let aig = sample();
+        let out = OptScript::default().run(&aig);
+        assert_eq!(out.num_ands(), aig.num_ands());
+    }
+}

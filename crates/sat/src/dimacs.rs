@@ -1,0 +1,133 @@
+//! Minimal DIMACS CNF import/export, mainly for debugging and for dumping
+//! the equivalence-checking instances produced by the `cec` crate.
+
+use crate::{Lit, Solver, Var};
+
+/// Errors produced while parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError(pub String);
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// A plain clause database that can be loaded into a [`Solver`] or written
+/// out as DIMACS.
+#[derive(Debug, Clone, Default)]
+pub struct CnfFormula {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfFormula {
+    /// Parses DIMACS CNF text.
+    ///
+    /// # Errors
+    /// Returns a [`DimacsError`] on malformed headers or literals.
+    pub fn parse(text: &str) -> Result<Self, DimacsError> {
+        let mut num_vars = 0usize;
+        let mut clauses = Vec::new();
+        let mut current: Vec<Lit> = Vec::new();
+        let mut saw_header = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 || parts[0] != "cnf" {
+                    return Err(DimacsError(format!("bad problem line: {line}")));
+                }
+                num_vars = parts[1]
+                    .parse()
+                    .map_err(|_| DimacsError(format!("bad variable count: {}", parts[1])))?;
+                saw_header = true;
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let v: i64 = tok
+                    .parse()
+                    .map_err(|_| DimacsError(format!("bad literal: {tok}")))?;
+                if v == 0 {
+                    clauses.push(std::mem::take(&mut current));
+                } else {
+                    let var = Var((v.unsigned_abs() - 1) as u32);
+                    num_vars = num_vars.max(var.index() + 1);
+                    current.push(Lit::new(var, v < 0));
+                }
+            }
+        }
+        if !saw_header {
+            return Err(DimacsError("missing 'p cnf' header".into()));
+        }
+        if !current.is_empty() {
+            clauses.push(current);
+        }
+        Ok(CnfFormula { num_vars, clauses })
+    }
+
+    /// Writes the formula as DIMACS CNF text.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                let v = lit.var().index() as i64 + 1;
+                out.push_str(&format!("{} ", if lit.is_neg() { -v } else { v }));
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Loads the formula into a fresh solver.
+    pub fn to_solver(&self) -> Solver {
+        let mut solver = Solver::new();
+        for _ in 0..self.num_vars {
+            solver.new_var();
+        }
+        for clause in &self.clauses {
+            solver.add_clause(clause);
+        }
+        solver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SatResult;
+
+    #[test]
+    fn parse_and_solve() {
+        let text = "c a comment\np cnf 2 2\n1 2 0\n-1 0\n";
+        let cnf = CnfFormula::parse(text).unwrap();
+        assert_eq!(cnf.num_vars, 2);
+        assert_eq!(cnf.clauses.len(), 2);
+        let mut solver = cnf.to_solver();
+        assert_eq!(solver.solve(), SatResult::Sat);
+        assert_eq!(solver.value(Lit::pos(Var(1))), Some(true));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "p cnf 3 3\n1 -2 0\n2 3 0\n-3 0\n";
+        let cnf = CnfFormula::parse(text).unwrap();
+        let cnf2 = CnfFormula::parse(&cnf.to_dimacs()).unwrap();
+        assert_eq!(cnf.clauses, cnf2.clauses);
+        assert_eq!(cnf.num_vars, cnf2.num_vars);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(CnfFormula::parse("1 2 0").is_err());
+        assert!(CnfFormula::parse("p cnf x y\n").is_err());
+        assert!(CnfFormula::parse("p cnf 2 1\n1 z 0\n").is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Variables and literals for the SAT solver.
+
+/// A Boolean variable, indexed from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Returns the raw index of the variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable with a polarity. Encoded as `2 * var + negated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Creates a positive literal of `var`.
+    #[inline]
+    pub fn pos(var: Var) -> Self {
+        Lit(var.0 * 2)
+    }
+
+    /// Creates a negative literal of `var`.
+    #[inline]
+    pub fn neg(var: Var) -> Self {
+        Lit(var.0 * 2 + 1)
+    }
+
+    /// Creates a literal with explicit polarity (`true` = negated).
+    #[inline]
+    pub fn new(var: Var, negated: bool) -> Self {
+        Lit(var.0 * 2 + u32::from(negated))
+    }
+
+    /// The variable of this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is negated.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the literal's index usable for watch lists (`2v` or `2v+1`).
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_neg() {
+            write!(f, "-{}", self.var().0 + 1)
+        } else {
+            write!(f, "{}", self.var().0 + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var(3);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert_eq!(Lit::neg(v).var(), v);
+        assert!(!Lit::pos(v).is_neg());
+        assert!(Lit::neg(v).is_neg());
+        assert_eq!(!Lit::pos(v), Lit::neg(v));
+        assert_eq!(!!Lit::pos(v), Lit::pos(v));
+        assert_eq!(Lit::new(v, true), Lit::neg(v));
+    }
+
+    #[test]
+    fn display_uses_dimacs_convention() {
+        assert_eq!(Lit::pos(Var(0)).to_string(), "1");
+        assert_eq!(Lit::neg(Var(0)).to_string(), "-1");
+        assert_eq!(Lit::neg(Var(9)).to_string(), "-10");
+    }
+}

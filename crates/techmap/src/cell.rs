@@ -1,0 +1,511 @@
+//! Standard-cell technology mapping by NPN Boolean matching on priority cuts.
+//!
+//! Every AND node is covered by a library cell implementing the function of
+//! one of its (at most 4-input) cuts; covering is delay-oriented with an
+//! area-flow recovery pass, mirroring the structure of the paper's
+//! `(st; dch; map)` step. Complemented edges internal to a cut are absorbed
+//! into the matched cell function; only complemented primary outputs require
+//! explicit inverters.
+
+use crate::cuts::{enumerate_cuts, CutsOptions};
+use crate::library::CellLibrary;
+use crate::qor::Qor;
+use crate::truth::expand_to_4;
+use crate::MapOptions;
+use aig::{Aig, AigNode, NodeId};
+use std::collections::HashMap;
+
+/// One instantiated cell in the mapped netlist.
+#[derive(Debug, Clone)]
+pub struct MappedGate {
+    /// Index of the cell in the library.
+    pub cell: usize,
+    /// Human-readable cell name.
+    pub cell_name: String,
+    /// The AIG node this gate implements (its positive phase).
+    pub root: NodeId,
+    /// The cut leaves feeding this gate (variable order of `truth`).
+    pub leaves: Vec<NodeId>,
+    /// The implemented function over the leaves.
+    pub truth: u64,
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Cell delay in ps.
+    pub delay_ps: f64,
+}
+
+/// How each primary output is driven in the mapped netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputDriver {
+    /// Driven by the positive phase of a mapped node or primary input.
+    Direct(NodeId),
+    /// Driven through an inverter from a mapped node or primary input.
+    Inverted(NodeId),
+    /// Tied to a constant value.
+    Constant(bool),
+}
+
+/// A mapped standard-cell netlist with its quality metrics.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    /// The mapped gates in topological order.
+    pub gates: Vec<MappedGate>,
+    /// Driver of each primary output.
+    pub outputs: Vec<OutputDriver>,
+    /// Number of inverter cells added for complemented outputs.
+    pub num_inverters: usize,
+    area_um2: f64,
+    delay_ps: f64,
+    levels: u32,
+}
+
+impl Netlist {
+    /// Total cell area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.area_um2
+    }
+
+    /// Critical-path delay in ps.
+    pub fn delay_ps(&self) -> f64 {
+        self.delay_ps
+    }
+
+    /// Number of logic levels on the critical path.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Number of gates (including output inverters).
+    pub fn num_gates(&self) -> usize {
+        self.gates.len() + self.num_inverters
+    }
+
+    /// Returns the quality-of-results record of this netlist.
+    pub fn qor(&self) -> Qor {
+        Qor {
+            name: self.name.clone(),
+            area_um2: self.area_um2,
+            delay_ps: self.delay_ps,
+            levels: self.levels,
+            gates: self.num_gates(),
+        }
+    }
+
+    /// Evaluates the netlist on one input pattern of the original AIG
+    /// (used by verification tests).
+    pub fn evaluate(&self, aig: &Aig, inputs: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; aig.num_nodes()];
+        for (i, &pi) in aig.inputs().iter().enumerate() {
+            values[pi.index()] = inputs[i];
+        }
+        for gate in &self.gates {
+            let mut minterm = 0usize;
+            for (i, leaf) in gate.leaves.iter().enumerate() {
+                if values[leaf.index()] {
+                    minterm |= 1 << i;
+                }
+            }
+            values[gate.root.index()] = gate.truth >> minterm & 1 == 1;
+        }
+        self.outputs
+            .iter()
+            .map(|driver| match driver {
+                OutputDriver::Direct(node) => values[node.index()],
+                OutputDriver::Inverted(node) => !values[node.index()],
+                OutputDriver::Constant(value) => *value,
+            })
+            .collect()
+    }
+}
+
+struct Choice {
+    cut_index: usize,
+    cell: usize,
+    arrival: f64,
+    area_flow: f64,
+}
+
+/// Maps an AIG onto the given standard-cell library.
+///
+/// # Panics
+/// Panics if the library lacks an inverter or cannot realize a 2-input AND
+/// (every well-formed library can).
+pub fn map_to_cells(aig: &Aig, library: &CellLibrary, options: &MapOptions) -> Netlist {
+    let cut_options = CutsOptions {
+        cut_size: options.cut_size.min(4),
+        cut_limit: options.cut_limit,
+    };
+    let cuts = enumerate_cuts(aig, &cut_options);
+    let fanouts = aig.fanout_counts();
+    let inverter = library
+        .inverter()
+        .expect("cell library must contain an inverter");
+    let inv_cell = library.cell(inverter);
+
+    // Memoized Boolean matching: cut truth (4-var expanded) -> best cell.
+    let mut match_cache: HashMap<u16, Option<usize>> = HashMap::new();
+    let mut match_fn = |truth: u64, nvars: usize| -> Option<usize> {
+        let tt4 = expand_to_4(truth, nvars);
+        *match_cache
+            .entry(tt4)
+            .or_insert_with(|| library.match_function(tt4))
+    };
+
+    let mut arrival = vec![0f64; aig.num_nodes()];
+    let mut area_flow = vec![0f64; aig.num_nodes()];
+    let mut choice: Vec<Option<Choice>> = (0..aig.num_nodes()).map(|_| None).collect();
+
+    // Delay-oriented covering pass.
+    for id in aig.and_ids() {
+        let mut best: Option<Choice> = None;
+        for (ci, cut) in cuts.cuts(id).iter().enumerate() {
+            if cut.leaves == [id] || cut.size() > 4 {
+                continue;
+            }
+            let Some(cell_idx) = match_fn(cut.truth, cut.size()) else {
+                continue;
+            };
+            let cell = library.cell(cell_idx);
+            let arr = cell.delay_ps
+                + cut
+                    .leaves
+                    .iter()
+                    .map(|l| arrival[l.index()])
+                    .fold(0.0, f64::max);
+            let af = cell.area_um2
+                + cut
+                    .leaves
+                    .iter()
+                    .map(|l| area_flow[l.index()] / f64::max(1.0, fanouts[l.index()] as f64))
+                    .sum::<f64>();
+            let better = match &best {
+                None => true,
+                Some(b) => (arr, af) < (b.arrival, b.area_flow),
+            };
+            if better {
+                best = Some(Choice {
+                    cut_index: ci,
+                    cell: cell_idx,
+                    arrival: arr,
+                    area_flow: af,
+                });
+            }
+        }
+        let best = best.unwrap_or_else(|| {
+            panic!("node {id} has no matchable cut; the library cannot realize AND2")
+        });
+        arrival[id.index()] = best.arrival;
+        area_flow[id.index()] = best.area_flow;
+        choice[id.index()] = Some(best);
+    }
+
+    let worst_output_arrival = aig
+        .outputs()
+        .iter()
+        .map(|l| arrival[l.node().index()])
+        .fold(0.0, f64::max);
+
+    // Area-flow recovery pass(es).
+    for _ in 0..options.area_passes {
+        let required = compute_required(aig, &cuts, &choice, worst_output_arrival, library);
+        for id in aig.and_ids() {
+            let mut best: Option<Choice> = None;
+            for (ci, cut) in cuts.cuts(id).iter().enumerate() {
+                if cut.leaves == [id] || cut.size() > 4 {
+                    continue;
+                }
+                let Some(cell_idx) = match_fn(cut.truth, cut.size()) else {
+                    continue;
+                };
+                let cell = library.cell(cell_idx);
+                let arr = cell.delay_ps
+                    + cut
+                        .leaves
+                        .iter()
+                        .map(|l| arrival[l.index()])
+                        .fold(0.0, f64::max);
+                if arr > required[id.index()] + 1e-9 {
+                    continue;
+                }
+                let af = cell.area_um2
+                    + cut
+                        .leaves
+                        .iter()
+                        .map(|l| area_flow[l.index()] / f64::max(1.0, fanouts[l.index()] as f64))
+                        .sum::<f64>();
+                let better = match &best {
+                    None => true,
+                    Some(b) => (af, arr) < (b.area_flow, b.arrival),
+                };
+                if better {
+                    best = Some(Choice {
+                        cut_index: ci,
+                        cell: cell_idx,
+                        arrival: arr,
+                        area_flow: af,
+                    });
+                }
+            }
+            if let Some(best) = best {
+                arrival[id.index()] = best.arrival;
+                area_flow[id.index()] = best.area_flow;
+                choice[id.index()] = Some(best);
+            }
+        }
+    }
+
+    // Derive the cover from the outputs.
+    let mut needed = vec![false; aig.num_nodes()];
+    let mut stack: Vec<NodeId> = aig
+        .outputs()
+        .iter()
+        .map(|l| l.node())
+        .filter(|n| aig.node(*n).is_and())
+        .collect();
+    while let Some(id) = stack.pop() {
+        if needed[id.index()] {
+            continue;
+        }
+        needed[id.index()] = true;
+        let ch = choice[id.index()].as_ref().expect("mapped node");
+        for leaf in &cuts.cuts(id)[ch.cut_index].leaves {
+            if aig.node(*leaf).is_and() {
+                stack.push(*leaf);
+            }
+        }
+    }
+
+    let mut gates = Vec::new();
+    let mut area = 0.0;
+    let mut level = vec![0u32; aig.num_nodes()];
+    for id in aig.and_ids() {
+        if !needed[id.index()] {
+            continue;
+        }
+        let ch = choice[id.index()].as_ref().expect("mapped node");
+        let cut = &cuts.cuts(id)[ch.cut_index];
+        let cell = library.cell(ch.cell);
+        area += cell.area_um2;
+        level[id.index()] = 1 + cut
+            .leaves
+            .iter()
+            .map(|l| level[l.index()])
+            .max()
+            .unwrap_or(0);
+        gates.push(MappedGate {
+            cell: ch.cell,
+            cell_name: cell.name.clone(),
+            root: id,
+            leaves: cut.leaves.clone(),
+            truth: cut.truth,
+            area_um2: cell.area_um2,
+            delay_ps: cell.delay_ps,
+        });
+    }
+
+    // Output drivers: add inverters where the PO uses the complemented phase.
+    let mut outputs = Vec::with_capacity(aig.num_outputs());
+    let mut num_inverters = 0usize;
+    let mut delay: f64 = 0.0;
+    let mut levels: u32 = 0;
+    for &po in aig.outputs() {
+        let node = po.node();
+        let driver = match aig.node(node) {
+            AigNode::Const => OutputDriver::Constant(po.is_complemented()),
+            _ => {
+                let mut arr = arrival[node.index()];
+                let mut lev = level[node.index()];
+                let driver = if po.is_complemented() {
+                    num_inverters += 1;
+                    area += inv_cell.area_um2;
+                    arr += inv_cell.delay_ps;
+                    lev += 1;
+                    OutputDriver::Inverted(node)
+                } else {
+                    OutputDriver::Direct(node)
+                };
+                delay = delay.max(arr);
+                levels = levels.max(lev);
+                driver
+            }
+        };
+        outputs.push(driver);
+    }
+
+    Netlist {
+        name: aig.name().to_string(),
+        gates,
+        outputs,
+        num_inverters,
+        area_um2: area,
+        delay_ps: delay,
+        levels,
+    }
+}
+
+fn compute_required(
+    aig: &Aig,
+    cuts: &crate::cuts::CutSet,
+    choice: &[Option<Choice>],
+    worst_arrival: f64,
+    library: &CellLibrary,
+) -> Vec<f64> {
+    let mut required = vec![f64::INFINITY; aig.num_nodes()];
+    for po in aig.outputs() {
+        let idx = po.node().index();
+        required[idx] = required[idx].min(worst_arrival);
+    }
+    for id in aig.and_ids().collect::<Vec<_>>().into_iter().rev() {
+        if !required[id.index()].is_finite() {
+            continue;
+        }
+        if let Some(ch) = &choice[id.index()] {
+            let cell = library.cell(ch.cell);
+            let req = required[id.index()] - cell.delay_ps;
+            for leaf in &cuts.cuts(id)[ch.cut_index].leaves {
+                if required[leaf.index()] > req {
+                    required[leaf.index()] = req;
+                }
+            }
+        }
+    }
+    for r in &mut required {
+        if !r.is_finite() {
+            *r = worst_arrival;
+        }
+    }
+    required
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::asap7_like;
+
+    fn adder(width: usize) -> Aig {
+        let mut aig = Aig::new("adder");
+        let a: Vec<_> = (0..width).map(|i| aig.add_input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..width).map(|i| aig.add_input(format!("b{i}"))).collect();
+        let mut carry = aig::Lit::FALSE;
+        for i in 0..width {
+            let axb = aig.xor(a[i], b[i]);
+            let sum = aig.xor(axb, carry);
+            let cout = aig.maj3(a[i], b[i], carry);
+            aig.add_output(sum, format!("s{i}"));
+            carry = cout;
+        }
+        aig.add_output(carry, "cout");
+        aig
+    }
+
+    fn check_netlist_equiv(aig: &Aig, netlist: &Netlist) {
+        assert!(aig.num_inputs() <= 12);
+        for pattern in 0..(1usize << aig.num_inputs()) {
+            let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(
+                netlist.evaluate(aig, &bits),
+                aig.evaluate(&bits),
+                "pattern {pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_preserves_function() {
+        let aig = adder(3);
+        let lib = asap7_like();
+        let netlist = map_to_cells(&aig, &lib, &MapOptions::default());
+        check_netlist_equiv(&aig, &netlist);
+    }
+
+    #[test]
+    fn qor_metrics_are_sane() {
+        let aig = adder(8);
+        let lib = asap7_like();
+        let netlist = map_to_cells(&aig, &lib, &MapOptions::default());
+        let qor = netlist.qor();
+        assert!(qor.area_um2 > 0.5, "area {}", qor.area_um2);
+        assert!(qor.delay_ps > 50.0, "delay {}", qor.delay_ps);
+        assert!(qor.levels >= 4);
+        assert!(qor.gates >= 20);
+        // The mapped gate count must not exceed the AND count (cells cover
+        // multiple AND nodes), plus output inverters.
+        assert!(qor.gates <= aig.num_ands() + aig.num_outputs());
+    }
+
+    #[test]
+    fn complemented_outputs_get_inverters() {
+        let mut aig = Aig::new("inv");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let f = aig.and(a, b);
+        aig.add_output(f.not(), "nf");
+        aig.add_output(f, "f");
+        let lib = asap7_like();
+        let netlist = map_to_cells(&aig, &lib, &MapOptions::default());
+        // Either the NAND is mapped directly and the positive output needs an
+        // inverter, or the AND is mapped and the complemented output needs
+        // one; both are valid, but there is exactly one inverter.
+        assert_eq!(netlist.num_inverters, 1);
+        check_netlist_equiv(&aig, &netlist);
+    }
+
+    #[test]
+    fn constant_outputs_are_tied() {
+        let mut aig = Aig::new("consts");
+        let _a = aig.add_input("a");
+        aig.add_output(aig::Lit::TRUE, "one");
+        aig.add_output(aig::Lit::FALSE, "zero");
+        let lib = asap7_like();
+        let netlist = map_to_cells(&aig, &lib, &MapOptions::default());
+        assert_eq!(netlist.outputs[0], OutputDriver::Constant(true));
+        assert_eq!(netlist.outputs[1], OutputDriver::Constant(false));
+        assert_eq!(netlist.num_gates(), 0);
+        assert_eq!(netlist.qor().delay_ps, 0.0);
+    }
+
+    #[test]
+    fn area_recovery_does_not_hurt_delay() {
+        let aig = adder(6);
+        let lib = asap7_like();
+        let with_recovery = map_to_cells(&aig, &lib, &MapOptions::default());
+        let without_recovery = map_to_cells(
+            &aig,
+            &lib,
+            &MapOptions {
+                area_passes: 0,
+                ..MapOptions::default()
+            },
+        );
+        assert!(with_recovery.delay_ps() <= without_recovery.delay_ps() + 1e-6);
+        assert!(with_recovery.area_um2() <= without_recovery.area_um2() + 1e-6);
+    }
+
+    #[test]
+    fn xor_maps_to_few_gates() {
+        let mut aig = Aig::new("xor");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.xor(a, b);
+        aig.add_output(x, "x");
+        let lib = asap7_like();
+        let netlist = map_to_cells(&aig, &lib, &MapOptions::default());
+        // A single XOR2 cell should cover the whole cone.
+        assert_eq!(netlist.gates.len(), 1);
+        assert!(netlist.gates[0].cell_name.starts_with("XOR") || netlist.gates[0].cell_name.starts_with("XNOR"));
+        check_netlist_equiv(&aig, &netlist);
+    }
+
+    #[test]
+    fn deeper_logic_has_higher_delay() {
+        let lib = asap7_like();
+        let small = adder(2);
+        let large = adder(10);
+        let q_small = map_to_cells(&small, &lib, &MapOptions::default()).qor();
+        let q_large = map_to_cells(&large, &lib, &MapOptions::default()).qor();
+        assert!(q_large.delay_ps > q_small.delay_ps);
+        assert!(q_large.area_um2 > q_small.area_um2);
+    }
+}

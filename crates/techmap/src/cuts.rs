@@ -1,0 +1,327 @@
+//! K-feasible priority-cut enumeration with per-cut truth tables.
+//!
+//! This reproduces the cut computation behind ABC's `if -K <k> -C <c>`
+//! mapper: every AND node stores at most `C` non-trivial cuts of at most `K`
+//! leaves, merged bottom-up from its fanins, plus its trivial cut.
+
+use crate::truth::{full_mask, VAR_MASK};
+use aig::{Aig, AigNode, Lit, NodeId};
+
+/// A cut: a set of leaves that separates a node from the primary inputs,
+/// together with the node's function over those leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    /// Leaf nodes, sorted by id. Variable `i` of [`Cut::truth`] is `leaves[i]`.
+    pub leaves: Vec<NodeId>,
+    /// Truth table of the root in terms of the leaves (low `2^n` bits).
+    pub truth: u64,
+}
+
+impl Cut {
+    /// Creates the trivial cut of a node (the node itself as single leaf).
+    pub fn trivial(node: NodeId) -> Self {
+        Cut {
+            leaves: vec![node],
+            truth: VAR_MASK[0] & full_mask(1),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Returns `true` if `self`'s leaves are a subset of `other`'s leaves.
+    pub fn dominates(&self, other: &Cut) -> bool {
+        self.leaves.iter().all(|l| other.leaves.contains(l))
+    }
+}
+
+/// Options for cut enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct CutsOptions {
+    /// Maximum number of leaves per cut (K), at most 6.
+    pub cut_size: usize,
+    /// Maximum number of stored cuts per node (C), excluding the trivial cut.
+    pub cut_limit: usize,
+}
+
+impl Default for CutsOptions {
+    fn default() -> Self {
+        CutsOptions {
+            cut_size: 6,
+            cut_limit: 8,
+        }
+    }
+}
+
+/// Cut sets for every node of an AIG.
+#[derive(Debug, Clone)]
+pub struct CutSet {
+    cuts: Vec<Vec<Cut>>,
+}
+
+impl CutSet {
+    /// Returns the cuts of a node (the last one is always the trivial cut,
+    /// except for primary inputs and the constant which only have it).
+    pub fn cuts(&self, node: NodeId) -> &[Cut] {
+        &self.cuts[node.index()]
+    }
+
+    /// Total number of stored cuts.
+    pub fn total_cuts(&self) -> usize {
+        self.cuts.iter().map(|c| c.len()).sum()
+    }
+}
+
+/// Expands a cut's truth table to a superset leaf ordering.
+fn expand_truth(cut: &Cut, merged: &[NodeId]) -> u64 {
+    let positions: Vec<usize> = cut
+        .leaves
+        .iter()
+        .map(|l| merged.iter().position(|m| m == l).expect("leaf present in merged cut"))
+        .collect();
+    let bits = 1usize << merged.len();
+    let mut out = 0u64;
+    for m in 0..bits {
+        // Build the source minterm over the cut's own leaves.
+        let mut src = 0usize;
+        for (i, &pos) in positions.iter().enumerate() {
+            if m >> pos & 1 == 1 {
+                src |= 1 << i;
+            }
+        }
+        if cut.truth >> src & 1 == 1 {
+            out |= 1 << m;
+        }
+    }
+    out
+}
+
+fn merge_cuts(a: &Cut, b: &Cut, fanin0: Lit, fanin1: Lit, max_size: usize) -> Option<Cut> {
+    let mut leaves: Vec<NodeId> = a.leaves.clone();
+    for &l in &b.leaves {
+        if !leaves.contains(&l) {
+            leaves.push(l);
+        }
+    }
+    if leaves.len() > max_size {
+        return None;
+    }
+    leaves.sort_unstable();
+    let mask = full_mask(leaves.len());
+    let mut ta = expand_truth(a, &leaves);
+    let mut tb = expand_truth(b, &leaves);
+    if fanin0.is_complemented() {
+        ta = !ta & mask;
+    }
+    if fanin1.is_complemented() {
+        tb = !tb & mask;
+    }
+    Some(Cut {
+        leaves,
+        truth: ta & tb & mask,
+    })
+}
+
+/// Enumerates priority cuts for every node of `aig`.
+///
+/// # Panics
+/// Panics if `options.cut_size` exceeds 6 (truth tables are stored in `u64`).
+pub fn enumerate_cuts(aig: &Aig, options: &CutsOptions) -> CutSet {
+    assert!(options.cut_size <= 6, "cut size is limited to 6 leaves");
+    assert!(options.cut_size >= 2, "cut size must be at least 2");
+    let mut all: Vec<Vec<Cut>> = Vec::with_capacity(aig.num_nodes());
+    for id in aig.node_ids() {
+        let cuts = match aig.node(id) {
+            AigNode::Const => vec![Cut {
+                leaves: Vec::new(),
+                truth: 0,
+            }],
+            AigNode::Input { .. } => vec![Cut::trivial(id)],
+            AigNode::And { fanin0, fanin1 } => {
+                let mut merged: Vec<Cut> = Vec::new();
+                {
+                    let cuts0 = &all[fanin0.node().index()];
+                    let cuts1 = &all[fanin1.node().index()];
+                    for c0 in cuts0 {
+                        for c1 in cuts1 {
+                            if let Some(cut) = merge_cuts(c0, c1, *fanin0, *fanin1, options.cut_size)
+                            {
+                                // Skip duplicates.
+                                if !merged.iter().any(|m| m.leaves == cut.leaves) {
+                                    merged.push(cut);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Remove dominated cuts (keep minimal leaf sets).
+                let mut kept: Vec<Cut> = Vec::new();
+                merged.sort_by_key(|c| c.size());
+                for cut in merged {
+                    if !kept.iter().any(|k| k.dominates(&cut)) {
+                        kept.push(cut);
+                    }
+                }
+                kept.truncate(options.cut_limit);
+                kept.push(Cut::trivial(id));
+                kept
+            }
+        };
+        all.push(cuts);
+    }
+    CutSet { cuts: all }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aig::{small_truth_table, Aig};
+
+    fn sample() -> (Aig, Lit) {
+        let mut aig = Aig::new("sample");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let d = aig.add_input("d");
+        let ab = aig.and(a, b);
+        let cd = aig.or(c, d);
+        let f = aig.and(ab, cd);
+        aig.add_output(f, "f");
+        (aig, f)
+    }
+
+    #[test]
+    fn inputs_have_only_trivial_cut() {
+        let (aig, _) = sample();
+        let cuts = enumerate_cuts(&aig, &CutsOptions::default());
+        for &pi in aig.inputs() {
+            assert_eq!(cuts.cuts(pi).len(), 1);
+            assert_eq!(cuts.cuts(pi)[0].leaves, vec![pi]);
+        }
+    }
+
+    #[test]
+    fn root_has_full_support_cut_with_correct_truth() {
+        let (aig, f) = sample();
+        let cuts = enumerate_cuts(&aig, &CutsOptions::default());
+        let root_cuts = cuts.cuts(f.node());
+        // There must be a cut whose leaves are exactly the four inputs.
+        let inputs: Vec<NodeId> = aig.inputs().to_vec();
+        let full = root_cuts
+            .iter()
+            .find(|c| c.leaves == inputs)
+            .expect("4-input cut exists");
+        // Its truth table must match exhaustive simulation: (a&b)&(c|d).
+        let expected = small_truth_table(&aig, 0);
+        assert_eq!(full.truth, expected);
+    }
+
+    #[test]
+    fn cut_size_limit_respected() {
+        let mut aig = Aig::new("wide");
+        let inputs = aig.add_inputs("x", 10);
+        let all = aig.and_many(&inputs);
+        aig.add_output(all, "f");
+        let opts = CutsOptions {
+            cut_size: 4,
+            cut_limit: 8,
+        };
+        let cuts = enumerate_cuts(&aig, &opts);
+        for id in aig.node_ids() {
+            for cut in cuts.cuts(id) {
+                assert!(cut.size() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_limit_bounds_stored_cuts() {
+        let mut aig = Aig::new("wide");
+        let inputs = aig.add_inputs("x", 12);
+        let all = aig.or_many(&inputs);
+        aig.add_output(all, "f");
+        let opts = CutsOptions {
+            cut_size: 6,
+            cut_limit: 3,
+        };
+        let cuts = enumerate_cuts(&aig, &opts);
+        for id in aig.and_ids() {
+            // At most cut_limit non-trivial cuts plus the trivial one.
+            assert!(cuts.cuts(id).len() <= 4);
+        }
+    }
+
+    #[test]
+    fn complemented_fanins_reflected_in_truth() {
+        let mut aig = Aig::new("c");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        // f = !a & b
+        let f = aig.and(a.not(), b);
+        aig.add_output(f, "f");
+        let cuts = enumerate_cuts(&aig, &CutsOptions::default());
+        let c = cuts
+            .cuts(f.node())
+            .iter()
+            .find(|c| c.leaves.len() == 2)
+            .unwrap();
+        assert_eq!(c.truth, small_truth_table(&aig, 0));
+    }
+
+    #[test]
+    fn dominated_cuts_are_removed() {
+        let (aig, f) = sample();
+        let cuts = enumerate_cuts(&aig, &CutsOptions::default());
+        let root_cuts = cuts.cuts(f.node());
+        for (i, a) in root_cuts.iter().enumerate() {
+            for (j, b) in root_cuts.iter().enumerate() {
+                if i != j && a.leaves != b.leaves {
+                    // No stored cut strictly dominates another stored cut
+                    // (the trivial cut can never be dominated since the root
+                    // is not a leaf of any other cut).
+                    assert!(!(a.dominates(b) && a.size() < b.size()) || b.leaves == vec![f.node()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truth_tables_of_all_cuts_are_consistent() {
+        // For every cut of the output node, evaluating the cut function on
+        // leaf values obtained by simulation must reproduce the node value.
+        let (aig, f) = sample();
+        let cuts = enumerate_cuts(&aig, &CutsOptions::default());
+        for pattern in 0..16usize {
+            let bits: Vec<bool> = (0..4).map(|i| pattern >> i & 1 == 1).collect();
+            let node_value = aig.evaluate(&bits)[0];
+            // Compute each internal node's value for leaf lookup.
+            let mut values = vec![false; aig.num_nodes()];
+            for id in aig.node_ids() {
+                values[id.index()] = match aig.node(id) {
+                    AigNode::Const => false,
+                    AigNode::Input { index } => bits[*index as usize],
+                    AigNode::And { fanin0, fanin1 } => {
+                        (values[fanin0.node().index()] ^ fanin0.is_complemented())
+                            && (values[fanin1.node().index()] ^ fanin1.is_complemented())
+                    }
+                };
+            }
+            for cut in cuts.cuts(f.node()) {
+                let mut minterm = 0usize;
+                for (i, leaf) in cut.leaves.iter().enumerate() {
+                    if values[leaf.index()] {
+                        minterm |= 1 << i;
+                    }
+                }
+                assert_eq!(
+                    cut.truth >> minterm & 1 == 1,
+                    node_value,
+                    "cut {:?} pattern {pattern}",
+                    cut.leaves
+                );
+            }
+        }
+    }
+}

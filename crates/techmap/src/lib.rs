@@ -1,0 +1,83 @@
+//! Technology mapping for And-Inverter Graphs.
+//!
+//! This crate is the mapping substrate of the E-morphic reproduction. It
+//! provides the pieces the paper's synthesis flows are built from:
+//!
+//! * [`cuts`] — K-feasible *priority cut* enumeration with per-cut truth
+//!   tables (the `if -K 6 -C 8` machinery).
+//! * [`lut`] — delay-oriented LUT mapping with area-flow recovery.
+//! * [`sop`] — SOP balancing (`if -g`): delay-driven resynthesis of the
+//!   network from balanced sum-of-products forms of the selected cuts.
+//! * [`cell`] — standard-cell mapping by NPN Boolean matching against a
+//!   built-in 7-nm-style [`library`], producing area (µm²), delay (ps) and
+//!   level numbers — the QoR metrics reported throughout the paper.
+//! * [`truth`] — small truth-table utilities (cofactors, NPN canonical forms,
+//!   irredundant sum-of-products).
+//!
+//! # Quick example
+//!
+//! ```
+//! use aig::Aig;
+//! use techmap::{cell::map_to_cells, library::asap7_like};
+//!
+//! let mut aig = Aig::new("demo");
+//! let a = aig.add_input("a");
+//! let b = aig.add_input("b");
+//! let c = aig.add_input("c");
+//! let f = aig.maj3(a, b, c);
+//! aig.add_output(f, "maj");
+//! let library = asap7_like();
+//! let netlist = map_to_cells(&aig, &library, &techmap::MapOptions::default());
+//! let qor = netlist.qor();
+//! assert!(qor.area_um2 > 0.0);
+//! assert!(qor.delay_ps > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod truth;
+pub mod library;
+pub mod cuts;
+pub mod lut;
+pub mod sop;
+pub mod cell;
+pub mod verilog;
+mod qor;
+
+pub use cell::{MappedGate, Netlist};
+pub use cuts::{Cut, CutSet, CutsOptions};
+pub use library::{Cell, CellLibrary};
+pub use lut::{Lut, LutMapping};
+pub use qor::Qor;
+
+/// Options shared by the mapping passes.
+#[derive(Debug, Clone)]
+pub struct MapOptions {
+    /// Maximum cut size (K).
+    pub cut_size: usize,
+    /// Maximum number of priority cuts stored per node (C).
+    pub cut_limit: usize,
+    /// Number of area-recovery passes after the delay-oriented pass.
+    pub area_passes: usize,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions {
+            cut_size: 4,
+            cut_limit: 8,
+            area_passes: 1,
+        }
+    }
+}
+
+impl MapOptions {
+    /// The paper's LUT-mapping configuration: `if -K 6 -C 8`.
+    pub fn lut6() -> Self {
+        MapOptions {
+            cut_size: 6,
+            cut_limit: 8,
+            area_passes: 1,
+        }
+    }
+}

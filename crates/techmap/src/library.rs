@@ -1,0 +1,276 @@
+//! Standard-cell libraries.
+//!
+//! The E-morphic paper evaluates post-mapping quality with the ASAP 7-nm
+//! predictive PDK. We reproduce the role of that library with a built-in
+//! generic cell set ([`asap7_like`]) whose areas (µm²) and delays (ps) are in
+//! the same ballpark as typical 7-nm standard cells. Only the Boolean
+//! function, the area and a single pin-to-output delay matter to the mapper.
+
+use crate::truth::{expand_to_4, npn_canon4};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A combinational standard cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Cell name (e.g. `NAND2`).
+    pub name: String,
+    /// Number of inputs (at most 4).
+    pub num_inputs: usize,
+    /// Truth table over `num_inputs` variables (low `2^n` bits).
+    pub function: u16,
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Worst-case pin-to-output delay in ps.
+    pub delay_ps: f64,
+}
+
+impl Cell {
+    /// Creates a cell, checking the input arity.
+    pub fn new(
+        name: impl Into<String>,
+        num_inputs: usize,
+        function: u16,
+        area_um2: f64,
+        delay_ps: f64,
+    ) -> Self {
+        assert!(num_inputs <= 4, "cells of more than 4 inputs are not supported");
+        Cell {
+            name: name.into(),
+            num_inputs,
+            function,
+            area_um2,
+            delay_ps,
+        }
+    }
+
+    /// NPN-canonical form of the cell function (over 4 variables).
+    pub fn npn_class(&self) -> u16 {
+        npn_canon4(expand_to_4(self.function as u64, self.num_inputs))
+    }
+}
+
+/// A set of cells indexed by NPN class for Boolean matching.
+#[derive(Debug, Clone, Default)]
+pub struct CellLibrary {
+    cells: Vec<Cell>,
+    by_npn: HashMap<u16, Vec<usize>>,
+    inverter: Option<usize>,
+    buffer: Option<usize>,
+}
+
+impl CellLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        CellLibrary::default()
+    }
+
+    /// Adds a cell and indexes it by NPN class. Returns its index.
+    pub fn add(&mut self, cell: Cell) -> usize {
+        let idx = self.cells.len();
+        let class = cell.npn_class();
+        self.by_npn.entry(class).or_default().push(idx);
+        // Track special cells for phase fixing.
+        if cell.num_inputs == 1 && cell.function == 0b01 {
+            self.inverter.get_or_insert(idx);
+        }
+        if cell.num_inputs == 1 && cell.function == 0b10 {
+            self.buffer.get_or_insert(idx);
+        }
+        self.cells.push(cell);
+        idx
+    }
+
+    /// Number of cells in the library.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the library has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Returns the cell at `index`.
+    pub fn cell(&self, index: usize) -> &Cell {
+        &self.cells[index]
+    }
+
+    /// Iterates over all cells.
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.iter()
+    }
+
+    /// Returns the index of the inverter cell, if the library has one.
+    pub fn inverter(&self) -> Option<usize> {
+        self.inverter
+    }
+
+    /// Returns the index of the buffer cell, if the library has one.
+    pub fn buffer(&self) -> Option<usize> {
+        self.buffer
+    }
+
+    /// Finds the best (smallest-area) cell matching the given 4-variable
+    /// truth table up to NPN equivalence, considering only cells with at
+    /// least `min_inputs` inputs used.
+    pub fn match_function(&self, tt4: u16) -> Option<usize> {
+        let class = npn_canon4(tt4);
+        self.by_npn.get(&class).and_then(|candidates| {
+            candidates
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    self.cells[a]
+                        .area_um2
+                        .partial_cmp(&self.cells[b].area_um2)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+        })
+    }
+
+    /// Total number of distinct NPN classes covered by the library.
+    pub fn num_npn_classes(&self) -> usize {
+        self.by_npn.len()
+    }
+}
+
+/// Truth-table helpers for building libraries (2-input tables use bits 0..4,
+/// 3-input tables bits 0..8, 4-input tables bits 0..16).
+mod tt {
+    pub const A: u16 = 0xAAAA;
+    pub const B: u16 = 0xCCCC;
+    pub const C: u16 = 0xF0F0;
+    pub const D: u16 = 0xFF00;
+
+    pub const fn mask(n: usize) -> u16 {
+        if n >= 4 {
+            0xFFFF
+        } else {
+            (1u16 << (1usize << n)) - 1
+        }
+    }
+}
+
+/// Builds the built-in 7-nm-style generic library used throughout the
+/// reproduction (the ASAP7 stand-in).
+///
+/// Areas are in µm² and delays in ps, chosen to be representative of a
+/// 7.5-track 7-nm library: an inverter is ~0.05 µm² and ~10 ps, a NAND2
+/// ~0.07 µm² and ~14 ps, with complex cells scaled accordingly.
+pub fn asap7_like() -> CellLibrary {
+    use tt::{mask, A, B, C, D};
+    let mut lib = CellLibrary::new();
+    let m2 = mask(2);
+    let m3 = mask(3);
+    let m4 = mask(4);
+
+    // Single-input cells.
+    lib.add(Cell::new("INVx1", 1, !A & mask(1), 0.0486, 10.0));
+    lib.add(Cell::new("BUFx2", 1, A & mask(1), 0.0648, 16.0));
+
+    // Two-input cells.
+    lib.add(Cell::new("NAND2x1", 2, !(A & B) & m2, 0.0648, 14.0));
+    lib.add(Cell::new("NOR2x1", 2, !(A | B) & m2, 0.0648, 15.0));
+    lib.add(Cell::new("AND2x2", 2, A & B & m2, 0.0810, 20.0));
+    lib.add(Cell::new("OR2x2", 2, (A | B) & m2, 0.0810, 21.0));
+    lib.add(Cell::new("XOR2x1", 2, (A ^ B) & m2, 0.1134, 26.0));
+    lib.add(Cell::new("XNOR2x1", 2, !(A ^ B) & m2, 0.1134, 26.0));
+
+    // Three-input cells.
+    lib.add(Cell::new("NAND3x1", 3, !(A & B & C) & m3, 0.0810, 18.0));
+    lib.add(Cell::new("NOR3x1", 3, !(A | B | C) & m3, 0.0810, 20.0));
+    lib.add(Cell::new("AND3x1", 3, A & B & C & m3, 0.0972, 24.0));
+    lib.add(Cell::new("OR3x1", 3, (A | B | C) & m3, 0.0972, 25.0));
+    lib.add(Cell::new("AOI21x1", 3, !((A & B) | C) & m3, 0.0810, 17.0));
+    lib.add(Cell::new("OAI21x1", 3, !((A | B) & C) & m3, 0.0810, 17.0));
+    lib.add(Cell::new("AO21x1", 3, ((A & B) | C) & m3, 0.0972, 23.0));
+    lib.add(Cell::new("OA21x1", 3, ((A | B) & C) & m3, 0.0972, 23.0));
+    lib.add(Cell::new("MAJ3x1", 3, ((A & B) | (B & C) | (A & C)) & m3, 0.1296, 27.0));
+    lib.add(Cell::new("XOR3x1", 3, (A ^ B ^ C) & m3, 0.1782, 34.0));
+    lib.add(Cell::new("MUX2x1", 3, ((C & A) | (!C & B)) & m3, 0.1134, 25.0));
+
+    // Four-input cells.
+    lib.add(Cell::new("NAND4x1", 4, !(A & B & C & D) & m4, 0.0972, 22.0));
+    lib.add(Cell::new("NOR4x1", 4, !(A | B | C | D) & m4, 0.0972, 25.0));
+    lib.add(Cell::new("AND4x1", 4, A & B & C & D & m4, 0.1134, 27.0));
+    lib.add(Cell::new("OR4x1", 4, (A | B | C | D) & m4, 0.1134, 28.0));
+    lib.add(Cell::new("AOI22x1", 4, !((A & B) | (C & D)) & m4, 0.0972, 20.0));
+    lib.add(Cell::new("OAI22x1", 4, !((A | B) & (C | D)) & m4, 0.0972, 20.0));
+    lib.add(Cell::new("AO22x1", 4, ((A & B) | (C & D)) & m4, 0.1134, 26.0));
+    lib.add(Cell::new("OA22x1", 4, ((A | B) & (C | D)) & m4, 0.1134, 26.0));
+    lib.add(Cell::new("AOI211x1", 4, !((A & B) | C | D) & m4, 0.0972, 21.0));
+    lib.add(Cell::new("OAI211x1", 4, !((A | B) & C & D) & m4, 0.0972, 21.0));
+
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::full_mask;
+
+    #[test]
+    fn builtin_library_is_well_formed() {
+        let lib = asap7_like();
+        assert!(lib.len() >= 25);
+        assert!(!lib.is_empty());
+        assert!(lib.inverter().is_some());
+        assert!(lib.buffer().is_some());
+        for cell in lib.cells() {
+            assert!(cell.area_um2 > 0.0, "{}", cell.name);
+            assert!(cell.delay_ps > 0.0, "{}", cell.name);
+            assert!(cell.num_inputs >= 1 && cell.num_inputs <= 4);
+            // The function must fit in 2^n bits.
+            let extra = (cell.function as u64) & !full_mask(cell.num_inputs);
+            assert_eq!(extra, 0, "{} has bits outside its arity", cell.name);
+        }
+    }
+
+    #[test]
+    fn inverter_and_buffer_identified() {
+        let lib = asap7_like();
+        assert_eq!(lib.cell(lib.inverter().unwrap()).name, "INVx1");
+        assert_eq!(lib.cell(lib.buffer().unwrap()).name, "BUFx2");
+    }
+
+    #[test]
+    fn matching_finds_nand_class_for_and() {
+        let lib = asap7_like();
+        // a & b as a 4-var table.
+        let and_tt = expand_to_4(0b1000, 2);
+        let idx = lib.match_function(and_tt).expect("AND matches");
+        // The cheapest cell in the AND/NAND/NOR/OR NPN class is a NAND2 or NOR2.
+        let name = &lib.cell(idx).name;
+        assert!(
+            name.starts_with("NAND2") || name.starts_with("NOR2"),
+            "unexpected match {name}"
+        );
+    }
+
+    #[test]
+    fn matching_rejects_unknown_functions() {
+        let lib = asap7_like();
+        // A random-looking 4-input function unlikely to be in the library.
+        assert!(lib.match_function(0x1ee7).is_none());
+    }
+
+    #[test]
+    fn npn_classes_are_fewer_than_cells() {
+        // NAND2/NOR2/AND2/OR2 collapse into one class, so classes < cells.
+        let lib = asap7_like();
+        assert!(lib.num_npn_classes() < lib.len());
+        assert!(lib.num_npn_classes() >= 10);
+    }
+
+    #[test]
+    fn match_prefers_smaller_area_cell() {
+        let mut lib = CellLibrary::new();
+        let big = Cell::new("BIGAND", 2, 0b1000, 1.0, 5.0);
+        let small = Cell::new("SMALLNAND", 2, 0b0111, 0.3, 5.0);
+        lib.add(big);
+        lib.add(small);
+        let idx = lib.match_function(expand_to_4(0b1000, 2)).unwrap();
+        assert_eq!(lib.cell(idx).name, "SMALLNAND");
+    }
+}

@@ -1,0 +1,348 @@
+//! Delay-oriented K-LUT mapping with area-flow recovery.
+//!
+//! This is the `if -K k -C c` analogue: every AND node picks the cut that
+//! minimizes its arrival time (LUT levels), an optional area-flow pass then
+//! re-selects cuts off the critical path to reduce the LUT count, and the
+//! final cover is derived from the primary outputs.
+
+use crate::cuts::{enumerate_cuts, Cut, CutsOptions};
+use crate::MapOptions;
+use aig::{Aig, AigNode, NodeId};
+
+/// One mapped LUT: a root node implemented as a lookup table over the cut
+/// leaves.
+#[derive(Debug, Clone)]
+pub struct Lut {
+    /// The AND node implemented by this LUT.
+    pub root: NodeId,
+    /// The selected cut (leaves + truth table).
+    pub cut: Cut,
+}
+
+/// The result of LUT mapping.
+#[derive(Debug, Clone)]
+pub struct LutMapping {
+    /// Selected LUTs in topological order (fanins before fanouts).
+    pub luts: Vec<Lut>,
+    /// LUT depth of the mapping (levels on the longest PI→PO path).
+    pub depth: u32,
+    /// Per-node arrival times in LUT levels (0 for inputs/constants).
+    pub arrival: Vec<u32>,
+}
+
+impl LutMapping {
+    /// Number of LUTs in the cover.
+    pub fn num_luts(&self) -> usize {
+        self.luts.len()
+    }
+}
+
+struct Choice {
+    cut_index: usize,
+    arrival: u32,
+    area_flow: f64,
+}
+
+/// Maps `aig` onto K-input LUTs.
+pub fn map_to_luts(aig: &Aig, options: &MapOptions) -> LutMapping {
+    let cut_options = CutsOptions {
+        cut_size: options.cut_size,
+        cut_limit: options.cut_limit,
+    };
+    let cuts = enumerate_cuts(aig, &cut_options);
+    let fanouts = aig.fanout_counts();
+
+    let mut arrival = vec![0u32; aig.num_nodes()];
+    let mut area_flow = vec![0f64; aig.num_nodes()];
+    let mut choice: Vec<Option<Choice>> = (0..aig.num_nodes()).map(|_| None).collect();
+
+    // Delay-oriented pass.
+    for id in aig.and_ids() {
+        let node_cuts = cuts.cuts(id);
+        let mut best: Option<Choice> = None;
+        for (ci, cut) in node_cuts.iter().enumerate() {
+            if cut.leaves == [id] {
+                continue; // trivial cut cannot implement the node
+            }
+            let arr = 1 + cut.leaves.iter().map(|l| arrival[l.index()]).max().unwrap_or(0);
+            let af = 1.0
+                + cut
+                    .leaves
+                    .iter()
+                    .map(|l| area_flow[l.index()] / f64::max(1.0, fanouts[l.index()] as f64))
+                    .sum::<f64>();
+            let better = match &best {
+                None => true,
+                Some(b) => (arr, af) < (b.arrival, b.area_flow),
+            };
+            if better {
+                best = Some(Choice {
+                    cut_index: ci,
+                    arrival: arr,
+                    area_flow: af,
+                });
+            }
+        }
+        let best = best.expect("every AND node has at least one non-trivial cut");
+        arrival[id.index()] = best.arrival;
+        area_flow[id.index()] = best.area_flow;
+        choice[id.index()] = Some(best);
+    }
+
+    let depth = aig
+        .outputs()
+        .iter()
+        .map(|l| arrival[l.node().index()])
+        .max()
+        .unwrap_or(0);
+
+    // Area-flow recovery passes: keep arrival within the required time while
+    // minimizing area flow.
+    for _ in 0..options.area_passes {
+        let required = compute_required(aig, &cuts, &choice, depth);
+        for id in aig.and_ids() {
+            let node_cuts = cuts.cuts(id);
+            let mut best: Option<Choice> = None;
+            for (ci, cut) in node_cuts.iter().enumerate() {
+                if cut.leaves == [id] {
+                    continue;
+                }
+                let arr = 1 + cut.leaves.iter().map(|l| arrival[l.index()]).max().unwrap_or(0);
+                if arr > required[id.index()] {
+                    continue;
+                }
+                let af = 1.0
+                    + cut
+                        .leaves
+                        .iter()
+                        .map(|l| area_flow[l.index()] / f64::max(1.0, fanouts[l.index()] as f64))
+                        .sum::<f64>();
+                let better = match &best {
+                    None => true,
+                    Some(b) => (af, arr) < (b.area_flow, b.arrival),
+                };
+                if better {
+                    best = Some(Choice {
+                        cut_index: ci,
+                        arrival: arr,
+                        area_flow: af,
+                    });
+                }
+            }
+            if let Some(best) = best {
+                arrival[id.index()] = best.arrival;
+                area_flow[id.index()] = best.area_flow;
+                choice[id.index()] = Some(best);
+            }
+        }
+    }
+
+    // Derive the cover from the outputs.
+    let mut needed = vec![false; aig.num_nodes()];
+    let mut stack: Vec<NodeId> = aig
+        .outputs()
+        .iter()
+        .map(|l| l.node())
+        .filter(|n| aig.node(*n).is_and())
+        .collect();
+    while let Some(id) = stack.pop() {
+        if needed[id.index()] {
+            continue;
+        }
+        needed[id.index()] = true;
+        let ch = choice[id.index()].as_ref().expect("mapped node");
+        for leaf in &cuts.cuts(id)[ch.cut_index].leaves {
+            if aig.node(*leaf).is_and() {
+                stack.push(*leaf);
+            }
+        }
+    }
+
+    let mut luts = Vec::new();
+    for id in aig.and_ids() {
+        if needed[id.index()] {
+            let ch = choice[id.index()].as_ref().expect("mapped node");
+            luts.push(Lut {
+                root: id,
+                cut: cuts.cuts(id)[ch.cut_index].clone(),
+            });
+        }
+    }
+
+    LutMapping {
+        luts,
+        depth,
+        arrival,
+    }
+}
+
+fn compute_required(
+    aig: &Aig,
+    cuts: &crate::cuts::CutSet,
+    choice: &[Option<Choice>],
+    depth: u32,
+) -> Vec<u32> {
+    let mut required = vec![u32::MAX; aig.num_nodes()];
+    for po in aig.outputs() {
+        let idx = po.node().index();
+        required[idx] = depth;
+    }
+    // Reverse topological order.
+    for id in aig.and_ids().collect::<Vec<_>>().into_iter().rev() {
+        if required[id.index()] == u32::MAX {
+            continue;
+        }
+        if let Some(ch) = &choice[id.index()] {
+            let req = required[id.index()].saturating_sub(1);
+            for leaf in &cuts.cuts(id)[ch.cut_index].leaves {
+                if required[leaf.index()] > req {
+                    required[leaf.index()] = req;
+                }
+            }
+        }
+    }
+    // Unconstrained nodes keep a permissive requirement.
+    for r in &mut required {
+        if *r == u32::MAX {
+            *r = depth;
+        }
+    }
+    required
+}
+
+/// Evaluates a LUT mapping on one input pattern (used for verification).
+pub fn evaluate_mapping(aig: &Aig, mapping: &LutMapping, inputs: &[bool]) -> Vec<bool> {
+    let mut values = vec![false; aig.num_nodes()];
+    for (i, &input) in aig.inputs().iter().enumerate() {
+        values[input.index()] = inputs[i];
+    }
+    for lut in &mapping.luts {
+        let mut minterm = 0usize;
+        for (i, leaf) in lut.cut.leaves.iter().enumerate() {
+            if values[leaf.index()] {
+                minterm |= 1 << i;
+            }
+        }
+        values[lut.root.index()] = lut.cut.truth >> minterm & 1 == 1;
+    }
+    aig.outputs()
+        .iter()
+        .map(|po| {
+            let base = match aig.node(po.node()) {
+                AigNode::Const => false,
+                _ => values[po.node().index()],
+            };
+            base ^ po.is_complemented()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adder(width: usize) -> Aig {
+        let mut aig = Aig::new("adder");
+        let a: Vec<_> = (0..width).map(|i| aig.add_input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..width).map(|i| aig.add_input(format!("b{i}"))).collect();
+        let mut carry = aig::Lit::FALSE;
+        for i in 0..width {
+            let axb = aig.xor(a[i], b[i]);
+            let sum = aig.xor(axb, carry);
+            let cout = aig.maj3(a[i], b[i], carry);
+            aig.add_output(sum, format!("s{i}"));
+            carry = cout;
+        }
+        aig.add_output(carry, "cout");
+        aig
+    }
+
+    #[test]
+    fn mapping_preserves_function() {
+        let aig = adder(3);
+        let mapping = map_to_luts(&aig, &MapOptions::lut6());
+        for pattern in 0..64usize {
+            let bits: Vec<bool> = (0..6).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(
+                evaluate_mapping(&aig, &mapping, &bits),
+                aig.evaluate(&bits),
+                "pattern {pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn lut6_depth_not_worse_than_lut4() {
+        let aig = adder(8);
+        let m6 = map_to_luts(&aig, &MapOptions::lut6());
+        let m4 = map_to_luts(
+            &aig,
+            &MapOptions {
+                cut_size: 4,
+                cut_limit: 8,
+                area_passes: 1,
+            },
+        );
+        assert!(m6.depth <= m4.depth);
+        assert!(m6.depth >= 1);
+    }
+
+    #[test]
+    fn depth_is_much_smaller_than_aig_depth() {
+        let aig = adder(8);
+        let mapping = map_to_luts(&aig, &MapOptions::lut6());
+        assert!(u32::from(mapping.depth) < aig.depth());
+        assert!(mapping.num_luts() < aig.num_ands());
+    }
+
+    #[test]
+    fn cover_contains_output_roots() {
+        let aig = adder(2);
+        let mapping = map_to_luts(&aig, &MapOptions::default());
+        for po in aig.outputs() {
+            if aig.node(po.node()).is_and() {
+                assert!(
+                    mapping.luts.iter().any(|l| l.root == po.node()),
+                    "output root {:?} not covered",
+                    po.node()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn area_pass_does_not_increase_depth() {
+        let aig = adder(6);
+        let with_area = map_to_luts(&aig, &MapOptions::lut6());
+        let without_area = map_to_luts(
+            &aig,
+            &MapOptions {
+                cut_size: 6,
+                cut_limit: 8,
+                area_passes: 0,
+            },
+        );
+        assert_eq!(with_area.depth, without_area.depth);
+        assert!(with_area.num_luts() <= without_area.num_luts() + 2);
+    }
+
+    #[test]
+    fn constant_and_passthrough_outputs() {
+        let mut aig = Aig::new("t");
+        let a = aig.add_input("a");
+        aig.add_output(aig::Lit::TRUE, "one");
+        aig.add_output(a, "a");
+        aig.add_output(a.not(), "na");
+        let mapping = map_to_luts(&aig, &MapOptions::default());
+        assert_eq!(mapping.num_luts(), 0);
+        assert_eq!(mapping.depth, 0);
+        assert_eq!(
+            evaluate_mapping(&aig, &mapping, &[true]),
+            vec![true, true, false]
+        );
+        assert_eq!(
+            evaluate_mapping(&aig, &mapping, &[false]),
+            vec![true, false, true]
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Structural Verilog writer for mapped netlists.
+//!
+//! The mapped [`Netlist`](crate::Netlist) can be dumped as a gate-level
+//! Verilog module instantiating the library cells, which is the natural hand-
+//! off point to downstream place-and-route or sign-off tools.
+
+use crate::cell::{Netlist, OutputDriver};
+use aig::{Aig, NodeId};
+
+fn wire_name(aig: &Aig, node: NodeId) -> String {
+    match aig.node(node) {
+        aig::AigNode::Input { index } => sanitize(aig.input_name(*index as usize)),
+        _ => format!("n{}", node.0),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("w_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+/// Emits the mapped netlist as a structural Verilog module.
+///
+/// Cell pins are named `a`, `b`, `c`, `d` in leaf order with output `y`,
+/// matching the generic library of this workspace.
+pub fn write_verilog(netlist: &Netlist, aig: &Aig) -> String {
+    let module = sanitize(&netlist.name);
+    let inputs: Vec<String> = aig.input_names().iter().map(|n| sanitize(n)).collect();
+    let outputs: Vec<String> = aig.output_names().iter().map(|n| sanitize(n)).collect();
+
+    let mut out = String::new();
+    out.push_str(&format!("// mapped by the emorphic workspace: {:.2} um2, {:.2} ps, {} levels\n",
+        netlist.area_um2(), netlist.delay_ps(), netlist.levels()));
+    out.push_str(&format!("module {module} (\n"));
+    let mut ports: Vec<String> = inputs.iter().map(|n| format!("  input  wire {n}")).collect();
+    ports.extend(outputs.iter().map(|n| format!("  output wire {n}")));
+    out.push_str(&ports.join(",\n"));
+    out.push_str("\n);\n\n");
+
+    // Internal wires: one per mapped gate root.
+    for gate in &netlist.gates {
+        out.push_str(&format!("  wire n{};\n", gate.root.0));
+    }
+    out.push('\n');
+
+    // Gate instances.
+    for (index, gate) in netlist.gates.iter().enumerate() {
+        let pins: Vec<String> = gate
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(i, leaf)| {
+                let pin = (b'a' + i as u8) as char;
+                format!(".{pin}({})", wire_name(aig, *leaf))
+            })
+            .collect();
+        out.push_str(&format!(
+            "  {} u{index} ({}, .y(n{}));\n",
+            gate.cell_name,
+            pins.join(", "),
+            gate.root.0
+        ));
+    }
+    out.push('\n');
+
+    // Output assignments (inverters become explicit instances).
+    let mut inv_index = 0usize;
+    for (i, driver) in netlist.outputs.iter().enumerate() {
+        let name = &outputs[i];
+        match driver {
+            OutputDriver::Constant(value) => {
+                out.push_str(&format!("  assign {name} = 1'b{};\n", u8::from(*value)));
+            }
+            OutputDriver::Direct(node) => {
+                out.push_str(&format!("  assign {name} = {};\n", wire_name(aig, *node)));
+            }
+            OutputDriver::Inverted(node) => {
+                out.push_str(&format!(
+                    "  INVx1 u_inv{inv_index} (.a({}), .y({name}));\n",
+                    wire_name(aig, *node)
+                ));
+                inv_index += 1;
+            }
+        }
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::map_to_cells;
+    use crate::library::asap7_like;
+    use crate::MapOptions;
+
+    fn mapped_sample() -> (Aig, Netlist) {
+        let mut aig = Aig::new("sample top");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b[1]");
+        let c = aig.add_input("3c");
+        let x = aig.xor(a, b);
+        let f = aig.mux(c, x, a);
+        aig.add_output(f, "f");
+        aig.add_output(f.not(), "f_n");
+        aig.add_output(aig::Lit::TRUE, "const_one");
+        let netlist = map_to_cells(&aig, &asap7_like(), &MapOptions::default());
+        (aig, netlist)
+    }
+
+    #[test]
+    fn verilog_module_has_all_ports_and_instances() {
+        let (aig, netlist) = mapped_sample();
+        let text = write_verilog(&netlist, &aig);
+        assert!(text.contains("module sample_top ("));
+        assert!(text.contains("input  wire a"));
+        assert!(text.contains("input  wire b_1_"));
+        assert!(text.contains("input  wire w_3c"));
+        assert!(text.contains("output wire f"));
+        assert!(text.contains("endmodule"));
+        // One instance per mapped gate plus one inverter for the inverted output.
+        assert_eq!(text.matches(" u").count() >= netlist.gates.len(), true);
+        assert!(text.contains("INVx1 u_inv0"));
+        assert!(text.contains("assign const_one = 1'b1;"));
+    }
+
+    #[test]
+    fn identifiers_are_sanitized() {
+        let (aig, netlist) = mapped_sample();
+        let text = write_verilog(&netlist, &aig);
+        assert!(!text.contains("b[1]"));
+        assert!(!text.contains(" 3c"));
+    }
+
+    #[test]
+    fn every_gate_output_wire_is_declared() {
+        let (aig, netlist) = mapped_sample();
+        let text = write_verilog(&netlist, &aig);
+        for gate in &netlist.gates {
+            assert!(text.contains(&format!("wire n{};", gate.root.0)));
+        }
+    }
+}

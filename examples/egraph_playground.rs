@@ -1,0 +1,80 @@
+//! The e-graph engine on its own: build an e-graph from Boolean expressions,
+//! apply the Table I rewrite rules, inspect the equivalence classes, extract
+//! with different cost functions, and dump the Fig. 7 intermediate DSL.
+//!
+//! Run with: `cargo run --example egraph_playground --release`
+
+use egraph::{AstDepth, AstSize, EGraph, Extractor, RecExpr, Runner, StopReason};
+use emorphic::dsl::DslDocument;
+use emorphic::lang::BoolLang;
+use emorphic::{aig_to_egraph, all_rules, table1_rules};
+
+fn main() {
+    // 1. Terms can be written directly as s-expressions over the Boolean
+    //    language: x<i> are primary inputs.
+    let distributed: RecExpr<BoolLang> = "(| (& x0 x1) (& x0 x2))".parse().unwrap();
+    let factored: RecExpr<BoolLang> = "(& x0 (| x1 x2))".parse().unwrap();
+
+    let mut egraph: EGraph<BoolLang> = EGraph::new();
+    let id_distributed = egraph.add_expr(&distributed);
+    let id_factored = egraph.add_expr(&factored);
+    egraph.rebuild();
+    println!(
+        "before rewriting: {} classes, same class? {}",
+        egraph.num_classes(),
+        egraph.same(id_distributed, id_factored)
+    );
+
+    // 2. Equality saturation with the Table I rules proves them equivalent.
+    let runner = Runner::with_egraph(egraph)
+        .with_root(id_distributed)
+        .with_iter_limit(8)
+        .run(&table1_rules());
+    println!(
+        "after rewriting : {} classes / {} e-nodes, stop reason {:?}, equivalent? {}",
+        runner.egraph.num_classes(),
+        runner.egraph.total_nodes(),
+        runner.stop_reason.clone().unwrap_or(StopReason::Saturated),
+        runner.egraph.same(id_distributed, id_factored)
+    );
+
+    // 3. Extraction under different cost functions.
+    let size_extractor = Extractor::new(&runner.egraph, AstSize);
+    let (size_cost, smallest) = size_extractor.find_best(id_distributed);
+    let depth_extractor = Extractor::new(&runner.egraph, AstDepth);
+    let (depth_cost, shallowest) = depth_extractor.find_best(id_distributed);
+    println!("smallest equivalent term  (size {size_cost}): {smallest}");
+    println!("shallowest equivalent term (depth {depth_cost}): {shallowest}");
+
+    // 4. The same machinery applied to a whole circuit via DAG-to-DAG
+    //    conversion, plus the Fig. 7 intermediate DSL.
+    let circuit = benchgen::adder(4).aig;
+    let conversion = aig_to_egraph(&circuit);
+    println!(
+        "\nadder(4): {} AND nodes -> {} e-classes ({} e-nodes) in {:?}",
+        circuit.num_ands(),
+        conversion.egraph.num_classes(),
+        conversion.egraph.total_nodes(),
+        conversion.forward_time
+    );
+    let runner = Runner::with_egraph(conversion.egraph.clone())
+        .with_iter_limit(3)
+        .with_node_limit(20_000)
+        .run(&all_rules());
+    println!(
+        "after 3 rewriting iterations: {} e-classes, {} e-nodes",
+        runner.egraph.num_classes(),
+        runner.egraph.total_nodes()
+    );
+
+    let doc = DslDocument::from_conversion(&conversion);
+    let json = doc.to_json();
+    println!(
+        "\nintermediate DSL (Fig. 7): {} classes, {} bytes of JSON; first lines:",
+        doc.egraph.num_classes(),
+        json.len()
+    );
+    for line in json.lines().take(12) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: run the E-morphic flow on a small arithmetic circuit and
+//! compare it with the conventional delay-oriented baseline.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use emorphic::flow::{baseline_flow, emorphic_flow, FlowConfig};
+
+fn main() {
+    // 1. Build (or load) a circuit. Here: a 12-bit ripple-carry adder from the
+    //    benchmark generators; `aig::io::read_aiger` / `read_eqn` can load
+    //    external circuits instead.
+    let circuit = benchgen::adder(12).aig;
+    println!(
+        "input circuit: {} ({} inputs, {} outputs, {} AND nodes, depth {})",
+        circuit.name(),
+        circuit.num_inputs(),
+        circuit.num_outputs(),
+        circuit.num_ands(),
+        circuit.depth()
+    );
+
+    // 2. Configure the flows. `FlowConfig::paper()` matches the paper's
+    //    setting; `fast()` is a reduced configuration for quick runs.
+    let config = FlowConfig::fast();
+
+    // 3. The conventional delay-oriented baseline:
+    //    (st; if -g -K 6 -C 8)(st; dch; map) repeated.
+    let baseline = baseline_flow(&circuit, &config);
+    println!("\nbaseline flow      : {}", baseline.qor);
+
+    // 4. The E-morphic flow: the same rounds, with e-graph based structural
+    //    exploration (rewriting + simulated-annealing extraction) inserted
+    //    before the final mapping round.
+    let emorphic = emorphic_flow(&circuit, &config);
+    println!("E-morphic flow     : {}", emorphic.qor);
+    println!(
+        "e-graph after rewriting: {} e-nodes in {} e-classes",
+        emorphic.egraph_nodes, emorphic.egraph_classes
+    );
+    println!("equivalence checked: {}", emorphic.verified);
+
+    // 5. Compare.
+    let improvement = emorphic.qor.improvement_over(&baseline.qor);
+    println!(
+        "\nimprovement vs baseline: area {:+.1}%, delay {:+.1}%, levels {:+.1}%",
+        improvement.area_pct, improvement.delay_pct, improvement.level_pct
+    );
+    let (conventional, conversion, extraction) = emorphic.breakdown.percentages();
+    println!(
+        "runtime breakdown: {conventional:.0}% conventional flow, {conversion:.0}% conversion, {extraction:.0}% SA extraction"
+    );
+}

@@ -1,0 +1,68 @@
+//! Workspace integration tests: the complete E-morphic flow on several
+//! benchmark circuits, spanning every crate in the workspace.
+
+use cec::{check_equivalence, CecOptions};
+use emorphic::flow::{baseline_flow, emorphic_flow, FlowConfig};
+
+fn tiny_suite() -> Vec<benchgen::BenchCircuit> {
+    // A cross-section of the benchmark families at very small sizes.
+    vec![
+        benchgen::adder(6),
+        benchgen::multiplier(4),
+        benchgen::arbiter(8),
+        benchgen::mem_ctrl(5),
+    ]
+}
+
+#[test]
+fn baseline_flow_runs_on_every_circuit_family() {
+    let config = FlowConfig::fast();
+    for circuit in tiny_suite() {
+        let result = baseline_flow(&circuit.aig, &config);
+        assert!(result.qor.area_um2 > 0.0, "{}", circuit.name);
+        assert!(result.qor.delay_ps > 0.0, "{}", circuit.name);
+        assert_eq!(result.qor.name, circuit.name);
+        // The final technology-independent network is still equivalent.
+        let check = check_equivalence(&circuit.aig, &result.final_aig, &CecOptions::default());
+        assert!(check.is_equivalent(), "{}: {:?}", circuit.name, check);
+    }
+}
+
+#[test]
+fn emorphic_flow_is_equivalence_preserving_end_to_end() {
+    let config = FlowConfig::fast();
+    for circuit in tiny_suite() {
+        let result = emorphic_flow(&circuit.aig, &config);
+        assert!(result.verified, "{} failed internal verification", circuit.name);
+        let check = check_equivalence(&circuit.aig, &result.final_aig, &CecOptions::default());
+        assert!(check.is_equivalent(), "{}: {:?}", circuit.name, check);
+        assert!(result.egraph_nodes >= result.egraph_classes);
+        assert!(result.egraph_classes > 0);
+    }
+}
+
+#[test]
+fn emorphic_explores_more_structures_than_it_started_with() {
+    let config = FlowConfig::fast();
+    let circuit = benchgen::adder(8);
+    let result = emorphic_flow(&circuit.aig, &config);
+    // After rewriting there must be strictly more e-nodes than e-classes:
+    // multiple structural choices per signal (the paper's core premise).
+    assert!(
+        result.egraph_nodes > result.egraph_classes,
+        "{} e-nodes vs {} e-classes",
+        result.egraph_nodes,
+        result.egraph_classes
+    );
+}
+
+#[test]
+fn flow_runtime_breakdown_is_consistent() {
+    let config = FlowConfig::fast();
+    let result = emorphic_flow(&benchgen::adder(6).aig, &config);
+    let total = result.breakdown.total();
+    assert!(total <= result.runtime + std::time::Duration::from_millis(200));
+    let (a, b, c) = result.breakdown.percentages();
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0);
+    assert!((a + b + c - 100.0).abs() < 1.0);
+}
