@@ -14,7 +14,10 @@ pub fn to_dot(aig: &Aig) -> String {
     for id in aig.node_ids() {
         match aig.node(id) {
             AigNode::Const => {
-                out.push_str(&format!("  n{} [label=\"0\", shape=box, style=filled, fillcolor=gray];\n", id.0));
+                out.push_str(&format!(
+                    "  n{} [label=\"0\", shape=box, style=filled, fillcolor=gray];\n",
+                    id.0
+                ));
             }
             AigNode::Input { index } => {
                 out.push_str(&format!(

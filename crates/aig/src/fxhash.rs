@@ -109,6 +109,9 @@ mod tests {
     #[test]
     fn handles_arbitrary_byte_slices() {
         assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
-        assert_ne!(hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9]), hash_of(&[1u8, 2, 3]));
+        assert_ne!(
+            hash_of(&[1u8, 2, 3, 4, 5, 6, 7, 8, 9]),
+            hash_of(&[1u8, 2, 3])
+        );
     }
 }

@@ -106,12 +106,16 @@ pub fn read_aiger(text: &str) -> Result<Aig> {
             .ok_or_else(|| AigError::Parse("missing input line".into()))?;
         let raw = parse_num(line.trim())?;
         if raw % 2 != 0 {
-            return Err(AigError::Parse(format!("input literal {raw} is complemented")));
+            return Err(AigError::Parse(format!(
+                "input literal {raw} is complemented"
+            )));
         }
         let lit = aig.add_input(format!("i{i}"));
         let var = raw / 2;
         if var as usize >= lit_map.len() {
-            return Err(AigError::Parse(format!("input variable {var} exceeds max {max_var}")));
+            return Err(AigError::Parse(format!(
+                "input variable {var} exceeds max {max_var}"
+            )));
         }
         lit_map[var as usize] = Some(lit);
         input_vars.push(var);
@@ -148,11 +152,10 @@ pub fn read_aiger(text: &str) -> Result<Aig> {
     for (lhs, rhs0, rhs1) in &and_defs {
         let resolve = |raw: u32, lit_map: &[Option<Lit>]| -> Result<Lit> {
             let var = (raw / 2) as usize;
-            let base = lit_map
-                .get(var)
-                .copied()
-                .flatten()
-                .ok_or_else(|| AigError::Parse(format!("literal {raw} used before definition")))?;
+            let base =
+                lit_map.get(var).copied().flatten().ok_or_else(|| {
+                    AigError::Parse(format!("literal {raw} used before definition"))
+                })?;
             Ok(base.xor(raw % 2 == 1))
         };
         let a = resolve(*rhs0, &lit_map)?;
@@ -209,8 +212,12 @@ pub fn read_aiger(text: &str) -> Result<Aig> {
     }
     for id in aig.and_ids() {
         let (f0, f1) = aig.fanins(id);
-        let a = map[f0.node().index()].expect("topological").xor(f0.is_complemented());
-        let b = map[f1.node().index()].expect("topological").xor(f1.is_complemented());
+        let a = map[f0.node().index()]
+            .expect("topological")
+            .xor(f0.is_complemented());
+        let b = map[f1.node().index()]
+            .expect("topological")
+            .xor(f1.is_complemented());
         map[id.index()] = Some(named.and(a, b));
     }
     for (idx, raw) in output_raws.iter().enumerate() {

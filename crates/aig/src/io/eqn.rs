@@ -31,7 +31,11 @@ pub fn write_eqn(aig: &Aig) -> String {
     let name_of = |lit: Lit, aig: &Aig| -> String {
         let base = if lit.node() == crate::NodeId::CONST {
             // Complemented constant-false is constant-true.
-            return if lit.is_complemented() { "1".into() } else { "0".into() };
+            return if lit.is_complemented() {
+                "1".into()
+            } else {
+                "0".into()
+            };
         } else {
             match aig.node(lit.node()) {
                 crate::AigNode::Input { index } => aig.input_name(*index as usize).to_string(),
@@ -55,11 +59,7 @@ pub fn write_eqn(aig: &Aig) -> String {
         ));
     }
     for (i, &po) in aig.outputs().iter().enumerate() {
-        out.push_str(&format!(
-            "{} = {};\n",
-            aig.output_name(i),
-            name_of(po, aig)
-        ));
+        out.push_str(&format!("{} = {};\n", aig.output_name(i), name_of(po, aig)));
     }
     out
 }

@@ -27,19 +27,19 @@
 
 #![warn(missing_docs)]
 
+mod cone;
+pub mod dot;
 mod fxhash;
+pub mod io;
 mod lit;
 mod network;
-mod cone;
 mod sim;
-pub mod dot;
 mod stats;
-pub mod io;
 
+pub use cone::{extract_cone, mffc_size, tfi, Cone, TopoIter};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use lit::{Lit, NodeId};
 pub use network::{Aig, AigNode};
-pub use cone::{extract_cone, mffc_size, tfi, Cone, TopoIter};
 pub use sim::{small_truth_table, SimVector, Simulator};
 pub use stats::AigStats;
 

@@ -85,8 +85,12 @@ impl Lit {
     }
 
     /// Returns the complemented version of this literal.
+    ///
+    /// Equivalent to the `!` operator; the named form reads better in
+    /// iterator chains and closures.
     #[inline]
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Lit {
         Lit(self.0 ^ 1)
     }

@@ -412,13 +412,19 @@ impl Aig {
         // Nodes are already topologically ordered.
         for (i, node) in self.nodes.iter().enumerate() {
             if let AigNode::And { fanin0, fanin1 } = node {
-                let a = map[fanin0.node().index()].expect("fanin visited").xor(fanin0.is_complemented());
-                let b = map[fanin1.node().index()].expect("fanin visited").xor(fanin1.is_complemented());
+                let a = map[fanin0.node().index()]
+                    .expect("fanin visited")
+                    .xor(fanin0.is_complemented());
+                let b = map[fanin1.node().index()]
+                    .expect("fanin visited")
+                    .xor(fanin1.is_complemented());
                 map[i] = Some(fresh.and(a, b));
             }
         }
         for (idx, lit) in self.outputs.iter().enumerate() {
-            let mapped = map[lit.node().index()].expect("output driver visited").xor(lit.is_complemented());
+            let mapped = map[lit.node().index()]
+                .expect("output driver visited")
+                .xor(lit.is_complemented());
             fresh.add_output(mapped, self.output_names[idx].clone());
         }
         fresh.cleanup()
@@ -455,13 +461,19 @@ impl Aig {
                 continue;
             }
             if let AigNode::And { fanin0, fanin1 } = node {
-                let a = map[fanin0.node().index()].expect("fanin visited").xor(fanin0.is_complemented());
-                let b = map[fanin1.node().index()].expect("fanin visited").xor(fanin1.is_complemented());
+                let a = map[fanin0.node().index()]
+                    .expect("fanin visited")
+                    .xor(fanin0.is_complemented());
+                let b = map[fanin1.node().index()]
+                    .expect("fanin visited")
+                    .xor(fanin1.is_complemented());
                 map[i] = Some(fresh.and(a, b));
             }
         }
         for (idx, lit) in self.outputs.iter().enumerate() {
-            let mapped = map[lit.node().index()].expect("output driver visited").xor(lit.is_complemented());
+            let mapped = map[lit.node().index()]
+                .expect("output driver visited")
+                .xor(lit.is_complemented());
             fresh.add_output(mapped, self.output_names[idx].clone());
         }
         fresh
@@ -564,7 +576,7 @@ mod tests {
             let e_v = bits & 4 != 0;
             let out = aig.evaluate(&[s_v, t_v, e_v]);
             assert_eq!(out[0], if s_v { t_v } else { e_v });
-            let maj = (s_v && t_v) || (t_v && e_v) || (s_v && e_v);
+            let maj = (s_v && t_v) || (e_v && (s_v || t_v));
             assert_eq!(out[1], maj);
         }
     }

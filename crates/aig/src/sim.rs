@@ -28,7 +28,11 @@ impl Simulator {
     /// Panics if the number of signatures does not match the number of inputs
     /// or if any signature has the wrong length.
     pub fn with_inputs(aig: &Aig, inputs: &[SimVector], words: usize) -> Self {
-        assert_eq!(inputs.len(), aig.num_inputs(), "one signature per input required");
+        assert_eq!(
+            inputs.len(),
+            aig.num_inputs(),
+            "one signature per input required"
+        );
         for sig in inputs {
             assert_eq!(sig.len(), words, "signature length mismatch");
         }
@@ -43,10 +47,10 @@ impl Simulator {
                 }
                 AigNode::And { fanin0, fanin1 } => {
                     let mut out = vec![0u64; words];
-                    for w in 0..words {
+                    for (w, slot) in out.iter_mut().enumerate() {
                         let a = Self::lit_word(&values, *fanin0, w);
                         let b = Self::lit_word(&values, *fanin1, w);
-                        out[w] = a & b;
+                        *slot = a & b;
                     }
                     values[node] = out;
                 }
@@ -117,7 +121,10 @@ impl Simulator {
     ///
     /// The simulator must have been built from the same network.
     pub fn output_signatures(&self, aig: &Aig) -> Vec<SimVector> {
-        aig.outputs().iter().map(|&l| self.lit_signature(l)).collect()
+        aig.outputs()
+            .iter()
+            .map(|&l| self.lit_signature(l))
+            .collect()
     }
 
     /// Checks whether two literals have identical signatures (a necessary

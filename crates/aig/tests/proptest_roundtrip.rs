@@ -15,7 +15,13 @@ struct Recipe {
 
 fn recipe_strategy() -> impl Strategy<Value = Recipe> {
     (2usize..7, 1usize..60, any::<bool>()).prop_flat_map(|(num_inputs, num_ops, out_complement)| {
-        let op = (0u8..3, 0usize..1000, any::<bool>(), 0usize..1000, any::<bool>());
+        let op = (
+            0u8..3,
+            0usize..1000,
+            any::<bool>(),
+            0usize..1000,
+            any::<bool>(),
+        );
         proptest::collection::vec(op, num_ops).prop_map(move |ops| Recipe {
             num_inputs,
             ops,

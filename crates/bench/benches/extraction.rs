@@ -1,8 +1,8 @@
 //! Criterion bench: e-graph extraction — solution-space pruning ablation
 //! (Fig. 6) and the simulated-annealing extractor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use costmodel::TechMapCost;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use egraph::{Runner, Scheduler};
 use emorphic::extract::sa::{SaExtractor, SaOptions};
 use emorphic::extract::{bottom_up_extract, bottom_up_extract_unpruned, ExtractionCost};
@@ -22,7 +22,11 @@ fn saturated(width: usize, iters: usize) -> emorphic::convert::ConversionResult 
         })
         .run(&all_rules());
     emorphic::convert::ConversionResult {
-        roots: conversion.roots.iter().map(|&r| runner.egraph.find(r)).collect(),
+        roots: conversion
+            .roots
+            .iter()
+            .map(|&r| runner.egraph.find(r))
+            .collect(),
         egraph: runner.egraph,
         ..conversion
     }
@@ -42,7 +46,12 @@ fn bench_pruning(c: &mut Criterion) {
             BenchmarkId::new("unpruned", conv.egraph.total_nodes()),
             &conv,
             |b, conv| {
-                b.iter(|| black_box(bottom_up_extract_unpruned(&conv.egraph, ExtractionCost::Depth)))
+                b.iter(|| {
+                    black_box(bottom_up_extract_unpruned(
+                        &conv.egraph,
+                        ExtractionCost::Depth,
+                    ))
+                })
             },
         );
     }

@@ -12,13 +12,13 @@ fn pigeonhole(n: usize) -> Solver {
     let x: Vec<Vec<Lit>> = (0..=n)
         .map(|_| (0..n).map(|_| Lit::pos(solver.new_var())).collect())
         .collect();
-    for p in 0..=n {
-        solver.add_clause(&x[p]);
+    for pigeon in &x {
+        solver.add_clause(pigeon);
     }
-    for h in 0..n {
-        for p1 in 0..=n {
-            for p2 in (p1 + 1)..=n {
-                solver.add_clause(&[!x[p1][h], !x[p2][h]]);
+    for (p1, row1) in x.iter().enumerate() {
+        for row2 in &x[(p1 + 1)..] {
+            for (&a, &b) in row1.iter().zip(row2) {
+                solver.add_clause(&[!a, !b]);
             }
         }
     }

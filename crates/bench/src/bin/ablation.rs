@@ -27,7 +27,11 @@ fn saturate(
         })
         .run(&all_rules());
     emorphic::convert::ConversionResult {
-        roots: conversion.roots.iter().map(|&r| runner.egraph.find(r)).collect(),
+        roots: conversion
+            .roots
+            .iter()
+            .map(|&r| runner.egraph.find(r))
+            .collect(),
         egraph: runner.egraph,
         ..conversion.clone()
     }
@@ -44,11 +48,17 @@ fn main() {
     let conversion = aig_to_egraph(&circuit);
     let evaluator = TechMapCost::new(asap7_like());
 
-    println!("Ablation studies on adder({width}) — {} AND nodes\n", circuit.num_ands());
+    println!(
+        "Ablation studies on adder({width}) — {} AND nodes\n",
+        circuit.num_ands()
+    );
 
     // 1. Rewriting iterations vs. e-graph size (scalability of rewriting).
     println!("[1] rewriting iterations vs. e-graph size");
-    println!("{:>10} {:>12} {:>12} {:>12}", "iters", "e-nodes", "e-classes", "time (s)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "iters", "e-nodes", "e-classes", "time (s)"
+    );
     for iters in [1usize, 2, 3, 4, 5, 6, 8] {
         let t = Instant::now();
         let saturated = saturate(&conversion, iters, 100_000);
@@ -100,8 +110,22 @@ fn main() {
     let greedy_cost = evaluator.evaluate(&greedy_aig);
     println!("  greedy bottom-up cost : {greedy_cost:.2}");
     for (label, options) in [
-        ("SA, 2 iterations", SaOptions { iterations: 2, threads: 2, ..SaOptions::default() }),
-        ("SA, 4 iterations", SaOptions { iterations: 4, threads: 2, ..SaOptions::default() }),
+        (
+            "SA, 2 iterations",
+            SaOptions {
+                iterations: 2,
+                threads: 2,
+                ..SaOptions::default()
+            },
+        ),
+        (
+            "SA, 4 iterations",
+            SaOptions {
+                iterations: 4,
+                threads: 2,
+                ..SaOptions::default()
+            },
+        ),
     ] {
         let result = SaExtractor::new(options).extract(&saturated, &evaluator);
         println!(

@@ -27,20 +27,36 @@ fn main() {
     println!("{:<28} {:>12} {:>12}", "pass", "delay (ps)", "normalized");
 
     let initial_delay = mapper.qor(&circuit).delay_ps;
-    println!("{:<28} {:>12.2} {:>12.3}", "initial circuit", initial_delay, 1.0);
+    println!(
+        "{:<28} {:>12.2} {:>12.3}",
+        "initial circuit", initial_delay, 1.0
+    );
 
     // A sequence of independent optimization passes, measuring mapped delay
     // after each one. The curve flattens as the passes reach a local optimum.
     let mut current = circuit.clone();
-    let passes: Vec<(&str, Box<dyn Fn(&aig::Aig) -> aig::Aig>)> = vec![
+    type Pass = Box<dyn Fn(&aig::Aig) -> aig::Aig>;
+    let passes: Vec<(&str, Pass)> = vec![
         ("balance", Box::new(balance)),
-        ("sop balance", Box::new(|a: &aig::Aig| sop_balance(a, &MapOptions::lut6()))),
+        (
+            "sop balance",
+            Box::new(|a: &aig::Aig| sop_balance(a, &MapOptions::lut6())),
+        ),
         ("rewrite", Box::new(rewrite)),
         ("balance", Box::new(balance)),
         ("refactor", Box::new(refactor)),
-        ("sop balance", Box::new(|a: &aig::Aig| sop_balance(a, &MapOptions::lut6()))),
-        ("dch", Box::new(|a: &aig::Aig| dch_like(a, &DchOptions::default()))),
-        ("sop balance", Box::new(|a: &aig::Aig| sop_balance(a, &MapOptions::lut6()))),
+        (
+            "sop balance",
+            Box::new(|a: &aig::Aig| sop_balance(a, &MapOptions::lut6())),
+        ),
+        (
+            "dch",
+            Box::new(|a: &aig::Aig| dch_like(a, &DchOptions::default())),
+        ),
+        (
+            "sop balance",
+            Box::new(|a: &aig::Aig| sop_balance(a, &MapOptions::lut6())),
+        ),
     ];
     let mut series = vec![initial_delay];
     for (i, (name, pass)) in passes.iter().enumerate() {
@@ -68,7 +84,10 @@ fn main() {
     );
 
     println!("\nIndependent-optimization plateau: {plateau:.2} ps");
-    println!("E-morphic result:                 {:.2} ps", result.qor.delay_ps);
+    println!(
+        "E-morphic result:                 {:.2} ps",
+        result.qor.delay_ps
+    );
     if result.qor.delay_ps < plateau {
         println!(
             "E-morphic goes {:.1}% below the local optimum reached by the independent passes,",

@@ -35,7 +35,10 @@ fn main() {
     );
     let t0 = Instant::now();
     let (model, predictions, truth) = train_learned_model(&training, variants);
-    println!("Training + labelling time: {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "Training + labelling time: {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 
     let model_mape = mape(&predictions, &truth);
     let model_tau = kendall_tau(&predictions, &truth);
@@ -46,7 +49,10 @@ fn main() {
     // Runtime saving of the E-morphic flow when the SA extraction is guided
     // by the learned model instead of the mapper.
     println!("\nRuntime comparison on a subset of the suite:");
-    println!("{:<12} {:>16} {:>16} {:>12}", "circuit", "quality mode (s)", "runtime mode (s)", "saving %");
+    println!(
+        "{:<12} {:>16} {:>16} {:>12}",
+        "circuit", "quality mode (s)", "runtime mode (s)", "saving %"
+    );
     let mut total_quality = 0.0;
     let mut total_runtime_mode = 0.0;
     for circuit in circuits.iter().filter(|c| c.aig.num_ands() < 4_000) {

@@ -65,12 +65,14 @@ fn main() {
             println!("{}", format_qor_row(&circuit.name, qor, *runtime));
         }
         let geo = Qor::geomean(&rows.iter().map(|(q, _)| q.clone()).collect::<Vec<_>>()).unwrap();
-        let geo_rt = (rows.iter().map(|(_, r)| r.max(1e-9).ln()).sum::<f64>() / rows.len() as f64).exp();
+        let geo_rt =
+            (rows.iter().map(|(_, r)| r.max(1e-9).ln()).sum::<f64>() / rows.len() as f64).exp();
         println!("{}", format_qor_row("GEOMEAN", &geo, geo_rt));
     }
 
     // Improvement rows (geomean of E-morphic vs baseline), as in the paper.
-    let geo_base = Qor::geomean(&rows_base.iter().map(|(q, _)| q.clone()).collect::<Vec<_>>()).unwrap();
+    let geo_base =
+        Qor::geomean(&rows_base.iter().map(|(q, _)| q.clone()).collect::<Vec<_>>()).unwrap();
     let geo_em = Qor::geomean(&rows_em.iter().map(|(q, _)| q.clone()).collect::<Vec<_>>()).unwrap();
     let geo_ml = Qor::geomean(&rows_ml.iter().map(|(q, _)| q.clone()).collect::<Vec<_>>()).unwrap();
     let imp_em = geo_em.improvement_over(&geo_base);
@@ -95,7 +97,11 @@ fn main() {
     );
 
     // Paper reference values for EXPERIMENTS.md cross-checking.
-    println!("\nPaper (Table II, GEOMEAN): baseline area 25274.02 um2 / delay 5620.01 ps / lev 292;");
-    println!("  E-morphic w/o ML: 22104.32 / 5210.55 / 287 (12.54% area, 7.29% delay improvement);");
+    println!(
+        "\nPaper (Table II, GEOMEAN): baseline area 25274.02 um2 / delay 5620.01 ps / lev 292;"
+    );
+    println!(
+        "  E-morphic w/o ML: 22104.32 / 5210.55 / 287 (12.54% area, 7.29% delay improvement);"
+    );
     println!("  E-morphic w/ ML : 24660.84 / 5390.13 / 295, with ~28% runtime saving vs w/o ML.");
 }

@@ -81,7 +81,8 @@ fn main() {
         );
     }
 
-    let geomean = |xs: &[f64]| (xs.iter().map(|x| x.max(1e-9).ln()).sum::<f64>() / xs.len() as f64).exp();
+    let geomean =
+        |xs: &[f64]| (xs.iter().map(|x| x.max(1e-9).ln()).sum::<f64>() / xs.len() as f64).exp();
     println!(
         "{:<12} {:>10} | {:>14} {:>14} | {:>13.3}s {:>13.3}s",
         "GEOMEAN",

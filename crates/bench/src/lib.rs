@@ -23,7 +23,11 @@ use techmap::Qor;
 /// (`tiny`, `small` or `default`), defaulting to `small` so the whole harness
 /// finishes in minutes on a laptop.
 pub fn scale_from_env() -> SuiteScale {
-    match std::env::var("EMORPHIC_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("EMORPHIC_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => SuiteScale::Tiny,
         "default" | "full" => SuiteScale::Default,
         _ => SuiteScale::Small,
@@ -80,7 +84,11 @@ pub fn structural_variants(circuit: &Aig, variants: usize, seed: u64) -> Vec<Aig
         })
         .run(&all_rules());
     let saturated = emorphic::convert::ConversionResult {
-        roots: conversion.roots.iter().map(|&r| runner.egraph.find(r)).collect(),
+        roots: conversion
+            .roots
+            .iter()
+            .map(|&r| runner.egraph.find(r))
+            .collect(),
         egraph: runner.egraph,
         ..conversion
     };
@@ -100,7 +108,7 @@ pub fn structural_variants(circuit: &Aig, variants: usize, seed: u64) -> Vec<Aig
         let neighbor = emorphic::extract::sa::generate_neighbor(
             &saturated.egraph,
             &greedy,
-            if index % 2 == 0 {
+            if index.is_multiple_of(2) {
                 ExtractionCost::Size
             } else {
                 ExtractionCost::Depth
@@ -147,7 +155,10 @@ pub fn train_learned_model(
         }
     }
     let model = LearnedCost::train(&train, 1e-2);
-    let predictions: Vec<f64> = held_out.iter().map(|(aig, _)| model.evaluate(aig)).collect();
+    let predictions: Vec<f64> = held_out
+        .iter()
+        .map(|(aig, _)| model.evaluate(aig))
+        .collect();
     let truth: Vec<f64> = held_out.iter().map(|(_, d)| *d).collect();
     (model, predictions, truth)
 }

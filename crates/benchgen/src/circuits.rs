@@ -1,7 +1,7 @@
 //! Parametric generators for the ten EPFL-like benchmark circuits.
 
 use crate::words::{
-    constant_word, equal, greater_equal, mux_word, multiply, resize, ripple_add, ripple_sub,
+    constant_word, equal, greater_equal, multiply, mux_word, resize, ripple_add, ripple_sub,
     shift_left_const, shift_right_const,
 };
 use aig::{Aig, Lit};
@@ -249,7 +249,7 @@ pub fn arbiter(n: usize) -> BenchCircuit {
         // For every possible start position s, the requests with rotating
         // priority higher than i are s, s+1, ..., i-1 (mod n).
         let mut per_start = Vec::with_capacity(n);
-        for s in 0..n {
+        for (s, &start_s) in start.iter().enumerate() {
             let mut higher = Vec::new();
             let mut k = s;
             while k != i {
@@ -257,7 +257,7 @@ pub fn arbiter(n: usize) -> BenchCircuit {
                 k = (k + 1) % n;
             }
             let none_higher = aig.and_many(&higher);
-            per_start.push(aig.and(start[s], none_higher));
+            per_start.push(aig.and(start_s, none_higher));
         }
         let selected = aig.or_many(&per_start);
         let with_req = aig.and(req[i], selected);
@@ -289,7 +289,11 @@ pub fn mem_ctrl(width: usize) -> BenchCircuit {
     let mut bank_sel = Vec::with_capacity(BANKS);
     for b in 0..BANKS {
         let b0 = if b & 1 == 1 { addr[0] } else { addr[0].not() };
-        let b1 = if b >> 1 & 1 == 1 { addr[1] } else { addr[1].not() };
+        let b1 = if b >> 1 & 1 == 1 {
+            addr[1]
+        } else {
+            addr[1].not()
+        };
         bank_sel.push(aig.and(b0, b1));
     }
     // Row address and per-bank hit detection.
@@ -483,7 +487,13 @@ mod tests {
         let circuit = mem_ctrl(width).aig;
         let banks = 4;
         // Build an input vector: addr, we, re, refresh, burst, open_rows, busy.
-        let build = |addr: u64, we: bool, re: bool, refresh: bool, burst: u64, rows: [u64; 4], busy: u64| {
+        let build = |addr: u64,
+                     we: bool,
+                     re: bool,
+                     refresh: bool,
+                     burst: u64,
+                     rows: [u64; 4],
+                     busy: u64| {
             let mut v = to_bits(addr, width + 2);
             v.push(we);
             v.push(re);
@@ -527,12 +537,18 @@ mod tests {
         } else {
             value as i64
         };
-        assert!(signed.abs() <= 4, "sin(0) should be near zero, got {signed}");
+        assert!(
+            signed.abs() <= 4,
+            "sin(0) should be near zero, got {signed}"
+        );
         // A clearly positive angle gives a positive sine larger than sin(0).
         let quarter = 1u64 << (w - 3);
         let out = circuit.evaluate(&to_bits(quarter, width));
         let value = from_bits(&out[..w]) as i64;
-        assert!(value > signed.abs(), "sin(positive angle) should be positive");
+        assert!(
+            value > signed.abs(),
+            "sin(positive angle) should be positive"
+        );
     }
 
     #[test]

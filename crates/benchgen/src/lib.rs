@@ -20,9 +20,9 @@
 
 #![warn(missing_docs)]
 
-pub mod words;
 mod circuits;
 mod random;
+pub mod words;
 
 pub use circuits::{
     adder, arbiter, divider, hypotenuse, log2, mem_ctrl, multiplier, sine, square, square_root,

@@ -51,11 +51,13 @@ mod tests {
         assert_eq!(a.num_ands(), b.num_ands());
         assert_eq!(a.num_inputs(), b.num_inputs());
         // Different seeds give (almost surely) different structures.
-        assert!(a.num_ands() != c.num_ands() || a.depth() != c.depth() || {
-            let x = a.evaluate(&[true; 8]);
-            let y = c.evaluate(&[true; 8]);
-            x != y
-        });
+        assert!(
+            a.num_ands() != c.num_ands() || a.depth() != c.depth() || {
+                let x = a.evaluate(&[true; 8]);
+                let y = c.evaluate(&[true; 8]);
+                x != y
+            }
+        );
     }
 
     #[test]

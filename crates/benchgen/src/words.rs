@@ -35,7 +35,10 @@ pub fn negate(aig: &mut Aig, a: &[Lit]) -> Vec<Lit> {
 /// Bitwise multiplexer between two words: `sel ? t : e`.
 pub fn mux_word(aig: &mut Aig, sel: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
     assert_eq!(t.len(), e.len());
-    t.iter().zip(e).map(|(&ti, &ei)| aig.mux(sel, ti, ei)).collect()
+    t.iter()
+        .zip(e)
+        .map(|(&ti, &ei)| aig.mux(sel, ti, ei))
+        .collect()
 }
 
 /// Unsigned comparison `a >= b`.
@@ -65,8 +68,8 @@ pub fn shift_left_const(a: &[Lit], amount: usize) -> Vec<Lit> {
 /// Shifts a word right by a constant amount (logical).
 pub fn shift_right_const(a: &[Lit], amount: usize) -> Vec<Lit> {
     let mut out = vec![Lit::FALSE; a.len()];
-    for i in amount..a.len() {
-        out[i - amount] = a[i];
+    if amount < a.len() {
+        out[..a.len() - amount].copy_from_slice(&a[amount..]);
     }
     out
 }
@@ -99,7 +102,13 @@ pub fn resize(a: &[Lit], width: usize) -> Vec<Lit> {
 /// Converts a constant integer into a word of literals.
 pub fn constant_word(value: u64, width: usize) -> Vec<Lit> {
     (0..width)
-        .map(|i| if value >> i & 1 == 1 { Lit::TRUE } else { Lit::FALSE })
+        .map(|i| {
+            if value >> i & 1 == 1 {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            }
+        })
         .collect()
 }
 
@@ -108,7 +117,9 @@ mod tests {
     use super::*;
 
     fn word_inputs(aig: &mut Aig, prefix: &str, width: usize) -> Vec<Lit> {
-        (0..width).map(|i| aig.add_input(format!("{prefix}{i}"))).collect()
+        (0..width)
+            .map(|i| aig.add_input(format!("{prefix}{i}")))
+            .collect()
     }
 
     fn to_bits(value: u64, width: usize) -> Vec<bool> {

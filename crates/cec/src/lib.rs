@@ -15,9 +15,9 @@
 
 #![warn(missing_docs)]
 
-mod tseitin;
 mod miter;
 mod sweep;
+mod tseitin;
 
 pub use miter::{check_equivalence, CecOptions, CecResult, Counterexample};
 pub use sweep::{EquivClasses, SatSweeper, SweepOptions, SweepStats};

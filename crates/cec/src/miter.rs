@@ -109,17 +109,30 @@ pub fn check_equivalence(golden: &Aig, revised: &Aig, options: &CecOptions) -> C
     let cnf_b = AigCnf::encode(&mut solver, revised, Some(&shared));
 
     if options.per_output {
+        // A budget-exhausted output must not short-circuit the loop: a later
+        // output may still be cheaply refutable, and NotEquivalent always
+        // outranks Unknown.
+        let mut any_unknown = false;
         for o in 0..golden.num_outputs() {
-            let res = solve_output_pair(&mut solver, &shared, cnf_a.output_lits[o], cnf_b.output_lits[o]);
+            let res = solve_output_pair(
+                &mut solver,
+                &shared,
+                cnf_a.output_lits[o],
+                cnf_b.output_lits[o],
+            );
             match res {
                 OutputVerdict::Equal => {}
                 OutputVerdict::Differs(inputs) => {
                     return CecResult::NotEquivalent(Counterexample { inputs, output: o })
                 }
-                OutputVerdict::Unknown => return CecResult::Unknown,
+                OutputVerdict::Unknown => any_unknown = true,
             }
         }
-        CecResult::Equivalent
+        if any_unknown {
+            CecResult::Unknown
+        } else {
+            CecResult::Equivalent
+        }
     } else {
         // Single global miter: OR of all pairwise XORs must be unsatisfiable.
         let mut xor_outs = Vec::with_capacity(golden.num_outputs());

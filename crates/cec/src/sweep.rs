@@ -98,7 +98,7 @@ impl SatSweeper {
                 continue;
             }
             let sig = sim.node_signature(id);
-            let complemented = sig.first().map_or(false, |w| w & 1 == 1);
+            let complemented = sig.first().is_some_and(|w| w & 1 == 1);
             let canon: Vec<u64> = if complemented {
                 sig.iter().map(|w| !w).collect()
             } else {
@@ -189,12 +189,18 @@ impl SatSweeper {
                 continue;
             }
             let (f0, f1) = aig.fanins(id);
-            let a = map[f0.node().index()].expect("fanin built").xor(f0.is_complemented());
-            let b = map[f1.node().index()].expect("fanin built").xor(f1.is_complemented());
+            let a = map[f0.node().index()]
+                .expect("fanin built")
+                .xor(f0.is_complemented());
+            let b = map[f1.node().index()]
+                .expect("fanin built")
+                .xor(f1.is_complemented());
             map[id.index()] = Some(fresh.and(a, b));
         }
         for (idx, &po) in aig.outputs().iter().enumerate() {
-            let lit = map[po.node().index()].expect("output driver built").xor(po.is_complemented());
+            let lit = map[po.node().index()]
+                .expect("output driver built")
+                .xor(po.is_complemented());
             fresh.add_output(lit, aig.output_name(idx));
         }
         (fresh.cleanup(), stats)

@@ -124,7 +124,11 @@ mod tests {
                 .collect();
             assert_eq!(solver.solve_with_assumptions(&assumptions), SatResult::Sat);
             for (o, &out_lit) in cnf.output_lits.iter().enumerate() {
-                assert_eq!(solver.value(out_lit), Some(expected[o]), "pattern {pattern} output {o}");
+                assert_eq!(
+                    solver.value(out_lit),
+                    Some(expected[o]),
+                    "pattern {pattern} output {o}"
+                );
             }
         }
     }
@@ -139,9 +143,7 @@ mod tests {
         assert_eq!(c1.input_lits, c2.input_lits);
         // Same circuit over the same inputs: outputs must agree; forcing them
         // to differ is UNSAT.
-        let mut diff_assumption = Vec::new();
-        diff_assumption.push(c1.output_lits[0]);
-        diff_assumption.push(!c2.output_lits[0]);
+        let diff_assumption = vec![c1.output_lits[0], !c2.output_lits[0]];
         assert_eq!(
             solver.solve_with_assumptions(&diff_assumption),
             SatResult::Unsat

@@ -41,9 +41,9 @@ pub fn aig_to_egraph(aig: &Aig) -> ConversionResult {
     pos[NodeId::CONST.index()] = Some(egraph.add(BoolLang::Const(false)));
 
     let lit_to_id = |lit: Lit,
-                         egraph: &mut EGraph<BoolLang>,
-                         pos: &mut Vec<Option<Id>>,
-                         neg: &mut Vec<Option<Id>>|
+                     egraph: &mut EGraph<BoolLang>,
+                     pos: &mut Vec<Option<Id>>,
+                     neg: &mut Vec<Option<Id>>|
      -> Id {
         let base = pos[lit.node().index()].expect("fanin visited before fanout");
         if !lit.is_complemented() {
@@ -108,7 +108,10 @@ pub fn selection_to_aig(
 ) -> Aig {
     assert_eq!(roots.len(), output_names.len(), "one name per output root");
     let mut aig = Aig::new(name.to_string());
-    let inputs: Vec<Lit> = input_names.iter().map(|n| aig.add_input(n.clone())).collect();
+    let inputs: Vec<Lit> = input_names
+        .iter()
+        .map(|n| aig.add_input(n.clone()))
+        .collect();
     let mut cache: FxHashMap<Id, Lit> = FxHashMap::default();
 
     fn build(
@@ -173,7 +176,10 @@ pub fn recexpr_to_aig(
     name: &str,
 ) -> Aig {
     let mut aig = Aig::new(name.to_string());
-    let inputs: Vec<Lit> = input_names.iter().map(|n| aig.add_input(n.clone())).collect();
+    let inputs: Vec<Lit> = input_names
+        .iter()
+        .map(|n| aig.add_input(n.clone()))
+        .collect();
     let mut lits: Vec<Lit> = Vec::with_capacity(expr.len());
     for node in expr.as_ref() {
         let lit = match node {

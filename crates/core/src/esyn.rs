@@ -90,9 +90,7 @@ pub fn flattened_tree_size(aig: &Aig) -> u64 {
     }
     aig.outputs()
         .iter()
-        .map(|po| {
-            sizes[po.node().index()].saturating_add(u64::from(po.is_complemented()))
-        })
+        .map(|po| sizes[po.node().index()].saturating_add(u64::from(po.is_complemented())))
         .fold(0u64, |acc, s| acc.saturating_add(s))
 }
 
@@ -121,7 +119,7 @@ fn flatten_output(
                 nodes_built: *budget_used,
             });
         }
-        if *budget_used % 4096 == 0 && start.elapsed() > limits.time_limit {
+        if (*budget_used).is_multiple_of(4096) && start.elapsed() > limits.time_limit {
             return Err(EsynFailure::TimeOut);
         }
         let base = match aig.node(node) {
@@ -134,8 +132,24 @@ fn flatten_output(
                 expr.add(BoolLang::Var(*index))
             }
             AigNode::And { fanin0, fanin1 } => {
-                let a = rec(aig, fanin0.node(), fanin0.is_complemented(), expr, limits, start, budget_used)?;
-                let b = rec(aig, fanin1.node(), fanin1.is_complemented(), expr, limits, start, budget_used)?;
+                let a = rec(
+                    aig,
+                    fanin0.node(),
+                    fanin0.is_complemented(),
+                    expr,
+                    limits,
+                    start,
+                    budget_used,
+                )?;
+                let b = rec(
+                    aig,
+                    fanin1.node(),
+                    fanin1.is_complemented(),
+                    expr,
+                    limits,
+                    start,
+                    budget_used,
+                )?;
                 *budget_used += 1;
                 expr.add(BoolLang::And([a, b]))
             }
@@ -204,7 +218,10 @@ pub fn esyn_backward(
     let start = Instant::now();
     let extractor = Extractor::new(&conversion.egraph, AstSize);
     let mut aig = Aig::new("esyn_backward");
-    let inputs: Vec<aig::Lit> = input_names.iter().map(|n| aig.add_input(n.clone())).collect();
+    let inputs: Vec<aig::Lit> = input_names
+        .iter()
+        .map(|n| aig.add_input(n.clone()))
+        .collect();
     let mut built = 0u64;
     for (root, name) in conversion.roots.iter().zip(output_names) {
         let (_, expr) = extractor.find_best(*root);
@@ -215,7 +232,7 @@ pub fn esyn_backward(
             if built > limits.max_tree_nodes {
                 return Err(EsynFailure::MemoryOut { nodes_built: built });
             }
-            if built % 4096 == 0 && start.elapsed() > limits.time_limit {
+            if built.is_multiple_of(4096) && start.elapsed() > limits.time_limit {
                 return Err(EsynFailure::TimeOut);
             }
             let lit = match node {
@@ -248,13 +265,8 @@ mod tests {
         let limits = EsynLimits::default();
         let conv = esyn_forward(&aig, &limits).expect("small circuit fits");
         assert!(conv.tree_nodes >= aig.num_ands() as u64);
-        let (back, _) = esyn_backward(
-            &conv,
-            aig.input_names(),
-            aig.output_names(),
-            &limits,
-        )
-        .expect("backward fits");
+        let (back, _) = esyn_backward(&conv, aig.input_names(), aig.output_names(), &limits)
+            .expect("backward fits");
         for p in 0..(1usize << aig.num_inputs()) {
             let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| p >> i & 1 == 1).collect();
             assert_eq!(aig.evaluate(&bits), back.evaluate(&bits), "pattern {p}");

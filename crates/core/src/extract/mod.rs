@@ -87,7 +87,7 @@ pub fn bottom_up_extract(
         stats.nodes_evaluated += 1;
         let new_cost = combined.saturating_add(node_cost(&node));
         let previous = costs.get(&class_id).copied();
-        if previous.map_or(true, |prev| new_cost < prev) {
+        if previous.is_none_or(|prev| new_cost < prev) {
             costs.insert(class_id, new_cost);
             choices.insert(class_id, node);
             stats.improvements += 1;
@@ -140,7 +140,7 @@ pub fn bottom_up_extract_unpruned(
                 }
                 stats.nodes_evaluated += 1;
                 let new_cost = combined.saturating_add(node_cost(node));
-                if costs.get(&class.id).map_or(true, |&prev| new_cost < prev) {
+                if costs.get(&class.id).is_none_or(|&prev| new_cost < prev) {
                     costs.insert(class.id, new_cost);
                     choices.insert(class.id, node.clone());
                     stats.improvements += 1;

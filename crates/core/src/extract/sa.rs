@@ -102,7 +102,11 @@ impl SaExtractor {
     }
 
     /// Runs parallel simulated-annealing extraction on a converted circuit.
-    pub fn extract(&self, conversion: &ConversionResult, evaluator: &dyn CostEvaluator) -> SaResult {
+    pub fn extract(
+        &self,
+        conversion: &ConversionResult,
+        evaluator: &dyn CostEvaluator,
+    ) -> SaResult {
         let start = Instant::now();
         let egraph = &conversion.egraph;
         let roots = &conversion.roots;
@@ -179,7 +183,8 @@ fn run_chain(
     options: &SaOptions,
     chain_index: usize,
 ) -> (Aig, f64, ChainResult) {
-    let mut rng = StdRng::seed_from_u64(options.seed ^ (chain_index as u64).wrapping_mul(0x9E37_79B9));
+    let mut rng =
+        StdRng::seed_from_u64(options.seed ^ (chain_index as u64).wrapping_mul(0x9E37_79B9));
     let mut current_selection = initial_selection;
     let mut current_cost = initial_cost;
     let mut best_aig = initial_aig;
@@ -294,7 +299,7 @@ pub fn generate_neighbor(
         }
         let new_cost = combined.saturating_add(super::node_cost(&node));
         let previous = costs.get(&class_id).copied();
-        let improves = previous.map_or(true, |prev| new_cost < prev);
+        let improves = previous.is_none_or(|prev| new_cost < prev);
         // Line 15 of Algorithm 1: accept the update when the class is
         // uncosted, or when it improves and the random draw does not veto it.
         let take = match previous {

@@ -22,9 +22,9 @@ use cec::{check_equivalence, CecOptions};
 use costmodel::{LearnedCost, TechMapCost};
 use egraph::{Runner, Scheduler};
 use logic_opt::{dch_like, DchOptions};
+use std::time::{Duration, Instant};
 use techmap::library::{asap7_like, CellLibrary};
 use techmap::{cell::map_to_cells, sop::sop_balance, MapOptions, Qor};
-use std::time::{Duration, Instant};
 
 /// Which cost model guides the SA extraction (paper Section III-C).
 #[derive(Debug, Clone)]
@@ -60,6 +60,10 @@ pub struct FlowConfig {
     pub cost_mode: CostMode,
     /// Verify the resynthesized circuit against the input with CEC.
     pub verify: bool,
+    /// CEC options used for verification. The conflict budget must stay
+    /// bounded: suite circuits include multipliers, whose miters plain CDCL
+    /// cannot close, and an unlimited budget wedges the whole flow.
+    pub cec: CecOptions,
 }
 
 impl FlowConfig {
@@ -82,6 +86,10 @@ impl FlowConfig {
             },
             cost_mode: CostMode::Quality,
             verify: true,
+            cec: CecOptions {
+                conflict_budget: Some(100_000),
+                ..CecOptions::default()
+            },
         }
     }
 
@@ -93,6 +101,10 @@ impl FlowConfig {
             node_limit: 20_000,
             match_limit: 500,
             sa: SaOptions::fast(),
+            cec: CecOptions {
+                conflict_budget: Some(10_000),
+                ..CecOptions::default()
+            },
             ..FlowConfig::paper()
         }
     }
@@ -150,8 +162,10 @@ pub struct FlowResult {
     pub breakdown: RuntimeBreakdown,
     /// The technology-independent network right before the final mapping.
     pub final_aig: Aig,
-    /// Whether CEC against the input succeeded (always `true` when
-    /// verification is disabled).
+    /// Whether CEC *proved* equivalence against the input (always `true`
+    /// when verification is disabled). `false` also covers an exhausted SAT
+    /// budget: the resynthesized network is kept in that case — random
+    /// simulation found no mismatch — but the proof did not complete.
     pub verified: bool,
     /// Statistics of the rewriting phase (empty for the baseline flow).
     pub egraph_nodes: usize,
@@ -230,7 +244,11 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         })
         .run(&all_rules());
     let saturated = crate::convert::ConversionResult {
-        roots: conversion.roots.iter().map(|&r| runner.egraph.find(r)).collect(),
+        roots: conversion
+            .roots
+            .iter()
+            .map(|&r| runner.egraph.find(r))
+            .collect(),
         egraph: runner.egraph,
         ..conversion
     };
@@ -245,14 +263,20 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     };
     let extraction_time = t_extract.elapsed();
 
-    // Verify and fall back to the pre-resynthesis network if anything is off.
+    // Verify, and fall back to the pre-resynthesis network on a proven
+    // mismatch. An exhausted SAT budget keeps the resynthesized network
+    // (simulation inside `check_equivalence` already failed to refute it)
+    // but leaves `verified` false.
     let mut verified = true;
     let mut resynthesized = sa_result.best_aig;
     if config.verify {
-        let check = check_equivalence(&current, &resynthesized, &CecOptions::default());
-        verified = check.is_equivalent();
-        if !verified {
-            resynthesized = current.clone();
+        match check_equivalence(&current, &resynthesized, &config.cec) {
+            cec::CecResult::Equivalent => {}
+            cec::CecResult::NotEquivalent(_) => {
+                verified = false;
+                resynthesized = current.clone();
+            }
+            cec::CecResult::Unknown => verified = false,
         }
     }
 
@@ -312,7 +336,10 @@ mod tests {
         assert!(result.egraph_classes > 0);
         let (conv_pct, conversion_pct, extract_pct) = result.breakdown.percentages();
         let total = conv_pct + conversion_pct + extract_pct;
-        assert!((total - 100.0).abs() < 1.0, "percentages sum to ~100, got {total}");
+        assert!(
+            (total - 100.0).abs() < 1.0,
+            "percentages sum to ~100, got {total}"
+        );
         assert!(extract_pct > 0.0);
     }
 

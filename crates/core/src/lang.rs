@@ -112,7 +112,10 @@ impl FromOp for BoolLang {
                 arity(0)?;
                 Ok(BoolLang::Const(false))
             }
-            var if var.starts_with('x') && var[1..].chars().all(|c| c.is_ascii_digit()) && var.len() > 1 => {
+            var if var.starts_with('x')
+                && var[1..].chars().all(|c| c.is_ascii_digit())
+                && var.len() > 1 =>
+            {
                 arity(0)?;
                 Ok(BoolLang::Var(var[1..].parse().map_err(|_| {
                     ParseError(format!("bad variable index in '{var}'"))

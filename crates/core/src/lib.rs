@@ -34,14 +34,14 @@
 
 #![warn(missing_docs)]
 
-pub mod lang;
-pub mod rules;
 pub mod convert;
-pub mod esyn;
 pub mod dsl;
+pub mod esyn;
 pub mod extract;
 pub mod flow;
+pub mod lang;
 pub mod report;
+pub mod rules;
 
 pub use convert::{aig_to_egraph, selection_to_aig, ConversionResult};
 pub use extract::sa::{SaExtractor, SaOptions, SaResult};

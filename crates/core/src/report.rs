@@ -107,12 +107,15 @@ mod tests {
         let report = FlowReport::new("baseline", &result);
         assert_eq!(report.circuit, "adder");
         assert!(report.verified);
-        let json = FlowReport::to_json(&[report.clone()]);
+        let json = FlowReport::to_json(std::slice::from_ref(&report));
         let parsed = FlowReport::from_json(&json).unwrap();
         assert_eq!(parsed, vec![report.clone()]);
         assert!(FlowReport::from_json("not json").is_err());
         let csv = report.to_csv_row();
-        assert_eq!(csv.split(',').count(), FlowReport::csv_header().split(',').count());
+        assert_eq!(
+            csv.split(',').count(),
+            FlowReport::csv_header().split(',').count()
+        );
         assert!(csv.starts_with("adder,baseline,"));
     }
 }

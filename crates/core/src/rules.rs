@@ -26,9 +26,17 @@ pub fn table1_rules() -> Vec<Rewrite<BoolLang>> {
         rule("assoc-or", "(| (| ?a ?b) ?c)", "(| ?a (| ?b ?c))"),
         rule("assoc-or-rev", "(| ?a (| ?b ?c))", "(| (| ?a ?b) ?c)"),
         // Distributivity (both factorings).
-        rule("distribute-and", "(& ?a (| ?b ?c))", "(| (& ?a ?b) (& ?a ?c))"),
+        rule(
+            "distribute-and",
+            "(& ?a (| ?b ?c))",
+            "(| (& ?a ?b) (& ?a ?c))",
+        ),
         rule("factor-and", "(| (& ?a ?b) (& ?a ?c))", "(& ?a (| ?b ?c))"),
-        rule("distribute-or", "(| ?a (& ?b ?c))", "(& (| ?a ?b) (| ?a ?c))"),
+        rule(
+            "distribute-or",
+            "(| ?a (& ?b ?c))",
+            "(& (| ?a ?b) (| ?a ?c))",
+        ),
         rule("factor-or", "(& (| ?a ?b) (| ?a ?c))", "(| ?a (& ?b ?c))"),
         // Consensus.
         rule(
@@ -158,8 +166,9 @@ mod tests {
     fn few_iterations_generate_many_classes() {
         // The paper's key observation: a handful of iterations already
         // produces a large number of equivalence classes on a real cone.
-        let expr: RecExpr<BoolLang> =
-            "(| (& x0 (| x1 (& x2 x3))) (& (! x1) (| x4 (& x0 x5))))".parse().unwrap();
+        let expr: RecExpr<BoolLang> = "(| (& x0 (| x1 (& x2 x3))) (& (! x1) (| x4 (& x0 x5))))"
+            .parse()
+            .unwrap();
         let before_classes = {
             let mut eg = egraph::EGraph::<BoolLang>::new();
             eg.add_expr(&expr);

@@ -151,7 +151,10 @@ mod tests {
         let learned = LearnedCost::train(&samples, 1e-3);
         let small = learned.evaluate(&adder(5));
         let large = learned.evaluate(&adder(11));
-        assert!(large > small, "learned model should rank deeper adders as slower");
+        assert!(
+            large > small,
+            "learned model should rank deeper adders as slower"
+        );
         assert_eq!(learned.name(), "learned-delay");
     }
 
@@ -160,7 +163,8 @@ mod tests {
         use std::time::Instant;
         let mapper = TechMapCost::new(asap7_like());
         let circuit = adder(16);
-        let samples: Vec<(Aig, f64)> = vec![(adder(4), 100.0), (adder(8), 200.0), (adder(12), 300.0)];
+        let samples: Vec<(Aig, f64)> =
+            vec![(adder(4), 100.0), (adder(8), 200.0), (adder(12), 300.0)];
         let learned = LearnedCost::train(&samples, 1e-3);
         let t0 = Instant::now();
         let _ = mapper.evaluate(&circuit);
@@ -168,6 +172,9 @@ mod tests {
         let t1 = Instant::now();
         let _ = learned.evaluate(&circuit);
         let learned_time = t1.elapsed();
-        assert!(learned_time < mapping_time, "{learned_time:?} vs {mapping_time:?}");
+        assert!(
+            learned_time < mapping_time,
+            "{learned_time:?} vs {mapping_time:?}"
+        );
     }
 }

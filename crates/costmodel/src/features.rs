@@ -76,17 +76,15 @@ impl CircuitFeatures {
         for id in aig.and_ids() {
             let (f0, f1) = aig.fanins(id);
             total_edges += 2;
-            complemented_edges += usize::from(f0.is_complemented()) + usize::from(f1.is_complemented());
+            complemented_edges +=
+                usize::from(f0.is_complemented()) + usize::from(f1.is_complemented());
             both_complemented += usize::from(f0.is_complemented() && f1.is_complemented());
         }
         let comp_ratio = ratio(complemented_edges, total_edges);
         let both_ratio = ratio(both_complemented, total_edges / 2);
 
         // Level-profile statistics over AND nodes.
-        let and_levels: Vec<f64> = aig
-            .and_ids()
-            .map(|id| levels[id.index()] as f64)
-            .collect();
+        let and_levels: Vec<f64> = aig.and_ids().map(|id| levels[id.index()] as f64).collect();
         let level_mean = mean(&and_levels);
         let level_variance = variance(&and_levels, level_mean);
         // Width of the most populated level relative to the size.
@@ -95,7 +93,11 @@ impl CircuitFeatures {
             per_level[levels[id.index()] as usize] += 1;
         }
         let max_width = per_level.iter().copied().max().unwrap_or(0) as f64;
-        let critical_width_ratio = if num_ands > 0.0 { max_width / num_ands } else { 0.0 };
+        let critical_width_ratio = if num_ands > 0.0 {
+            max_width / num_ands
+        } else {
+            0.0
+        };
 
         // Output depth statistics.
         let output_depths: Vec<f64> = aig
@@ -114,7 +116,11 @@ impl CircuitFeatures {
             num_outputs,
             depth,
             (num_ands + 1.0).ln(),
-            if depth > 0.0 { num_ands / depth } else { num_ands },
+            if depth > 0.0 {
+                num_ands / depth
+            } else {
+                num_ands
+            },
             avg_fanout,
             max_fanout,
             fanout_variance,
@@ -124,7 +130,11 @@ impl CircuitFeatures {
             level_variance,
             critical_width_ratio,
             output_depth_mean,
-            if num_inputs > 0.0 { num_ands / num_inputs } else { 0.0 },
+            if num_inputs > 0.0 {
+                num_ands / num_inputs
+            } else {
+                0.0
+            },
         ];
         debug_assert_eq!(values.len(), FEATURE_NAMES.len());
         CircuitFeatures { values }

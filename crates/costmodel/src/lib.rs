@@ -17,10 +17,10 @@
 
 #![warn(missing_docs)]
 
-pub mod features;
-pub mod regression;
-pub mod metrics;
 mod evaluator;
+pub mod features;
+pub mod metrics;
+pub mod regression;
 
 pub use evaluator::{CostEvaluator, LearnedCost, TechMapCost};
 pub use features::CircuitFeatures;

@@ -30,10 +30,20 @@ impl RidgeModel {
     /// Panics if the sample matrix is empty, ragged, or the target length
     /// does not match.
     pub fn fit(samples: &[Vec<f64>], targets: &[f64], lambda: f64) -> Self {
-        assert!(!samples.is_empty(), "at least one training sample is required");
-        assert_eq!(samples.len(), targets.len(), "one target per sample required");
+        assert!(
+            !samples.is_empty(),
+            "at least one training sample is required"
+        );
+        assert_eq!(
+            samples.len(),
+            targets.len(),
+            "one target per sample required"
+        );
         let dim = samples[0].len();
-        assert!(samples.iter().all(|s| s.len() == dim), "ragged sample matrix");
+        assert!(
+            samples.iter().all(|s| s.len() == dim),
+            "ragged sample matrix"
+        );
 
         // Standardize features.
         let n = samples.len() as f64;
@@ -101,7 +111,11 @@ impl RidgeModel {
     /// # Panics
     /// Panics if the feature dimension does not match the trained model.
     pub fn predict(&self, features: &[f64]) -> f64 {
-        assert_eq!(features.len(), self.weights.len(), "feature dimension mismatch");
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature dimension mismatch"
+        );
         let mut out = self.intercept;
         for ((v, m), (sd, w)) in features
             .iter()
@@ -128,6 +142,9 @@ impl RidgeModel {
 }
 
 /// Solves `A x = b` by Gaussian elimination with partial pivoting.
+// Index loops express the row/column arithmetic directly; iterator forms
+// would need split_at_mut around the aliasing pivot row.
+#[allow(clippy::needless_range_loop)]
 fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {
@@ -175,7 +192,10 @@ mod tests {
         let samples: Vec<Vec<f64>> = (0..50)
             .map(|i| vec![i as f64, (i * 7 % 13) as f64])
             .collect();
-        let targets: Vec<f64> = samples.iter().map(|s| 3.0 * s[0] - 2.0 * s[1] + 5.0).collect();
+        let targets: Vec<f64> = samples
+            .iter()
+            .map(|s| 3.0 * s[0] - 2.0 * s[1] + 5.0)
+            .collect();
         let model = RidgeModel::fit(&samples, &targets, 1e-9);
         for (sample, target) in samples.iter().zip(&targets) {
             assert!((model.predict(sample) - target).abs() < 1e-4);

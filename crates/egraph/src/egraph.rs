@@ -118,10 +118,7 @@ impl<L: Language> EGraph<L> {
         }
         let root = self.unionfind.union(a, b);
         let loser = if root == a { b } else { a };
-        let loser_class = self
-            .classes
-            .remove(&loser)
-            .expect("loser class must exist");
+        let loser_class = self.classes.remove(&loser).expect("loser class must exist");
         self.classes
             .get_mut(&root)
             .expect("winner class must exist")
@@ -318,7 +315,10 @@ impl<L: Language> EGraph<L> {
         if let Some(&done) = cache.get(&id) {
             return done;
         }
-        assert!(depth < 10_000, "id_to_expr recursion too deep (cyclic choice?)");
+        assert!(
+            depth < 10_000,
+            "id_to_expr recursion too deep (cyclic choice?)"
+        );
         let class = self.class(id);
         // Prefer leaves to avoid infinite recursion through cyclic classes.
         let node = class

@@ -111,7 +111,8 @@ impl<L: Language> DagSelection<L> {
             .get(&id)
             .unwrap_or_else(|| panic!("no selection for class {id}"))
             .clone();
-        let node = node.map_children(|c| self.build(egraph, egraph.find(c), expr, cache, depth + 1));
+        let node =
+            node.map_children(|c| self.build(egraph, egraph.find(c), expr, cache, depth + 1));
         let out = expr.add(node);
         cache.insert(id, out);
         out
@@ -211,7 +212,9 @@ impl<'a, L: Language, CF: CostFunction<L>> Extractor<'a, L, CF> {
 
     /// Returns the best cost of a class, if one was computed.
     pub fn find_best_cost(&self, id: Id) -> Option<CF::Cost> {
-        self.costs.get(&self.egraph.find(id)).map(|(c, _)| c.clone())
+        self.costs
+            .get(&self.egraph.find(id))
+            .map(|(c, _)| c.clone())
     }
 
     /// Returns the chosen (cheapest) node of a class.

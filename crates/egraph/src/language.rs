@@ -145,7 +145,7 @@ impl<L: Language> RecExpr<L> {
     }
 
     /// Returns the nodes in topological order.
-    pub fn as_ref(&self) -> &[L] {
+    pub fn nodes(&self) -> &[L] {
         &self.nodes
     }
 
@@ -219,6 +219,12 @@ impl<L: Language> RecExpr<L> {
     }
 }
 
+impl<L> AsRef<[L]> for RecExpr<L> {
+    fn as_ref(&self) -> &[L] {
+        &self.nodes
+    }
+}
+
 impl<L: Language> std::fmt::Display for RecExpr<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.nodes.is_empty() {
@@ -271,10 +277,11 @@ where
         tokens: &'a [Tok],
         pos: usize,
     }
+    type MakeNode<'f, L> = dyn FnMut(&str, Vec<Id>, &mut Vec<L>) -> Result<Id, ParseError> + 'f;
     fn parse_node<L>(
         p: &mut P,
         nodes: &mut Vec<L>,
-        make: &mut dyn FnMut(&str, Vec<Id>, &mut Vec<L>) -> Result<Id, ParseError>,
+        make: &mut MakeNode<'_, L>,
     ) -> Result<Id, ParseError> {
         match p.tokens.get(p.pos) {
             Some(Tok::Atom(op)) => {
@@ -311,8 +318,7 @@ where
         pos: 0,
     };
     let mut nodes = Vec::new();
-    let mut make_dyn =
-        |op: &str, children: Vec<Id>, nodes: &mut Vec<L>| make(op, children, nodes);
+    let mut make_dyn = |op: &str, children: Vec<Id>, nodes: &mut Vec<L>| make(op, children, nodes);
     parse_node(&mut p, &mut nodes, &mut make_dyn)?;
     if p.pos != tokens.len() {
         return Err(ParseError("trailing tokens after s-expression".into()));

@@ -36,26 +36,26 @@
 
 #![warn(missing_docs)]
 
+mod egraph;
+mod extract;
 mod fxhash;
 mod id;
 mod language;
-mod unionfind;
-mod egraph;
 mod pattern;
 mod rewrite;
 mod runner;
-mod extract;
 pub mod serialize;
+mod unionfind;
 
+pub use egraph::{EClass, EGraph};
+pub use extract::{AstDepth, AstSize, CostFunction, DagSelection, Extractor};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use id::Id;
 pub use language::{FromOp, Language, RecExpr, SymbolLang};
-pub use unionfind::UnionFind;
-pub use egraph::{EClass, EGraph};
 pub use pattern::{ENodeOrVar, Pattern, SearchMatches, Subst, Var};
 pub use rewrite::Rewrite;
 pub use runner::{IterationReport, Runner, RunnerLimits, Scheduler, StopReason};
-pub use extract::{AstDepth, AstSize, CostFunction, DagSelection, Extractor};
+pub use unionfind::UnionFind;
 
 /// Errors produced while parsing terms, patterns or rewrite rules.
 #[derive(Debug, Clone, PartialEq, Eq)]

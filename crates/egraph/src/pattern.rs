@@ -158,6 +158,11 @@ impl<L: FromOp> FromStr for Pattern<L> {
     }
 }
 
+/// Matcher work budget per allowed match: bounds the recursion steps one
+/// `search` may spend at `match_limit * STEPS_PER_MATCH`, so patterns that
+/// enumerate huge candidate spaces without completing matches still stop.
+const STEPS_PER_MATCH: usize = 100;
+
 impl<L: Language> Pattern<L> {
     /// Returns the distinct variables appearing in the pattern.
     pub fn vars(&self) -> Vec<Var> {
@@ -174,17 +179,70 @@ impl<L: Language> Pattern<L> {
 
     /// Searches the pattern in every class of the e-graph.
     ///
-    /// `match_limit` caps the number of substitutions collected per class to
-    /// keep pathological classes (huge products of commutative matches) from
-    /// exploding; `usize::MAX` disables the cap.
+    /// `match_limit` caps the *total* number of substitutions collected
+    /// across all classes (it also bounds each class's enumeration, keeping
+    /// huge products of commutative matches from exploding); the search
+    /// stops as soon as the budget is exhausted, so a saturated rule costs
+    /// `O(match_limit)` instead of `O(classes * match_limit)`.
+    /// `usize::MAX` disables the cap.
+    ///
+    /// A finite `match_limit` also bounds the *work* spent enumerating: deep
+    /// patterns over classes with many nodes can do `nodes^depth` work while
+    /// finding zero complete matches (failed bindings are free under a
+    /// match-count cap alone), so the search carries a recursion-step budget
+    /// of `match_limit * STEPS_PER_MATCH` and stops when it runs out.
     pub fn search(&self, egraph: &EGraph<L>, match_limit: usize) -> Vec<SearchMatches> {
+        self.search_rotated(egraph, match_limit, 0).0
+    }
+
+    /// [`Pattern::search`] starting the class scan at a rotated position.
+    ///
+    /// With a finite budget, always scanning classes in the same order would
+    /// spend the whole budget re-finding matches in the earliest classes on
+    /// every call and starve the rest of the e-graph; callers that search
+    /// repeatedly (the [`crate::Runner`]) pass a different `rotation` each
+    /// iteration so the budget sweeps across all classes over time.
+    ///
+    /// The second return value is `true` when the search was *complete*: it
+    /// visited every class without exhausting the match or step budget.
+    /// `false` means classes may remain unsearched, so the caller must not
+    /// conclude anything (like saturation) from the absence of matches.
+    pub fn search_rotated(
+        &self,
+        egraph: &EGraph<L>,
+        match_limit: usize,
+        rotation: usize,
+    ) -> (Vec<SearchMatches>, bool) {
+        let ids: Vec<Id> = egraph.class_ids().collect();
+        if ids.is_empty() {
+            return (Vec::new(), true);
+        }
+        let start = rotation % ids.len();
         let mut results = Vec::new();
-        for id in egraph.class_ids() {
-            if let Some(matches) = self.search_class(egraph, id, match_limit) {
-                results.push(matches);
+        let mut remaining = match_limit;
+        let mut steps = match_limit.saturating_mul(STEPS_PER_MATCH);
+        for i in 0..ids.len() {
+            if remaining == 0 || steps == 0 {
+                return (results, false);
+            }
+            let eclass = egraph.find(ids[(start + i) % ids.len()]);
+            let mut substs = self.match_in_class(
+                egraph,
+                self.ast.root(),
+                eclass,
+                Subst::default(),
+                remaining,
+                &mut steps,
+            );
+            if !substs.is_empty() {
+                substs.truncate(remaining);
+                remaining -= substs.len();
+                results.push(SearchMatches { eclass, substs });
             }
         }
-        results
+        // The budgets may have run dry exactly on the last class; that is
+        // still a complete scan of every class.
+        (results, true)
     }
 
     /// Searches the pattern in a single e-class.
@@ -195,7 +253,15 @@ impl<L: Language> Pattern<L> {
         match_limit: usize,
     ) -> Option<SearchMatches> {
         let eclass = egraph.find(eclass);
-        let substs = self.match_in_class(egraph, self.ast.root(), eclass, Subst::default(), match_limit);
+        let mut steps = match_limit.saturating_mul(STEPS_PER_MATCH);
+        let substs = self.match_in_class(
+            egraph,
+            self.ast.root(),
+            eclass,
+            Subst::default(),
+            match_limit,
+            &mut steps,
+        );
         if substs.is_empty() {
             None
         } else {
@@ -210,7 +276,12 @@ impl<L: Language> Pattern<L> {
         eclass: Id,
         subst: Subst,
         limit: usize,
+        steps: &mut usize,
     ) -> Vec<Subst> {
+        if *steps == 0 {
+            return Vec::new();
+        }
+        *steps -= 1;
         match self.ast.node(pat) {
             ENodeOrVar::Var(v) => {
                 let mut subst = subst;
@@ -227,6 +298,9 @@ impl<L: Language> Pattern<L> {
                     None => return out,
                 };
                 for enode in &class.nodes {
+                    if *steps == 0 {
+                        break;
+                    }
                     if !pnode.matches(enode) {
                         continue;
                     }
@@ -235,7 +309,9 @@ impl<L: Language> Pattern<L> {
                     for (pchild, echild) in pnode.children().iter().zip(enode.children()) {
                         let mut next = Vec::new();
                         for s in partial {
-                            next.extend(self.match_in_class(egraph, *pchild, *echild, s, limit));
+                            next.extend(
+                                self.match_in_class(egraph, *pchild, *echild, s, limit, steps),
+                            );
                             if next.len() >= limit {
                                 next.truncate(limit);
                                 break;
@@ -269,7 +345,9 @@ impl<L: Language> Pattern<L> {
                 .get(v)
                 .unwrap_or_else(|| panic!("unbound pattern variable {v}")),
             ENodeOrVar::ENode(node) => {
-                let node = node.clone().map_children(|c| self.apply_rec(egraph, c, subst));
+                let node = node
+                    .clone()
+                    .map_children(|c| self.apply_rec(egraph, c, subst));
                 egraph.add(node)
             }
         }

@@ -46,6 +46,17 @@ impl<L: Language> Rewrite<L> {
         self.lhs.search(egraph, match_limit)
     }
 
+    /// Searches with a rotated class-scan start, also reporting whether the
+    /// scan was complete; see [`Pattern::search_rotated`].
+    pub fn search_rotated(
+        &self,
+        egraph: &EGraph<L>,
+        match_limit: usize,
+        rotation: usize,
+    ) -> (Vec<SearchMatches>, bool) {
+        self.lhs.search_rotated(egraph, match_limit, rotation)
+    }
+
     /// Applies the rewrite to previously found matches. Returns the number of
     /// unions that actually changed the e-graph.
     pub fn apply(&self, egraph: &mut EGraph<L>, matches: &[SearchMatches]) -> usize {

@@ -198,14 +198,31 @@ impl<L: Language> Runner<L> {
 
             // Search phase: collect matches for all non-banned rules before
             // applying anything, so the search sees a consistent e-graph.
+            // `match_limit` is a *per-rule total* budget enforced inside
+            // `Pattern::search_rotated`; the scan start rotates by a fixed
+            // odd-prime stride each iteration (staggered per rule) so the
+            // budget sweeps the whole e-graph over time instead of
+            // re-finding the same matches in the earliest classes forever.
+            // The stride must not be derived from `match_limit` or the class
+            // count: if the class count divided the stride, every iteration
+            // would restart the scan at the same class.
+            const ROTATION_STRIDE: usize = 9973;
             let mut all_matches = Vec::with_capacity(rewrites.len());
+            let mut search_incomplete = false;
             for (ri, rw) in rewrites.iter().enumerate() {
                 let stats = rule_stats.entry(ri).or_default();
                 if stats.banned_until > iteration {
+                    search_incomplete = true;
                     all_matches.push(Vec::new());
                     continue;
                 }
-                let matches = rw.search(&self.egraph, match_limit);
+                let rotation = iteration
+                    .wrapping_mul(ROTATION_STRIDE)
+                    .wrapping_add(ri * 17);
+                let (matches, complete) = rw.search_rotated(&self.egraph, match_limit, rotation);
+                if !complete {
+                    search_incomplete = true;
+                }
                 let total: usize = matches.iter().map(|m| m.substs.len()).sum();
                 if let Scheduler::Backoff {
                     match_limit,
@@ -218,15 +235,29 @@ impl<L: Language> Runner<L> {
                     }
                 }
                 all_matches.push(matches);
+                if start.elapsed() > self.limits.time_limit {
+                    break;
+                }
             }
 
-            // Apply phase.
+            // Apply phase. Node/time limits are re-checked after every rule
+            // so one explosive iteration cannot run unbounded; the e-graph
+            // is rebuilt below regardless of where the loop stops.
             let mut applied = Vec::with_capacity(rewrites.len());
             let mut total_changed = 0;
+            let mut hit_limit = None;
             for (rw, matches) in rewrites.iter().zip(&all_matches) {
                 let changed = rw.apply(&mut self.egraph, matches);
                 total_changed += changed;
                 applied.push((rw.name.clone(), changed));
+                if self.egraph.total_nodes() > self.limits.node_limit {
+                    hit_limit = Some(StopReason::NodeLimit);
+                    break;
+                }
+                if start.elapsed() > self.limits.time_limit {
+                    hit_limit = Some(StopReason::TimeLimit);
+                    break;
+                }
             }
             let rebuild_unions = self.egraph.rebuild();
 
@@ -239,7 +270,14 @@ impl<L: Language> Runner<L> {
                 elapsed: iter_start.elapsed(),
             });
 
-            if total_changed == 0 && rebuild_unions == 0 {
+            if let Some(reason) = hit_limit {
+                self.stop_reason = Some(reason);
+                break;
+            }
+            // Saturation can only be claimed when every rule was searched
+            // exhaustively this iteration: a banned rule or a capped search
+            // may be hiding pending matches.
+            if total_changed == 0 && rebuild_unions == 0 && !search_incomplete {
                 self.stop_reason = Some(StopReason::Saturated);
                 break;
             }
@@ -307,8 +345,7 @@ mod tests {
     fn node_limit_stops_explosion() {
         // Associativity+commutativity over a chain explodes; the node limit
         // must stop it.
-        let expr: RecExpr<SymbolLang> =
-            "(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap();
+        let expr: RecExpr<SymbolLang> = "(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap();
         let rules = vec![
             Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
             Rewrite::parse("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
@@ -326,8 +363,7 @@ mod tests {
 
     #[test]
     fn iteration_limit_respected() {
-        let expr: RecExpr<SymbolLang> =
-            "(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap();
+        let expr: RecExpr<SymbolLang> = "(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap();
         let rules = vec![
             Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
             Rewrite::parse("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
@@ -343,9 +379,11 @@ mod tests {
     #[test]
     fn reports_track_growth() {
         let expr: RecExpr<SymbolLang> = "(* (+ a b) c)".parse().unwrap();
-        let rules = vec![
-            Rewrite::parse("distribute", "(* (+ ?a ?b) ?c)", "(+ (* ?a ?c) (* ?b ?c))").unwrap(),
-        ];
+        let rules =
+            vec![
+                Rewrite::parse("distribute", "(* (+ ?a ?b) ?c)", "(+ (* ?a ?c) (* ?b ?c))")
+                    .unwrap(),
+            ];
         let runner = Runner::default().with_expr(&expr).run(&rules);
         assert!(!runner.iterations.is_empty());
         let first = &runner.iterations[0];

@@ -107,6 +107,10 @@ pub fn to_serialized<L: Language>(egraph: &EGraph<L>, roots: &[Id]) -> Serialize
     }
 }
 
+/// The result of [`from_serialized`]: the reconstructed e-graph, a mapping
+/// from serialized ids to new class ids, and the translated roots.
+pub type Deserialized<L> = (EGraph<L>, FxHashMap<u32, Id>, Vec<Id>);
+
 /// Reconstructs an e-graph from a serialized snapshot.
 ///
 /// Returns the e-graph plus a mapping from serialized ids to new class ids
@@ -115,9 +119,7 @@ pub fn to_serialized<L: Language>(egraph: &EGraph<L>, roots: &[Id]) -> Serialize
 /// # Errors
 /// Returns a [`ParseError`] if an operator cannot be parsed by `L` or if the
 /// snapshot references undefined classes.
-pub fn from_serialized<L: FromOp>(
-    data: &SerializedEGraph,
-) -> Result<(EGraph<L>, FxHashMap<u32, Id>, Vec<Id>), ParseError> {
+pub fn from_serialized<L: FromOp>(data: &SerializedEGraph) -> Result<Deserialized<L>, ParseError> {
     let mut egraph: EGraph<L> = EGraph::new();
     let mut id_map: FxHashMap<u32, Id> = FxHashMap::default();
 

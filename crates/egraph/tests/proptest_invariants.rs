@@ -95,10 +95,10 @@ proptest! {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         let mut next = move || { state ^= state << 13; state ^= state >> 7; state ^= state << 17; state };
         fn gen(depth: usize, next: &mut impl FnMut() -> u64, out: &mut String) {
-            if depth == 0 || next() % 3 == 0 {
+            if depth == 0 || next().is_multiple_of(3) {
                 out.push_str(match next() % 4 { 0 => "a", 1 => "b", 2 => "0", _ => "1" });
             } else {
-                let op = if next() % 2 == 0 { "+" } else { "*" };
+                let op = if next().is_multiple_of(2) { "+" } else { "*" };
                 out.push_str(&format!("({op} "));
                 gen(depth - 1, next, out);
                 out.push(' ');

@@ -43,7 +43,13 @@ pub fn balance(aig: &Aig) -> Aig {
 
     // Collect the leaves of the maximal AND tree rooted at `root`: descend
     // through non-complemented, single-fanout AND fanins.
-    fn collect_leaves(aig: &Aig, root: NodeId, is_root: &[bool], leaves: &mut Vec<Lit>, depth: usize) {
+    fn collect_leaves(
+        aig: &Aig,
+        root: NodeId,
+        is_root: &[bool],
+        leaves: &mut Vec<Lit>,
+        depth: usize,
+    ) {
         let (f0, f1) = aig.fanins(root);
         for lit in [f0, f1] {
             let child = lit.node();

@@ -72,13 +72,21 @@ fn stack_over_shared_inputs(a: &Aig, b: &Aig) -> Aig {
         }
         for id in src.and_ids() {
             let (f0, f1) = src.fanins(id);
-            let x = map[f0.node().index()].expect("topo").xor(f0.is_complemented());
-            let y = map[f1.node().index()].expect("topo").xor(f1.is_complemented());
+            let x = map[f0.node().index()]
+                .expect("topo")
+                .xor(f0.is_complemented());
+            let y = map[f1.node().index()]
+                .expect("topo")
+                .xor(f1.is_complemented());
             map[id.index()] = Some(dst.and(x, y));
         }
         src.outputs()
             .iter()
-            .map(|po| map[po.node().index()].expect("driver").xor(po.is_complemented()))
+            .map(|po| {
+                map[po.node().index()]
+                    .expect("driver")
+                    .xor(po.is_complemented())
+            })
             .collect()
     };
     let outs_a = copy(a, &mut out, &inputs);
@@ -102,12 +110,18 @@ fn keep_first_outputs(aig: &Aig, count: usize) -> Aig {
     }
     for id in aig.and_ids() {
         let (f0, f1) = aig.fanins(id);
-        let x = map[f0.node().index()].expect("topo").xor(f0.is_complemented());
-        let y = map[f1.node().index()].expect("topo").xor(f1.is_complemented());
+        let x = map[f0.node().index()]
+            .expect("topo")
+            .xor(f0.is_complemented());
+        let y = map[f1.node().index()]
+            .expect("topo")
+            .xor(f1.is_complemented());
         map[id.index()] = Some(trimmed.and(x, y));
     }
     for (idx, po) in aig.outputs().iter().take(count).enumerate() {
-        let lit = map[po.node().index()].expect("driver").xor(po.is_complemented());
+        let lit = map[po.node().index()]
+            .expect("driver")
+            .xor(po.is_complemented());
         trimmed.add_output(lit, aig.output_name(idx));
     }
     trimmed.cleanup()
@@ -177,6 +191,11 @@ mod tests {
         let aig = sample();
         let out = dch_like(&aig, &DchOptions::default());
         // Sweeping the stacked structure must fold the duplicate back in.
-        assert!(out.num_ands() <= aig.num_ands() + 2, "{} vs {}", out.num_ands(), aig.num_ands());
+        assert!(
+            out.num_ands() <= aig.num_ands() + 2,
+            "{} vs {}",
+            out.num_ands(),
+            aig.num_ands()
+        );
     }
 }

@@ -117,7 +117,7 @@ pub fn factor_cover(cubes: &[FactorCube]) -> FactorTree {
     for var in 0..16usize {
         for negated in [false, true] {
             let count = cubes.iter().filter(|c| c.contains(var, negated)).count();
-            if count >= 2 && best.map_or(true, |(_, _, c)| count > c) {
+            if count >= 2 && best.is_none_or(|(_, _, c)| count > c) {
                 best = Some((var, negated, count));
             }
         }

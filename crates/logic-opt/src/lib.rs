@@ -16,13 +16,13 @@
 #![warn(missing_docs)]
 
 mod balance;
+mod choices;
 mod factor;
 mod resynth;
-mod choices;
 mod script;
 
 pub use balance::balance;
-pub use factor::{factor_cover, FactorTree};
 pub use choices::{dch_like, DchOptions};
+pub use factor::{factor_cover, FactorTree};
 pub use resynth::{refactor, rewrite, ResynthOptions};
 pub use script::{OptScript, Pass};

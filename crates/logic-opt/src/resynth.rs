@@ -70,8 +70,12 @@ pub fn resynthesize(aig: &Aig, options: &ResynthOptions) -> Aig {
 
     for id in aig.and_ids() {
         let (f0, f1) = aig.fanins(id);
-        let default_a = map[f0.node().index()].expect("fanin built").xor(f0.is_complemented());
-        let default_b = map[f1.node().index()].expect("fanin built").xor(f1.is_complemented());
+        let default_a = map[f0.node().index()]
+            .expect("fanin built")
+            .xor(f0.is_complemented());
+        let default_b = map[f1.node().index()]
+            .expect("fanin built")
+            .xor(f1.is_complemented());
 
         // Budget: how many nodes the old implementation of this cone pays for.
         let budget = mffc_size(aig, id, &fanouts);
@@ -99,7 +103,7 @@ pub fn resynthesize(aig: &Aig, options: &ResynthOptions) -> Aig {
             let before = fresh.num_nodes();
             let lit = tree.build(&mut fresh, &leaf_lits);
             let cost = fresh.num_nodes() - before;
-            if best.as_ref().map_or(true, |(_, c)| cost < *c) {
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                 best = Some((lit, cost));
             }
         }

@@ -114,7 +114,11 @@ mod tests {
         let optimized = OptScript::resyn().run(&aig);
         for p in 0..64usize {
             let bits: Vec<bool> = (0..6).map(|i| p >> i & 1 == 1).collect();
-            assert_eq!(aig.evaluate(&bits), optimized.evaluate(&bits), "pattern {p}");
+            assert_eq!(
+                aig.evaluate(&bits),
+                optimized.evaluate(&bits),
+                "pattern {p}"
+            );
         }
     }
 
@@ -139,7 +143,11 @@ mod tests {
             let out = pass.apply(&aig);
             for p in [0usize, 1, 7, 33, 63] {
                 let bits: Vec<bool> = (0..6).map(|i| p >> i & 1 == 1).collect();
-                assert_eq!(aig.evaluate(&bits), out.evaluate(&bits), "{pass:?} pattern {p}");
+                assert_eq!(
+                    aig.evaluate(&bits),
+                    out.evaluate(&bits),
+                    "{pass:?} pattern {p}"
+                );
             }
         }
     }

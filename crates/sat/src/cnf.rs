@@ -66,7 +66,8 @@ mod tests {
     /// Checks that `encode` defines exactly the truth table `expect`, where
     /// `expect[i]` is the output for the input pattern `i` over `n` inputs.
     fn check_gate(n: usize, expect: &[bool], encode: impl Fn(&mut Solver, Lit, &[Lit])) {
-        for pattern in 0..(1usize << n) {
+        assert_eq!(expect.len(), 1 << n);
+        for (pattern, &expect_out) in expect.iter().enumerate() {
             for force_out in [false, true] {
                 let mut s = Solver::new();
                 let inputs = fresh(&mut s, n);
@@ -79,10 +80,14 @@ mod tests {
                     .collect();
                 assumptions.push(if force_out { out } else { !out });
                 let result = s.solve_with_assumptions(&assumptions);
-                let expected_sat = expect[pattern] == force_out;
+                let expected_sat = expect_out == force_out;
                 assert_eq!(
                     result,
-                    if expected_sat { SatResult::Sat } else { SatResult::Unsat },
+                    if expected_sat {
+                        SatResult::Sat
+                    } else {
+                        SatResult::Unsat
+                    },
                     "pattern {pattern:b}, out={force_out}"
                 );
             }
@@ -121,11 +126,11 @@ mod tests {
     fn mux_gate_truth_table() {
         // Inputs ordered (sel, t, e): out = sel ? t : e.
         let mut expect = vec![false; 8];
-        for p in 0..8 {
+        for (p, slot) in expect.iter_mut().enumerate() {
             let sel = p & 1 == 1;
             let t = p & 2 == 2;
             let e = p & 4 == 4;
-            expect[p] = if sel { t } else { e };
+            *slot = if sel { t } else { e };
         }
         check_gate(3, &expect, |s, out, ins| {
             encode_mux(s, out, ins[0], ins[1], ins[2])

@@ -26,10 +26,10 @@
 
 #![warn(missing_docs)]
 
-mod literal;
-mod solver;
 pub mod cnf;
 pub mod dimacs;
+mod literal;
+mod solver;
 
 pub use literal::{Lit, Var};
 pub use solver::{SatResult, Solver, SolverStats};

@@ -125,10 +125,7 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
-        self.order.push(HeapEntry {
-            activity: 0.0,
-            var,
-        });
+        self.order.push(HeapEntry { activity: 0.0, var });
         var
     }
 
@@ -187,7 +184,10 @@ impl Solver {
         // already-satisfied clauses.
         let mut clause: Vec<Lit> = Vec::with_capacity(lits.len());
         for &lit in lits {
-            assert!(lit.var().index() < self.num_vars(), "literal uses unknown variable");
+            assert!(
+                lit.var().index() < self.num_vars(),
+                "literal uses unknown variable"
+            );
             match self.lit_value(lit) {
                 1 => return true, // already satisfied at level 0
                 -1 => continue,   // falsified literal drops out
@@ -355,7 +355,8 @@ impl Solver {
                 learnt[0] = !p_lit;
                 break;
             }
-            clause_idx = self.reason[p_lit.var().index()].expect("non-decision literal has a reason");
+            clause_idx =
+                self.reason[p_lit.var().index()].expect("non-decision literal has a reason");
         }
 
         // Clear the seen flags of the literals kept in the learnt clause.
@@ -456,9 +457,7 @@ impl Solver {
                             return SatResult::Unknown;
                         }
                     }
-                    if conflicts_until_restart > 0 {
-                        conflicts_until_restart -= 1;
-                    }
+                    conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
                 }
                 None => {
                     if conflicts_until_restart == 0 {
@@ -571,14 +570,16 @@ mod tests {
         // Classic PHP(3,2): each pigeon in some hole, no two pigeons share.
         let mut s = Solver::new();
         let mut var = |_p: usize, _h: usize| Lit::pos(s.new_var());
-        let x: Vec<Vec<Lit>> = (0..3).map(|p| (0..2).map(|h| var(p, h)).collect()).collect();
-        for p in 0..3 {
-            s.add_clause(&x[p]);
+        let x: Vec<Vec<Lit>> = (0..3)
+            .map(|p| (0..2).map(|h| var(p, h)).collect())
+            .collect();
+        for pigeon in &x {
+            s.add_clause(pigeon);
         }
-        for h in 0..2 {
-            for p1 in 0..3 {
-                for p2 in (p1 + 1)..3 {
-                    s.add_clause(&[!x[p1][h], !x[p2][h]]);
+        for (p1, row1) in x.iter().enumerate() {
+            for row2 in &x[(p1 + 1)..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    s.add_clause(&[!a, !b]);
                 }
             }
         }
@@ -632,7 +633,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible without rand.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for round in 0..30 {
@@ -651,9 +654,9 @@ mod tests {
             // Brute force.
             let mut brute_sat = false;
             for assign in 0u32..(1 << n_vars) {
-                let ok = clause_set.iter().all(|cl| {
-                    cl.iter().any(|&(v, neg)| ((assign >> v) & 1 == 1) != neg)
-                });
+                let ok = clause_set
+                    .iter()
+                    .all(|cl| cl.iter().any(|&(v, neg)| ((assign >> v) & 1 == 1) != neg));
                 if ok {
                     brute_sat = true;
                     break;
@@ -663,21 +666,28 @@ mod tests {
             let mut s = Solver::new();
             let vars: Vec<Var> = (0..n_vars).map(|_| s.new_var()).collect();
             for cl in &clause_set {
-                let lits: Vec<Lit> = cl.iter().map(|&(v, neg)| Lit::new(vars[v as usize], neg)).collect();
+                let lits: Vec<Lit> = cl
+                    .iter()
+                    .map(|&(v, neg)| Lit::new(vars[v as usize], neg))
+                    .collect();
                 s.add_clause(&lits);
             }
             let res = s.solve();
             assert_eq!(
                 res,
-                if brute_sat { SatResult::Sat } else { SatResult::Unsat },
+                if brute_sat {
+                    SatResult::Sat
+                } else {
+                    SatResult::Unsat
+                },
                 "round {round} mismatch"
             );
             if res == SatResult::Sat {
                 // The reported model must satisfy every clause.
                 for cl in &clause_set {
-                    assert!(cl.iter().any(|&(v, neg)| {
-                        s.value(Lit::new(vars[v as usize], neg)).unwrap()
-                    }));
+                    assert!(cl
+                        .iter()
+                        .any(|&(v, neg)| { s.value(Lit::new(vars[v as usize], neg)).unwrap() }));
                 }
             }
         }
@@ -691,10 +701,10 @@ mod tests {
         for pigeon in &x {
             s.add_clause(pigeon);
         }
-        for h in 0..holes {
-            for p1 in 0..=holes {
-                for p2 in (p1 + 1)..=holes {
-                    s.add_clause(&[!x[p1][h], !x[p2][h]]);
+        for (p1, row1) in x.iter().enumerate() {
+            for row2 in &x[(p1 + 1)..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    s.add_clause(&[!a, !b]);
                 }
             }
         }

@@ -403,7 +403,9 @@ mod tests {
     fn check_netlist_equiv(aig: &Aig, netlist: &Netlist) {
         assert!(aig.num_inputs() <= 12);
         for pattern in 0..(1usize << aig.num_inputs()) {
-            let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| pattern >> i & 1 == 1).collect();
+            let bits: Vec<bool> = (0..aig.num_inputs())
+                .map(|i| pattern >> i & 1 == 1)
+                .collect();
             assert_eq!(
                 netlist.evaluate(aig, &bits),
                 aig.evaluate(&bits),
@@ -494,7 +496,10 @@ mod tests {
         let netlist = map_to_cells(&aig, &lib, &MapOptions::default());
         // A single XOR2 cell should cover the whole cone.
         assert_eq!(netlist.gates.len(), 1);
-        assert!(netlist.gates[0].cell_name.starts_with("XOR") || netlist.gates[0].cell_name.starts_with("XNOR"));
+        assert!(
+            netlist.gates[0].cell_name.starts_with("XOR")
+                || netlist.gates[0].cell_name.starts_with("XNOR")
+        );
         check_netlist_equiv(&aig, &netlist);
     }
 

@@ -79,7 +79,12 @@ fn expand_truth(cut: &Cut, merged: &[NodeId]) -> u64 {
     let positions: Vec<usize> = cut
         .leaves
         .iter()
-        .map(|l| merged.iter().position(|m| m == l).expect("leaf present in merged cut"))
+        .map(|l| {
+            merged
+                .iter()
+                .position(|m| m == l)
+                .expect("leaf present in merged cut")
+        })
         .collect();
     let bits = 1usize << merged.len();
     let mut out = 0u64;
@@ -146,7 +151,8 @@ pub fn enumerate_cuts(aig: &Aig, options: &CutsOptions) -> CutSet {
                     let cuts1 = &all[fanin1.node().index()];
                     for c0 in cuts0 {
                         for c1 in cuts1 {
-                            if let Some(cut) = merge_cuts(c0, c1, *fanin0, *fanin1, options.cut_size)
+                            if let Some(cut) =
+                                merge_cuts(c0, c1, *fanin0, *fanin1, options.cut_size)
                             {
                                 // Skip duplicates.
                                 if !merged.iter().any(|m| m.leaves == cut.leaves) {

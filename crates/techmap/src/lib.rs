@@ -35,14 +35,14 @@
 
 #![warn(missing_docs)]
 
-pub mod truth;
-pub mod library;
-pub mod cuts;
-pub mod lut;
-pub mod sop;
 pub mod cell;
-pub mod verilog;
+pub mod cuts;
+pub mod library;
+pub mod lut;
 mod qor;
+pub mod sop;
+pub mod truth;
+pub mod verilog;
 
 pub use cell::{MappedGate, Netlist};
 pub use cuts::{Cut, CutSet, CutsOptions};

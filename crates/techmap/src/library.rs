@@ -34,7 +34,10 @@ impl Cell {
         area_um2: f64,
         delay_ps: f64,
     ) -> Self {
-        assert!(num_inputs <= 4, "cells of more than 4 inputs are not supported");
+        assert!(
+            num_inputs <= 4,
+            "cells of more than 4 inputs are not supported"
+        );
         Cell {
             name: name.into(),
             num_inputs,
@@ -117,15 +120,12 @@ impl CellLibrary {
     pub fn match_function(&self, tt4: u16) -> Option<usize> {
         let class = npn_canon4(tt4);
         self.by_npn.get(&class).and_then(|candidates| {
-            candidates
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    self.cells[a]
-                        .area_um2
-                        .partial_cmp(&self.cells[b].area_um2)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+            candidates.iter().copied().min_by(|&a, &b| {
+                self.cells[a]
+                    .area_um2
+                    .partial_cmp(&self.cells[b].area_um2)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
         })
     }
 
@@ -186,21 +186,69 @@ pub fn asap7_like() -> CellLibrary {
     lib.add(Cell::new("OAI21x1", 3, !((A | B) & C) & m3, 0.0810, 17.0));
     lib.add(Cell::new("AO21x1", 3, ((A & B) | C) & m3, 0.0972, 23.0));
     lib.add(Cell::new("OA21x1", 3, ((A | B) & C) & m3, 0.0972, 23.0));
-    lib.add(Cell::new("MAJ3x1", 3, ((A & B) | (B & C) | (A & C)) & m3, 0.1296, 27.0));
+    lib.add(Cell::new(
+        "MAJ3x1",
+        3,
+        ((A & B) | (B & C) | (A & C)) & m3,
+        0.1296,
+        27.0,
+    ));
     lib.add(Cell::new("XOR3x1", 3, (A ^ B ^ C) & m3, 0.1782, 34.0));
-    lib.add(Cell::new("MUX2x1", 3, ((C & A) | (!C & B)) & m3, 0.1134, 25.0));
+    lib.add(Cell::new(
+        "MUX2x1",
+        3,
+        ((C & A) | (!C & B)) & m3,
+        0.1134,
+        25.0,
+    ));
 
     // Four-input cells.
     lib.add(Cell::new("NAND4x1", 4, !(A & B & C & D) & m4, 0.0972, 22.0));
     lib.add(Cell::new("NOR4x1", 4, !(A | B | C | D) & m4, 0.0972, 25.0));
     lib.add(Cell::new("AND4x1", 4, A & B & C & D & m4, 0.1134, 27.0));
     lib.add(Cell::new("OR4x1", 4, (A | B | C | D) & m4, 0.1134, 28.0));
-    lib.add(Cell::new("AOI22x1", 4, !((A & B) | (C & D)) & m4, 0.0972, 20.0));
-    lib.add(Cell::new("OAI22x1", 4, !((A | B) & (C | D)) & m4, 0.0972, 20.0));
-    lib.add(Cell::new("AO22x1", 4, ((A & B) | (C & D)) & m4, 0.1134, 26.0));
-    lib.add(Cell::new("OA22x1", 4, ((A | B) & (C | D)) & m4, 0.1134, 26.0));
-    lib.add(Cell::new("AOI211x1", 4, !((A & B) | C | D) & m4, 0.0972, 21.0));
-    lib.add(Cell::new("OAI211x1", 4, !((A | B) & C & D) & m4, 0.0972, 21.0));
+    lib.add(Cell::new(
+        "AOI22x1",
+        4,
+        !((A & B) | (C & D)) & m4,
+        0.0972,
+        20.0,
+    ));
+    lib.add(Cell::new(
+        "OAI22x1",
+        4,
+        !((A | B) & (C | D)) & m4,
+        0.0972,
+        20.0,
+    ));
+    lib.add(Cell::new(
+        "AO22x1",
+        4,
+        ((A & B) | (C & D)) & m4,
+        0.1134,
+        26.0,
+    ));
+    lib.add(Cell::new(
+        "OA22x1",
+        4,
+        ((A | B) & (C | D)) & m4,
+        0.1134,
+        26.0,
+    ));
+    lib.add(Cell::new(
+        "AOI211x1",
+        4,
+        !((A & B) | C | D) & m4,
+        0.0972,
+        21.0,
+    ));
+    lib.add(Cell::new(
+        "OAI211x1",
+        4,
+        !((A | B) & C & D) & m4,
+        0.0972,
+        21.0,
+    ));
 
     lib
 }

@@ -64,7 +64,12 @@ pub fn map_to_luts(aig: &Aig, options: &MapOptions) -> LutMapping {
             if cut.leaves == [id] {
                 continue; // trivial cut cannot implement the node
             }
-            let arr = 1 + cut.leaves.iter().map(|l| arrival[l.index()]).max().unwrap_or(0);
+            let arr = 1 + cut
+                .leaves
+                .iter()
+                .map(|l| arrival[l.index()])
+                .max()
+                .unwrap_or(0);
             let af = 1.0
                 + cut
                     .leaves
@@ -107,7 +112,12 @@ pub fn map_to_luts(aig: &Aig, options: &MapOptions) -> LutMapping {
                 if cut.leaves == [id] {
                     continue;
                 }
-                let arr = 1 + cut.leaves.iter().map(|l| arrival[l.index()]).max().unwrap_or(0);
+                let arr = 1 + cut
+                    .leaves
+                    .iter()
+                    .map(|l| arrival[l.index()])
+                    .max()
+                    .unwrap_or(0);
                 if arr > required[id.index()] {
                     continue;
                 }
@@ -291,7 +301,7 @@ mod tests {
     fn depth_is_much_smaller_than_aig_depth() {
         let aig = adder(8);
         let mapping = map_to_luts(&aig, &MapOptions::lut6());
-        assert!(u32::from(mapping.depth) < aig.depth());
+        assert!(mapping.depth < aig.depth());
         assert!(mapping.num_luts() < aig.num_ands());
     }
 

@@ -106,7 +106,11 @@ fn build_balanced_sop(
 }
 
 fn cost_of(cover: &[Cube]) -> usize {
-    cover.iter().map(|c| c.num_literals() as usize).sum::<usize>() + cover.len()
+    cover
+        .iter()
+        .map(|c| c.num_literals() as usize)
+        .sum::<usize>()
+        + cover.len()
 }
 
 /// Combines operands two at a time, always pairing the two earliest-arriving

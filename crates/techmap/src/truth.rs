@@ -92,12 +92,12 @@ impl Cube {
     /// Truth table of the cube over `nvars` variables.
     pub fn truth(&self, nvars: usize) -> u64 {
         let mut tt = full_mask(nvars);
-        for v in 0..nvars {
+        for (v, &mask) in VAR_MASK.iter().enumerate().take(nvars) {
             if self.pos >> v & 1 == 1 {
-                tt &= VAR_MASK[v];
+                tt &= mask;
             }
             if self.neg >> v & 1 == 1 {
-                tt &= !VAR_MASK[v];
+                tt &= !mask;
             }
         }
         tt & full_mask(nvars)
@@ -198,13 +198,13 @@ pub fn transform_tt4(tt: u16, perm: &[usize; 4], input_flips: u8, output_flip: b
         // Build the source minterm: variable perm[i] of the source takes the
         // (possibly flipped) value of variable i of the destination.
         let mut src = 0u16;
-        for dst_var in 0..4 {
+        for (dst_var, &src_var) in perm.iter().enumerate() {
             let mut bit = minterm >> dst_var & 1;
             if input_flips >> dst_var & 1 == 1 {
                 bit ^= 1;
             }
             if bit == 1 {
-                src |= 1 << perm[dst_var];
+                src |= 1 << src_var;
             }
         }
         let mut value = tt >> src & 1;
@@ -219,10 +219,30 @@ pub fn transform_tt4(tt: u16, perm: &[usize; 4], input_flips: u8, output_flip: b
 }
 
 const PERMS4: [[usize; 4]; 24] = [
-    [0, 1, 2, 3], [0, 1, 3, 2], [0, 2, 1, 3], [0, 2, 3, 1], [0, 3, 1, 2], [0, 3, 2, 1],
-    [1, 0, 2, 3], [1, 0, 3, 2], [1, 2, 0, 3], [1, 2, 3, 0], [1, 3, 0, 2], [1, 3, 2, 0],
-    [2, 0, 1, 3], [2, 0, 3, 1], [2, 1, 0, 3], [2, 1, 3, 0], [2, 3, 0, 1], [2, 3, 1, 0],
-    [3, 0, 1, 2], [3, 0, 2, 1], [3, 1, 0, 2], [3, 1, 2, 0], [3, 2, 0, 1], [3, 2, 1, 0],
+    [0, 1, 2, 3],
+    [0, 1, 3, 2],
+    [0, 2, 1, 3],
+    [0, 2, 3, 1],
+    [0, 3, 1, 2],
+    [0, 3, 2, 1],
+    [1, 0, 2, 3],
+    [1, 0, 3, 2],
+    [1, 2, 0, 3],
+    [1, 2, 3, 0],
+    [1, 3, 0, 2],
+    [1, 3, 2, 0],
+    [2, 0, 1, 3],
+    [2, 0, 3, 1],
+    [2, 1, 0, 3],
+    [2, 1, 3, 0],
+    [2, 3, 0, 1],
+    [2, 3, 1, 0],
+    [3, 0, 1, 2],
+    [3, 0, 2, 1],
+    [3, 1, 0, 2],
+    [3, 1, 2, 0],
+    [3, 2, 0, 1],
+    [3, 2, 1, 0],
 ];
 
 /// Computes the NPN-canonical representative of a 4-variable truth table:
@@ -268,9 +288,9 @@ mod tests {
 
     #[test]
     fn masks_are_projections() {
-        for v in 0..6 {
+        for (v, &mask) in VAR_MASK.iter().enumerate() {
             for m in 0..64usize {
-                assert_eq!(eval(VAR_MASK[v], m), m >> v & 1 == 1);
+                assert_eq!(eval(mask, m), m >> v & 1 == 1);
             }
         }
     }
@@ -345,7 +365,10 @@ mod tests {
 
     #[test]
     fn cube_truth_and_display() {
-        let cube = Cube { pos: 0b001, neg: 0b010 };
+        let cube = Cube {
+            pos: 0b001,
+            neg: 0b010,
+        };
         // a & !b over 2 vars: minterm 1 only.
         assert_eq!(cube.truth(2), 0b0010);
         assert_eq!(cube.to_string(), "a!b");
@@ -373,10 +396,7 @@ mod tests {
         // f = a & !b & c  vs  g = c & !a & b (a permutation + phases of f).
         let f = VAR_MASK[0] & !VAR_MASK[1] & VAR_MASK[2] & full_mask(3);
         let g = VAR_MASK[2] & !VAR_MASK[0] & VAR_MASK[1] & full_mask(3);
-        assert_eq!(
-            npn_canon4(expand_to_4(f, 3)),
-            npn_canon4(expand_to_4(g, 3))
-        );
+        assert_eq!(npn_canon4(expand_to_4(f, 3)), npn_canon4(expand_to_4(g, 3)));
     }
 
     #[test]

@@ -17,7 +17,13 @@ fn wire_name(aig: &Aig, node: NodeId) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("w_{cleaned}")
@@ -36,10 +42,17 @@ pub fn write_verilog(netlist: &Netlist, aig: &Aig) -> String {
     let outputs: Vec<String> = aig.output_names().iter().map(|n| sanitize(n)).collect();
 
     let mut out = String::new();
-    out.push_str(&format!("// mapped by the emorphic workspace: {:.2} um2, {:.2} ps, {} levels\n",
-        netlist.area_um2(), netlist.delay_ps(), netlist.levels()));
+    out.push_str(&format!(
+        "// mapped by the emorphic workspace: {:.2} um2, {:.2} ps, {} levels\n",
+        netlist.area_um2(),
+        netlist.delay_ps(),
+        netlist.levels()
+    ));
     out.push_str(&format!("module {module} (\n"));
-    let mut ports: Vec<String> = inputs.iter().map(|n| format!("  input  wire {n}")).collect();
+    let mut ports: Vec<String> = inputs
+        .iter()
+        .map(|n| format!("  input  wire {n}"))
+        .collect();
     ports.extend(outputs.iter().map(|n| format!("  output wire {n}")));
     out.push_str(&ports.join(",\n"));
     out.push_str("\n);\n\n");
@@ -126,7 +139,7 @@ mod tests {
         assert!(text.contains("output wire f"));
         assert!(text.contains("endmodule"));
         // One instance per mapped gate plus one inverter for the inverted output.
-        assert_eq!(text.matches(" u").count() >= netlist.gates.len(), true);
+        assert!(text.matches(" u").count() >= netlist.gates.len());
         assert!(text.contains("INVx1 u_inv0"));
         assert!(text.contains("assign const_one = 1'b1;"));
     }

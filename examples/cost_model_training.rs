@@ -34,7 +34,10 @@ fn main() {
             samples.push((variant, delay));
         }
     }
-    println!("training set: {} labelled structural samples", samples.len());
+    println!(
+        "training set: {} labelled structural samples",
+        samples.len()
+    );
     println!(
         "feature vector: {} features ({:?} ...)",
         costmodel::features::FEATURE_NAMES.len(),
@@ -76,7 +79,11 @@ fn main() {
         .with_node_limit(30_000)
         .run(&all_rules());
     let saturated = emorphic::convert::ConversionResult {
-        roots: conversion.roots.iter().map(|&r| runner.egraph.find(r)).collect(),
+        roots: conversion
+            .roots
+            .iter()
+            .map(|&r| runner.egraph.find(r))
+            .collect(),
         egraph: runner.egraph,
         ..conversion
     };
@@ -95,5 +102,8 @@ fn main() {
         guided.runtime.as_secs_f64()
     );
     let ok = cec::check_equivalence(&probe, &guided.best_aig, &cec::CecOptions::default());
-    println!("extracted circuit equivalent to the original: {}", ok.is_equivalent());
+    println!(
+        "extracted circuit equivalent to the original: {}",
+        ok.is_equivalent()
+    );
 }

@@ -36,7 +36,14 @@ g = (a * b * d) + (t1 * !c);
         golden.num_ands()
     );
     let result = check_equivalence(&golden, &optimized, &CecOptions::default());
-    println!("cec: {}", if result.is_equivalent() { "equivalent" } else { "NOT equivalent" });
+    println!(
+        "cec: {}",
+        if result.is_equivalent() {
+            "equivalent"
+        } else {
+            "NOT equivalent"
+        }
+    );
 
     // Introduce a deliberate bug and show the counterexample.
     let mut buggy = aig::Aig::new("buggy");

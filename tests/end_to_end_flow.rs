@@ -33,7 +33,11 @@ fn emorphic_flow_is_equivalence_preserving_end_to_end() {
     let config = FlowConfig::fast();
     for circuit in tiny_suite() {
         let result = emorphic_flow(&circuit.aig, &config);
-        assert!(result.verified, "{} failed internal verification", circuit.name);
+        assert!(
+            result.verified,
+            "{} failed internal verification",
+            circuit.name
+        );
         let check = check_equivalence(&circuit.aig, &result.final_aig, &CecOptions::default());
         assert!(check.is_equivalent(), "{}: {:?}", circuit.name, check);
         assert!(result.egraph_nodes >= result.egraph_classes);

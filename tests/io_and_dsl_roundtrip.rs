@@ -19,15 +19,29 @@ fn aiger_roundtrip_on_benchmark_suite() {
     for circuit in benchgen::epfl_like_suite(benchgen::SuiteScale::Tiny) {
         let text = write_aiger(&circuit.aig);
         let back = read_aiger(&text).unwrap_or_else(|e| panic!("{}: {e}", circuit.name));
-        assert_eq!(back.num_inputs(), circuit.aig.num_inputs(), "{}", circuit.name);
-        assert_eq!(back.num_outputs(), circuit.aig.num_outputs(), "{}", circuit.name);
+        assert_eq!(
+            back.num_inputs(),
+            circuit.aig.num_inputs(),
+            "{}",
+            circuit.name
+        );
+        assert_eq!(
+            back.num_outputs(),
+            circuit.aig.num_outputs(),
+            "{}",
+            circuit.name
+        );
         assert!(same_function(&circuit.aig, &back), "{}", circuit.name);
     }
 }
 
 #[test]
 fn eqn_roundtrip_on_benchmark_suite() {
-    for circuit in [benchgen::adder(8), benchgen::arbiter(8), benchgen::mem_ctrl(5)] {
+    for circuit in [
+        benchgen::adder(8),
+        benchgen::arbiter(8),
+        benchgen::mem_ctrl(5),
+    ] {
         let text = write_eqn(&circuit.aig);
         let back = read_eqn(&text).unwrap_or_else(|e| panic!("{}: {e}", circuit.name));
         assert!(same_function(&circuit.aig, &back), "{}", circuit.name);

@@ -1,0 +1,63 @@
+//! Smoke test: the `quickstart` example path end-to-end — generate a circuit
+//! with `benchgen`, run the E-morphic flow (AIG → e-graph saturation → SA
+//! extraction → technology mapping) against the conventional baseline, and
+//! check the results are sane. CI runs this on every push so the full
+//! pipeline is exercised, not just per-crate unit tests.
+
+use emorphic::flow::{baseline_flow, emorphic_flow, FlowConfig};
+
+#[test]
+fn quickstart_pipeline_end_to_end() {
+    let circuit = benchgen::adder(12).aig;
+    assert_eq!(circuit.num_inputs(), 24, "12-bit adder: two 12-bit words");
+    assert_eq!(circuit.num_outputs(), 13, "12-bit sum + carry-out");
+    assert!(circuit.num_ands() > 0);
+    assert!(circuit.depth() > 0);
+
+    let config = FlowConfig::fast();
+
+    // Conventional delay-oriented baseline.
+    let baseline = baseline_flow(&circuit, &config);
+    assert!(baseline.verified, "baseline flow must verify");
+    assert!(baseline.qor.area_um2 > 0.0);
+    assert!(baseline.qor.delay_ps > 0.0);
+
+    // The E-morphic flow: saturation + SA extraction before the final round.
+    let emorphic = emorphic_flow(&circuit, &config);
+    assert!(
+        emorphic.verified,
+        "E-morphic flow on a small adder must prove equivalence"
+    );
+    assert!(
+        emorphic.egraph_nodes > 0 && emorphic.egraph_classes > 0,
+        "rewriting phase must have produced an e-graph"
+    );
+    assert!(emorphic.qor.area_um2 > 0.0);
+    assert!(emorphic.qor.delay_ps > 0.0);
+
+    // The final network must still implement a 12-bit adder: spot-check a
+    // few input patterns directly on the pre-mapping AIG.
+    let final_aig = &emorphic.final_aig;
+    assert_eq!(final_aig.num_inputs(), circuit.num_inputs());
+    assert_eq!(final_aig.num_outputs(), circuit.num_outputs());
+    for pattern in [0usize, 1, 42, 1 << 20, (1 << 24) - 1] {
+        let bits: Vec<bool> = (0..circuit.num_inputs())
+            .map(|i| pattern >> i & 1 == 1)
+            .collect();
+        assert_eq!(
+            final_aig.evaluate(&bits),
+            circuit.evaluate(&bits),
+            "mismatch on input pattern {pattern}"
+        );
+    }
+
+    // QoR comparison machinery (what the quickstart prints).
+    let improvement = emorphic.qor.improvement_over(&baseline.qor);
+    assert!(improvement.area_pct.is_finite());
+    assert!(improvement.delay_pct.is_finite());
+    let (conventional, conversion, extraction) = emorphic.breakdown.percentages();
+    assert!(
+        (conventional + conversion + extraction - 100.0).abs() < 1.0,
+        "runtime breakdown must sum to ~100%"
+    );
+}

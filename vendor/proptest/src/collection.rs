@@ -1,0 +1,51 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::{Strategy, TestRng};
+use rand::RngExt;
+
+/// Anything usable as the size argument of [`vec`]: a fixed `usize` or a
+/// `usize` range.
+pub trait SizeBounds {
+    /// Draws a concrete length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeBounds for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeBounds for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.rng().random_range(self.clone())
+    }
+}
+
+impl SizeBounds for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.rng().random_range(self.clone())
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from `element`.
+pub struct VecStrategy<S, B> {
+    element: S,
+    size: B,
+}
+
+impl<S: Strategy, B: SizeBounds> Strategy for VecStrategy<S, B> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Builds a strategy for `Vec`s with `size` elements (fixed or ranged).
+pub fn vec<S: Strategy, B: SizeBounds>(element: S, size: B) -> VecStrategy<S, B> {
+    VecStrategy { element, size }
+}

@@ -1,0 +1,493 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the offline serde
+//! stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline). Supports the shapes the workspace actually derives:
+//! named structs (with `#[serde(skip)]` fields), newtype/tuple/unit structs,
+//! and enums with unit, tuple and struct variants (externally tagged, as in
+//! real serde). Generics are intentionally rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes leading `#[...]` attributes, returning whether any of them is
+/// exactly `#[serde(skip)]`. Unknown `#[serde(...)]` attributes are rejected
+/// so unsupported serde features fail loudly at compile time.
+fn eat_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(i + 1) else {
+            panic!("serde_derive: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                let arg = match inner.get(1) {
+                    Some(TokenTree::Group(ag)) => ag.stream().to_string(),
+                    _ => String::new(),
+                };
+                match arg.trim() {
+                    "skip" => skip = true,
+                    other => panic!(
+                        "serde_derive (vendored): unsupported attribute #[serde({other})]; \
+                         only #[serde(skip)] is implemented"
+                    ),
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, skip)
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level fields in a tuple-struct/tuple-variant body, treating
+/// commas inside angle brackets as part of one type.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses the fields of a named-struct (or struct-variant) body.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, skip) = eat_attrs(&tokens, i);
+        i = eat_vis(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = eat_attrs(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive: explicit enum discriminants are not supported")
+            }
+            other => panic!("serde_derive: unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (i, _) = eat_attrs(&tokens, 0);
+    let mut i = eat_vis(&tokens, i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported (type `{name}`)");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                match count_tuple_fields(g) {
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_enum_variants(g))
+            }
+            other => panic!("serde_derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Input { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.shape {
+        Shape::Unit => body.push_str(&format!("{VALUE}::Null")),
+        Shape::Newtype => body.push_str("::serde::Serialize::to_value(&self.0)"),
+        Shape::Tuple(n) => {
+            body.push_str(&format!("{VALUE}::Array(vec!["));
+            for idx in 0..*n {
+                let _ = write!(body, "::serde::Serialize::to_value(&self.{idx}),");
+            }
+            body.push_str("])");
+        }
+        Shape::Named(fields) => {
+            body.push_str("{ let mut fields: Vec<(String, ");
+            body.push_str(VALUE);
+            body.push_str(")> = Vec::new();");
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                let _ = write!(
+                    body,
+                    "fields.push((\"{fname}\".to_string(), \
+                     ::serde::Serialize::to_value(&self.{fname})));"
+                );
+            }
+            let _ = write!(body, "{VALUE}::Object(fields) }}");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} => {VALUE}::Str(\"{vname}\".to_string()),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("{VALUE}::Array(vec![{}])", items.join(","))
+                        };
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}({binds}) => {VALUE}::Object(vec![(\
+                             \"{vname}\".to_string(), {payload})]),",
+                            binds = binds.join(",")
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut payload =
+                            format!("{{ let mut fields: Vec<(String, {VALUE})> = Vec::new();");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let fname = &f.name;
+                            let _ = write!(
+                                payload,
+                                "fields.push((\"{fname}\".to_string(), \
+                                 ::serde::Serialize::to_value({fname})));"
+                            );
+                        }
+                        let _ = write!(payload, "{VALUE}::Object(fields) }}");
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} {{ {binds} }} => {VALUE}::Object(vec![(\
+                             \"{vname}\".to_string(), {payload})]),",
+                            binds = binds.join(",")
+                        );
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> {VALUE} {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Generates the expression rebuilding one named field from an object value.
+fn named_field_expr(type_name: &str, fname: &str, skip: bool) -> String {
+    if skip {
+        return format!("{fname}: ::std::default::Default::default(),");
+    }
+    format!(
+        "{fname}: match __value.get(\"{fname}\") {{\n\
+             Some(__v) => ::serde::Deserialize::from_value(__v).map_err(|e| \
+                 ::serde::Error(format!(\"{type_name}.{fname}: {{e}}\")))?,\n\
+             None => ::serde::Deserialize::from_value(&{VALUE}::Null).map_err(|_| \
+                 ::serde::Error(\"missing field `{type_name}.{fname}`\".to_string()))?,\n\
+         }},"
+    )
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.shape {
+        Shape::Unit => body.push_str(&format!("Ok({name})")),
+        Shape::Newtype => body.push_str(&format!(
+            "::serde::Deserialize::from_value(__value).map({name})"
+        )),
+        Shape::Tuple(n) => {
+            let _ = write!(
+                body,
+                "match __value {{ {VALUE}::Array(__items) if __items.len() == {n} => Ok({name}("
+            );
+            for idx in 0..*n {
+                let _ = write!(body, "::serde::Deserialize::from_value(&__items[{idx}])?,");
+            }
+            let _ = write!(
+                body,
+                ")), __other => Err(::serde::Error::expected(\"array of {n}\", __other)) }}"
+            );
+        }
+        Shape::Named(fields) => {
+            let _ = write!(body, "match __value {{ {VALUE}::Object(_) => Ok({name} {{");
+            for f in fields {
+                body.push_str(&named_field_expr(name, &f.name, f.skip));
+            }
+            let _ = write!(
+                body,
+                "}}), __other => Err(::serde::Error::expected(\"object\", __other)) }}"
+            );
+        }
+        Shape::Enum(variants) => {
+            // Externally tagged: unit variants are plain strings, payload
+            // variants are single-entry objects.
+            body.push_str("match __value {");
+            let _ = write!(body, "{VALUE}::Str(__s) => match __s.as_str() {{");
+            for v in variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+            {
+                let vname = &v.name;
+                let _ = write!(body, "\"{vname}\" => Ok({name}::{vname}),");
+            }
+            let _ = write!(
+                body,
+                "__other => Err(::serde::Error(format!(\
+                 \"unknown unit variant `{{__other}}` for {name}\"))) }},"
+            );
+            let _ = write!(
+                body,
+                "{VALUE}::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{"
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            body,
+                            "\"{vname}\" => match __payload {{ {VALUE}::Null => Ok({name}::{vname}), \
+                             __other => Err(::serde::Error::expected(\"null\", __other)) }},"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            body,
+                            "\"{vname}\" => ::serde::Deserialize::from_value(__payload)\
+                             .map({name}::{vname}).map_err(|e| \
+                             ::serde::Error(format!(\"{name}::{vname}: {{e}}\"))),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let mut items = String::new();
+                        for idx in 0..*n {
+                            let _ = write!(
+                                items,
+                                "::serde::Deserialize::from_value(&__items[{idx}])?,"
+                            );
+                        }
+                        let _ = write!(
+                            body,
+                            "\"{vname}\" => match __payload {{\n\
+                             {VALUE}::Array(__items) if __items.len() == {n} => \
+                                 Ok({name}::{vname}({items})),\n\
+                             __other => Err(::serde::Error::expected(\"array of {n}\", __other)),\n\
+                             }},"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut items = String::new();
+                        for f in fields {
+                            // Reuse the struct-field logic with __payload as
+                            // the object being read.
+                            items.push_str(
+                                &named_field_expr(&format!("{name}::{vname}"), &f.name, f.skip)
+                                    .replace("__value.get", "__payload.get"),
+                            );
+                        }
+                        let _ = write!(
+                            body,
+                            "\"{vname}\" => match __payload {{\n\
+                             {VALUE}::Object(_) => Ok({name}::{vname} {{ {items} }}),\n\
+                             __other => Err(::serde::Error::expected(\"object\", __other)),\n\
+                             }},"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                body,
+                "__other => Err(::serde::Error(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))) }} }},"
+            );
+            let _ = write!(
+                body,
+                "__other => Err(::serde::Error::expected(\"{name} variant\", __other)) }}"
+            );
+        }
+    }
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &{VALUE}) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
