@@ -1,0 +1,76 @@
+//! Perf smoke: saturation throughput of the e-graph core, printed as
+//! e-nodes/sec so CI leaves a visible throughput trail from PR to PR.
+//!
+//! Usage: `cargo run --release -p emorphic-bench --bin perf_smoke [-- --fast]`
+//!
+//! `--fast` (or `EMORPHIC_SCALE=tiny`) shrinks the circuit set so the smoke
+//! run stays under a few seconds on CI hardware; the default scale covers the
+//! largest circuit the existing benches exercise (the 16-bit multiplier).
+
+use egraph::{Runner, Scheduler, StopReason};
+use emorphic::{aig_to_egraph, all_rules};
+use emorphic_bench::scale_from_env;
+use std::time::Instant;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast")
+        || matches!(scale_from_env(), benchgen::SuiteScale::Tiny);
+    let circuits: Vec<(String, aig::Aig)> = if fast {
+        vec![
+            ("adder8".into(), benchgen::adder(8).aig),
+            ("multiplier6".into(), benchgen::multiplier(6).aig),
+        ]
+    } else {
+        vec![
+            ("adder32".into(), benchgen::adder(32).aig),
+            ("multiplier8".into(), benchgen::multiplier(8).aig),
+            ("multiplier16".into(), benchgen::multiplier(16).aig),
+        ]
+    };
+    let rules = all_rules();
+
+    println!(
+        "Perf smoke: equality-saturation throughput (rules: {})",
+        rules.len()
+    );
+    println!(
+        "{:<14} {:>9} {:>10} {:>10} {:>6} {:>11} {:>12}  stop",
+        "circuit", "aig-ands", "e-nodes", "e-classes", "iters", "sat-time", "e-nodes/sec"
+    );
+
+    let mut total_nodes = 0usize;
+    let mut total_secs = 0f64;
+    for (name, aig) in &circuits {
+        let conv = aig_to_egraph(aig);
+        let t0 = Instant::now();
+        let runner = Runner::with_egraph(conv.egraph)
+            .with_iter_limit(8)
+            .with_node_limit(100_000)
+            .with_scheduler(Scheduler::Backoff {
+                match_limit: 2_000,
+                ban_length: 2,
+            })
+            .run(&rules);
+        let secs = t0.elapsed().as_secs_f64();
+        let nodes = runner.egraph.total_nodes();
+        total_nodes += nodes;
+        total_secs += secs;
+        println!(
+            "{:<14} {:>9} {:>10} {:>10} {:>6} {:>10.3}s {:>12.0}  {:?}",
+            name,
+            aig.num_ands(),
+            nodes,
+            runner.egraph.num_classes(),
+            runner.iterations.len(),
+            secs,
+            nodes as f64 / secs.max(1e-9),
+            runner.stop_reason.unwrap_or(StopReason::IterationLimit),
+        );
+    }
+    println!(
+        "TOTAL: {} e-nodes in {:.3}s = {:.0} e-nodes/sec",
+        total_nodes,
+        total_secs,
+        total_nodes as f64 / total_secs.max(1e-9)
+    );
+}

@@ -102,11 +102,13 @@ pub fn structural_variants(circuit: &Aig, variants: usize, seed: u64) -> Vec<Aig
         circuit.name(),
     ));
     let mut index = 0u64;
+    let parent_index = saturated.egraph.parent_index();
     while out.len() < variants {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ index);
         let neighbor = emorphic::extract::sa::generate_neighbor(
             &saturated.egraph,
+            &parent_index,
             &greedy,
             if index.is_multiple_of(2) {
                 ExtractionCost::Size

@@ -193,7 +193,11 @@ pub fn esyn_forward(aig: &Aig, limits: &EsynLimits) -> Result<EsynConversion, Es
             return Err(EsynFailure::TimeOut);
         }
     }
+    // The forward conversion only adds (never unions), so the incremental
+    // e-graph is already clean: this rebuild drains an empty worklist in
+    // O(1) and the roots are already canonical.
     egraph.rebuild();
+    debug_assert!(!egraph.is_dirty());
     let roots = roots.into_iter().map(|r| egraph.find(r)).collect();
     Ok(EsynConversion {
         egraph,

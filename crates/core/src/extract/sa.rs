@@ -192,10 +192,13 @@ fn run_chain(
     let mut temperature = options.initial_temperature;
     let mut accepted = 0usize;
     let mut rejected = 0usize;
+    // One parent-index build per chain, shared by every neighbor generation.
+    let parent_index = egraph.parent_index();
 
     for iteration in 1..=options.iterations {
         let neighbor = generate_neighbor(
             egraph,
+            &parent_index,
             &current_selection,
             options.neighbor_cost,
             options.p_random,
@@ -257,14 +260,18 @@ fn run_chain(
 /// Algorithm 1: generate a neighboring solution by traversing the e-graph
 /// bottom-up from the leaves, re-selecting e-nodes that improve the cached
 /// class cost, with probability `p_random` of skipping an improvement.
+///
+/// `parent_index` is the e-graph's [`EGraph::parent_index`]; callers that
+/// generate many neighbors (the annealing chains) build it once and reuse it
+/// across calls instead of paying for it per neighbor.
 pub fn generate_neighbor(
     egraph: &EGraph<BoolLang>,
+    parent_index: &egraph::FxHashMap<Id, Vec<(Id, BoolLang)>>,
     current: &Selection,
     cost_kind: ExtractionCost,
     p_random: f64,
     rng: &mut StdRng,
 ) -> Selection {
-    let parent_index = egraph.parent_index();
     let mut new_selection = current.clone();
     let mut costs: FxHashMap<Id, u64> = FxHashMap::default();
 
@@ -354,8 +361,14 @@ mod tests {
         let (initial, _) = bottom_up_extract(&conv.egraph, ExtractionCost::Depth);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..5 {
-            let neighbor =
-                generate_neighbor(&conv.egraph, &initial, ExtractionCost::Depth, 0.3, &mut rng);
+            let neighbor = generate_neighbor(
+                &conv.egraph,
+                &conv.egraph.parent_index(),
+                &initial,
+                ExtractionCost::Depth,
+                0.3,
+                &mut rng,
+            );
             let back = selection_to_aig(
                 &conv.egraph,
                 &neighbor,

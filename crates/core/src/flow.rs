@@ -171,6 +171,9 @@ pub struct FlowResult {
     pub egraph_nodes: usize,
     /// Number of e-classes after rewriting (0 for the baseline flow).
     pub egraph_classes: usize,
+    /// Per-iteration reports of the saturation phase (empty for the baseline
+    /// flow), including e-node counts and incremental-rebuild timings.
+    pub saturation: Vec<egraph::IterationReport>,
 }
 
 fn conventional_round(aig: &Aig, config: &FlowConfig, with_sop: bool) -> (Aig, Qor) {
@@ -208,6 +211,7 @@ pub fn baseline_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         verified: true,
         egraph_nodes: 0,
         egraph_classes: 0,
+        saturation: Vec::new(),
     }
 }
 
@@ -243,6 +247,7 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
             ban_length: 2,
         })
         .run(&all_rules());
+    let saturation = runner.iterations.clone();
     let saturated = crate::convert::ConversionResult {
         roots: conversion
             .roots
@@ -301,6 +306,7 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         verified,
         egraph_nodes,
         egraph_classes,
+        saturation,
     }
 }
 

@@ -77,6 +77,19 @@ impl Language for BoolLang {
             BoolLang::Or(_) => "|".to_string(),
         }
     }
+
+    fn op_key(&self) -> u64 {
+        // Allocation-free discriminator for the e-graph's operator index.
+        // `matches` distinguishes constants by value and variables by index,
+        // so the key must too; the ranges below cannot collide.
+        match self {
+            BoolLang::Not(_) => 1,
+            BoolLang::And(_) => 2,
+            BoolLang::Or(_) => 3,
+            BoolLang::Const(b) => 0x10 | u64::from(*b),
+            BoolLang::Var(index) => 0x100 + u64::from(*index),
+        }
+    }
 }
 
 impl FromOp for BoolLang {

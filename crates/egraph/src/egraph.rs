@@ -1,7 +1,41 @@
-//! The e-graph: hash-consed e-nodes grouped into e-classes with deferred
-//! congruence-closure maintenance ("rebuilding").
+//! The e-graph: hash-consed e-nodes grouped into e-classes with deferred,
+//! *incremental* congruence-closure maintenance ("rebuilding").
+//!
+//! # The worklist algorithm
+//!
+//! Following egg (Willsey et al., POPL 2021), congruence repair is deferred
+//! and worklist-driven rather than implemented as whole-graph
+//! canonicalization passes:
+//!
+//! * Every e-class carries a **parent list**: the `(e-node, class)` pairs
+//!   that reference it as a child. [`EGraph::add`] appends to the lists of
+//!   the new node's children; [`EGraph::union`] concatenates the loser's
+//!   list onto the winner's.
+//! * [`EGraph::union`] only updates the union-find (which merges by set size)
+//!   and moves the loser's nodes/parents into the winner — it does *not*
+//!   restore congruence. Instead the winner is pushed onto a **dirty-class
+//!   worklist**.
+//! * [`EGraph::rebuild`] drains the worklist: for each dirty class it
+//!   re-canonicalizes the parent entries, re-keys the hashcons, and unions
+//!   any two parents that collapse to the same canonical e-node (upward
+//!   congruence propagation). Unions performed during repair push new dirty
+//!   classes, so the loop runs to a fixpoint.
+//! * Only classes whose nodes could have gone stale (parents of dirty
+//!   classes and union winners) have their node lists re-canonicalized and
+//!   deduplicated at the end of a rebuild.
+//!
+//! The cost of a `rebuild` is therefore proportional to the **changed region
+//! of the graph** — the classes touched by unions and their immediate
+//! parents — not to the total graph size. A rebuild with an empty worklist
+//! is O(1). The previous pass-based implementation is retained as
+//! [`EGraph::rebuild_reference`] so property tests can diff the two.
+//!
+//! The e-graph also maintains an **operator discriminator index** mapping
+//! [`Language::op_key`] values to the classes containing a node with that
+//! operator; [`crate::Pattern`] uses it so a rule only visits classes whose
+//! nodes can match its root symbol.
 
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::{Id, Language, RecExpr, UnionFind};
 
 /// An equivalence class of e-nodes.
@@ -12,23 +46,43 @@ pub struct EClass<L> {
     /// The e-nodes belonging to this class. After [`EGraph::rebuild`] the
     /// children of every node are canonical and the list is deduplicated.
     pub nodes: Vec<L>,
+    /// The `(e-node, class)` pairs that reference this class as a child.
+    /// Entries may be stale between rebuilds (non-canonical child ids or
+    /// class ids); canonicalize through [`EGraph::find`] before use.
+    pub(crate) parents: Vec<(L, Id)>,
 }
 
 impl<L: Language> EClass<L> {
     /// Number of e-nodes in the class.
+    #[inline]
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
 
     /// Returns `true` if the class has no nodes (never the case in a
     /// well-formed e-graph).
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
 
     /// Iterates over the e-nodes of this class.
+    #[inline]
     pub fn iter(&self) -> impl Iterator<Item = &L> {
         self.nodes.iter()
+    }
+
+    /// Iterates over the incrementally maintained `(parent e-node, parent
+    /// class)` pairs of this class.
+    ///
+    /// Entries are maintained by [`EGraph::add`]/[`EGraph::union`] and
+    /// repaired lazily: a pair's node form or class id may be stale (merged
+    /// away) even on a clean graph. Map node children and the class id
+    /// through [`EGraph::find`] before comparing; [`EGraph::parent_index`]
+    /// does exactly that.
+    #[inline]
+    pub fn parents(&self) -> impl Iterator<Item = (&L, Id)> {
+        self.parents.iter().map(|(node, id)| (node, *id))
     }
 }
 
@@ -39,15 +93,24 @@ impl<L: Language> EClass<L> {
 /// class equivalence are merged as well. Following egg, congruence repair is
 /// *deferred*: callers perform any number of [`EGraph::add`] / [`EGraph::union`]
 /// operations and then call [`EGraph::rebuild`] once, which restores the
-/// invariants in bulk. This crate implements rebuilding as whole-graph
-/// canonicalization passes, which is simpler than egg's incremental parent
-/// repair and fast enough for the few rewrite iterations E-morphic uses.
+/// invariants by draining a dirty-class worklist (see the module docs for the
+/// algorithm and its complexity model).
 #[derive(Debug, Clone, Default)]
 pub struct EGraph<L: Language> {
     unionfind: UnionFind,
     memo: FxHashMap<L, Id>,
     classes: FxHashMap<Id, EClass<L>>,
-    dirty: bool,
+    /// Operator discriminator index: `op_key` → classes that were created
+    /// holding a node with that operator. Ids may be stale (canonicalize on
+    /// read); `add` only appends, and rebuild compacts the index alongside
+    /// the hashcons once stale entries outnumber live nodes.
+    classes_by_op: FxHashMap<u64, Vec<Id>>,
+    /// Dirty classes whose parents must be repaired by the next rebuild.
+    pending: Vec<Id>,
+    /// Classes whose `nodes` lists may hold stale child ids or duplicates.
+    stale_nodes: FxHashSet<Id>,
+    /// Sum of `nodes.len()` over all classes, maintained incrementally.
+    live_nodes: usize,
     n_unions: usize,
 }
 
@@ -58,7 +121,10 @@ impl<L: Language> EGraph<L> {
             unionfind: UnionFind::new(),
             memo: FxHashMap::default(),
             classes: FxHashMap::default(),
-            dirty: false,
+            classes_by_op: FxHashMap::default(),
+            pending: Vec::new(),
+            stale_nodes: FxHashSet::default(),
+            live_nodes: 0,
             n_unions: 0,
         }
     }
@@ -70,6 +136,7 @@ impl<L: Language> EGraph<L> {
     }
 
     /// Returns the canonical form of an e-node (children canonicalized).
+    #[inline]
     pub fn canonicalize(&self, node: &L) -> L {
         node.map_children(|c| self.find(c))
     }
@@ -87,14 +154,27 @@ impl<L: Language> EGraph<L> {
             return self.find(id);
         }
         let id = self.unionfind.make_set();
+        for &child in node.children() {
+            self.classes
+                .get_mut(&child)
+                .expect("canonical child class must exist")
+                .parents
+                .push((node.clone(), id));
+        }
+        self.classes_by_op
+            .entry(node.op_key())
+            .or_default()
+            .push(id);
         self.classes.insert(
             id,
             EClass {
                 id,
                 nodes: vec![node.clone()],
+                parents: Vec::new(),
             },
         );
         self.memo.insert(node, id);
+        self.live_nodes += 1;
         id
     }
 
@@ -109,7 +189,9 @@ impl<L: Language> EGraph<L> {
     }
 
     /// Merges two e-classes. Returns the surviving canonical id and whether
-    /// anything changed. Congruence is restored lazily by [`EGraph::rebuild`].
+    /// anything changed. Congruence is restored lazily by [`EGraph::rebuild`]:
+    /// this only merges the union-find sets (by size), concatenates the node
+    /// and parent lists, and enqueues the winner on the dirty worklist.
     pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
         let a = self.find(a);
         let b = self.find(b);
@@ -119,25 +201,153 @@ impl<L: Language> EGraph<L> {
         let root = self.unionfind.union(a, b);
         let loser = if root == a { b } else { a };
         let loser_class = self.classes.remove(&loser).expect("loser class must exist");
-        self.classes
+        let winner = self
+            .classes
             .get_mut(&root)
-            .expect("winner class must exist")
-            .nodes
-            .extend(loser_class.nodes);
+            .expect("winner class must exist");
+        winner.nodes.extend(loser_class.nodes);
+        winner.parents.extend(loser_class.parents);
         self.n_unions += 1;
-        self.dirty = true;
+        self.pending.push(root);
+        self.stale_nodes.insert(root);
         (root, true)
     }
 
     /// Returns `true` if the two ids refer to the same e-class.
+    #[inline]
     pub fn same(&self, a: Id, b: Id) -> bool {
         self.find(a) == self.find(b)
     }
 
     /// Restores the congruence and hash-consing invariants after a batch of
-    /// unions. Returns the number of additional unions performed by
-    /// congruence propagation.
+    /// unions by draining the dirty-class worklist (see the module docs).
+    /// Returns the number of additional unions performed by congruence
+    /// propagation. On an already-clean graph this is O(1).
     pub fn rebuild(&mut self) -> usize {
+        let mut congruence_unions = 0;
+        while let Some(class) = self.pending.pop() {
+            congruence_unions += self.repair(class);
+        }
+        self.repair_node_lists();
+        self.compact_indexes_if_bloated();
+        congruence_unions
+    }
+
+    /// Repairs the parents of one dirty class: re-canonicalize each parent
+    /// entry, re-key the hashcons, and union parents that collapse to the
+    /// same canonical e-node. Returns the number of congruence unions.
+    fn repair(&mut self, class: Id) -> usize {
+        let class = self.unionfind.find_mut(class);
+        let mut parents = match self.classes.get_mut(&class) {
+            Some(c) => std::mem::take(&mut c.parents),
+            None => return 0,
+        };
+        for (node, pclass) in &mut parents {
+            let mut changed = false;
+            self.memo.remove(node);
+            node.update_children(|c| {
+                let root = self.unionfind.find_mut(c);
+                changed |= root != c;
+                root
+            });
+            let proot = self.unionfind.find_mut(*pclass);
+            changed |= proot != *pclass;
+            *pclass = proot;
+            if changed {
+                // The parent class's node list holds the same (stale) form.
+                self.stale_nodes.insert(proot);
+            }
+        }
+        parents.sort_unstable();
+        parents.dedup();
+
+        let mut unions = 0;
+        for (node, pclass) in &parents {
+            if let Some(other) = self.memo.insert(node.clone(), *pclass) {
+                if self.find(other) != self.find(*pclass) {
+                    let (root, merged) = self.union(other, *pclass);
+                    if merged {
+                        unions += 1;
+                    }
+                    self.memo.insert(node.clone(), root);
+                }
+            }
+        }
+        // A congruence union above may have merged `class` itself away;
+        // reattach the repaired parent entries to the surviving class.
+        let owner = self.unionfind.find_mut(class);
+        let owner_class = self
+            .classes
+            .get_mut(&owner)
+            .expect("canonical class must exist");
+        if owner_class.parents.is_empty() {
+            owner_class.parents = parents;
+        } else {
+            owner_class.parents.extend(parents);
+        }
+        unions
+    }
+
+    /// Re-canonicalizes, sorts and deduplicates the node lists of the classes
+    /// marked stale during unions and parent repair.
+    fn repair_node_lists(&mut self) {
+        let mut stale: Vec<Id> = self
+            .stale_nodes
+            .drain()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|id| self.unionfind.find_mut(id))
+            .collect();
+        stale.sort_unstable();
+        stale.dedup();
+        let uf = &self.unionfind;
+        for id in stale {
+            if let Some(class) = self.classes.get_mut(&id) {
+                let before = class.nodes.len();
+                for node in &mut class.nodes {
+                    node.update_children(|c| uf.find(c));
+                }
+                class.nodes.sort_unstable();
+                class.nodes.dedup();
+                self.live_nodes -= before - class.nodes.len();
+            }
+        }
+    }
+
+    /// Rebuilds the hashcons and the operator index from the (canonical)
+    /// class node lists when stale entries — memo keys left behind by repair,
+    /// or op-index ids pointing at merged-away classes — outnumber the live
+    /// nodes. Amortized O(1): compaction is linear but only triggers after
+    /// linear growth, and both structures shrink back to O(live nodes).
+    fn compact_indexes_if_bloated(&mut self) {
+        let budget = self.live_nodes.saturating_mul(2);
+        let memo_bloated = self.memo.len() > budget;
+        let index_bloated = self.classes_by_op.values().map(Vec::len).sum::<usize>() > budget;
+        if !memo_bloated && !index_bloated {
+            return;
+        }
+        self.memo.clear();
+        self.classes_by_op.clear();
+        for class in self.classes.values() {
+            for node in &class.nodes {
+                self.memo.insert(node.clone(), class.id);
+                let ids = self.classes_by_op.entry(node.op_key()).or_default();
+                if ids.last() != Some(&class.id) {
+                    ids.push(class.id);
+                }
+            }
+        }
+        for ids in self.classes_by_op.values_mut() {
+            ids.sort_unstable();
+            ids.dedup();
+        }
+    }
+
+    /// The whole-graph canonicalization rebuild this crate used before the
+    /// worklist algorithm, retained as a reference implementation ("oracle")
+    /// for differential property tests and debugging. Semantically equivalent
+    /// to [`EGraph::rebuild`] but O(total graph size) per pass.
+    pub fn rebuild_reference(&mut self) -> usize {
         let mut congruence_unions = 0;
         loop {
             // Detect congruent nodes across classes under the current
@@ -169,103 +379,185 @@ impl<L: Language> EGraph<L> {
                 }
             }
         }
-        // Canonicalize the node lists and rebuild the hashcons.
+        // Canonicalize node and parent lists and rebuild the hashcons from
+        // scratch.
         let uf = &self.unionfind;
         let mut memo: FxHashMap<L, Id> = FxHashMap::default();
+        let mut live = 0;
         for (&id, class) in self.classes.iter_mut() {
             class.id = id;
             for node in &mut class.nodes {
                 node.update_children(|c| uf.find(c));
             }
-            class.nodes.sort();
+            class.nodes.sort_unstable();
             class.nodes.dedup();
+            live += class.nodes.len();
             for node in &class.nodes {
                 memo.insert(node.clone(), id);
             }
+            for (node, pclass) in &mut class.parents {
+                node.update_children(|c| uf.find(c));
+                *pclass = uf.find(*pclass);
+            }
+            class.parents.sort_unstable();
+            class.parents.dedup();
         }
         self.memo = memo;
-        self.dirty = false;
+        self.live_nodes = live;
+        self.pending.clear();
+        self.stale_nodes.clear();
+        self.compact_indexes_if_bloated();
         congruence_unions
     }
 
     /// Returns `true` if unions have been performed since the last rebuild.
+    #[inline]
     pub fn is_dirty(&self) -> bool {
-        self.dirty
+        !self.pending.is_empty() || !self.stale_nodes.is_empty()
+    }
+
+    #[inline]
+    fn debug_assert_clean(&self, what: &str) {
+        debug_assert!(
+            !self.is_dirty(),
+            "{what} requires a clean e-graph; call rebuild() after union()"
+        );
     }
 
     /// Number of e-classes.
+    #[inline]
     pub fn num_classes(&self) -> usize {
         self.classes.len()
     }
 
-    /// Total number of e-nodes across all classes.
+    /// Total number of e-nodes across all classes. On a dirty graph this
+    /// counts not-yet-deduplicated nodes, exactly like summing
+    /// [`EClass::len`] over all classes.
+    #[inline]
     pub fn total_nodes(&self) -> usize {
-        self.classes.values().map(|c| c.nodes.len()).sum()
+        self.live_nodes
     }
 
     /// Total number of unions performed (including congruence-induced ones).
+    #[inline]
     pub fn num_unions(&self) -> usize {
         self.n_unions
     }
 
     /// Returns the e-class with the given id (canonicalized).
     ///
+    /// The graph must be clean (rebuilt): on a dirty graph node lists may
+    /// hold stale duplicates, which silently breaks consumers that treat the
+    /// list as canonical (debug-asserted).
+    ///
     /// # Panics
     /// Panics if the id does not refer to an existing class.
     pub fn class(&self, id: Id) -> &EClass<L> {
+        self.debug_assert_clean("class()");
         let id = self.find(id);
         &self.classes[&id]
     }
 
-    /// Returns the e-class with the given id, if it exists.
+    /// Returns the e-class with the given id, if it exists. Like
+    /// [`EGraph::class`], debug-asserts a clean graph.
     pub fn get_class(&self, id: Id) -> Option<&EClass<L>> {
+        self.debug_assert_clean("get_class()");
         let id = self.find(id);
         self.classes.get(&id)
     }
 
-    /// Iterates over all e-classes.
+    /// Iterates over all e-classes. Debug-asserts a clean graph.
     pub fn classes(&self) -> impl Iterator<Item = &EClass<L>> {
+        self.debug_assert_clean("classes()");
         self.classes.values()
     }
 
-    /// Iterates over all canonical class ids.
+    /// Iterates over all canonical class ids. Debug-asserts a clean graph.
     pub fn class_ids(&self) -> impl Iterator<Item = Id> + '_ {
+        self.debug_assert_clean("class_ids()");
         self.classes.keys().copied()
     }
 
-    /// Builds, for every class, the list of `(parent class, parent node)`
-    /// pairs that reference it. The e-graph must be clean (rebuilt).
-    pub fn parent_index(&self) -> FxHashMap<Id, Vec<(Id, L)>> {
-        debug_assert!(!self.dirty, "parent_index requires a rebuilt e-graph");
-        let mut parents: FxHashMap<Id, Vec<(Id, L)>> = FxHashMap::default();
-        for class in self.classes.values() {
-            for node in &class.nodes {
-                for &child in node.children() {
-                    parents
-                        .entry(self.find(child))
-                        .or_default()
-                        .push((class.id, node.clone()));
+    /// Returns the canonical ids of the classes containing at least one node
+    /// whose [`Language::op_key`] equals `key`, deduplicated, in a
+    /// deterministic order. Classes not returned are guaranteed not to
+    /// contain a matching node, so pattern search can skip them.
+    pub fn classes_for_op(&self, key: u64) -> Vec<Id> {
+        self.debug_assert_clean("classes_for_op()");
+        let mut out = Vec::new();
+        if let Some(ids) = self.classes_by_op.get(&key) {
+            let mut seen: FxHashSet<Id> = FxHashSet::default();
+            for &id in ids {
+                let canon = self.find(id);
+                if seen.insert(canon) {
+                    out.push(canon);
                 }
             }
+        }
+        out
+    }
+
+    /// Builds, for every class, the list of `(parent class, parent node)`
+    /// pairs that reference it, from the incrementally maintained per-class
+    /// parent lists (canonicalized and deduplicated). The e-graph must be
+    /// clean (rebuilt).
+    pub fn parent_index(&self) -> FxHashMap<Id, Vec<(Id, L)>> {
+        self.debug_assert_clean("parent_index()");
+        let mut parents: FxHashMap<Id, Vec<(Id, L)>> = FxHashMap::default();
+        for class in self.classes.values() {
+            if class.parents.is_empty() {
+                continue;
+            }
+            let mut list: Vec<(Id, L)> = class
+                .parents
+                .iter()
+                .map(|(node, pclass)| (self.find(*pclass), self.canonicalize(node)))
+                .collect();
+            list.sort_unstable();
+            list.dedup();
+            parents.insert(class.id, list);
         }
         parents
     }
 
     /// Checks internal invariants (used by tests and property tests):
     /// every class key is canonical, every node's children are canonical,
-    /// and no two distinct classes contain the same canonical node.
+    /// no two distinct classes contain the same canonical node, the node
+    /// counter matches the class lists, every canonical hashcons entry points
+    /// to the class holding its node, and every child edge is covered by the
+    /// child's parent list.
     pub fn check_invariants(&self) -> Result<(), String> {
-        if self.dirty {
+        if self.is_dirty() {
             return Err("e-graph is dirty; call rebuild() first".into());
         }
+        // Canonicalized views built once so the per-node checks below stay
+        // O(1): the parent relation and the operator index.
+        let mut parent_sets: FxHashMap<Id, FxHashSet<(L, Id)>> = FxHashMap::default();
+        for (&id, class) in &self.classes {
+            let set = class
+                .parents
+                .iter()
+                .map(|(node, pclass)| (self.canonicalize(node), self.find(*pclass)))
+                .collect();
+            parent_sets.insert(id, set);
+        }
+        let mut op_sets: FxHashMap<u64, FxHashSet<Id>> = FxHashMap::default();
+        for (&key, ids) in &self.classes_by_op {
+            op_sets.insert(key, ids.iter().map(|&i| self.find(i)).collect());
+        }
         let mut seen: FxHashMap<&L, Id> = FxHashMap::default();
+        let mut counted = 0usize;
         for (&id, class) in &self.classes {
             if self.find(id) != id {
                 return Err(format!("class key {id} is not canonical"));
             }
+            if class.id != id {
+                return Err(format!("class {id} carries wrong id {}", class.id));
+            }
             if class.nodes.is_empty() {
                 return Err(format!("class {id} is empty"));
             }
+            counted += class.nodes.len();
             for node in &class.nodes {
                 for &child in node.children() {
                     if self.find(child) != child {
@@ -291,6 +583,46 @@ impl<L: Language> EGraph<L> {
                     }
                     None => return Err(format!("node {node:?} missing from hashcons")),
                 }
+                // Every child edge must be covered by the child's parent
+                // list (entries may be stale; compare canonicalized).
+                for &child in node.children() {
+                    let covered = parent_sets
+                        .get(&child)
+                        .is_some_and(|set| set.contains(&(node.clone(), id)));
+                    if !covered {
+                        return Err(format!(
+                            "parent list of class {child} misses parent {node:?} (class {id})"
+                        ));
+                    }
+                }
+                // The operator index must cover the class under this node's key.
+                let indexed = op_sets
+                    .get(&node.op_key())
+                    .is_some_and(|ids| ids.contains(&id));
+                if !indexed {
+                    return Err(format!("op index misses class {id} for node {node:?}"));
+                }
+            }
+        }
+        if counted != self.live_nodes {
+            return Err(format!(
+                "node counter {} disagrees with class lists {counted}",
+                self.live_nodes
+            ));
+        }
+        // Canonical hashcons entries must point into the graph consistently;
+        // entries keyed under stale forms are unreachable garbage awaiting
+        // compaction and are exempt.
+        for (node, &id) in &self.memo {
+            let canonical = node.children().iter().all(|&c| self.find(c) == c);
+            if !canonical {
+                continue;
+            }
+            let class = self.find(id);
+            if !self.classes[&class].nodes.iter().any(|n| n == node) {
+                return Err(format!(
+                    "hashcons entry {node:?} -> {id} not present in class {class}"
+                ));
             }
         }
         Ok(())
@@ -463,5 +795,79 @@ mod tests {
         assert_eq!(eg.num_classes(), 1);
         assert_eq!(eg.total_nodes(), 2);
         assert_eq!(eg.num_unions(), 1);
+    }
+
+    #[test]
+    fn op_index_prunes_to_matching_classes() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        let f = eg.add(SymbolLang::new("f", vec![a, b]));
+        let g = eg.add(SymbolLang::new("g", vec![a]));
+        eg.rebuild();
+        let fs = eg.classes_for_op(SymbolLang::new("f", vec![a, b]).op_key());
+        assert_eq!(fs, vec![eg.find(f)]);
+        let gs = eg.classes_for_op(SymbolLang::new("g", vec![a]).op_key());
+        assert_eq!(gs, vec![eg.find(g)]);
+        assert!(eg
+            .classes_for_op(SymbolLang::leaf("nosuch").op_key())
+            .is_empty());
+    }
+
+    #[test]
+    fn op_index_canonicalizes_after_unions() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        let fa = eg.add(SymbolLang::new("f", vec![a]));
+        let fb = eg.add(SymbolLang::new("f", vec![b]));
+        eg.union(a, b);
+        eg.rebuild();
+        // f(a) and f(b) merged by congruence: one canonical class, no dupes.
+        let fs = eg.classes_for_op(SymbolLang::new("f", vec![a]).op_key());
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0], eg.find(fa));
+        assert_eq!(eg.find(fa), eg.find(fb));
+    }
+
+    #[test]
+    fn incremental_and_reference_rebuild_agree() {
+        // Drive two graphs through the same workload; rebuild one
+        // incrementally and one with the whole-graph reference passes.
+        let build = |_reference: bool| -> EGraph<SymbolLang> { EGraph::new() };
+        let mut inc = build(false);
+        let mut refe = build(true);
+        for eg in [&mut inc, &mut refe] {
+            let a = leaf(eg, "a");
+            let b = leaf(eg, "b");
+            let fa = eg.add(SymbolLang::new("f", vec![a]));
+            let fb = eg.add(SymbolLang::new("f", vec![b]));
+            let _g = eg.add(SymbolLang::new("g", vec![fa, fb]));
+            eg.union(a, b);
+        }
+        let u1 = inc.rebuild();
+        let u2 = refe.rebuild_reference();
+        assert_eq!(u1, u2);
+        assert_eq!(inc.num_classes(), refe.num_classes());
+        assert_eq!(inc.total_nodes(), refe.total_nodes());
+        assert_eq!(inc.num_unions(), refe.num_unions());
+        inc.check_invariants().unwrap();
+        refe.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parents_survive_merges() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = leaf(&mut eg, "a");
+        let b = leaf(&mut eg, "b");
+        let _fa = eg.add(SymbolLang::new("f", vec![a]));
+        let _gb = eg.add(SymbolLang::new("g", vec![b]));
+        eg.union(a, b);
+        eg.rebuild();
+        // The merged leaf class lists both f and g as parents.
+        let parents = eg.parent_index();
+        let merged = eg.find(a);
+        assert_eq!(parents[&merged].len(), 2);
+        eg.check_invariants().unwrap();
     }
 }

@@ -26,6 +26,19 @@ pub trait Language: Debug + Clone + Eq + Ord + Hash {
     /// serialization).
     fn op_str(&self) -> String;
 
+    /// A 64-bit discriminator key grouping nodes that could [`Language::matches`]
+    /// each other, used by the e-graph's operator index to prune pattern
+    /// search.
+    ///
+    /// **Contract:** `a.matches(b)` implies `a.op_key() == b.op_key()`.
+    /// Collisions in the other direction are sound (the matcher re-checks
+    /// `matches`), they only reduce pruning. The default hashes
+    /// `(op_str, arity)`; implementors should override it when `op_str`
+    /// allocates (see [`op_key_of`]).
+    fn op_key(&self) -> u64 {
+        op_key_of(&self.op_str(), self.children().len())
+    }
+
     /// Returns `true` if this node has no children.
     fn is_leaf(&self) -> bool {
         self.children().is_empty()
@@ -53,6 +66,17 @@ pub trait Language: Debug + Clone + Eq + Ord + Hash {
             f(child);
         }
     }
+}
+
+/// Hashes an operator spelling and arity into a [`Language::op_key`]
+/// discriminator, so custom languages can implement the key without
+/// allocating the `op_str` string on the hot path.
+pub fn op_key_of(op: &str, arity: usize) -> u64 {
+    use std::hash::Hasher;
+    let mut hasher = crate::fxhash::FxHasher::default();
+    hasher.write(op.as_bytes());
+    hasher.write_usize(arity);
+    hasher.finish()
 }
 
 /// Construction of language nodes from an operator string and children, used
@@ -111,6 +135,10 @@ impl Language for SymbolLang {
 
     fn op_str(&self) -> String {
         self.op.clone()
+    }
+
+    fn op_key(&self) -> u64 {
+        op_key_of(&self.op, self.children.len())
     }
 }
 

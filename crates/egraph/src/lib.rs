@@ -6,7 +6,9 @@
 //! * [`Language`] / [`FromOp`] — the term language an e-graph is built over,
 //!   plus [`RecExpr`] terms and s-expression parsing/printing.
 //! * [`EGraph`] — the e-graph itself: hash-consed e-nodes grouped into
-//!   e-classes, with union-find and congruence-closure *rebuilding*.
+//!   e-classes, with union-find and *incremental*, worklist-driven
+//!   congruence-closure rebuilding (egg-style deferred parent repair), plus
+//!   an operator index that prunes pattern search.
 //! * [`Pattern`] / [`Rewrite`] — syntactic rewrite rules applied by
 //!   e-matching; rewriting is non-destructive (it only adds equalities).
 //! * [`Runner`] — the equality-saturation loop with node/iteration/time
@@ -51,7 +53,7 @@ pub use egraph::{EClass, EGraph};
 pub use extract::{AstDepth, AstSize, CostFunction, DagSelection, Extractor};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use id::Id;
-pub use language::{FromOp, Language, RecExpr, SymbolLang};
+pub use language::{op_key_of, FromOp, Language, RecExpr, SymbolLang};
 pub use pattern::{ENodeOrVar, Pattern, SearchMatches, Subst, Var};
 pub use rewrite::Rewrite;
 pub use runner::{IterationReport, Runner, RunnerLimits, Scheduler, StopReason};

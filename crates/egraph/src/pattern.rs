@@ -64,6 +64,15 @@ impl<L: Language> Language for ENodeOrVar<L> {
             ENodeOrVar::Var(v) => v.to_string(),
         }
     }
+
+    fn op_key(&self) -> u64 {
+        match self {
+            // Forward to the inner language so a pattern node's key agrees
+            // with the e-graph's operator index over `L`.
+            ENodeOrVar::ENode(n) => n.op_key(),
+            ENodeOrVar::Var(v) => crate::language::op_key_of(&v.to_string(), 0),
+        }
+    }
 }
 
 /// A variable binding produced by e-matching: maps pattern variables to
@@ -204,16 +213,28 @@ impl<L: Language> Pattern<L> {
     /// iteration so the budget sweeps across all classes over time.
     ///
     /// The second return value is `true` when the search was *complete*: it
-    /// visited every class without exhausting the match or step budget.
-    /// `false` means classes may remain unsearched, so the caller must not
-    /// conclude anything (like saturation) from the absence of matches.
+    /// visited every candidate class without exhausting the match or step
+    /// budget. `false` means classes may remain unsearched, so the caller
+    /// must not conclude anything (like saturation) from the absence of
+    /// matches.
+    ///
+    /// When the pattern's root is a concrete operator, the candidate classes
+    /// come from the e-graph's operator index ([`EGraph::classes_for_op`])
+    /// rather than a scan of every class, so a rule only pays for the
+    /// classes whose nodes can match its root symbol. Classes the index
+    /// skips cannot match, so skipping them preserves the completeness
+    /// guarantee of the returned flag.
     pub fn search_rotated(
         &self,
         egraph: &EGraph<L>,
         match_limit: usize,
         rotation: usize,
     ) -> (Vec<SearchMatches>, bool) {
-        let ids: Vec<Id> = egraph.class_ids().collect();
+        let ids: Vec<Id> = match self.ast.node(self.ast.root()) {
+            ENodeOrVar::ENode(root) => egraph.classes_for_op(root.op_key()),
+            // A variable root matches every class; no pruning possible.
+            ENodeOrVar::Var(_) => egraph.class_ids().collect(),
+        };
         if ids.is_empty() {
             return (Vec::new(), true);
         }

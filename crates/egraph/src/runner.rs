@@ -78,6 +78,14 @@ pub struct IterationReport {
     pub rebuild_unions: usize,
     /// Wall-clock time of the iteration.
     pub elapsed: Duration,
+    /// Wall-clock time spent inside [`EGraph::rebuild`] this iteration.
+    /// With incremental rebuilding this tracks the *changed region* of the
+    /// graph rather than its total size.
+    pub rebuild_time: Duration,
+    /// `true` when every rule was searched over all of its candidate classes
+    /// this iteration (no budget exhaustion, no banned rules); only then can
+    /// an all-zero iteration be read as saturation.
+    pub search_complete: bool,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -236,6 +244,8 @@ impl<L: Language> Runner<L> {
                 }
                 all_matches.push(matches);
                 if start.elapsed() > self.limits.time_limit {
+                    // Remaining rules go unsearched this iteration.
+                    search_incomplete = true;
                     break;
                 }
             }
@@ -259,7 +269,9 @@ impl<L: Language> Runner<L> {
                     break;
                 }
             }
+            let rebuild_start = Instant::now();
             let rebuild_unions = self.egraph.rebuild();
+            let rebuild_time = rebuild_start.elapsed();
 
             self.iterations.push(IterationReport {
                 iteration,
@@ -268,6 +280,8 @@ impl<L: Language> Runner<L> {
                 applied,
                 rebuild_unions,
                 elapsed: iter_start.elapsed(),
+                rebuild_time,
+                search_complete: !search_incomplete,
             });
 
             if let Some(reason) = hit_limit {

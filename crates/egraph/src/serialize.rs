@@ -76,30 +76,22 @@ pub fn to_serialized<L: Language>(egraph: &EGraph<L>, roots: &[Id]) -> Serialize
                 children: n.children().iter().map(|c| egraph.find(*c).0).collect(),
             })
             .collect();
+        // The parent classes come straight from the e-graph's incrementally
+        // maintained parent lists (entries may be stale; canonicalize).
+        let mut parents: Vec<u32> = class
+            .parents()
+            .map(|(_, pclass)| egraph.find(pclass).0)
+            .collect();
+        parents.sort_unstable();
+        parents.dedup();
         classes.insert(
             class.id.0,
             SerializedClass {
                 id: class.id.0,
                 nodes,
-                parents: Vec::new(),
+                parents,
             },
         );
-    }
-    // Fill parents.
-    let mut parent_pairs: Vec<(u32, u32)> = Vec::new();
-    for class in classes.values() {
-        for node in &class.nodes {
-            for &child in &node.children {
-                parent_pairs.push((child, class.id));
-            }
-        }
-    }
-    for (child, parent) in parent_pairs {
-        if let Some(entry) = classes.get_mut(&child) {
-            if !entry.parents.contains(&parent) {
-                entry.parents.push(parent);
-            }
-        }
     }
     SerializedEGraph {
         classes,

@@ -1,11 +1,20 @@
-//! Union-find (disjoint set) over e-class ids with path compression.
+//! Union-find (disjoint set) over e-class ids with union-by-size and path
+//! compression.
 
 use crate::Id;
 
 /// A union-find structure mapping every [`Id`] to its canonical representative.
+///
+/// [`UnionFind::union`] merges by set size (the smaller set's root is
+/// re-parented under the larger set's root; ties keep the first argument's
+/// root), and [`UnionFind::find_mut`] compresses paths, so a sequence of `m`
+/// operations over `n` ids costs O(m α(n)) — effectively constant per
+/// operation.
 #[derive(Debug, Clone, Default)]
 pub struct UnionFind {
     parents: Vec<Id>,
+    /// Set sizes, meaningful only at root indices.
+    sizes: Vec<u32>,
 }
 
 impl UnionFind {
@@ -18,20 +27,24 @@ impl UnionFind {
     pub fn make_set(&mut self) -> Id {
         let id = Id::from(self.parents.len());
         self.parents.push(id);
+        self.sizes.push(1);
         id
     }
 
     /// Number of ids ever created (not the number of distinct sets).
+    #[inline]
     pub fn len(&self) -> usize {
         self.parents.len()
     }
 
     /// Returns `true` if no ids have been created.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.parents.is_empty()
     }
 
     /// Finds the canonical representative without mutating (no compression).
+    #[inline]
     pub fn find(&self, mut id: Id) -> Id {
         while self.parents[id.index()] != id {
             id = self.parents[id.index()];
@@ -54,18 +67,32 @@ impl UnionFind {
         root
     }
 
-    /// Merges the sets of `a` and `b`, making `a`'s root the representative.
+    /// Number of ids in the set containing `id`.
+    pub fn set_size(&self, id: Id) -> usize {
+        self.sizes[self.find(id).index()] as usize
+    }
+
+    /// Merges the sets of `a` and `b` by size: the smaller set's root is
+    /// re-parented under the larger set's root (ties keep `a`'s root).
     /// Returns the surviving root.
     pub fn union(&mut self, a: Id, b: Id) -> Id {
         let ra = self.find_mut(a);
         let rb = self.find_mut(b);
-        if ra != rb {
-            self.parents[rb.index()] = ra;
+        if ra == rb {
+            return ra;
         }
-        ra
+        let (winner, loser) = if self.sizes[ra.index()] >= self.sizes[rb.index()] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parents[loser.index()] = winner;
+        self.sizes[winner.index()] += self.sizes[loser.index()];
+        winner
     }
 
     /// Returns `true` if two ids are currently in the same set.
+    #[inline]
     pub fn same(&self, a: Id, b: Id) -> bool {
         self.find(a) == self.find(b)
     }
@@ -98,6 +125,20 @@ mod tests {
     }
 
     #[test]
+    fn union_by_size_keeps_larger_root() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        let c = uf.make_set();
+        // {a, b} has size 2; unioning with the singleton {c} keeps a's root
+        // even when c is the first argument.
+        uf.union(a, b);
+        let root = uf.union(c, a);
+        assert_eq!(root, a);
+        assert_eq!(uf.set_size(c), 3);
+    }
+
+    #[test]
     fn transitive_unions() {
         let mut uf = UnionFind::new();
         let ids: Vec<Id> = (0..10).map(|_| uf.make_set()).collect();
@@ -121,5 +162,17 @@ mod tests {
         for &id in &ids {
             assert_eq!(uf.find_mut(id), root);
         }
+    }
+
+    #[test]
+    fn sizes_track_set_cardinality() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..8).map(|_| uf.make_set()).collect();
+        assert_eq!(uf.set_size(ids[0]), 1);
+        uf.union(ids[0], ids[1]);
+        uf.union(ids[2], ids[3]);
+        uf.union(ids[0], ids[2]);
+        assert_eq!(uf.set_size(ids[3]), 4);
+        assert_eq!(uf.set_size(ids[7]), 1);
     }
 }

@@ -1,0 +1,190 @@
+//! Differential property tests: the incremental worklist rebuild
+//! ([`EGraph::rebuild`]) must agree with the retained whole-graph reference
+//! rebuild ([`EGraph::rebuild_reference`]) on every observable outcome —
+//! class partitions, canonical node forms, and union counts — under random
+//! interleavings of `add`, `union` and `rebuild`.
+//!
+//! Run with `PROPTEST_CASES=5000` (or higher) for the PR gate.
+
+use egraph::{EGraph, FxHashMap, Id, Language, SymbolLang};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf(u8),
+    Node(u8, usize, usize),
+    Union(usize, usize),
+    Rebuild,
+}
+
+fn workload() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0u8..6).prop_map(Op::Leaf),
+        (0u8..4, 0usize..1000, 0usize..1000).prop_map(|(o, a, b)| Op::Node(o, a, b)),
+        (0usize..1000, 0usize..1000).prop_map(|(a, b)| Op::Union(a, b)),
+        Just(Op::Rebuild),
+    ];
+    proptest::collection::vec(op, 5..120)
+}
+
+/// Replays a workload, rebuilding either incrementally or with the reference
+/// whole-graph passes at every `Rebuild` op and once at the end. Returns the
+/// final graph and the id returned by each add, in op order.
+fn apply(ops: &[Op], reference: bool) -> (EGraph<SymbolLang>, Vec<Id>) {
+    let mut egraph: EGraph<SymbolLang> = EGraph::new();
+    let mut ids: Vec<Id> = vec![egraph.add(SymbolLang::leaf("seed"))];
+    let rebuild = |eg: &mut EGraph<SymbolLang>| {
+        if reference {
+            eg.rebuild_reference()
+        } else {
+            eg.rebuild()
+        }
+    };
+    for op in ops {
+        match op {
+            Op::Leaf(l) => ids.push(egraph.add(SymbolLang::leaf(format!("v{l}")))),
+            Op::Node(o, a, b) => {
+                let a = ids[a % ids.len()];
+                let b = ids[b % ids.len()];
+                ids.push(egraph.add(SymbolLang::new(format!("f{o}"), vec![a, b])));
+            }
+            Op::Union(a, b) => {
+                let a = ids[a % ids.len()];
+                let b = ids[b % ids.len()];
+                egraph.union(a, b);
+            }
+            Op::Rebuild => {
+                rebuild(&mut egraph);
+            }
+        }
+    }
+    rebuild(&mut egraph);
+    (egraph, ids)
+}
+
+/// Renumbers the canonical classes of `ids` by first occurrence, giving an
+/// implementation-independent name for every class (representative ids may
+/// legitimately differ between the two rebuild strategies).
+fn renumber(egraph: &EGraph<SymbolLang>, ids: &[Id]) -> (FxHashMap<Id, usize>, Vec<usize>) {
+    let mut map: FxHashMap<Id, usize> = FxHashMap::default();
+    let mut sequence = Vec::with_capacity(ids.len());
+    for &id in ids {
+        let canon = egraph.find(id);
+        let next = map.len();
+        let index = *map.entry(canon).or_insert(next);
+        sequence.push(index);
+    }
+    (map, sequence)
+}
+
+/// The canonical forms of every class, with classes and children renamed via
+/// the first-occurrence numbering: a representation two isomorphic e-graphs
+/// must agree on exactly.
+fn class_signatures(
+    egraph: &EGraph<SymbolLang>,
+    numbering: &FxHashMap<Id, usize>,
+) -> BTreeMap<usize, Vec<(String, Vec<usize>)>> {
+    let mut out = BTreeMap::new();
+    for class in egraph.classes() {
+        let index = *numbering
+            .get(&class.id)
+            .expect("every class is the find() of some tracked add");
+        let mut nodes: Vec<(String, Vec<usize>)> = class
+            .iter()
+            .map(|node| {
+                let children = node
+                    .children()
+                    .iter()
+                    .map(|&c| numbering[&egraph.find(c)])
+                    .collect();
+                (node.op_str(), children)
+            })
+            .collect();
+        nodes.sort();
+        out.insert(index, nodes);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The headline differential property: identical canonical forms, class
+    /// partitions and union counts between the two rebuild strategies.
+    #[test]
+    fn incremental_rebuild_matches_reference(ops in workload()) {
+        let (inc, inc_ids) = apply(&ops, false);
+        let (refe, ref_ids) = apply(&ops, true);
+
+        prop_assert_eq!(inc_ids.len(), ref_ids.len());
+        prop_assert_eq!(inc.num_classes(), refe.num_classes(), "class counts diverge");
+        prop_assert_eq!(inc.total_nodes(), refe.total_nodes(), "node counts diverge");
+        prop_assert_eq!(inc.num_unions(), refe.num_unions(), "union counts diverge");
+
+        // Identical partitions of the tracked ids...
+        let (inc_map, inc_seq) = renumber(&inc, &inc_ids);
+        let (ref_map, ref_seq) = renumber(&refe, &ref_ids);
+        prop_assert_eq!(&inc_seq, &ref_seq, "class partitions diverge");
+        // ...and identical canonical node forms class by class.
+        prop_assert_eq!(
+            class_signatures(&inc, &inc_map),
+            class_signatures(&refe, &ref_map),
+            "canonical forms diverge"
+        );
+
+        inc.check_invariants().map_err(|e| TestCaseError(format!("incremental: {e}")))?;
+        refe.check_invariants().map_err(|e| TestCaseError(format!("reference: {e}")))?;
+    }
+
+    /// An incremental rebuild after a reference rebuild (and vice versa) on
+    /// the *same* graph is a no-op: the two strategies restore the same
+    /// invariant state, not merely isomorphic ones.
+    #[test]
+    fn strategies_interchange_on_one_graph(ops in workload()) {
+        let (mut egraph, _) = apply(&ops, false);
+        prop_assert_eq!(egraph.rebuild_reference(), 0);
+        prop_assert_eq!(egraph.rebuild(), 0);
+        egraph.check_invariants().map_err(TestCaseError)?;
+
+        let (mut egraph, _) = apply(&ops, true);
+        prop_assert_eq!(egraph.rebuild(), 0);
+        prop_assert_eq!(egraph.rebuild_reference(), 0);
+        egraph.check_invariants().map_err(TestCaseError)?;
+    }
+
+    /// Interleaving the strategies op-by-op (alternating which one handles
+    /// each rebuild point) still converges to the same invariant state.
+    #[test]
+    fn alternating_strategies_preserve_invariants(ops in workload()) {
+        let mut egraph: EGraph<SymbolLang> = EGraph::new();
+        let mut ids: Vec<Id> = vec![egraph.add(SymbolLang::leaf("seed"))];
+        let mut flip = false;
+        for op in &ops {
+            match op {
+                Op::Leaf(l) => ids.push(egraph.add(SymbolLang::leaf(format!("v{l}")))),
+                Op::Node(o, a, b) => {
+                    let a = ids[a % ids.len()];
+                    let b = ids[b % ids.len()];
+                    ids.push(egraph.add(SymbolLang::new(format!("f{o}"), vec![a, b])));
+                }
+                Op::Union(a, b) => {
+                    let a = ids[a % ids.len()];
+                    let b = ids[b % ids.len()];
+                    egraph.union(a, b);
+                }
+                Op::Rebuild => {
+                    if flip {
+                        egraph.rebuild_reference();
+                    } else {
+                        egraph.rebuild();
+                    }
+                    flip = !flip;
+                    egraph.check_invariants().map_err(TestCaseError)?;
+                }
+            }
+        }
+        egraph.rebuild();
+        egraph.check_invariants().map_err(TestCaseError)?;
+    }
+}

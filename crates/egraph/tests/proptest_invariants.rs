@@ -1,7 +1,11 @@
 //! Property-based tests of the e-graph engine: congruence-closure invariants
-//! under random add/union workloads, and soundness of rewriting/extraction.
+//! under random add/union workloads, agreement of the incrementally
+//! maintained parent lists with a from-scratch scan, and soundness of
+//! rewriting/extraction.
 
-use egraph::{AstSize, EGraph, Extractor, Id, RecExpr, Rewrite, Runner, SymbolLang};
+use egraph::{
+    AstSize, EGraph, Extractor, FxHashMap, Id, Language, RecExpr, Rewrite, Runner, SymbolLang,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -41,6 +45,43 @@ fn apply(ops: &[Op]) -> (EGraph<SymbolLang>, Vec<Id>) {
     (egraph, ids)
 }
 
+/// Builds the parent index the slow, obviously-correct way: a full scan of
+/// every class's (canonical) node list. [`EGraph::parent_index`] instead
+/// canonicalizes the per-class parent lists the e-graph maintains on
+/// `add`/`union`; the two must agree on a clean graph.
+fn scan_parent_index(egraph: &EGraph<SymbolLang>) -> FxHashMap<Id, Vec<(Id, SymbolLang)>> {
+    let mut parents: FxHashMap<Id, Vec<(Id, SymbolLang)>> = FxHashMap::default();
+    for class in egraph.classes() {
+        for node in class.iter() {
+            for &child in node.children() {
+                parents
+                    .entry(egraph.find(child))
+                    .or_default()
+                    .push((class.id, node.clone()));
+            }
+        }
+    }
+    for list in parents.values_mut() {
+        list.sort_unstable();
+        list.dedup();
+    }
+    parents
+}
+
+fn assert_parent_index_agrees(egraph: &EGraph<SymbolLang>) -> Result<(), TestCaseError> {
+    let mut incremental = egraph.parent_index();
+    for list in incremental.values_mut() {
+        list.sort_unstable();
+    }
+    let scanned = scan_parent_index(egraph);
+    prop_assert_eq!(
+        incremental,
+        scanned,
+        "incrementally maintained parent lists diverge from a full scan"
+    );
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
@@ -54,6 +95,58 @@ proptest! {
             let root = egraph.find(id);
             prop_assert_eq!(egraph.find(root), root);
             prop_assert!(egraph.get_class(root).is_some());
+        }
+        assert_parent_index_agrees(&egraph)?;
+    }
+
+    /// Randomized saturation runs: the invariants (and the parent-list /
+    /// full-scan agreement) must hold after *every* rebuild, not only at the
+    /// end of the run.
+    #[test]
+    fn invariants_hold_after_every_rebuild_during_saturation(
+        depth in 1usize..5,
+        seed in 0u64..500,
+        iters in 1usize..5,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || { state ^= state << 13; state ^= state >> 7; state ^= state << 17; state };
+        fn gen(depth: usize, next: &mut impl FnMut() -> u64, out: &mut String) {
+            if depth == 0 || next().is_multiple_of(3) {
+                out.push_str(match next() % 4 { 0 => "a", 1 => "b", 2 => "0", _ => "1" });
+            } else {
+                let op = if next().is_multiple_of(2) { "&" } else { "|" };
+                out.push_str(&format!("({op} "));
+                gen(depth - 1, next, out);
+                out.push(' ');
+                gen(depth - 1, next, out);
+                out.push(')');
+            }
+        }
+        let mut text = String::new();
+        gen(depth, &mut next, &mut text);
+        let expr: RecExpr<SymbolLang> = text.parse().unwrap();
+        // A Boolean-flavored rule set over the logic operators.
+        let rules = vec![
+            Rewrite::parse("comm-and", "(& ?x ?y)", "(& ?y ?x)").unwrap(),
+            Rewrite::parse("comm-or", "(| ?x ?y)", "(| ?y ?x)").unwrap(),
+            Rewrite::parse("and-one", "(& ?x 1)", "?x").unwrap(),
+            Rewrite::parse("or-zero", "(| ?x 0)", "?x").unwrap(),
+            Rewrite::parse("and-zero", "(& ?x 0)", "0").unwrap(),
+            Rewrite::parse("or-one", "(| ?x 1)", "1").unwrap(),
+            Rewrite::parse("idem-and", "(& ?x ?x)", "?x").unwrap(),
+            Rewrite::parse("absorb", "(& ?x (| ?x ?y))", "?x").unwrap(),
+        ];
+        let mut egraph: EGraph<SymbolLang> = EGraph::new();
+        egraph.add_expr(&expr);
+        egraph.rebuild();
+        egraph.check_invariants().map_err(TestCaseError)?;
+        for _ in 0..iters {
+            for rule in &rules {
+                rule.run(&mut egraph, 200);
+                egraph.rebuild();
+                egraph.check_invariants().map_err(TestCaseError)?;
+            }
+            assert_parent_index_agrees(&egraph)?;
         }
     }
 
