@@ -27,8 +27,8 @@ fn main() {
     ] {
         println!("\n== {title} ==");
         println!(
-            "{:<12} {:>22} {:>20} {:>18}",
-            "circuit", "delay-oriented flow %", "egraph conversion %", "SA extraction %"
+            "{:<12} {:>22} {:>20} {:>18} {:>8}",
+            "circuit", "delay-oriented flow %", "egraph conversion %", "SA extraction %", "CEC %"
         );
         for circuit in circuits.iter().rev() {
             let cfg = if use_ml {
@@ -37,10 +37,11 @@ fn main() {
                 config.clone()
             };
             let result = emorphic_flow(&circuit.aig, &cfg);
-            let (conventional, conversion, extraction) = result.breakdown.percentages();
+            let (conventional, conversion, extraction, verification) =
+                result.breakdown.percentages();
             println!(
-                "{:<12} {:>22.1} {:>20.1} {:>18.1}",
-                circuit.name, conventional, conversion, extraction
+                "{:<12} {:>22.1} {:>20.1} {:>18.1} {:>8.1}",
+                circuit.name, conventional, conversion, extraction, verification
             );
         }
     }

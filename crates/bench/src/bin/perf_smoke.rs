@@ -1,6 +1,11 @@
 //! Perf smoke: saturation throughput of the e-graph core, printed as
 //! e-nodes/sec so CI leaves a visible throughput trail from PR to PR.
 //!
+//! Every circuit runs twice — with 1 and with 4 search threads — so the
+//! parallel-search scaling is part of the trail. The two runs are
+//! bit-identical by construction (sharding and budget splitting never depend
+//! on the thread count); the binary asserts it on the final node counts.
+//!
 //! Usage: `cargo run --release -p emorphic-bench --bin perf_smoke [-- --fast]`
 //!
 //! `--fast` (or `EMORPHIC_SCALE=tiny`) shrinks the circuit set so the smoke
@@ -29,48 +34,81 @@ fn main() {
     };
     let rules = all_rules();
 
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     println!(
-        "Perf smoke: equality-saturation throughput (rules: {})",
+        "Perf smoke: equality-saturation throughput (rules: {}, search threads 1 vs 4, \
+         host cores: {cores})",
         rules.len()
     );
+    if cores < 4 {
+        println!("note: host has {cores} core(s); expect parity, not speedup, at 4 threads");
+    }
     println!(
-        "{:<14} {:>9} {:>10} {:>10} {:>6} {:>11} {:>12}  stop",
-        "circuit", "aig-ands", "e-nodes", "e-classes", "iters", "sat-time", "e-nodes/sec"
+        "{:<14} {:>9} {:>10} {:>10} {:>6} {:>10} {:>12} {:>12} {:>8}  stop",
+        "circuit",
+        "aig-ands",
+        "e-nodes",
+        "e-classes",
+        "iters",
+        "sat-time",
+        "1T en/sec",
+        "4T en/sec",
+        "speedup"
     );
 
-    let mut total_nodes = 0usize;
-    let mut total_secs = 0f64;
+    let mut totals = [(0usize, 0f64), (0usize, 0f64)]; // (nodes, secs) at 1T, 4T
     for (name, aig) in &circuits {
         let conv = aig_to_egraph(aig);
-        let t0 = Instant::now();
-        let runner = Runner::with_egraph(conv.egraph)
-            .with_iter_limit(8)
-            .with_node_limit(100_000)
-            .with_scheduler(Scheduler::Backoff {
-                match_limit: 2_000,
-                ban_length: 2,
-            })
-            .run(&rules);
-        let secs = t0.elapsed().as_secs_f64();
-        let nodes = runner.egraph.total_nodes();
-        total_nodes += nodes;
-        total_secs += secs;
+        let mut per_thread: Vec<(usize, usize, usize, f64, StopReason)> = Vec::new();
+        for (slot, threads) in [1usize, 4].into_iter().enumerate() {
+            let t0 = Instant::now();
+            let runner = Runner::with_egraph(conv.egraph.clone())
+                .with_iter_limit(8)
+                .with_node_limit(100_000)
+                .with_scheduler(Scheduler::Backoff {
+                    match_limit: 2_000,
+                    ban_length: 2,
+                })
+                .with_search_threads(threads)
+                .run(&rules);
+            let secs = t0.elapsed().as_secs_f64();
+            let nodes = runner.egraph.total_nodes();
+            totals[slot].0 += nodes;
+            totals[slot].1 += secs;
+            per_thread.push((
+                nodes,
+                runner.egraph.num_classes(),
+                runner.iterations.len(),
+                secs,
+                runner.stop_reason.unwrap_or(StopReason::IterationLimit),
+            ));
+        }
+        let (nodes, classes, iters, serial_secs, ref stop) = per_thread[0];
+        let (par_nodes, _, _, par_secs, _) = per_thread[1];
+        assert_eq!(
+            nodes, par_nodes,
+            "{name}: parallel search must be bit-identical to serial"
+        );
         println!(
-            "{:<14} {:>9} {:>10} {:>10} {:>6} {:>10.3}s {:>12.0}  {:?}",
+            "{:<14} {:>9} {:>10} {:>10} {:>6} {:>9.3}s {:>12.0} {:>12.0} {:>7.2}x  {:?}",
             name,
             aig.num_ands(),
             nodes,
-            runner.egraph.num_classes(),
-            runner.iterations.len(),
-            secs,
-            nodes as f64 / secs.max(1e-9),
-            runner.stop_reason.unwrap_or(StopReason::IterationLimit),
+            classes,
+            iters,
+            serial_secs,
+            nodes as f64 / serial_secs.max(1e-9),
+            nodes as f64 / par_secs.max(1e-9),
+            serial_secs / par_secs.max(1e-9),
+            stop,
         );
     }
-    println!(
-        "TOTAL: {} e-nodes in {:.3}s = {:.0} e-nodes/sec",
-        total_nodes,
-        total_secs,
-        total_nodes as f64 / total_secs.max(1e-9)
-    );
+    for (label, (nodes, secs)) in ["1 thread", "4 threads"].iter().zip(totals) {
+        println!(
+            "TOTAL ({label}): {nodes} e-nodes in {secs:.3}s = {:.0} e-nodes/sec",
+            nodes as f64 / secs.max(1e-9)
+        );
+    }
 }

@@ -234,16 +234,7 @@ fn run_chain(
             rejected += 1;
         }
 
-        // Cooling schedule from Section IV-A: the first iteration keeps the
-        // high starting temperature; the 2nd and 3rd iterations scale it by
-        // |Δcost| / (n * 10000); the final iteration by |Δcost| / n.
-        let n = iteration as f64;
-        if iteration + 1 < options.iterations {
-            temperature *= delta.abs() / (n * 10_000.0);
-        } else {
-            temperature *= delta.abs() / n;
-        }
-        temperature = temperature.max(1e-6);
+        temperature = cooled_temperature(temperature, delta, iteration, options.iterations);
     }
 
     (
@@ -255,6 +246,37 @@ fn run_chain(
             rejected,
         },
     )
+}
+
+/// The Section IV-A cooling schedule, applied at the end of `iteration`
+/// (1-based) to produce the temperature for the next iteration.
+///
+/// The first iteration keeps the high starting temperature `T1`; the middle
+/// iterations scale by `|Δcost| / (n * 10000)`; the temperature entering the
+/// final iteration scales by `|Δcost| / n`. Two guards keep the schedule from
+/// degenerating: iteration 1 never scales (the old code cooled immediately,
+/// discarding `T1` after a single step), and a `Δcost == 0` (or non-finite)
+/// iteration keeps the previous temperature — multiplying by `|0|` would
+/// collapse it to the `1e-6` floor and silently turn the rest of the chain
+/// into hill-climbing. The keep-`T1` guard takes precedence, so a chain with
+/// `total_iterations <= 2` never cools at all — both of its iterations
+/// explore at `T1`, with solution quality protected by best-cost tracking.
+fn cooled_temperature(
+    temperature: f64,
+    delta: f64,
+    iteration: usize,
+    total_iterations: usize,
+) -> f64 {
+    if iteration <= 1 || delta == 0.0 || !delta.is_finite() {
+        return temperature;
+    }
+    let n = iteration as f64;
+    let scaled = if iteration + 1 < total_iterations {
+        temperature * delta.abs() / (n * 10_000.0)
+    } else {
+        temperature * delta.abs() / n
+    };
+    scaled.max(1e-6)
 }
 
 /// Algorithm 1: generate a neighboring solution by traversing the e-graph
@@ -352,6 +374,32 @@ mod tests {
             egraph: runner.egraph,
             ..conv
         }
+    }
+
+    #[test]
+    fn cooling_keeps_t1_through_the_first_iteration() {
+        // Section IV-A: the chain starts at T1 and the first iteration must
+        // not cool it.
+        assert_eq!(cooled_temperature(2000.0, 57.0, 1, 4), 2000.0);
+        // From the second iteration on, the middle-phase scaling applies.
+        let t3 = cooled_temperature(2000.0, 50.0, 2, 4);
+        assert!((t3 - 2000.0 * 50.0 / (2.0 * 10_000.0)).abs() < 1e-12);
+        // The temperature entering the final iteration scales by |Δ| / n.
+        let t4 = cooled_temperature(2000.0, 50.0, 3, 4);
+        assert!((t4 - 2000.0 * 50.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_delta_does_not_collapse_temperature() {
+        // A rejected/neutral move (Δ == 0) used to multiply the temperature
+        // by |0| and pin it to the 1e-6 floor for the rest of the chain.
+        assert_eq!(cooled_temperature(1500.0, 0.0, 2, 4), 1500.0);
+        assert_eq!(cooled_temperature(1500.0, -0.0, 3, 4), 1500.0);
+        assert_eq!(cooled_temperature(1500.0, f64::NAN, 2, 4), 1500.0);
+        // A genuine non-zero delta still cools below the input.
+        assert!(cooled_temperature(1500.0, 1.0, 2, 4) < 1500.0);
+        // And the floor still applies to real cooling.
+        assert!(cooled_temperature(1e-5, 1e-9, 2, 4) >= 1e-6);
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub struct FlowReport {
     pub conversion_pct: f64,
     /// Share spent in SA extraction (percent).
     pub extraction_pct: f64,
+    /// Share spent in CEC verification (percent; 0 for the baseline flow).
+    pub verification_pct: f64,
     /// Number of e-nodes after rewriting (0 for the baseline flow).
     pub egraph_nodes: usize,
     /// Number of e-classes after rewriting (0 for the baseline flow).
@@ -38,7 +40,8 @@ pub struct FlowReport {
 impl FlowReport {
     /// Builds a report from a flow result.
     pub fn new(flow: impl Into<String>, result: &FlowResult) -> Self {
-        let (conventional_pct, conversion_pct, extraction_pct) = result.breakdown.percentages();
+        let (conventional_pct, conversion_pct, extraction_pct, verification_pct) =
+            result.breakdown.percentages();
         FlowReport {
             circuit: result.qor.name.clone(),
             flow: flow.into(),
@@ -50,6 +53,7 @@ impl FlowReport {
             conventional_pct,
             conversion_pct,
             extraction_pct,
+            verification_pct,
             egraph_nodes: result.egraph_nodes,
             egraph_classes: result.egraph_classes,
             verified: result.verified,
@@ -71,13 +75,13 @@ impl FlowReport {
 
     /// Renders a CSV header matching [`FlowReport::to_csv_row`].
     pub fn csv_header() -> String {
-        "circuit,flow,area_um2,delay_ps,levels,gates,runtime_s,conventional_pct,conversion_pct,extraction_pct,egraph_nodes,egraph_classes,verified".to_string()
+        "circuit,flow,area_um2,delay_ps,levels,gates,runtime_s,conventional_pct,conversion_pct,extraction_pct,verification_pct,egraph_nodes,egraph_classes,verified".to_string()
     }
 
     /// Renders the report as one CSV row.
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{:.3},{:.3},{},{},{:.3},{:.1},{:.1},{:.1},{},{},{}",
+            "{},{},{:.3},{:.3},{},{},{:.3},{:.1},{:.1},{:.1},{:.1},{},{},{}",
             self.circuit,
             self.flow,
             self.area_um2,
@@ -88,6 +92,7 @@ impl FlowReport {
             self.conventional_pct,
             self.conversion_pct,
             self.extraction_pct,
+            self.verification_pct,
             self.egraph_nodes,
             self.egraph_classes,
             self.verified

@@ -124,6 +124,17 @@ mod tests {
     }
 
     #[test]
+    fn rule_set_is_send_and_sync() {
+        // The Runner's parallel search shares `&[Rewrite<BoolLang>]` across
+        // scoped worker threads; every rule must therefore be `Send + Sync`
+        // (rules are plain pattern data, so this is a compile-time audit).
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let rules = all_rules();
+        assert_send_sync(&rules);
+        assert!(!rules.is_empty());
+    }
+
+    #[test]
     fn table1_has_all_five_rule_classes() {
         let names: Vec<String> = table1_rules().iter().map(|r| r.name.clone()).collect();
         for prefix in ["comm", "assoc", "distribute", "consensus", "demorgan"] {

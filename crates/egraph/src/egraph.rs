@@ -856,6 +856,16 @@ mod tests {
     }
 
     #[test]
+    fn egraph_is_send_and_sync() {
+        // The Runner's parallel search shares `&EGraph` across scoped worker
+        // threads; `find` is compression-free on `&self`, so the whole graph
+        // is `Sync` as long as the language is.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EGraph<SymbolLang>>();
+        assert_send_sync::<crate::Rewrite<SymbolLang>>();
+    }
+
+    #[test]
     fn parents_survive_merges() {
         let mut eg: EGraph<SymbolLang> = EGraph::new();
         let a = leaf(&mut eg, "a");

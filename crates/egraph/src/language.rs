@@ -12,7 +12,12 @@ use std::str::FromStr;
 /// *match* when they have the same operator and arity, regardless of the
 /// specific children; this is the notion the e-graph's congruence closure and
 /// the pattern matcher rely on.
-pub trait Language: Debug + Clone + Eq + Ord + Hash {
+///
+/// `Send + Sync` are supertraits so that a shared `&EGraph<L>` can be
+/// searched from the [`crate::Runner`]'s parallel worker threads; languages
+/// are plain value types (operators plus `Id` children), so the bounds are
+/// free in practice.
+pub trait Language: Debug + Clone + Eq + Ord + Hash + Send + Sync {
     /// Returns the child e-class ids of this node.
     fn children(&self) -> &[Id];
 

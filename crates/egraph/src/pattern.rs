@@ -230,23 +230,53 @@ impl<L: Language> Pattern<L> {
         match_limit: usize,
         rotation: usize,
     ) -> (Vec<SearchMatches>, bool) {
-        let ids: Vec<Id> = match self.ast.node(self.ast.root()) {
-            ENodeOrVar::ENode(root) => egraph.classes_for_op(root.op_key()),
-            // A variable root matches every class; no pruning possible.
-            ENodeOrVar::Var(_) => egraph.class_ids().collect(),
-        };
+        let ids = self.candidate_classes(egraph);
         if ids.is_empty() {
             return (Vec::new(), true);
         }
         let start = rotation % ids.len();
+        let mut rotated = Vec::with_capacity(ids.len());
+        rotated.extend_from_slice(&ids[start..]);
+        rotated.extend_from_slice(&ids[..start]);
+        self.search_classes(egraph, &rotated, match_limit)
+    }
+
+    /// Returns the candidate classes this pattern could match, in a
+    /// deterministic order: the operator index entry for a concrete root, or
+    /// every class for a variable root. Classes not returned cannot match.
+    pub fn candidate_classes(&self, egraph: &EGraph<L>) -> Vec<Id> {
+        match self.ast.node(self.ast.root()) {
+            ENodeOrVar::ENode(root) => egraph.classes_for_op(root.op_key()),
+            // A variable root matches every class; no pruning possible.
+            ENodeOrVar::Var(_) => egraph.class_ids().collect(),
+        }
+    }
+
+    /// The shard-aware search entry point: scans an explicit slice of
+    /// candidate classes, in order, under its own match budget (and the
+    /// derived step budget).
+    ///
+    /// This is a pure function of `(egraph, pattern, classes, match_limit)`,
+    /// which is what lets the [`crate::Runner`] split a rule's candidate list
+    /// into contiguous shards, search them on any number of worker threads,
+    /// and still merge bit-identical results: each shard's outcome does not
+    /// depend on scheduling. The second return value reports whether every
+    /// class in the slice was scanned without exhausting a budget, exactly as
+    /// in [`Pattern::search_rotated`].
+    pub fn search_classes(
+        &self,
+        egraph: &EGraph<L>,
+        classes: &[Id],
+        match_limit: usize,
+    ) -> (Vec<SearchMatches>, bool) {
         let mut results = Vec::new();
         let mut remaining = match_limit;
         let mut steps = match_limit.saturating_mul(STEPS_PER_MATCH);
-        for i in 0..ids.len() {
+        for &id in classes {
             if remaining == 0 || steps == 0 {
                 return (results, false);
             }
-            let eclass = egraph.find(ids[(start + i) % ids.len()]);
+            let eclass = egraph.find(id);
             let mut substs = self.match_in_class(
                 egraph,
                 self.ast.root(),

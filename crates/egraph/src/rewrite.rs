@@ -1,7 +1,7 @@
 //! Rewrite rules: a named left-hand-side pattern and a right-hand-side
 //! pattern, applied non-destructively by adding equalities to the e-graph.
 
-use crate::{EGraph, FromOp, Language, ParseError, Pattern, SearchMatches};
+use crate::{EGraph, FromOp, Id, Language, ParseError, Pattern, SearchMatches};
 
 /// A rewrite rule `lhs => rhs`.
 ///
@@ -55,6 +55,23 @@ impl<L: Language> Rewrite<L> {
         rotation: usize,
     ) -> (Vec<SearchMatches>, bool) {
         self.lhs.search_rotated(egraph, match_limit, rotation)
+    }
+
+    /// Candidate classes of the left-hand side, in deterministic order; see
+    /// [`Pattern::candidate_classes`].
+    pub fn candidate_classes(&self, egraph: &EGraph<L>) -> Vec<Id> {
+        self.lhs.candidate_classes(egraph)
+    }
+
+    /// Searches the left-hand side over one contiguous shard of candidate
+    /// classes under its own budget; see [`Pattern::search_classes`].
+    pub fn search_classes(
+        &self,
+        egraph: &EGraph<L>,
+        classes: &[Id],
+        match_limit: usize,
+    ) -> (Vec<SearchMatches>, bool) {
+        self.lhs.search_classes(egraph, classes, match_limit)
     }
 
     /// Applies the rewrite to previously found matches. Returns the number of

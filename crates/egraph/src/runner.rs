@@ -2,7 +2,8 @@
 //! the e-graph saturates or a resource limit is hit.
 
 use crate::fxhash::FxHashMap;
-use crate::{EGraph, Id, Language, RecExpr, Rewrite};
+use crate::{EGraph, Id, Language, RecExpr, Rewrite, SearchMatches};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Why a [`Runner`] stopped.
@@ -82,6 +83,9 @@ pub struct IterationReport {
     /// With incremental rebuilding this tracks the *changed region* of the
     /// graph rather than its total size.
     pub rebuild_time: Duration,
+    /// Wall-clock time of the (possibly parallel) search phase this
+    /// iteration.
+    pub search_time: Duration,
     /// `true` when every rule was searched over all of its candidate classes
     /// this iteration (no budget exhaustion, no banned rules); only then can
     /// an all-zero iteration be read as saturation.
@@ -92,6 +96,221 @@ pub struct IterationReport {
 struct RuleStats {
     bans: usize,
     banned_until: usize,
+}
+
+/// Iteration index until which a rule is banned after its `bans`-th offence:
+/// `iteration + 1 + ban_length * 2^bans` (egg's exponential backoff), with
+/// the exponent capped and all arithmetic saturating. The uncapped shift
+/// `ban_length << bans` overflows — and panics in debug builds — once a rule
+/// has been banned about 60 times, which a long run with a short `ban_length`
+/// reaches easily.
+fn backoff_ban_until(iteration: usize, ban_length: usize, bans: usize) -> usize {
+    // Cap at the word size so the shift itself stays defined on every
+    // target; saturating_mul/add absorb the resulting huge factors.
+    const MAX_BAN_SHIFT: usize = usize::BITS as usize - 1;
+    let factor = 1usize << bans.min(MAX_BAN_SHIFT);
+    iteration
+        .saturating_add(1)
+        .saturating_add(ban_length.saturating_mul(factor))
+}
+
+/// Number of contiguous candidate-class shards each rule's search is split
+/// into. Deliberately a constant — never derived from the worker-thread
+/// count — so the shard decomposition, and with it every shard's match
+/// budget, is identical no matter how many threads execute the shards. That
+/// is what makes parallel search bit-identical to serial search.
+const SHARDS_PER_RULE: usize = 8;
+
+/// One `(rule × candidate-class-range)` work item of the search phase.
+struct SearchJob<'a> {
+    rule: usize,
+    classes: &'a [Id],
+    quota: usize,
+}
+
+/// A shard's search result: its matches and whether the scan was complete.
+type ShardResult = (Vec<SearchMatches>, bool);
+
+/// Scalar inputs of one iteration's search phase.
+struct SearchParams {
+    match_limit: usize,
+    iteration: usize,
+    threads: usize,
+    start: Instant,
+    time_limit: Duration,
+}
+
+/// The merged outcome of one iteration's search phase.
+struct SearchOutcome {
+    /// Matches per rule, concatenated in shard order (= rotated class order).
+    all_matches: Vec<Vec<SearchMatches>>,
+    /// Total substitutions found per rule (sums of the per-shard counts).
+    totals: Vec<usize>,
+    /// `true` when some rule was banned, some shard exhausted its budget, or
+    /// the deadline cut shards off — i.e. an all-zero iteration must not be
+    /// read as saturation.
+    incomplete: bool,
+}
+
+/// Searches all non-banned rules over the (immutable) e-graph, sharded into
+/// `(rule × class-range)` work items that run inline or on a scoped worker
+/// pool, and merges the results in deterministic `(rule index, shard index)`
+/// order.
+///
+/// Each rule's per-iteration match budget is split across its shards before
+/// any searching starts (quotas sum exactly to `match_limit`), so every
+/// shard's result is a pure function of the e-graph and the job — thread
+/// scheduling cannot change it. The shared atomic counters only *accumulate*
+/// the per-shard match counts (addition commutes, so the totals are
+/// deterministic too); they cannot be used to stop other shards early, since
+/// a rule's total can only reach its budget after every one of its shards
+/// has already used its full quota.
+fn search_phase<L: Language>(
+    egraph: &EGraph<L>,
+    rewrites: &[Rewrite<L>],
+    banned: &[bool],
+    params: SearchParams,
+) -> SearchOutcome {
+    let SearchParams {
+        match_limit,
+        iteration,
+        threads,
+        start,
+        time_limit,
+    } = params;
+    // The scan start rotates by a fixed odd-prime stride each iteration
+    // (staggered per rule) so finite budgets sweep the whole e-graph over
+    // time instead of re-finding the same matches in the earliest classes
+    // forever. The stride must not be derived from `match_limit` or the
+    // class count: if the class count divided the stride, every iteration
+    // would restart the scan at the same class.
+    const ROTATION_STRIDE: usize = 9973;
+
+    // Rotated candidate-class lists per rule (empty for banned rules).
+    let candidates: Vec<Vec<Id>> = rewrites
+        .iter()
+        .enumerate()
+        .map(|(ri, rw)| {
+            if banned[ri] {
+                return Vec::new();
+            }
+            let ids = rw.candidate_classes(egraph);
+            if ids.is_empty() {
+                return Vec::new();
+            }
+            let rotation = iteration
+                .wrapping_mul(ROTATION_STRIDE)
+                .wrapping_add(ri * 17);
+            let split = rotation % ids.len();
+            let mut rotated = Vec::with_capacity(ids.len());
+            rotated.extend_from_slice(&ids[split..]);
+            rotated.extend_from_slice(&ids[..split]);
+            rotated
+        })
+        .collect();
+
+    // Contiguous class-range shards with deterministically split budgets.
+    // Never create more shards than the match budget: a quota-0 shard can
+    // scan nothing, so it would report an incomplete search on every
+    // iteration and make saturation permanently undetectable for small
+    // budgets. (`match_limit.max(1)` keeps the degenerate budget-0 case a
+    // single — honestly incomplete — shard.)
+    let mut jobs: Vec<SearchJob> = Vec::new();
+    for (ri, classes) in candidates.iter().enumerate() {
+        if classes.is_empty() {
+            continue;
+        }
+        let shards = SHARDS_PER_RULE.min(classes.len()).min(match_limit.max(1));
+        let class_base = classes.len() / shards;
+        let class_rem = classes.len() % shards;
+        let quota_base = match_limit / shards;
+        let quota_rem = match_limit % shards;
+        let mut offset = 0;
+        for shard in 0..shards {
+            let len = class_base + usize::from(shard < class_rem);
+            jobs.push(SearchJob {
+                rule: ri,
+                classes: &classes[offset..offset + len],
+                quota: quota_base + usize::from(shard < quota_rem),
+            });
+            offset += len;
+        }
+    }
+
+    // Per-rule match totals, accumulated atomically as shards finish.
+    let totals: Vec<AtomicUsize> = (0..rewrites.len()).map(|_| AtomicUsize::new(0)).collect();
+    let run_job = |job: &SearchJob| -> ShardResult {
+        let (matches, complete) = rewrites[job.rule].search_classes(egraph, job.classes, job.quota);
+        let found: usize = matches.iter().map(|m| m.substs.len()).sum();
+        totals[job.rule].fetch_add(found, Ordering::Relaxed);
+        (matches, complete)
+    };
+    let over_deadline = || start.elapsed() > time_limit;
+
+    // Execute: inline in job order for one thread, otherwise scoped workers
+    // pulling jobs off a shared atomic index. A job skipped because the
+    // deadline passed leaves its slot `None`, marking the rule incomplete.
+    let mut outputs: Vec<Option<ShardResult>> = Vec::new();
+    outputs.resize_with(jobs.len(), || None);
+    let threads = threads.clamp(1, jobs.len().max(1));
+    if threads == 1 {
+        for (slot, job) in outputs.iter_mut().zip(&jobs) {
+            if over_deadline() {
+                break;
+            }
+            *slot = Some(run_job(job));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, ShardResult)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() || over_deadline() {
+                                break;
+                            }
+                            local.push((i, run_job(&jobs[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
+        for worker_results in collected {
+            for (i, out) in worker_results {
+                outputs[i] = Some(out);
+            }
+        }
+    }
+
+    // Deterministic merge: jobs were created in (rule, shard) order, so one
+    // stable pass reassembles each rule's matches exactly as a serial scan
+    // of the same sharded budgets would produce them.
+    let mut all_matches: Vec<Vec<SearchMatches>> =
+        (0..rewrites.len()).map(|_| Vec::new()).collect();
+    let mut rule_complete = vec![true; rewrites.len()];
+    for (job, output) in jobs.iter().zip(outputs) {
+        match output {
+            Some((matches, complete)) => {
+                rule_complete[job.rule] &= complete;
+                all_matches[job.rule].extend(matches);
+            }
+            None => rule_complete[job.rule] = false,
+        }
+    }
+    let incomplete = banned.iter().any(|&b| b) || rule_complete.iter().any(|&c| !c);
+    SearchOutcome {
+        all_matches,
+        totals: totals.into_iter().map(AtomicUsize::into_inner).collect(),
+        incomplete,
+    }
 }
 
 /// Drives equality saturation over an [`EGraph`].
@@ -107,6 +326,7 @@ pub struct Runner<L: Language> {
     pub stop_reason: Option<StopReason>,
     limits: RunnerLimits,
     scheduler: Scheduler,
+    search_threads: usize,
 }
 
 impl<L: Language> Default for Runner<L> {
@@ -118,6 +338,7 @@ impl<L: Language> Default for Runner<L> {
             stop_reason: None,
             limits: RunnerLimits::default(),
             scheduler: Scheduler::default(),
+            search_threads: 1,
         }
     }
 }
@@ -176,6 +397,18 @@ impl<L: Language> Runner<L> {
         self
     }
 
+    /// Sets the number of worker threads for the search phase (`0` and `1`
+    /// both mean serial). The search results are bit-identical for every
+    /// thread count: sharding and budget splitting never depend on it, only
+    /// which thread executes which shard does. The one exception is a run
+    /// that crosses its wall-clock limit *mid-search*: which shards the
+    /// deadline cuts off depends on timing, as with any wall-clock limit.
+    #[must_use]
+    pub fn with_search_threads(mut self, threads: usize) -> Self {
+        self.search_threads = threads.max(1);
+        self
+    }
+
     /// Returns the configured limits.
     pub fn limits(&self) -> &RunnerLimits {
         &self.limits
@@ -206,47 +439,40 @@ impl<L: Language> Runner<L> {
 
             // Search phase: collect matches for all non-banned rules before
             // applying anything, so the search sees a consistent e-graph.
-            // `match_limit` is a *per-rule total* budget enforced inside
-            // `Pattern::search_rotated`; the scan start rotates by a fixed
-            // odd-prime stride each iteration (staggered per rule) so the
-            // budget sweeps the whole e-graph over time instead of
-            // re-finding the same matches in the earliest classes forever.
-            // The stride must not be derived from `match_limit` or the class
-            // count: if the class count divided the stride, every iteration
-            // would restart the scan at the same class.
-            const ROTATION_STRIDE: usize = 9973;
-            let mut all_matches = Vec::with_capacity(rewrites.len());
-            let mut search_incomplete = false;
-            for (ri, rw) in rewrites.iter().enumerate() {
-                let stats = rule_stats.entry(ri).or_default();
-                if stats.banned_until > iteration {
-                    search_incomplete = true;
-                    all_matches.push(Vec::new());
-                    continue;
-                }
-                let rotation = iteration
-                    .wrapping_mul(ROTATION_STRIDE)
-                    .wrapping_add(ri * 17);
-                let (matches, complete) = rw.search_rotated(&self.egraph, match_limit, rotation);
-                if !complete {
-                    search_incomplete = true;
-                }
-                let total: usize = matches.iter().map(|m| m.substs.len()).sum();
-                if let Scheduler::Backoff {
+            // `match_limit` is a *per-rule total* budget, split across the
+            // rule's candidate-class shards; `search_phase` runs the shards
+            // on `search_threads` workers and merges deterministically.
+            let banned: Vec<bool> = (0..rewrites.len())
+                .map(|ri| rule_stats.entry(ri).or_default().banned_until > iteration)
+                .collect();
+            let search_start = Instant::now();
+            let outcome = search_phase(
+                &self.egraph,
+                rewrites,
+                &banned,
+                SearchParams {
                     match_limit,
-                    ban_length,
-                } = self.scheduler
-                {
-                    if total >= match_limit {
+                    iteration,
+                    threads: self.search_threads,
+                    start,
+                    time_limit: self.limits.time_limit,
+                },
+            );
+            let search_time = search_start.elapsed();
+            let all_matches = outcome.all_matches;
+            let search_incomplete = outcome.incomplete;
+            // Backoff banning from the deterministic per-rule match totals.
+            if let Scheduler::Backoff {
+                match_limit,
+                ban_length,
+            } = self.scheduler
+            {
+                for (ri, &total) in outcome.totals.iter().enumerate() {
+                    if !banned[ri] && total >= match_limit {
+                        let stats = rule_stats.entry(ri).or_default();
                         stats.bans += 1;
-                        stats.banned_until = iteration + 1 + (ban_length << stats.bans);
+                        stats.banned_until = backoff_ban_until(iteration, ban_length, stats.bans);
                     }
-                }
-                all_matches.push(matches);
-                if start.elapsed() > self.limits.time_limit {
-                    // Remaining rules go unsearched this iteration.
-                    search_incomplete = true;
-                    break;
                 }
             }
 
@@ -281,6 +507,7 @@ impl<L: Language> Runner<L> {
                 rebuild_unions,
                 elapsed: iter_start.elapsed(),
                 rebuild_time,
+                search_time,
                 search_complete: !search_incomplete,
             });
 
@@ -404,6 +631,118 @@ mod tests {
         assert!(first.egraph_nodes >= 5);
         assert_eq!(first.applied.len(), 1);
         assert!(first.applied[0].1 >= 1);
+    }
+
+    #[test]
+    fn saturation_detected_with_budget_smaller_than_shard_count() {
+        // Six `*` candidate classes but a match budget of 4 (less than
+        // SHARDS_PER_RULE): budget splitting must not create quota-0 shards,
+        // which could scan nothing, would report every search incomplete,
+        // and would make saturation permanently undetectable.
+        let expr: RecExpr<SymbolLang> =
+            "(+ (* a b) (+ (* c d) (+ (* e f) (+ (* g h) (+ (* i j) (* k l))))))"
+                .parse()
+                .unwrap();
+        // The pattern's root operator exists (6 candidate classes) but the
+        // nested structure never matches, so the e-graph is saturated from
+        // the start — provided every shard can actually scan its classes.
+        let rules = vec![Rewrite::parse("no-match", "(* (* ?x ?x) ?y)", "?x").unwrap()];
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_iter_limit(10)
+            .with_scheduler(Scheduler::Backoff {
+                match_limit: 4,
+                ban_length: 2,
+            })
+            .run(&rules);
+        assert_eq!(runner.stop_reason, Some(StopReason::Saturated));
+        assert_eq!(runner.iterations.len(), 1);
+    }
+
+    #[test]
+    fn backoff_shift_saturates_instead_of_overflowing() {
+        // Monotone in the ban count, and capped: past the shift cap the ban
+        // length stops growing instead of overflowing (the old `<<` panicked
+        // in debug builds around 60 bans).
+        let mut prev = 0;
+        for bans in 0..200 {
+            let until = backoff_ban_until(10, 2, bans);
+            assert!(until >= prev, "ban schedule must be monotone");
+            prev = until;
+        }
+        assert_eq!(
+            backoff_ban_until(10, 2, 500),
+            backoff_ban_until(10, 2, usize::BITS as usize - 1)
+        );
+        // Saturating arithmetic near the top of the range.
+        assert_eq!(backoff_ban_until(usize::MAX, usize::MAX, 1), usize::MAX);
+    }
+
+    #[test]
+    fn repeated_bans_past_the_shift_cap_do_not_panic() {
+        // `ban_length: 0` makes every ban expire immediately, so a rule that
+        // keeps matching is re-banned on every iteration and its ban count
+        // sails past the former shift-overflow point (~60) within 100
+        // iterations.
+        let expr: RecExpr<SymbolLang> = "(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap();
+        let rules = vec![Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap()];
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_iter_limit(100)
+            .with_scheduler(Scheduler::Backoff {
+                match_limit: 1,
+                ban_length: 0,
+            })
+            .run(&rules);
+        assert_eq!(runner.iterations.len(), 100);
+        assert_eq!(runner.stop_reason, Some(StopReason::IterationLimit));
+    }
+
+    /// Runs the same saturation twice and asserts every observable outcome
+    /// matches: per-iteration reports (modulo wall-clock times), stop reason,
+    /// and final e-graph statistics.
+    fn assert_runs_identical(threads_a: usize, threads_b: usize) {
+        let expr: RecExpr<SymbolLang> = "(* (+ a (+ b c)) (+ d (* e (+ f g))))".parse().unwrap();
+        let rules = vec![
+            Rewrite::parse("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::parse("comm-mul", "(* ?a ?b)", "(* ?b ?a)").unwrap(),
+            Rewrite::parse("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
+            Rewrite::parse("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))").unwrap(),
+        ];
+        let run = |threads: usize| {
+            Runner::default()
+                .with_expr(&expr)
+                .with_iter_limit(5)
+                .with_node_limit(5_000)
+                .with_scheduler(Scheduler::Backoff {
+                    match_limit: 40,
+                    ban_length: 2,
+                })
+                .with_search_threads(threads)
+                .run(&rules)
+        };
+        let a = run(threads_a);
+        let b = run(threads_b);
+        assert_eq!(a.stop_reason, b.stop_reason);
+        assert_eq!(a.iterations.len(), b.iterations.len());
+        for (ia, ib) in a.iterations.iter().zip(&b.iterations) {
+            assert_eq!(ia.egraph_nodes, ib.egraph_nodes);
+            assert_eq!(ia.egraph_classes, ib.egraph_classes);
+            assert_eq!(ia.applied, ib.applied);
+            assert_eq!(ia.rebuild_unions, ib.rebuild_unions);
+            assert_eq!(ia.search_complete, ib.search_complete);
+        }
+        assert_eq!(a.egraph.total_nodes(), b.egraph.total_nodes());
+        assert_eq!(a.egraph.num_classes(), b.egraph.num_classes());
+        assert_eq!(a.egraph.num_unions(), b.egraph.num_unions());
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_serial() {
+        assert_runs_identical(1, 2);
+        assert_runs_identical(1, 4);
+        // More workers than jobs is clamped, not an error.
+        assert_runs_identical(1, 64);
     }
 
     #[test]

@@ -1,12 +1,19 @@
-//! Differential property tests: the incremental worklist rebuild
-//! ([`EGraph::rebuild`]) must agree with the retained whole-graph reference
-//! rebuild ([`EGraph::rebuild_reference`]) on every observable outcome —
-//! class partitions, canonical node forms, and union counts — under random
-//! interleavings of `add`, `union` and `rebuild`.
+//! Differential property tests.
+//!
+//! 1. The incremental worklist rebuild ([`EGraph::rebuild`]) must agree with
+//!    the retained whole-graph reference rebuild
+//!    ([`EGraph::rebuild_reference`]) on every observable outcome — class
+//!    partitions, canonical node forms, and union counts — under random
+//!    interleavings of `add`, `union` and `rebuild`.
+//! 2. The [`Runner`]'s parallel sharded search must be *bit-identical* to the
+//!    serial path: identical per-iteration reports (matches applied,
+//!    `search_complete`, node/class counts), stop reasons, and final class
+//!    partitions for every thread count, across randomized rule sets and
+//!    match budgets.
 //!
 //! Run with `PROPTEST_CASES=5000` (or higher) for the PR gate.
 
-use egraph::{EGraph, FxHashMap, Id, Language, SymbolLang};
+use egraph::{EGraph, FxHashMap, Id, Language, Rewrite, Runner, Scheduler, SymbolLang};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -107,6 +114,102 @@ fn class_signatures(
     out
 }
 
+/// The pool of rewrite rules the runner differential draws from. SymbolLang
+/// attaches no semantics, so any structurally well-formed rule is fair game;
+/// the mix covers growing rules (commutativity, associativity,
+/// distribution), collapsing rules, and cross-operator rules.
+fn rule_pool() -> Vec<Rewrite<SymbolLang>> {
+    vec![
+        Rewrite::parse("comm-f0", "(f0 ?a ?b)", "(f0 ?b ?a)").unwrap(),
+        Rewrite::parse("comm-f1", "(f1 ?a ?b)", "(f1 ?b ?a)").unwrap(),
+        Rewrite::parse("assoc-f0", "(f0 (f0 ?a ?b) ?c)", "(f0 ?a (f0 ?b ?c))").unwrap(),
+        Rewrite::parse("assoc-f1", "(f1 ?a (f1 ?b ?c))", "(f1 (f1 ?a ?b) ?c)").unwrap(),
+        Rewrite::parse("dist", "(f0 (f1 ?a ?b) ?c)", "(f1 (f0 ?a ?c) (f0 ?b ?c))").unwrap(),
+        Rewrite::parse("fuse", "(f2 ?a ?b)", "(f0 ?a ?b)").unwrap(),
+        Rewrite::parse("collapse", "(f3 ?a ?a)", "?a").unwrap(),
+        Rewrite::parse("wrap", "(f3 ?a ?b)", "(f3 (f2 ?a ?b) (f2 ?a ?b))").unwrap(),
+    ]
+}
+
+/// Everything a saturation run observes, minus wall-clock times: used to
+/// compare a serial and a parallel run for bit-identical behavior. Unlike
+/// the rebuild differential above, no renumbering is needed — bit-identical
+/// runs perform the same unions in the same order, so even the raw class ids
+/// must coincide.
+/// `(iteration, nodes, classes, applied, rebuild_unions, search_complete)`
+type IterationSig = (usize, usize, usize, Vec<(String, usize)>, usize, bool);
+
+#[derive(Debug, PartialEq)]
+struct RunSignature {
+    stop_reason: egraph::StopReason,
+    iterations: Vec<IterationSig>,
+    /// `find()` of every tracked add, by raw id.
+    partitions: Vec<Id>,
+    /// Raw class id → sorted canonical node forms.
+    classes: BTreeMap<usize, Vec<(String, Vec<usize>)>>,
+    total_nodes: usize,
+    num_unions: usize,
+}
+
+fn run_signature(
+    ops: &[Op],
+    rules: &[Rewrite<SymbolLang>],
+    threads: usize,
+    iter_limit: usize,
+    match_limit: usize,
+    ban_length: usize,
+) -> RunSignature {
+    let (egraph, ids) = apply(ops, false);
+    let runner = Runner::with_egraph(egraph)
+        .with_iter_limit(iter_limit)
+        .with_node_limit(3_000)
+        .with_scheduler(Scheduler::Backoff {
+            match_limit,
+            ban_length,
+        })
+        .with_search_threads(threads)
+        .run(rules);
+    let iterations = runner
+        .iterations
+        .iter()
+        .map(|it| {
+            (
+                it.iteration,
+                it.egraph_nodes,
+                it.egraph_classes,
+                it.applied.clone(),
+                it.rebuild_unions,
+                it.search_complete,
+            )
+        })
+        .collect();
+    let partitions = ids.iter().map(|&id| runner.egraph.find(id)).collect();
+    let mut classes: BTreeMap<usize, Vec<(String, Vec<usize>)>> = BTreeMap::new();
+    for class in runner.egraph.classes() {
+        let mut nodes: Vec<(String, Vec<usize>)> = class
+            .iter()
+            .map(|node| {
+                let children = node
+                    .children()
+                    .iter()
+                    .map(|&c| runner.egraph.find(c).index())
+                    .collect();
+                (node.op_str(), children)
+            })
+            .collect();
+        nodes.sort();
+        classes.insert(class.id.index(), nodes);
+    }
+    RunSignature {
+        stop_reason: runner.stop_reason.expect("run sets a stop reason"),
+        iterations,
+        partitions,
+        classes,
+        total_nodes: runner.egraph.total_nodes(),
+        num_unions: runner.egraph.num_unions(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
 
@@ -151,6 +254,36 @@ proptest! {
         prop_assert_eq!(egraph.rebuild(), 0);
         prop_assert_eq!(egraph.rebuild_reference(), 0);
         egraph.check_invariants().map_err(TestCaseError)?;
+    }
+
+    /// The parallel-search differential: sharded search on 2 and 4 worker
+    /// threads is bit-identical to the serial path — same matches applied,
+    /// same `IterationReport`s (modulo wall-clock), same stop reason, and
+    /// the same final e-graph down to raw class ids — across randomized
+    /// starting graphs, rule subsets, match budgets and ban lengths.
+    #[test]
+    fn parallel_search_matches_serial(
+        ops in workload(),
+        mask in proptest::collection::vec(any::<bool>(), 8),
+        iter_limit in 2usize..5,
+        match_limit in 4usize..64,
+        ban_length in 0usize..3,
+    ) {
+        let mut rules: Vec<Rewrite<SymbolLang>> = rule_pool()
+            .into_iter()
+            .zip(&mask)
+            .filter(|(_, &keep)| keep)
+            .map(|(rule, _)| rule)
+            .collect();
+        if rules.is_empty() {
+            // An all-false mask still exercises the single-rule path.
+            rules = rule_pool().into_iter().take(1).collect();
+        }
+        let serial = run_signature(&ops, &rules, 1, iter_limit, match_limit, ban_length);
+        for threads in [2usize, 4] {
+            let parallel = run_signature(&ops, &rules, threads, iter_limit, match_limit, ban_length);
+            prop_assert_eq!(&serial, &parallel, "{} search threads diverged from serial", threads);
+        }
     }
 
     /// Interleaving the strategies op-by-op (alternating which one handles

@@ -45,8 +45,8 @@ fn main() {
         "\nimprovement vs baseline: area {:+.1}%, delay {:+.1}%, levels {:+.1}%",
         improvement.area_pct, improvement.delay_pct, improvement.level_pct
     );
-    let (conventional, conversion, extraction) = emorphic.breakdown.percentages();
+    let (conventional, conversion, extraction, verification) = emorphic.breakdown.percentages();
     println!(
-        "runtime breakdown: {conventional:.0}% conventional flow, {conversion:.0}% conversion, {extraction:.0}% SA extraction"
+        "runtime breakdown: {conventional:.0}% conventional flow, {conversion:.0}% conversion, {extraction:.0}% SA extraction, {verification:.0}% CEC"
     );
 }

@@ -65,8 +65,11 @@ fn flow_runtime_breakdown_is_consistent() {
     let config = FlowConfig::fast();
     let result = emorphic_flow(&benchgen::adder(6).aig, &config);
     let total = result.breakdown.total();
-    assert!(total <= result.runtime + std::time::Duration::from_millis(200));
-    let (a, b, c) = result.breakdown.percentages();
-    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0);
-    assert!((a + b + c - 100.0).abs() < 1.0);
+    // The four parts cover disjoint intervals of the flow, so their sum can
+    // never exceed the measured runtime (the old double-counted conversion
+    // time violated exactly this).
+    assert!(total <= result.runtime + std::time::Duration::from_millis(5));
+    let (a, b, c, d) = result.breakdown.percentages();
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0);
+    assert!((a + b + c + d - 100.0).abs() < 1.0);
 }

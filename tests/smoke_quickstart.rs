@@ -55,9 +55,9 @@ fn quickstart_pipeline_end_to_end() {
     let improvement = emorphic.qor.improvement_over(&baseline.qor);
     assert!(improvement.area_pct.is_finite());
     assert!(improvement.delay_pct.is_finite());
-    let (conventional, conversion, extraction) = emorphic.breakdown.percentages();
+    let (conventional, conversion, extraction, verification) = emorphic.breakdown.percentages();
     assert!(
-        (conventional + conversion + extraction - 100.0).abs() < 1.0,
+        (conventional + conversion + extraction + verification - 100.0).abs() < 1.0,
         "runtime breakdown must sum to ~100%"
     );
 }
