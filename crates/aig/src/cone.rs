@@ -1,7 +1,7 @@
 //! Transitive-fanin cones, topological iteration and MFFC computation.
 
-use crate::fxhash::FxHashSet;
 use crate::{Aig, AigNode, Lit, NodeId};
+use fxhash::FxHashSet;
 
 /// Iterator over the nodes reachable from a set of roots, in topological
 /// order (fanins before fanouts).

@@ -15,8 +15,8 @@
 //! This is the text format E-morphic uses when exchanging circuits with the
 //! conventional synthesis flow (paper Fig. 5, step "Equation Format").
 
-use crate::fxhash::FxHashMap;
 use crate::{Aig, AigError, Lit, Result};
+use fxhash::FxHashMap;
 
 /// Serializes an AIG as a list of equations (one per AND gate).
 pub fn write_eqn(aig: &Aig) -> String {

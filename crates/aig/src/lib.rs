@@ -29,7 +29,6 @@
 
 mod cone;
 pub mod dot;
-mod fxhash;
 pub mod io;
 mod lit;
 mod network;
@@ -39,7 +38,7 @@ mod stats;
 pub use cone::{extract_cone, mffc_size, tfi, Cone, TopoIter};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use lit::{Lit, NodeId};
-pub use network::{Aig, AigNode};
+pub use network::{stack_over_shared_inputs, Aig, AigNode};
 pub use sim::{small_truth_table, SimVector, Simulator};
 pub use stats::AigStats;
 

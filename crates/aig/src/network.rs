@@ -1,7 +1,7 @@
 //! The structurally hashed And-Inverter Graph network.
 
-use crate::fxhash::FxHashMap;
 use crate::{AigError, Lit, NodeId, Result};
+use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 /// A single node of an [`Aig`].
@@ -479,6 +479,37 @@ impl Aig {
         fresh
     }
 
+    /// Replays this network's AND gates into `dst`, driving the primary
+    /// inputs with the given literals (one per input, in order). Returns,
+    /// for every node of `self`, the literal in `dst` computing its function
+    /// — callers derive output or internal-signal literals by indexing the
+    /// map and applying the edge complement. The shared building block
+    /// behind circuit stacking, output trimming and cone views.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn copy_logic_into(&self, dst: &mut Aig, inputs: &[Lit]) -> Vec<Lit> {
+        assert_eq!(
+            inputs.len(),
+            self.inputs.len(),
+            "one driving literal per primary input"
+        );
+        // Nodes are topologically ordered, so every AND's fanins are mapped
+        // before the AND itself; constants stay `Lit::FALSE`.
+        let mut map: Vec<Lit> = vec![Lit::FALSE; self.nodes.len()];
+        for (idx, &pi) in self.inputs.iter().enumerate() {
+            map[pi.index()] = inputs[idx];
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And { fanin0, fanin1 } = node {
+                let a = map[fanin0.node().index()].xor(fanin0.is_complemented());
+                let b = map[fanin1.node().index()].xor(fanin1.is_complemented());
+                map[i] = dst.and(a, b);
+            }
+        }
+        map
+    }
+
     // ------------------------------------------------------------------
     // Evaluation
     // ------------------------------------------------------------------
@@ -512,6 +543,39 @@ impl Aig {
             .map(|lit| values[lit.node().index()] ^ lit.is_complemented())
             .collect()
     }
+}
+
+/// Builds one network computing both circuits over a shared set of primary
+/// inputs (matched by position, named after `a`'s inputs). Outputs of `a`
+/// come first, then the outputs of `b` with `b_suffix` appended to their
+/// names. Used to seed equivalence detection (SAT sweeping, structural
+/// choices) and miter-style comparisons.
+///
+/// # Panics
+/// Panics if the input counts differ.
+pub fn stack_over_shared_inputs(a: &Aig, b: &Aig, b_suffix: &str) -> Aig {
+    assert_eq!(
+        a.num_inputs(),
+        b.num_inputs(),
+        "both circuits must have the same inputs"
+    );
+    let mut out = Aig::new(a.name().to_string());
+    let inputs: Vec<Lit> = a
+        .input_names()
+        .iter()
+        .map(|n| out.add_input(n.clone()))
+        .collect();
+    let map_a = a.copy_logic_into(&mut out, &inputs);
+    let map_b = b.copy_logic_into(&mut out, &inputs);
+    for (i, po) in a.outputs().iter().enumerate() {
+        let lit = map_a[po.node().index()].xor(po.is_complemented());
+        out.add_output(lit, a.output_name(i));
+    }
+    for (i, po) in b.outputs().iter().enumerate() {
+        let lit = map_b[po.node().index()].xor(po.is_complemented());
+        out.add_output(lit, format!("{}{b_suffix}", b.output_name(i)));
+    }
+    out
 }
 
 #[cfg(test)]

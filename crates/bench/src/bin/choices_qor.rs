@@ -1,0 +1,124 @@
+//! Choice-network QoR: mapped area/delay and runtime with choices on vs off
+//! across the benchgen circuits, every mapped netlist CEC-verified against
+//! its input.
+//!
+//! Each circuit runs the flow twice — saturation is deterministic, so both
+//! runs see the same e-graph. "off" maps only the extracted representative
+//! network; "on" additionally offers the mapper the top-K structures of
+//! every live e-class and keeps the better netlist, so the "on" column can
+//! never be worse. The two independent runs let the binary CEC-verify *both*
+//! mapped netlists against the input and cross-check the determinism of the
+//! baseline; it asserts monotone area and CEC on every netlist, exiting
+//! non-zero on any violation. That makes it usable both as the paper-style
+//! comparison table and as a CI smoke gate (`--smoke` runs a reduced
+//! circuit set).
+//!
+//! Usage: `cargo run -p emorphic-bench --bin choices_qor --release [-- --smoke]`
+//! Set `EMORPHIC_SCALE=tiny|small|default` to control circuit sizes.
+
+use emorphic::flow::{emorphic_map_flow, MapFlowConfig};
+use emorphic_bench::scale_from_env;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = scale_from_env();
+    let circuits: Vec<(String, aig::Aig)> = if smoke {
+        vec![
+            ("adder".into(), benchgen::adder(8).aig),
+            ("multiplier".into(), benchgen::multiplier(4).aig),
+        ]
+    } else {
+        emorphic_bench::suite()
+            .into_iter()
+            .map(|c| (c.name, c.aig))
+            .collect()
+    };
+
+    let config = match scale {
+        benchgen::SuiteScale::Default => MapFlowConfig::paper(),
+        _ => MapFlowConfig::fast(),
+    };
+
+    println!("Choice-network QoR: choice-aware vs choice-free standard-cell mapping");
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>7} {:>10} {:>10} {:>7} {:>8} {:>6} {:>9}",
+        "circuit",
+        "ands",
+        "area-off",
+        "area-on",
+        "ratio",
+        "delay-off",
+        "delay-on",
+        "classes",
+        "choices",
+        "used",
+        "time(s)"
+    );
+
+    let mut violations = 0usize;
+    let mut improved = 0usize;
+    for (name, aig) in &circuits {
+        let off = match emorphic_map_flow(aig, &config.clone().with_choices(false)) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("{name}: choice-free flow failed: {e}");
+                violations += 1;
+                continue;
+            }
+        };
+        let on = match emorphic_map_flow(aig, &config) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("{name}: choice-aware flow failed: {e}");
+                violations += 1;
+                continue;
+            }
+        };
+        let ratio = if off.qor.area_um2 > 0.0 {
+            on.qor.area_um2 / off.qor.area_um2
+        } else {
+            1.0
+        };
+        println!(
+            "{:<12} {:>8} {:>12.2} {:>12.2} {:>7.4} {:>10.2} {:>10.2} {:>7} {:>8} {:>6} {:>9.2}",
+            name,
+            aig.num_ands(),
+            off.qor.area_um2,
+            on.qor.area_um2,
+            ratio,
+            off.qor.delay_ps,
+            on.qor.delay_ps,
+            on.export.classes,
+            on.export.alternatives,
+            if on.used_choices { "yes" } else { "no" },
+            off.runtime.as_secs_f64() + on.runtime.as_secs_f64(),
+        );
+        if !off.verified || !on.verified {
+            eprintln!(
+                "{name}: CEC verification FAILED (off: {}, on: {})",
+                off.verified, on.verified
+            );
+            violations += 1;
+        }
+        if on.qor.area_um2 > off.qor.area_um2 + 1e-9 {
+            eprintln!(
+                "{name}: choice-aware area {} worse than choice-free {}",
+                on.qor.area_um2, off.qor.area_um2
+            );
+            violations += 1;
+        }
+        if on.qor.area_um2 < off.qor.area_um2 - 1e-9 {
+            improved += 1;
+        }
+    }
+
+    println!(
+        "\n{} circuit(s), {} strictly improved by choices, {} violation(s)",
+        circuits.len(),
+        improved,
+        violations
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,8 @@ mod miter;
 mod sweep;
 mod tseitin;
 
-pub use miter::{check_equivalence, CecOptions, CecResult, Counterexample};
+pub use miter::{
+    check_equivalence, check_equivalence_swept, CecOptions, CecResult, Counterexample,
+};
 pub use sweep::{EquivClasses, SatSweeper, SweepOptions, SweepStats};
 pub use tseitin::AigCnf;

@@ -1,5 +1,6 @@
 //! Miter-based combinational equivalence checking.
 
+use crate::sweep::{SatSweeper, SweepOptions};
 use crate::tseitin::AigCnf;
 use aig::{Aig, Simulator};
 use sat::{cnf, Lit as SLit, SatResult, Solver};
@@ -65,38 +66,11 @@ impl CecResult {
 /// # Panics
 /// Panics if the interface sizes differ.
 pub fn check_equivalence(golden: &Aig, revised: &Aig, options: &CecOptions) -> CecResult {
-    assert_eq!(
-        golden.num_inputs(),
-        revised.num_inputs(),
-        "CEC requires matching input counts ({} vs {})",
-        golden.num_inputs(),
-        revised.num_inputs()
-    );
-    assert_eq!(
-        golden.num_outputs(),
-        revised.num_outputs(),
-        "CEC requires matching output counts ({} vs {})",
-        golden.num_outputs(),
-        revised.num_outputs()
-    );
+    assert_interfaces_match(golden, revised);
 
     // Phase 1: random simulation for fast refutation.
-    if golden.num_inputs() > 0 && options.sim_words > 0 {
-        let sim_a = Simulator::random(golden, options.sim_words, options.sim_seed);
-        let sim_b = Simulator::random(revised, options.sim_words, options.sim_seed);
-        let outs_a = sim_a.output_signatures(golden);
-        let outs_b = sim_b.output_signatures(revised);
-        for (o, (sa, sb)) in outs_a.iter().zip(outs_b.iter()).enumerate() {
-            for (w, (wa, wb)) in sa.iter().zip(sb.iter()).enumerate() {
-                let diff = wa ^ wb;
-                if diff != 0 {
-                    let bit = diff.trailing_zeros() as usize;
-                    let pattern_index = w * 64 + bit;
-                    let inputs = recover_pattern(golden, options, pattern_index);
-                    return CecResult::NotEquivalent(Counterexample { inputs, output: o });
-                }
-            }
-        }
+    if let Some(cex) = simulation_counterexample(golden, revised, options) {
+        return CecResult::NotEquivalent(cex);
     }
 
     // Phase 2: SAT proof.
@@ -158,6 +132,102 @@ pub fn check_equivalence(golden: &Aig, revised: &Aig, options: &CecOptions) -> C
             }
         }
     }
+}
+
+/// Fraig-style CEC: the two circuits are stacked over shared inputs and
+/// SAT-swept, so functionally equivalent internal cones merge bottom-up —
+/// each merge a small, local SAT proof — before the remaining output pairs
+/// are decided on the reduced network. Structurally related circuits (a
+/// mapped netlist against its source, a resynthesized multiplier against the
+/// original) usually collapse output-for-output during the sweep, closing
+/// miters the monolithic [`check_equivalence`] cannot within the same
+/// conflict budget.
+///
+/// # Panics
+/// Panics if the interface sizes differ.
+pub fn check_equivalence_swept(
+    golden: &Aig,
+    revised: &Aig,
+    options: &CecOptions,
+    sweep: &SweepOptions,
+) -> CecResult {
+    assert_interfaces_match(golden, revised);
+    if let Some(cex) = simulation_counterexample(golden, revised, options) {
+        return CecResult::NotEquivalent(cex);
+    }
+
+    let stacked = aig::stack_over_shared_inputs(golden, revised, "_b");
+    let (reduced, _stats) = SatSweeper::new(sweep.clone()).sweep(&stacked);
+
+    let n = golden.num_outputs();
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(options.conflict_budget);
+    let cnf = AigCnf::encode(&mut solver, &reduced, None);
+    let shared = cnf.input_lits.clone();
+    let mut any_unknown = false;
+    for o in 0..n {
+        let (la, lb) = (reduced.outputs()[o], reduced.outputs()[o + n]);
+        if la == lb {
+            continue; // the sweep already merged this output pair
+        }
+        match solve_output_pair(&mut solver, &shared, cnf.lit(la), cnf.lit(lb)) {
+            OutputVerdict::Equal => {}
+            OutputVerdict::Differs(inputs) => {
+                return CecResult::NotEquivalent(Counterexample { inputs, output: o })
+            }
+            OutputVerdict::Unknown => any_unknown = true,
+        }
+    }
+    if any_unknown {
+        CecResult::Unknown
+    } else {
+        CecResult::Equivalent
+    }
+}
+
+fn assert_interfaces_match(golden: &Aig, revised: &Aig) {
+    assert_eq!(
+        golden.num_inputs(),
+        revised.num_inputs(),
+        "CEC requires matching input counts ({} vs {})",
+        golden.num_inputs(),
+        revised.num_inputs()
+    );
+    assert_eq!(
+        golden.num_outputs(),
+        revised.num_outputs(),
+        "CEC requires matching output counts ({} vs {})",
+        golden.num_outputs(),
+        revised.num_outputs()
+    );
+}
+
+/// Bit-parallel random simulation over both circuits; returns a witness for
+/// the first differing output pattern, if any.
+fn simulation_counterexample(
+    golden: &Aig,
+    revised: &Aig,
+    options: &CecOptions,
+) -> Option<Counterexample> {
+    if golden.num_inputs() == 0 || options.sim_words == 0 {
+        return None;
+    }
+    let sim_a = Simulator::random(golden, options.sim_words, options.sim_seed);
+    let sim_b = Simulator::random(revised, options.sim_words, options.sim_seed);
+    let outs_a = sim_a.output_signatures(golden);
+    let outs_b = sim_b.output_signatures(revised);
+    for (o, (sa, sb)) in outs_a.iter().zip(outs_b.iter()).enumerate() {
+        for (w, (wa, wb)) in sa.iter().zip(sb.iter()).enumerate() {
+            let diff = wa ^ wb;
+            if diff != 0 {
+                let bit = diff.trailing_zeros() as usize;
+                let pattern_index = w * 64 + bit;
+                let inputs = recover_pattern(golden, options, pattern_index);
+                return Some(Counterexample { inputs, output: o });
+            }
+        }
+    }
+    None
 }
 
 enum OutputVerdict {

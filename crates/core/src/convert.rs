@@ -9,7 +9,7 @@
 
 use crate::lang::BoolLang;
 use aig::{Aig, AigNode, Lit, NodeId};
-use egraph::{DagSelection, EGraph, FxHashMap, Id, RecExpr};
+use egraph::{DagSelection, EGraph, FxHashMap, Id, RecExpr, SelectionError};
 use std::time::{Duration, Instant};
 
 /// The result of converting a circuit into an e-graph.
@@ -97,7 +97,8 @@ pub fn aig_to_egraph(aig: &Aig) -> ConversionResult {
 ///
 /// # Panics
 /// Panics if a reachable class has no selected node or the selection is
-/// cyclic.
+/// cyclic; [`try_selection_to_aig`] reports the same conditions as a typed
+/// [`SelectionError`] instead.
 pub fn selection_to_aig(
     egraph: &EGraph<BoolLang>,
     selection: &DagSelection<BoolLang>,
@@ -106,6 +107,27 @@ pub fn selection_to_aig(
     output_names: &[String],
     name: &str,
 ) -> Aig {
+    try_selection_to_aig(egraph, selection, roots, input_names, output_names, name)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Converts a per-class e-node selection back into an AIG, reporting missing
+/// or cyclic selections as a typed error instead of panicking.
+///
+/// # Errors
+/// Returns a [`SelectionError`] if a class reachable from the roots has no
+/// selected node or the selection is cyclic.
+///
+/// # Panics
+/// Panics if `roots` and `output_names` differ in length.
+pub fn try_selection_to_aig(
+    egraph: &EGraph<BoolLang>,
+    selection: &DagSelection<BoolLang>,
+    roots: &[Id],
+    input_names: &[String],
+    output_names: &[String],
+    name: &str,
+) -> Result<Aig, SelectionError> {
     assert_eq!(roots.len(), output_names.len(), "one name per output root");
     let mut aig = Aig::new(name.to_string());
     let inputs: Vec<Lit> = input_names
@@ -122,18 +144,17 @@ pub fn selection_to_aig(
         inputs: &[Lit],
         cache: &mut FxHashMap<Id, Lit>,
         depth: usize,
-    ) -> Lit {
+    ) -> Result<Lit, SelectionError> {
         let id = egraph.find(id);
         if let Some(&lit) = cache.get(&id) {
-            return lit;
+            return Ok(lit);
         }
-        assert!(
-            depth <= egraph.num_classes() + 1,
-            "cyclic extraction selection at class {id}"
-        );
+        if depth > egraph.num_classes() + 1 {
+            return Err(SelectionError::Cyclic(id));
+        }
         let node = selection
             .node(id)
-            .unwrap_or_else(|| panic!("no selection for reachable class {id}"))
+            .ok_or(SelectionError::Missing(id))?
             .clone();
         let lit = match node {
             BoolLang::Const(b) => {
@@ -144,27 +165,27 @@ pub fn selection_to_aig(
                 }
             }
             BoolLang::Var(i) => inputs[i as usize],
-            BoolLang::Not(c) => build(egraph, selection, c, aig, inputs, cache, depth + 1).not(),
+            BoolLang::Not(c) => build(egraph, selection, c, aig, inputs, cache, depth + 1)?.not(),
             BoolLang::And([a, b]) => {
-                let la = build(egraph, selection, a, aig, inputs, cache, depth + 1);
-                let lb = build(egraph, selection, b, aig, inputs, cache, depth + 1);
+                let la = build(egraph, selection, a, aig, inputs, cache, depth + 1)?;
+                let lb = build(egraph, selection, b, aig, inputs, cache, depth + 1)?;
                 aig.and(la, lb)
             }
             BoolLang::Or([a, b]) => {
-                let la = build(egraph, selection, a, aig, inputs, cache, depth + 1);
-                let lb = build(egraph, selection, b, aig, inputs, cache, depth + 1);
+                let la = build(egraph, selection, a, aig, inputs, cache, depth + 1)?;
+                let lb = build(egraph, selection, b, aig, inputs, cache, depth + 1)?;
                 aig.or(la, lb)
             }
         };
         cache.insert(id, lit);
-        lit
+        Ok(lit)
     }
 
     for (root, name) in roots.iter().zip(output_names) {
-        let lit = build(egraph, selection, *root, &mut aig, &inputs, &mut cache, 0);
+        let lit = build(egraph, selection, *root, &mut aig, &inputs, &mut cache, 0)?;
         aig.add_output(lit, name.clone());
     }
-    aig.cleanup()
+    Ok(aig.cleanup())
 }
 
 /// Converts a tree-shaped term back into an AIG (used by the E-Syn baseline's
@@ -317,6 +338,26 @@ mod tests {
         );
         assert_eq!(back.evaluate(&[true]), vec![true, false]);
         assert_eq!(back.evaluate(&[false]), vec![true, false]);
+    }
+
+    #[test]
+    fn missing_selection_is_a_typed_error() {
+        let aig = sample();
+        let conv = aig_to_egraph(&aig);
+        // An empty selection cannot realize any root.
+        let empty = DagSelection {
+            choices: FxHashMap::default(),
+        };
+        let err = try_selection_to_aig(
+            &conv.egraph,
+            &empty,
+            &conv.roots,
+            &conv.input_names,
+            &conv.output_names,
+            "broken",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SelectionError::Missing(_)));
     }
 
     #[test]

@@ -19,12 +19,14 @@ use crate::extract::sa::{SaExtractor, SaOptions};
 use crate::rules::all_rules;
 use aig::Aig;
 use cec::{check_equivalence, CecOptions};
+use choices::{egraph_to_choices, ChoiceConfig, ChoiceError, ExportStats};
 use costmodel::{LearnedCost, TechMapCost};
 use egraph::{Runner, Scheduler};
 use logic_opt::{dch_like, DchOptions};
 use std::time::{Duration, Instant};
+use techmap::cell::{map_to_cells, try_map_to_cells, try_map_to_cells_with_choices, Netlist};
 use techmap::library::{asap7_like, CellLibrary};
-use techmap::{cell::map_to_cells, sop::sop_balance, MapOptions, Qor};
+use techmap::{sop::sop_balance, MapError, MapOptions, Qor};
 
 /// Which cost model guides the SA extraction (paper Section III-C).
 #[derive(Debug, Clone)]
@@ -336,6 +338,217 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     }
 }
 
+/// Errors of the choice-aware mapping flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapFlowError {
+    /// The e-graph could not be exported as a choice network.
+    Choice(ChoiceError),
+    /// Technology mapping failed (typed, instead of aborting the process).
+    Map(MapError),
+}
+
+impl std::fmt::Display for MapFlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapFlowError::Choice(e) => write!(f, "choice export failed: {e}"),
+            MapFlowError::Map(e) => write!(f, "technology mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapFlowError {}
+
+impl From<ChoiceError> for MapFlowError {
+    fn from(e: ChoiceError) -> Self {
+        MapFlowError::Choice(e)
+    }
+}
+
+impl From<MapError> for MapFlowError {
+    fn from(e: MapError) -> Self {
+        MapFlowError::Map(e)
+    }
+}
+
+/// Configuration of [`emorphic_map_flow`].
+#[derive(Debug, Clone)]
+pub struct MapFlowConfig {
+    /// Saturation, mapping, library and CEC knobs (shared with
+    /// [`emorphic_flow`]).
+    pub flow: FlowConfig,
+    /// Choice-export configuration (members per class, ranking cost).
+    pub choices: ChoiceConfig,
+    /// Map with choices (`false` degenerates to mapping the extracted
+    /// representative network, the apples-to-apples baseline).
+    pub use_choices: bool,
+}
+
+impl MapFlowConfig {
+    /// The paper-style configuration with choices enabled.
+    pub fn paper() -> Self {
+        MapFlowConfig {
+            flow: FlowConfig::paper(),
+            choices: ChoiceConfig::default(),
+            use_choices: true,
+        }
+    }
+
+    /// A reduced configuration for tests, examples and CI.
+    pub fn fast() -> Self {
+        MapFlowConfig {
+            flow: FlowConfig::fast(),
+            choices: ChoiceConfig::default(),
+            use_choices: true,
+        }
+    }
+
+    /// Enables or disables choice-aware mapping.
+    #[must_use]
+    pub fn with_choices(mut self, use_choices: bool) -> Self {
+        self.use_choices = use_choices;
+        self
+    }
+}
+
+/// Result of the choice-aware mapping flow on one circuit.
+#[derive(Debug, Clone)]
+pub struct MapFlowResult {
+    /// The selected mapped netlist (the better of choice-aware and
+    /// choice-free when choices are enabled).
+    pub netlist: Netlist,
+    /// QoR of [`MapFlowResult::netlist`].
+    pub qor: Qor,
+    /// QoR of mapping the representative-only network (the choice-free
+    /// baseline inside the same run).
+    pub base_qor: Qor,
+    /// Whether the choice-aware netlist won the selection.
+    pub used_choices: bool,
+    /// Whether SAT CEC *proved* the mapped netlist equivalent to the input.
+    pub verified: bool,
+    /// Choice-export statistics (live classes, alternatives, rejections).
+    pub export: ExportStats,
+    /// E-nodes after saturation.
+    pub egraph_nodes: usize,
+    /// E-classes after saturation.
+    pub egraph_classes: usize,
+    /// Total wall-clock time.
+    pub runtime: Duration,
+}
+
+/// The choice-aware mapping flow: saturate → export the e-graph as a
+/// [`choices::ChoiceAig`] → map with choice-aware cut enumeration → CEC-verify
+/// the mapped netlist against the input.
+///
+/// Unlike [`emorphic_flow`], which collapses the saturated e-graph to a
+/// single extracted design before mapping, this flow hands the mapper the
+/// whole recorded e-space: every live e-class contributes its top-K
+/// structures, and `techmap` picks the cheapest realization per cut. The
+/// choice-free baseline (mapping just the representative network — exactly
+/// what extraction alone would produce) is mapped in the same run, and the
+/// better netlist is kept, so enabling choices can never worsen the result.
+///
+/// # Errors
+/// Returns a [`MapFlowError`] if the export or the mapping fails; both are
+/// typed conditions, not panics.
+pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowResult, MapFlowError> {
+    let start = Instant::now();
+
+    // Saturation (same knobs as `emorphic_flow`).
+    let conversion = aig_to_egraph(&aig.strash_copy());
+    let runner = Runner::with_egraph(conversion.egraph)
+        .with_iter_limit(config.flow.rewrite_iterations)
+        .with_node_limit(config.flow.node_limit)
+        .with_scheduler(Scheduler::Backoff {
+            match_limit: config.flow.match_limit,
+            ban_length: 2,
+        })
+        .with_search_threads(config.flow.search_threads)
+        .run(&all_rules());
+    let egraph = runner.egraph;
+    let roots: Vec<egraph::Id> = conversion.roots.iter().map(|&r| egraph.find(r)).collect();
+
+    // Choice export: the whole e-space, not one extracted design.
+    let export_config = ChoiceConfig {
+        max_choices: if config.use_choices {
+            config.choices.max_choices
+        } else {
+            1
+        },
+        cost: config.choices.cost,
+    };
+    let (network, export) = egraph_to_choices(
+        &egraph,
+        &roots,
+        &conversion.input_names,
+        &conversion.output_names,
+        &conversion.name,
+        &export_config,
+    )?;
+
+    // Choice-free baseline: map the representative cone only.
+    let repr_network = network.repr_network();
+    let base_netlist = try_map_to_cells(
+        &repr_network,
+        &config.flow.library,
+        &config.flow.map_options,
+    )?;
+    let base_qor = base_netlist.qor();
+
+    // Choice-aware mapping, keeping the better netlist.
+    let mut used_choices = false;
+    let mut netlist = base_netlist;
+    if config.use_choices && network.num_classes() > 0 {
+        // A mapping failure over the choice network (e.g. a dangling
+        // alternative with no library-matchable cut) falls back to the
+        // already-mapped baseline: enabling choices must never make the flow
+        // fail where the choice-free path succeeds.
+        if let Ok(choice_netlist) =
+            try_map_to_cells_with_choices(&network, &config.flow.library, &config.flow.map_options)
+        {
+            let better = (choice_netlist.area_um2(), choice_netlist.delay_ps())
+                < (netlist.area_um2(), netlist.delay_ps());
+            if better {
+                used_choices = true;
+                netlist = choice_netlist;
+            }
+        }
+    }
+    let mapped_source: &Aig = if used_choices {
+        network.aig()
+    } else {
+        &repr_network
+    };
+
+    // CEC the mapped netlist (re-synthesized into AIG form) against the
+    // original input. The sweeping variant merges the structurally aligned
+    // cones (mapped gates correspond to source cuts) bottom-up, which closes
+    // arithmetic miters the monolithic check cannot within the budget.
+    let mut verified = true;
+    if config.flow.verify {
+        let mapped_aig = netlist.to_aig(mapped_source);
+        let sweep = cec::SweepOptions {
+            conflict_budget: config.flow.cec.conflict_budget,
+            ..cec::SweepOptions::default()
+        };
+        verified = cec::check_equivalence_swept(aig, &mapped_aig, &config.flow.cec, &sweep)
+            .is_equivalent();
+    }
+
+    let mut qor = netlist.qor();
+    qor.name = aig.name().to_string();
+    Ok(MapFlowResult {
+        qor,
+        base_qor,
+        netlist,
+        used_choices,
+        verified,
+        export,
+        egraph_nodes: egraph.total_nodes(),
+        egraph_classes: egraph.num_classes(),
+        runtime: start.elapsed(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +657,34 @@ mod tests {
         let base = baseline_flow(&circuit, &config);
         let emorphic = emorphic_flow(&circuit, &config);
         assert!(emorphic.qor.delay_ps <= base.qor.delay_ps * 1.25 + 1.0);
+    }
+
+    #[test]
+    fn map_flow_choices_never_worse_and_verified() {
+        let circuit = benchgen::adder(6).aig;
+        let config = MapFlowConfig::fast();
+        let with_choices = emorphic_map_flow(&circuit, &config).unwrap();
+        let without = emorphic_map_flow(&circuit, &config.clone().with_choices(false)).unwrap();
+        assert!(with_choices.verified, "choice-mapped netlist must verify");
+        assert!(without.verified);
+        // The baseline inside both runs is the same representative mapping,
+        // and the choice run keeps the better netlist, so it can never be
+        // worse on area.
+        assert_eq!(
+            with_choices.base_qor.area_um2, without.qor.area_um2,
+            "identical saturation must give identical representative mapping"
+        );
+        assert!(with_choices.qor.area_um2 <= without.qor.area_um2 + 1e-9);
+    }
+
+    #[test]
+    fn map_flow_reports_export_stats() {
+        let circuit = benchgen::multiplier(3).aig;
+        let result = emorphic_map_flow(&circuit, &MapFlowConfig::fast()).unwrap();
+        assert!(result.egraph_nodes > 0);
+        assert!(result.export.live_classes > 0);
+        assert!(result.verified);
+        assert!(result.qor.area_um2 > 0.0);
     }
 
     #[test]

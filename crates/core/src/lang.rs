@@ -1,5 +1,6 @@
 //! The Boolean term language used inside E-morphic's e-graphs.
 
+use choices::{BoolExpr, BoolNode};
 use egraph::{FromOp, Id, Language, ParseError, RecExpr};
 
 /// A Boolean operator node.
@@ -89,6 +90,18 @@ impl Language for BoolLang {
             BoolLang::Const(b) => 0x10 | u64::from(*b),
             BoolLang::Var(index) => 0x100 + u64::from(*index),
         }
+    }
+}
+
+impl BoolNode for BoolLang {
+    fn as_bool(&self) -> Option<BoolExpr> {
+        Some(match *self {
+            BoolLang::Const(b) => BoolExpr::Const(b),
+            BoolLang::Var(i) => BoolExpr::Var(i),
+            BoolLang::Not(c) => BoolExpr::Not(c),
+            BoolLang::And([a, b]) => BoolExpr::And(a, b),
+            BoolLang::Or([a, b]) => BoolExpr::Or(a, b),
+        })
     }
 }
 

@@ -43,9 +43,12 @@ pub mod lang;
 pub mod report;
 pub mod rules;
 
-pub use convert::{aig_to_egraph, selection_to_aig, ConversionResult};
+pub use convert::{aig_to_egraph, selection_to_aig, try_selection_to_aig, ConversionResult};
 pub use extract::sa::{SaExtractor, SaOptions, SaResult};
 pub use extract::{bottom_up_extract, ExtractionCost, Selection};
-pub use flow::{baseline_flow, emorphic_flow, FlowConfig, FlowResult};
+pub use flow::{
+    baseline_flow, emorphic_flow, emorphic_map_flow, FlowConfig, FlowResult, MapFlowConfig,
+    MapFlowError, MapFlowResult,
+};
 pub use lang::BoolLang;
 pub use rules::{all_rules, table1_rules};

@@ -1,0 +1,135 @@
+//! Property tests for the choice-network export and choice-aware mapping.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Member soundness**: every representative recorded in a `ChoiceAig`
+//!    class is CEC-equivalent to the class root — on random circuits pushed
+//!    through real saturation, not hand-picked examples.
+//! 2. **Mapping monotonicity**: choice-aware mapping never produces worse
+//!    area than the choice-free flow on the benchgen suite circuits (the
+//!    flow maps the representative baseline in the same run and keeps the
+//!    better netlist, so this must hold exactly).
+//!
+//! `PROPTEST_CASES` scales the random-circuit coverage.
+
+use aig::{Aig, Lit};
+use cec::{check_equivalence, CecOptions};
+use choices::{egraph_to_choices, ChoiceAig, ChoiceConfig};
+use egraph::{Runner, Scheduler};
+use emorphic::flow::{emorphic_map_flow, MapFlowConfig};
+use emorphic::{aig_to_egraph, all_rules};
+use proptest::prelude::*;
+
+/// Copies `aig`'s logic into a fresh network whose single output is `lit`
+/// (all primary inputs retained), so two internal literals can be compared
+/// with the standard CEC entry points.
+fn cone_view(aig: &Aig, lit: Lit) -> Aig {
+    let mut out = Aig::new("view");
+    let inputs: Vec<Lit> = aig
+        .input_names()
+        .iter()
+        .map(|n| out.add_input(n.clone()))
+        .collect();
+    let map = aig.copy_logic_into(&mut out, &inputs);
+    let root = map[lit.node().index()].xor(lit.is_complemented());
+    out.add_output(root, "f");
+    out
+}
+
+/// Saturates a circuit and exports it as a choice network.
+fn saturate_and_export(aig: &Aig, max_choices: usize) -> ChoiceAig {
+    let conversion = aig_to_egraph(aig);
+    let runner = Runner::with_egraph(conversion.egraph)
+        .with_iter_limit(2)
+        .with_node_limit(8_000)
+        .with_scheduler(Scheduler::Backoff {
+            match_limit: 400,
+            ban_length: 2,
+        })
+        .run(&all_rules());
+    let roots: Vec<egraph::Id> = conversion
+        .roots
+        .iter()
+        .map(|&r| runner.egraph.find(r))
+        .collect();
+    let (network, _stats) = egraph_to_choices(
+        &runner.egraph,
+        &roots,
+        &conversion.input_names,
+        &conversion.output_names,
+        &conversion.name,
+        &ChoiceConfig {
+            max_choices,
+            ..ChoiceConfig::default()
+        },
+    )
+    .expect("export succeeds on realizable circuits");
+    network
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every representative in every exported class is CEC-equivalent to the
+    /// class root, and the representative network is CEC-equivalent to the
+    /// input circuit.
+    #[test]
+    fn exported_members_are_cec_equivalent(
+        seed in 0u64..10_000,
+        num_ands in 8usize..60,
+        num_inputs in 3usize..7,
+    ) {
+        let circuit = benchgen::random_aig(num_inputs, num_ands, 2, seed);
+        let network = saturate_and_export(&circuit, 4);
+        let options = CecOptions::default();
+        for class in network.classes() {
+            let repr_view = cone_view(network.aig(), class.repr());
+            for &member in class.alternatives() {
+                let member_view = cone_view(network.aig(), member);
+                let res = check_equivalence(&repr_view, &member_view, &options);
+                prop_assert!(
+                    res.is_equivalent(),
+                    "member {member:?} differs from class root {:?}: {res:?}",
+                    class.repr()
+                );
+            }
+        }
+        let repr = network.repr_network();
+        let res = check_equivalence(&circuit, &repr, &options);
+        prop_assert!(res.is_equivalent(), "representative network differs: {res:?}");
+    }
+}
+
+/// Choice-aware mapping never produces worse area than the choice-free flow
+/// on the benchgen suite circuits, and every mapped netlist verifies.
+#[test]
+fn choice_mapping_never_worse_on_benchgen_suite() {
+    let circuits = vec![
+        benchgen::adder(8).aig,
+        benchgen::multiplier(4).aig,
+        benchgen::square_root(8).aig,
+        benchgen::arbiter(8).aig,
+    ];
+    let config = MapFlowConfig::fast();
+    for circuit in &circuits {
+        let with_choices = emorphic_map_flow(circuit, &config).unwrap();
+        let without = emorphic_map_flow(circuit, &config.clone().with_choices(false)).unwrap();
+        assert!(
+            with_choices.qor.area_um2 <= without.qor.area_um2 + 1e-9,
+            "{}: choices {} vs choice-free {}",
+            circuit.name(),
+            with_choices.qor.area_um2,
+            without.qor.area_um2
+        );
+        assert!(
+            with_choices.verified,
+            "{} (choices) failed CEC",
+            circuit.name()
+        );
+        assert!(
+            without.verified,
+            "{} (choice-free) failed CEC",
+            circuit.name()
+        );
+    }
+}

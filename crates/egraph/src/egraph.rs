@@ -35,8 +35,8 @@
 //! operator; [`crate::Pattern`] uses it so a rule only visits classes whose
 //! nodes can match its root symbol.
 
-use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::{Id, Language, RecExpr, UnionFind};
+use fxhash::{FxHashMap, FxHashSet};
 
 /// An equivalence class of e-nodes.
 #[derive(Debug, Clone)]
@@ -476,6 +476,18 @@ impl<L: Language> EGraph<L> {
     pub fn class_ids(&self) -> impl Iterator<Item = Id> + '_ {
         self.debug_assert_clean("class_ids()");
         self.classes.keys().copied()
+    }
+
+    /// Canonical class ids in ascending order. Consumers whose output must
+    /// not depend on hash-map iteration order (e.g. the choice-network
+    /// exporter, which assigns circuit node ids per class) should enumerate
+    /// classes through this instead of [`EGraph::classes`]. Debug-asserts a
+    /// clean graph.
+    pub fn class_ids_sorted(&self) -> Vec<Id> {
+        self.debug_assert_clean("class_ids_sorted()");
+        let mut ids: Vec<Id> = self.classes.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Returns the canonical ids of the classes containing at least one node

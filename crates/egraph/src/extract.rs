@@ -6,8 +6,8 @@
 //! simulated-annealing extractor (in the `emorphic` crate) but uses this
 //! greedy pass to produce initial solutions.
 
-use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::{EGraph, Id, Language, RecExpr};
+use fxhash::{FxHashMap, FxHashSet};
 use std::fmt::Debug;
 
 /// A cost function over e-nodes.
@@ -61,6 +61,29 @@ impl<L: Language> CostFunction<L> for AstDepth {
     }
 }
 
+/// Errors produced while materializing a [`DagSelection`] into a term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectionError {
+    /// A class reachable from the requested root has no selected node.
+    Missing(Id),
+    /// The selection is cyclic: following it from the given class never
+    /// reaches the leaves.
+    Cyclic(Id),
+}
+
+impl std::fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectionError::Missing(id) => write!(f, "no selection for class {id}"),
+            SelectionError::Cyclic(id) => {
+                write!(f, "cyclic selection detected at class {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectionError {}
+
 /// A concrete choice of one e-node per e-class — the result of extraction in
 /// DAG form, which E-morphic converts directly back into a circuit.
 #[derive(Debug, Clone)]
@@ -83,12 +106,29 @@ impl<L: Language> DagSelection<L> {
     /// Builds the term rooted at `root` following the selection.
     ///
     /// # Panics
-    /// Panics if a reachable class has no selection or the selection is cyclic.
+    /// Panics if a reachable class has no selection or the selection is
+    /// cyclic; [`DagSelection::try_to_recexpr`] reports the same conditions
+    /// as a typed [`SelectionError`] instead.
     pub fn to_recexpr(&self, egraph: &EGraph<L>, root: Id) -> RecExpr<L> {
+        self.try_to_recexpr(egraph, root)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the term rooted at `root`, reporting missing or cyclic
+    /// selections as a typed error instead of panicking.
+    ///
+    /// # Errors
+    /// Returns a [`SelectionError`] if a reachable class has no selected
+    /// node or the selection is cyclic.
+    pub fn try_to_recexpr(
+        &self,
+        egraph: &EGraph<L>,
+        root: Id,
+    ) -> Result<RecExpr<L>, SelectionError> {
         let mut expr = RecExpr::default();
         let mut cache: FxHashMap<Id, Id> = FxHashMap::default();
-        self.build(egraph, egraph.find(root), &mut expr, &mut cache, 0);
-        expr
+        self.build(egraph, egraph.find(root), &mut expr, &mut cache, 0)?;
+        Ok(expr)
     }
 
     fn build(
@@ -98,24 +138,34 @@ impl<L: Language> DagSelection<L> {
         expr: &mut RecExpr<L>,
         cache: &mut FxHashMap<Id, Id>,
         depth: usize,
-    ) -> Id {
+    ) -> Result<Id, SelectionError> {
         if let Some(&done) = cache.get(&id) {
-            return done;
+            return Ok(done);
         }
-        assert!(
-            depth <= egraph.num_classes(),
-            "cyclic selection detected while building a term"
-        );
+        if depth > egraph.num_classes() {
+            return Err(SelectionError::Cyclic(id));
+        }
         let node = self
             .choices
             .get(&id)
-            .unwrap_or_else(|| panic!("no selection for class {id}"))
+            .ok_or(SelectionError::Missing(id))?
             .clone();
-        let node =
-            node.map_children(|c| self.build(egraph, egraph.find(c), expr, cache, depth + 1));
+        let mut failed = None;
+        let node = node.map_children(|c| {
+            match self.build(egraph, egraph.find(c), expr, cache, depth + 1) {
+                Ok(done) => done,
+                Err(e) => {
+                    failed.get_or_insert(e);
+                    c
+                }
+            }
+        });
+        if let Some(e) = failed {
+            return Err(e);
+        }
         let out = expr.add(node);
         cache.insert(id, out);
-        out
+        Ok(out)
     }
 
     /// Number of distinct classes reachable from `roots` under the selection
@@ -317,6 +367,37 @@ mod tests {
         assert_eq!(sel.depth(&eg, &[root]), 3);
         let expr_back = sel.to_recexpr(&eg, root);
         assert_eq!(expr_back.to_string(), "(+ (* a b) (* a b))");
+    }
+
+    #[test]
+    fn missing_selection_is_a_typed_error() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = eg.add(SymbolLang::leaf("a"));
+        let f = eg.add(SymbolLang::new("f", vec![a]));
+        eg.rebuild();
+        let root = eg.find(f);
+        let mut choices = FxHashMap::default();
+        choices.insert(root, SymbolLang::new("f", vec![a]));
+        // The child class `a` has no selection.
+        let sel = DagSelection { choices };
+        let err = sel.try_to_recexpr(&eg, root).unwrap_err();
+        assert_eq!(err, SelectionError::Missing(eg.find(a)));
+    }
+
+    #[test]
+    fn cyclic_selection_is_a_typed_error() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let a = eg.add(SymbolLang::leaf("a"));
+        let f = eg.add(SymbolLang::new("f", vec![a]));
+        eg.union(a, f);
+        eg.rebuild();
+        let root = eg.find(f);
+        // Select the `f`-node for its own (merged) class: f = f(f(...)).
+        let mut choices = FxHashMap::default();
+        choices.insert(root, SymbolLang::new("f", vec![root]));
+        let sel = DagSelection { choices };
+        let err = sel.try_to_recexpr(&eg, root).unwrap_err();
+        assert!(matches!(err, SelectionError::Cyclic(_)));
     }
 
     #[test]

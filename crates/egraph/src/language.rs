@@ -78,7 +78,7 @@ pub trait Language: Debug + Clone + Eq + Ord + Hash + Send + Sync {
 /// allocating the `op_str` string on the hot path.
 pub fn op_key_of(op: &str, arity: usize) -> u64 {
     use std::hash::Hasher;
-    let mut hasher = crate::fxhash::FxHasher::default();
+    let mut hasher = fxhash::FxHasher::default();
     hasher.write(op.as_bytes());
     hasher.write_usize(arity);
     hasher.finish()

@@ -40,7 +40,6 @@
 
 mod egraph;
 mod extract;
-mod fxhash;
 mod id;
 mod language;
 mod pattern;
@@ -50,7 +49,7 @@ pub mod serialize;
 mod unionfind;
 
 pub use egraph::{EClass, EGraph};
-pub use extract::{AstDepth, AstSize, CostFunction, DagSelection, Extractor};
+pub use extract::{AstDepth, AstSize, CostFunction, DagSelection, Extractor, SelectionError};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use id::Id;
 pub use language::{op_key_of, FromOp, Language, RecExpr, SymbolLang};

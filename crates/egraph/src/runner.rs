@@ -1,8 +1,8 @@
 //! The equality-saturation loop: repeatedly search and apply rewrites until
 //! the e-graph saturates or a resource limit is hit.
 
-use crate::fxhash::FxHashMap;
 use crate::{EGraph, Id, Language, RecExpr, Rewrite, SearchMatches};
+use fxhash::FxHashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 

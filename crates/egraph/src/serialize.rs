@@ -5,8 +5,8 @@
 //! given as an operator string plus child class ids, and a redundant
 //! `parents` list to make bottom-up traversals cheap after deserialization.
 
-use crate::fxhash::FxHashMap;
 use crate::{EGraph, FromOp, Id, Language, ParseError};
+use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 

@@ -1,10 +1,14 @@
-//! A small, fast, non-cryptographic hasher (FxHash-style) used for the
-//! structural-hashing tables that sit on the hot path of AIG construction.
+//! A small, fast, non-cryptographic hasher (FxHash-style) shared by the
+//! workspace's hot-path hash tables (AIG structural hashing, e-graph
+//! hashcons, choice-class indexes).
 //!
 //! The default `SipHash` hasher in the standard library is robust against
 //! hash-flooding but measurably slower for the small integer keys that
-//! dominate structural hashing; this module provides the same multiply-xor
-//! scheme used by rustc.
+//! dominate those tables; this crate provides the same multiply-xor scheme
+//! used by rustc. `aig` and `egraph` re-export the aliases so downstream
+//! code keeps using `aig::FxHashMap` / `egraph::FxHashMap`.
+
+#![warn(missing_docs)]
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};

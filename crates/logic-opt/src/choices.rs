@@ -10,7 +10,8 @@
 
 use crate::{balance, rewrite};
 use aig::{Aig, Lit};
-use cec::{SatSweeper, SweepOptions};
+use cec::{SatSweeper, SweepOptions, SweepStats};
+use choices::{ChoiceAig, ChoiceError, RebuildStats};
 
 /// Options for [`dch_like`].
 #[derive(Debug, Clone)]
@@ -39,7 +40,7 @@ impl Default for DchOptions {
 pub fn dch_like(aig: &Aig, options: &DchOptions) -> Aig {
     let combined = if options.use_alternative_structure {
         let alternative = rewrite(&balance(aig));
-        stack_over_shared_inputs(aig, &alternative)
+        aig::stack_over_shared_inputs(aig, &alternative, "_alt")
     } else {
         aig.clone()
     };
@@ -50,78 +51,73 @@ pub fn dch_like(aig: &Aig, options: &DchOptions) -> Aig {
     keep_first_outputs(&swept, aig.num_outputs())
 }
 
-/// Builds a network containing both circuits over one shared set of inputs.
-/// Outputs of `a` come first, then the outputs of `b`.
-fn stack_over_shared_inputs(a: &Aig, b: &Aig) -> Aig {
-    assert_eq!(
-        a.num_inputs(),
-        b.num_inputs(),
-        "both structures must have the same inputs"
-    );
-    let mut out = Aig::new(a.name().to_string());
-    let inputs: Vec<Lit> = a
+/// Computes structural choices like [`dch_like`] but *keeps* them: instead of
+/// collapsing equivalent cones onto one implementation, the original and the
+/// alternative structure are stacked over shared inputs, the proved
+/// equivalences become choice classes, and the result is returned as a
+/// [`ChoiceAig`] — the same type the e-graph exporter produces — so a
+/// choice-aware mapper can pick per cut between the original and the
+/// rewritten structure.
+///
+/// # Errors
+/// Returns a [`ChoiceError`] if the proved classes cannot be turned into a
+/// valid choice network (overlapping classes).
+pub fn dch_choices(
+    aig: &Aig,
+    options: &DchOptions,
+) -> Result<(ChoiceAig, RebuildStats, SweepStats), ChoiceError> {
+    let combined = if options.use_alternative_structure {
+        let alternative = rewrite(&balance(aig));
+        aig::stack_over_shared_inputs(aig, &alternative, "_alt")
+    } else {
+        aig.clone()
+    };
+    let sweeper = SatSweeper::new(options.sweep.clone());
+    let (equiv, sweep_stats) = sweeper.find_equivalences(&combined);
+    // Only the original outputs survive; the alternative copies exist purely
+    // to seed equivalences (their cones stay alive as choice members).
+    let trimmed = keep_outputs_with_dangling(&combined, aig.num_outputs());
+    let (network, rebuild_stats) = ChoiceAig::from_network_with_classes(&trimmed, &equiv.classes)?;
+    Ok((network, rebuild_stats, sweep_stats))
+}
+
+/// Keeps the first `count` outputs but, unlike [`keep_first_outputs`], does
+/// not drop the logic of the removed outputs — the whole node space is
+/// preserved (ids unchanged) so equivalence classes computed on the full
+/// network remain valid.
+fn keep_outputs_with_dangling(aig: &Aig, count: usize) -> Aig {
+    let mut trimmed = strip_outputs(aig);
+    for i in 0..count {
+        trimmed.add_output(aig.outputs()[i], aig.output_name(i).to_string());
+    }
+    trimmed
+}
+
+/// Returns a copy of `aig` with the same nodes but no outputs. Because
+/// every construction path strashes, the replay is id-stable: node ids in
+/// the copy match `aig`.
+fn strip_outputs(aig: &Aig) -> Aig {
+    let mut out = Aig::new(aig.name().to_string());
+    let inputs: Vec<Lit> = aig
         .input_names()
         .iter()
         .map(|n| out.add_input(n.clone()))
         .collect();
-    let copy = |src: &Aig, dst: &mut Aig, inputs: &[Lit]| -> Vec<Lit> {
-        let mut map: Vec<Option<Lit>> = vec![None; src.num_nodes()];
-        map[0] = Some(Lit::FALSE);
-        for (idx, &pi) in src.inputs().iter().enumerate() {
-            map[pi.index()] = Some(inputs[idx]);
-        }
-        for id in src.and_ids() {
-            let (f0, f1) = src.fanins(id);
-            let x = map[f0.node().index()]
-                .expect("topo")
-                .xor(f0.is_complemented());
-            let y = map[f1.node().index()]
-                .expect("topo")
-                .xor(f1.is_complemented());
-            map[id.index()] = Some(dst.and(x, y));
-        }
-        src.outputs()
-            .iter()
-            .map(|po| {
-                map[po.node().index()]
-                    .expect("driver")
-                    .xor(po.is_complemented())
-            })
-            .collect()
-    };
-    let outs_a = copy(a, &mut out, &inputs);
-    let outs_b = copy(b, &mut out, &inputs);
-    for (i, lit) in outs_a.into_iter().enumerate() {
-        out.add_output(lit, a.output_name(i));
-    }
-    for (i, lit) in outs_b.into_iter().enumerate() {
-        out.add_output(lit, format!("{}_alt", b.output_name(i)));
-    }
+    aig.copy_logic_into(&mut out, &inputs);
     out
 }
 
 /// Keeps only the first `count` outputs of a network.
 fn keep_first_outputs(aig: &Aig, count: usize) -> Aig {
     let mut trimmed = Aig::new(aig.name().to_string());
-    let mut map: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
-    map[0] = Some(Lit::FALSE);
-    for (idx, &pi) in aig.inputs().iter().enumerate() {
-        map[pi.index()] = Some(trimmed.add_input(aig.input_name(idx)));
-    }
-    for id in aig.and_ids() {
-        let (f0, f1) = aig.fanins(id);
-        let x = map[f0.node().index()]
-            .expect("topo")
-            .xor(f0.is_complemented());
-        let y = map[f1.node().index()]
-            .expect("topo")
-            .xor(f1.is_complemented());
-        map[id.index()] = Some(trimmed.and(x, y));
-    }
+    let inputs: Vec<Lit> = aig
+        .input_names()
+        .iter()
+        .map(|n| trimmed.add_input(n.clone()))
+        .collect();
+    let map = aig.copy_logic_into(&mut trimmed, &inputs);
     for (idx, po) in aig.outputs().iter().take(count).enumerate() {
-        let lit = map[po.node().index()]
-            .expect("driver")
-            .xor(po.is_complemented());
+        let lit = map[po.node().index()].xor(po.is_complemented());
         trimmed.add_output(lit, aig.output_name(idx));
     }
     trimmed.cleanup()
@@ -174,7 +170,7 @@ mod tests {
     fn stacking_shares_inputs_and_concatenates_outputs() {
         let aig = sample();
         let alt = balance(&aig);
-        let stacked = stack_over_shared_inputs(&aig, &alt);
+        let stacked = aig::stack_over_shared_inputs(&aig, &alt, "_alt");
         assert_eq!(stacked.num_inputs(), aig.num_inputs());
         assert_eq!(stacked.num_outputs(), aig.num_outputs() * 2);
         // Both halves implement the same functions.
@@ -184,6 +180,36 @@ mod tests {
             assert_eq!(out[0], out[2], "pattern {p}");
             assert_eq!(out[1], out[3], "pattern {p}");
         }
+    }
+
+    #[test]
+    fn dch_choices_produces_equivalent_members() {
+        let aig = sample();
+        let (network, rebuild, sweep) = dch_choices(&aig, &DchOptions::default()).unwrap();
+        // The representative view is the original circuit's function.
+        let repr = network.repr_network();
+        assert!(check_equivalence(&aig, &repr, &CecOptions::default()).is_equivalent());
+        // Every member literal evaluates to its class function. (Whether any
+        // class survives depends on how different the rewritten structure
+        // is; the invariants must hold either way.)
+        ::choices::check_members_equivalent(&network).unwrap();
+        assert_eq!(rebuild.classes, network.num_classes());
+        let _ = sweep;
+    }
+
+    #[test]
+    fn dch_choices_without_alternative_structure_still_validates() {
+        let aig = sample();
+        let (network, _, _) = dch_choices(
+            &aig,
+            &DchOptions {
+                use_alternative_structure: false,
+                ..DchOptions::default()
+            },
+        )
+        .unwrap();
+        let repr = network.repr_network();
+        assert!(check_equivalence(&aig, &repr, &CecOptions::default()).is_equivalent());
     }
 
     #[test]

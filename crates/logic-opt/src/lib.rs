@@ -10,6 +10,9 @@
 //! * [`dch_like`] — the structural-choice substitute for ABC `dch`: random
 //!   simulation plus SAT sweeping merges functionally equivalent nodes so the
 //!   mapper sees a functionally reduced network.
+//! * [`dch_choices`] — the same machinery, but the proved equivalences are
+//!   *kept* as a `choices::ChoiceAig` so a choice-aware mapper can pick
+//!   between the original and the rewritten structure per cut.
 //! * [`OptScript`] — composition of passes, used to express the paper's
 //!   `(st; if -g -K 6 -C 8)(st; dch; map)` style sequences.
 
@@ -22,7 +25,7 @@ mod resynth;
 mod script;
 
 pub use balance::balance;
-pub use choices::{dch_like, DchOptions};
+pub use choices::{dch_choices, dch_like, DchOptions};
 pub use factor::{factor_cover, FactorTree};
 pub use resynth::{refactor, rewrite, ResynthOptions};
 pub use script::{OptScript, Pass};

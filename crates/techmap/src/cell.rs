@@ -7,12 +7,13 @@
 //! into the matched cell function; only complemented primary outputs require
 //! explicit inverters.
 
-use crate::cuts::{enumerate_cuts, CutsOptions};
+use crate::cuts::{enumerate_cuts, enumerate_cuts_with_choices, CutSet, CutsOptions};
 use crate::library::CellLibrary;
 use crate::qor::Qor;
-use crate::truth::expand_to_4;
-use crate::MapOptions;
-use aig::{Aig, AigNode, NodeId};
+use crate::truth::{expand_to_4, full_mask};
+use crate::{MapError, MapOptions};
+use aig::{Aig, AigNode, Lit, NodeId};
+use choices::ChoiceAig;
 use std::collections::HashMap;
 
 /// One instantiated cell in the mapped netlist.
@@ -118,6 +119,61 @@ impl Netlist {
             })
             .collect()
     }
+
+    /// Reconstructs a technology-independent AIG computing the netlist's
+    /// function (each gate re-synthesized from its truth table by Shannon
+    /// decomposition over the cut leaves), so a mapped result can be
+    /// CEC-verified against the original circuit with the SAT machinery.
+    ///
+    /// `source` is the AIG the netlist was mapped from; it supplies the
+    /// node-id space of the gate roots/leaves and the input/output names.
+    pub fn to_aig(&self, source: &Aig) -> Aig {
+        let mut fresh = Aig::new(self.name.clone());
+        let mut lits: Vec<Option<Lit>> = vec![None; source.num_nodes()];
+        lits[NodeId::CONST.index()] = Some(Lit::FALSE);
+        for (idx, &pi) in source.inputs().iter().enumerate() {
+            lits[pi.index()] = Some(fresh.add_input(source.input_name(idx)));
+        }
+        for gate in &self.gates {
+            let leaves: Vec<Lit> = gate
+                .leaves
+                .iter()
+                .map(|l| lits[l.index()].expect("gate leaves precede the gate"))
+                .collect();
+            lits[gate.root.index()] = Some(synthesize_truth(&mut fresh, gate.truth, &leaves));
+        }
+        for (idx, driver) in self.outputs.iter().enumerate() {
+            let lit = match driver {
+                OutputDriver::Direct(node) => lits[node.index()].expect("mapped output driver"),
+                OutputDriver::Inverted(node) => {
+                    lits[node.index()].expect("mapped output driver").not()
+                }
+                OutputDriver::Constant(true) => Lit::TRUE,
+                OutputDriver::Constant(false) => Lit::FALSE,
+            };
+            fresh.add_output(lit, source.output_name(idx));
+        }
+        fresh.cleanup()
+    }
+}
+
+/// Builds an AIG cone computing `truth` over the given leaf literals by
+/// Shannon decomposition (structural hashing shares common cofactors).
+fn synthesize_truth(aig: &mut Aig, truth: u64, leaves: &[Lit]) -> Lit {
+    let mask = full_mask(leaves.len());
+    let t = truth & mask;
+    if t == 0 {
+        return Lit::FALSE;
+    }
+    if t == mask {
+        return Lit::TRUE;
+    }
+    let k = leaves.len() - 1;
+    let half = 1usize << k;
+    let lo = full_mask(k);
+    let f0 = synthesize_truth(aig, t & lo, &leaves[..k]);
+    let f1 = synthesize_truth(aig, (t >> half) & lo, &leaves[..k]);
+    aig.mux(leaves[k], f1, f0)
 }
 
 struct Choice {
@@ -131,17 +187,63 @@ struct Choice {
 ///
 /// # Panics
 /// Panics if the library lacks an inverter or cannot realize a 2-input AND
-/// (every well-formed library can).
+/// (every well-formed library can); [`try_map_to_cells`] reports the same
+/// conditions as a typed [`MapError`] instead.
 pub fn map_to_cells(aig: &Aig, library: &CellLibrary, options: &MapOptions) -> Netlist {
-    let cut_options = CutsOptions {
+    try_map_to_cells(aig, library, options).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Maps an AIG onto the given standard-cell library, reporting unmappable
+/// inputs as a typed error.
+///
+/// # Errors
+/// Returns a [`MapError`] if the library lacks an inverter or some node has
+/// no realizable cut.
+pub fn try_map_to_cells(
+    aig: &Aig,
+    library: &CellLibrary,
+    options: &MapOptions,
+) -> Result<Netlist, MapError> {
+    let cuts = enumerate_cuts(aig, &cell_cut_options(options));
+    map_with_cuts(aig, &cuts, library, options)
+}
+
+/// Maps a choice network onto the given standard-cell library: cuts are
+/// enumerated across *all* members of every choice class (see
+/// [`enumerate_cuts_with_choices`]), so each covered signal picks the
+/// cheapest realization over all recorded structures, not just the extracted
+/// representative.
+///
+/// # Errors
+/// Returns a [`MapError`] if the library lacks an inverter or some node has
+/// no realizable cut.
+pub fn try_map_to_cells_with_choices(
+    choices: &ChoiceAig,
+    library: &CellLibrary,
+    options: &MapOptions,
+) -> Result<Netlist, MapError> {
+    let cuts = enumerate_cuts_with_choices(choices, &cell_cut_options(options));
+    map_with_cuts(choices.aig(), &cuts, library, options)
+}
+
+/// Standard-cell matching is 4-input limited (NPN tables are `u16`).
+fn cell_cut_options(options: &MapOptions) -> CutsOptions {
+    CutsOptions {
         cut_size: options.cut_size.min(4),
         cut_limit: options.cut_limit,
-    };
-    let cuts = enumerate_cuts(aig, &cut_options);
+    }
+}
+
+/// The shared covering core: delay-oriented pass, area-flow recovery and
+/// cover derivation over an already enumerated cut set.
+fn map_with_cuts(
+    aig: &Aig,
+    cuts: &CutSet,
+    library: &CellLibrary,
+    options: &MapOptions,
+) -> Result<Netlist, MapError> {
     let fanouts = aig.fanout_counts();
-    let inverter = library
-        .inverter()
-        .expect("cell library must contain an inverter");
+    let inverter = library.inverter().ok_or(MapError::MissingInverter)?;
     let inv_cell = library.cell(inverter);
 
     // Memoized Boolean matching: cut truth (4-var expanded) -> best cell.
@@ -193,9 +295,7 @@ pub fn map_to_cells(aig: &Aig, library: &CellLibrary, options: &MapOptions) -> N
                 });
             }
         }
-        let best = best.unwrap_or_else(|| {
-            panic!("node {id} has no matchable cut; the library cannot realize AND2")
-        });
+        let best = best.ok_or(MapError::NoMatchableCut { node: id })?;
         arrival[id.index()] = best.arrival;
         area_flow[id.index()] = best.area_flow;
         choice[id.index()] = Some(best);
@@ -209,7 +309,7 @@ pub fn map_to_cells(aig: &Aig, library: &CellLibrary, options: &MapOptions) -> N
 
     // Area-flow recovery pass(es).
     for _ in 0..options.area_passes {
-        let required = compute_required(aig, &cuts, &choice, worst_output_arrival, library);
+        let required = compute_required(aig, cuts, &choice, worst_output_arrival, library);
         for id in aig.and_ids() {
             let mut best: Option<Choice> = None;
             for (ci, cut) in cuts.cuts(id).iter().enumerate() {
@@ -334,7 +434,7 @@ pub fn map_to_cells(aig: &Aig, library: &CellLibrary, options: &MapOptions) -> N
         outputs.push(driver);
     }
 
-    Netlist {
+    Ok(Netlist {
         name: aig.name().to_string(),
         gates,
         outputs,
@@ -342,7 +442,7 @@ pub fn map_to_cells(aig: &Aig, library: &CellLibrary, options: &MapOptions) -> N
         area_um2: area,
         delay_ps: delay,
         levels,
-    }
+    })
 }
 
 fn compute_required(
@@ -501,6 +601,87 @@ mod tests {
                 || netlist.gates[0].cell_name.starts_with("XNOR")
         );
         check_netlist_equiv(&aig, &netlist);
+    }
+
+    #[test]
+    fn try_map_reports_missing_inverter() {
+        let aig = adder(2);
+        let empty = CellLibrary::new();
+        let err = try_map_to_cells(&aig, &empty, &MapOptions::default()).unwrap_err();
+        assert_eq!(err, crate::MapError::MissingInverter);
+    }
+
+    #[test]
+    fn netlist_to_aig_is_equivalent() {
+        let aig = adder(4);
+        let lib = asap7_like();
+        let netlist = map_to_cells(&aig, &lib, &MapOptions::default());
+        let back = netlist.to_aig(&aig);
+        assert_eq!(back.num_inputs(), aig.num_inputs());
+        assert_eq!(back.num_outputs(), aig.num_outputs());
+        for pattern in 0..(1usize << aig.num_inputs()) {
+            let bits: Vec<bool> = (0..aig.num_inputs())
+                .map(|i| pattern >> i & 1 == 1)
+                .collect();
+            assert_eq!(
+                back.evaluate(&bits),
+                aig.evaluate(&bits),
+                "pattern {pattern}"
+            );
+        }
+    }
+
+    /// A network carrying the POS shape of `(a & b) | c` as a choice for the
+    /// SOP representative (the alternative cone is built first: the
+    /// representative must be the topologically last member of its class).
+    fn choice_network() -> ChoiceAig {
+        let mut aig = Aig::new("choice");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let a_or_c = aig.or(a, c);
+        let b_or_c = aig.or(b, c);
+        let f2 = aig.and(a_or_c, b_or_c);
+        let ab = aig.and(a, b);
+        let f1 = aig.or(ab, c);
+        aig.add_output(f1, "f");
+        let classes = vec![choices::ChoiceClass {
+            members: vec![
+                aig::Lit::new(f1.node(), false),
+                aig::Lit::new(f2.node(), true),
+            ],
+        }];
+        ChoiceAig::new(aig, classes).unwrap()
+    }
+
+    #[test]
+    fn choice_mapping_preserves_function() {
+        let network = choice_network();
+        let lib = asap7_like();
+        let netlist =
+            try_map_to_cells_with_choices(&network, &lib, &MapOptions::default()).unwrap();
+        check_netlist_equiv(network.aig(), &netlist);
+        let back = netlist.to_aig(network.aig());
+        for pattern in 0..8usize {
+            let bits: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            let expected = (bits[0] && bits[1]) || bits[2];
+            assert_eq!(back.evaluate(&bits), vec![expected], "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn choice_mapping_not_worse_than_trivial_choices() {
+        // Mapping with a class can only add cuts over the representative
+        // cone, so the mapped area must not regress against the same network
+        // with the class removed.
+        let network = choice_network();
+        let lib = asap7_like();
+        let with_choices =
+            try_map_to_cells_with_choices(&network, &lib, &MapOptions::default()).unwrap();
+        let trivial = ChoiceAig::trivial(network.aig().clone());
+        let without =
+            try_map_to_cells_with_choices(&trivial, &lib, &MapOptions::default()).unwrap();
+        assert!(with_choices.area_um2() <= without.area_um2() + 1e-9);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use crate::truth::{full_mask, VAR_MASK};
 use aig::{Aig, AigNode, Lit, NodeId};
+use choices::ChoiceAig;
 
 /// A cut: a set of leaves that separates a node from the primary inputs,
 /// together with the node's function over those leaves.
@@ -129,6 +130,47 @@ fn merge_cuts(a: &Cut, b: &Cut, fanin0: Lit, fanin1: Lit, max_size: usize) -> Op
     })
 }
 
+/// Computes the non-trivial cuts of an AND node by merging its fanins' cut
+/// sets, with per-node dominance pruning and the priority-cut limit applied;
+/// the trivial cut is appended last.
+fn and_node_cuts(
+    id: NodeId,
+    fanin0: Lit,
+    fanin1: Lit,
+    all: &[Vec<Cut>],
+    options: &CutsOptions,
+) -> Vec<Cut> {
+    let mut merged: Vec<Cut> = Vec::new();
+    let cuts0 = &all[fanin0.node().index()];
+    let cuts1 = &all[fanin1.node().index()];
+    for c0 in cuts0 {
+        for c1 in cuts1 {
+            if let Some(cut) = merge_cuts(c0, c1, fanin0, fanin1, options.cut_size) {
+                // Skip duplicates.
+                if !merged.iter().any(|m| m.leaves == cut.leaves) {
+                    merged.push(cut);
+                }
+            }
+        }
+    }
+    prune_and_cap(merged, id, options)
+}
+
+/// Removes dominated cuts (keep minimal leaf sets), truncates to the priority
+/// limit and appends the trivial cut.
+fn prune_and_cap(mut merged: Vec<Cut>, id: NodeId, options: &CutsOptions) -> Vec<Cut> {
+    let mut kept: Vec<Cut> = Vec::new();
+    merged.sort_by_key(|c| c.size());
+    for cut in merged {
+        if !kept.iter().any(|k| k.dominates(&cut)) {
+            kept.push(cut);
+        }
+    }
+    kept.truncate(options.cut_limit);
+    kept.push(Cut::trivial(id));
+    kept
+}
+
 /// Enumerates priority cuts for every node of `aig`.
 ///
 /// # Panics
@@ -144,38 +186,100 @@ pub fn enumerate_cuts(aig: &Aig, options: &CutsOptions) -> CutSet {
                 truth: 0,
             }],
             AigNode::Input { .. } => vec![Cut::trivial(id)],
+            AigNode::And { fanin0, fanin1 } => and_node_cuts(id, *fanin0, *fanin1, &all, options),
+        };
+        all.push(cuts);
+    }
+    CutSet { cuts: all }
+}
+
+/// Merges the cut sets of every member of a choice class into the class cuts
+/// stored on the representative node: each member's non-trivial cuts are
+/// phase-adjusted so their truth tables compute the *representative node's*
+/// function, deduplicated, dominance-pruned per class, capped at the priority
+/// limit, and the representative's trivial cut is appended.
+fn finalize_class(
+    node: NodeId,
+    choices: &ChoiceAig,
+    all: &mut [Vec<Cut>],
+    finalized: &mut [bool],
+    options: &CutsOptions,
+) {
+    if finalized[node.index()] {
+        return;
+    }
+    finalized[node.index()] = true;
+    let Some(class) = choices.class_of(node) else {
+        return;
+    };
+    let repr = class.repr();
+    let mut merged: Vec<Cut> = Vec::new();
+    for &member in &class.members {
+        // The stored member cuts compute the member node's function; the
+        // class convention makes `member ^ compl` the class function and
+        // `repr ^ compl` the representative node's function, so the relative
+        // phase below re-expresses each cut in terms of the representative.
+        let adjust = member.is_complemented() ^ repr.is_complemented();
+        for cut in &all[member.node().index()] {
+            if cut.leaves.len() == 1 && cut.leaves[0] == member.node() && member.node() != node {
+                continue; // a non-representative trivial cut leaks the member
+            }
+            if cut.leaves.len() == 1 && cut.leaves[0] == node {
+                continue; // the representative's trivial cut is re-appended
+            }
+            if merged.iter().any(|m| m.leaves == cut.leaves) {
+                continue;
+            }
+            let mask = full_mask(cut.size());
+            let truth = if adjust { !cut.truth & mask } else { cut.truth };
+            merged.push(Cut {
+                leaves: cut.leaves.clone(),
+                truth,
+            });
+        }
+    }
+    all[node.index()] = prune_and_cap(merged, node, options);
+}
+
+/// Enumerates priority cuts over a choice network: the cuts stored on a
+/// choice-class representative are drawn from *all* members of the class, so
+/// a choice-aware mapper sees every recorded structure of the signal. Cuts of
+/// non-representative members remain their plain node cuts (they only feed
+/// class merging), and all truth tables compute the function of the node the
+/// cut is stored on, exactly like [`enumerate_cuts`].
+///
+/// Relies on the [`ChoiceAig`] ordering invariant: all members of a class
+/// precede every fanout of its representative, so one bottom-up pass can
+/// finalize each class before the first time it is consumed.
+///
+/// # Panics
+/// Panics if `options.cut_size` exceeds 6 (truth tables are stored in `u64`).
+pub fn enumerate_cuts_with_choices(choices: &ChoiceAig, options: &CutsOptions) -> CutSet {
+    assert!(options.cut_size <= 6, "cut size is limited to 6 leaves");
+    assert!(options.cut_size >= 2, "cut size must be at least 2");
+    let aig = choices.aig();
+    let mut all: Vec<Vec<Cut>> = Vec::with_capacity(aig.num_nodes());
+    let mut finalized: Vec<bool> = vec![false; aig.num_nodes()];
+    for id in aig.node_ids() {
+        let cuts = match aig.node(id) {
+            AigNode::Const => vec![Cut {
+                leaves: Vec::new(),
+                truth: 0,
+            }],
+            AigNode::Input { .. } => vec![Cut::trivial(id)],
             AigNode::And { fanin0, fanin1 } => {
-                let mut merged: Vec<Cut> = Vec::new();
-                {
-                    let cuts0 = &all[fanin0.node().index()];
-                    let cuts1 = &all[fanin1.node().index()];
-                    for c0 in cuts0 {
-                        for c1 in cuts1 {
-                            if let Some(cut) =
-                                merge_cuts(c0, c1, *fanin0, *fanin1, options.cut_size)
-                            {
-                                // Skip duplicates.
-                                if !merged.iter().any(|m| m.leaves == cut.leaves) {
-                                    merged.push(cut);
-                                }
-                            }
-                        }
-                    }
-                }
-                // Remove dominated cuts (keep minimal leaf sets).
-                let mut kept: Vec<Cut> = Vec::new();
-                merged.sort_by_key(|c| c.size());
-                for cut in merged {
-                    if !kept.iter().any(|k| k.dominates(&cut)) {
-                        kept.push(cut);
-                    }
-                }
-                kept.truncate(options.cut_limit);
-                kept.push(Cut::trivial(id));
-                kept
+                let (fanin0, fanin1) = (*fanin0, *fanin1);
+                finalize_class(fanin0.node(), choices, &mut all, &mut finalized, options);
+                finalize_class(fanin1.node(), choices, &mut all, &mut finalized, options);
+                and_node_cuts(id, fanin0, fanin1, &all, options)
             }
         };
         all.push(cuts);
+    }
+    // Classes only consumed by the outputs (or not at all) are finalized now
+    // so the mapper sees their choices too.
+    for id in aig.node_ids() {
+        finalize_class(id, choices, &mut all, &mut finalized, options);
     }
     CutSet { cuts: all }
 }
@@ -290,6 +394,107 @@ mod tests {
                     assert!(!(a.dominates(b) && a.size() < b.size()) || b.leaves == vec![f.node()]);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn trivial_choice_network_matches_plain_enumeration() {
+        // With no choice classes, the choice-aware enumerator must agree
+        // with the plain one cut for cut.
+        let (aig, _) = sample();
+        let options = CutsOptions::default();
+        let plain = enumerate_cuts(&aig, &options);
+        let choices = ChoiceAig::trivial(aig.clone());
+        let with_choices = enumerate_cuts_with_choices(&choices, &options);
+        for id in aig.node_ids() {
+            assert_eq!(plain.cuts(id), with_choices.cuts(id), "node {id}");
+        }
+    }
+
+    #[test]
+    fn class_cuts_cover_all_members() {
+        // f = (a & b) | c in SOP form feeds the output; the POS form rides
+        // along as a choice (built first: the representative must be the
+        // topologically last member). The representative's cut set must
+        // contain cuts drawn from the alternative structure (the OR-of-pairs
+        // shape), all computing the representative node's function.
+        let mut aig = Aig::new("choice");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let a_or_c = aig.or(a, c);
+        let b_or_c = aig.or(b, c);
+        let f2 = aig.and(a_or_c, b_or_c);
+        let ab = aig.and(a, b);
+        let f1 = aig.or(ab, c); // complemented AND node
+        aig.add_output(f1, "f");
+        let classes = vec![choices::ChoiceClass {
+            members: vec![
+                Lit::new(f1.node(), false),
+                // f2 == f == !f1.node, so the member literal is complemented.
+                Lit::new(f2.node(), true),
+            ],
+        }];
+        let network = ChoiceAig::new(aig.clone(), classes).unwrap();
+        let cuts = enumerate_cuts_with_choices(&network, &CutsOptions::default());
+        let repr_cuts = cuts.cuts(f1.node());
+        // The alternative's fanin cut {a_or_c, b_or_c} must appear.
+        let alt_cut = repr_cuts
+            .iter()
+            .find(|cut| cut.leaves == vec![a_or_c.node(), b_or_c.node()])
+            .expect("cut from the alternative structure");
+        // All cuts compute the representative node's function: check by
+        // simulation on every input pattern.
+        for pattern in 0..8usize {
+            let bits: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            let mut values = vec![false; aig.num_nodes()];
+            for id in aig.node_ids() {
+                values[id.index()] = match aig.node(id) {
+                    AigNode::Const => false,
+                    AigNode::Input { index } => bits[*index as usize],
+                    AigNode::And { fanin0, fanin1 } => {
+                        (values[fanin0.node().index()] ^ fanin0.is_complemented())
+                            && (values[fanin1.node().index()] ^ fanin1.is_complemented())
+                    }
+                };
+            }
+            let mut minterm = 0usize;
+            for (i, leaf) in alt_cut.leaves.iter().enumerate() {
+                if values[leaf.index()] {
+                    minterm |= 1 << i;
+                }
+            }
+            assert_eq!(
+                alt_cut.truth >> minterm & 1 == 1,
+                values[f1.node().index()],
+                "pattern {pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn member_trivial_cuts_do_not_leak_into_class_cuts() {
+        let mut aig = Aig::new("leak");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let a_or_c = aig.or(a, c);
+        let b_or_c = aig.or(b, c);
+        let f2 = aig.and(a_or_c, b_or_c);
+        let ab = aig.and(a, b);
+        let f1 = aig.or(ab, c);
+        aig.add_output(f1, "f");
+        let classes = vec![choices::ChoiceClass {
+            members: vec![Lit::new(f1.node(), false), Lit::new(f2.node(), true)],
+        }];
+        let network = ChoiceAig::new(aig, classes).unwrap();
+        let cuts = enumerate_cuts_with_choices(&network, &CutsOptions::default());
+        for cut in cuts.cuts(f1.node()) {
+            assert_ne!(
+                cut.leaves,
+                vec![f2.node()],
+                "a member's trivial cut must not become a class cut"
+            );
         }
     }
 

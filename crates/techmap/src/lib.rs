@@ -50,6 +50,34 @@ pub use library::{Cell, CellLibrary};
 pub use lut::{Lut, LutMapping};
 pub use qor::Qor;
 
+/// Typed mapping failures, so unmappable inputs fail cleanly through the
+/// flows instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// A node has no cut the library can realize (a well-formed library can
+    /// always realize the 2-input AND, so this indicates a broken library).
+    NoMatchableCut {
+        /// The unmappable node.
+        node: aig::NodeId,
+    },
+    /// The cell library contains no inverter.
+    MissingInverter,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::NoMatchableCut { node } => write!(
+                f,
+                "node {node} has no matchable cut; the library cannot realize AND2"
+            ),
+            MapError::MissingInverter => write!(f, "cell library must contain an inverter"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
 /// Options shared by the mapping passes.
 #[derive(Debug, Clone)]
 pub struct MapOptions {

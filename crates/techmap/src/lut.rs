@@ -5,9 +5,10 @@
 //! re-selects cuts off the critical path to reduce the LUT count, and the
 //! final cover is derived from the primary outputs.
 
-use crate::cuts::{enumerate_cuts, Cut, CutsOptions};
+use crate::cuts::{enumerate_cuts, enumerate_cuts_with_choices, Cut, CutSet, CutsOptions};
 use crate::MapOptions;
 use aig::{Aig, AigNode, NodeId};
+use choices::ChoiceAig;
 
 /// One mapped LUT: a root node implemented as a lookup table over the cut
 /// leaves.
@@ -50,6 +51,24 @@ pub fn map_to_luts(aig: &Aig, options: &MapOptions) -> LutMapping {
         cut_limit: options.cut_limit,
     };
     let cuts = enumerate_cuts(aig, &cut_options);
+    map_luts_with_cuts(aig, &cuts, options)
+}
+
+/// Maps a choice network onto K-input LUTs: every choice-class
+/// representative selects its cut (and thus its LUT function) across the cut
+/// sets of *all* members of the class, so the cover can mix structures from
+/// different recorded implementations.
+pub fn map_to_luts_with_choices(choices: &ChoiceAig, options: &MapOptions) -> LutMapping {
+    let cut_options = CutsOptions {
+        cut_size: options.cut_size,
+        cut_limit: options.cut_limit,
+    };
+    let cuts = enumerate_cuts_with_choices(choices, &cut_options);
+    map_luts_with_cuts(choices.aig(), &cuts, options)
+}
+
+/// The shared LUT covering core over an already enumerated cut set.
+fn map_luts_with_cuts(aig: &Aig, cuts: &CutSet, options: &MapOptions) -> LutMapping {
     let fanouts = aig.fanout_counts();
 
     let mut arrival = vec![0u32; aig.num_nodes()];
@@ -104,7 +123,7 @@ pub fn map_to_luts(aig: &Aig, options: &MapOptions) -> LutMapping {
     // Area-flow recovery passes: keep arrival within the required time while
     // minimizing area flow.
     for _ in 0..options.area_passes {
-        let required = compute_required(aig, &cuts, &choice, depth);
+        let required = compute_required(aig, cuts, &choice, depth);
         for id in aig.and_ids() {
             let node_cuts = cuts.cuts(id);
             let mut best: Option<Choice> = None;
