@@ -76,6 +76,12 @@ pub fn read_aiger(text: &str) -> Result<Aig> {
         .next()
         .ok_or_else(|| AigError::Parse("empty AIGER file".into()))?;
     let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.first() == Some(&"aag") && fields.len() < 6 {
+        return Err(AigError::Parse(format!(
+            "truncated AIGER header (expected 'aag M I L O A', got {} field(s)): {header}",
+            fields.len()
+        )));
+    }
     if fields.len() != 6 || fields[0] != "aag" {
         return Err(AigError::Parse(format!("bad AIGER header: {header}")));
     }
@@ -113,8 +119,13 @@ pub fn read_aiger(text: &str) -> Result<Aig> {
         let lit = aig.add_input(format!("i{i}"));
         let var = raw / 2;
         if var as usize >= lit_map.len() {
-            return Err(AigError::Parse(format!(
+            return Err(AigError::OutOfRange(format!(
                 "input variable {var} exceeds max {max_var}"
+            )));
+        }
+        if lit_map[var as usize].is_some() {
+            return Err(AigError::Duplicate(format!(
+                "input variable {var} is already defined"
             )));
         }
         lit_map[var as usize] = Some(lit);
@@ -144,6 +155,13 @@ pub fn read_aiger(text: &str) -> Result<Aig> {
         if lhs % 2 != 0 {
             return Err(AigError::Parse(format!("AND lhs {lhs} is complemented")));
         }
+        for raw in [lhs, rhs0, rhs1] {
+            if raw / 2 > max_var {
+                return Err(AigError::OutOfRange(format!(
+                    "literal {raw} exceeds the declared maximum variable {max_var}"
+                )));
+            }
+        }
         and_defs.push((lhs, rhs0, rhs1));
     }
 
@@ -160,6 +178,12 @@ pub fn read_aiger(text: &str) -> Result<Aig> {
         };
         let a = resolve(*rhs0, &lit_map)?;
         let b = resolve(*rhs1, &lit_map)?;
+        if lit_map[(*lhs / 2) as usize].is_some() {
+            return Err(AigError::Duplicate(format!(
+                "AND variable {} is already defined",
+                lhs / 2
+            )));
+        }
         let lit = aig.and(a, b);
         lit_map[(*lhs / 2) as usize] = Some(lit);
     }
@@ -222,6 +246,11 @@ pub fn read_aiger(text: &str) -> Result<Aig> {
     }
     for (idx, raw) in output_raws.iter().enumerate() {
         let var = (raw / 2) as usize;
+        if var >= lit_map.len() {
+            return Err(AigError::OutOfRange(format!(
+                "output literal {raw} exceeds the declared maximum variable {max_var}"
+            )));
+        }
         let lit_in_tmp = lit_map[var]
             .ok_or_else(|| AigError::Parse(format!("output literal {raw} undefined")))?
             .xor(raw % 2 == 1);
@@ -293,6 +322,51 @@ mod tests {
         assert!(read_aiger("hello world").is_err());
         assert!(read_aiger("").is_err());
         assert!(read_aiger("aag 1 2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_header_with_parse_error() {
+        for text in ["aag\n", "aag 3\n", "aag 3 1 0\n", "aag 3 1 0 1\n"] {
+            match read_aiger(text) {
+                Err(AigError::Parse(msg)) => {
+                    assert!(msg.contains("truncated"), "unexpected message: {msg}")
+                }
+                other => panic!("expected truncated-header error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_literals() {
+        // AND lhs variable 9 exceeds the declared max_var 2. This used to
+        // crash the reader with an index panic instead of returning an error.
+        let lhs = "aag 2 1 0 1 1\n2\n4\n18 2 2\n";
+        assert!(matches!(read_aiger(lhs), Err(AigError::OutOfRange(_))));
+        // AND rhs out of range.
+        let rhs = "aag 2 1 0 1 1\n2\n4\n4 18 2\n";
+        assert!(matches!(read_aiger(rhs), Err(AigError::OutOfRange(_))));
+        // Output literal out of range (also panicked before).
+        let out = "aag 1 1 0 1 0\n2\n99\n";
+        assert!(matches!(read_aiger(out), Err(AigError::OutOfRange(_))));
+        // Input variable out of range.
+        let input = "aag 1 2 0 0 0\n2\n6\n";
+        assert!(matches!(read_aiger(input), Err(AigError::OutOfRange(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_definitions() {
+        // Two inputs claiming variable 1.
+        let dup_input = "aag 2 2 0 0 0\n2\n2\n";
+        assert!(matches!(read_aiger(dup_input), Err(AigError::Duplicate(_))));
+        // An AND redefining an input variable.
+        let and_redefines_input = "aag 2 2 0 1 1\n2\n4\n2\n4 2 2\n";
+        assert!(matches!(
+            read_aiger(and_redefines_input),
+            Err(AigError::Duplicate(_))
+        ));
+        // Two ANDs with the same lhs.
+        let dup_and = "aag 4 2 0 1 2\n2\n4\n6\n6 2 4\n6 4 2\n";
+        assert!(matches!(read_aiger(dup_and), Err(AigError::Duplicate(_))));
     }
 
     #[test]

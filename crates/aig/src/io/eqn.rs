@@ -244,15 +244,37 @@ pub fn read_eqn(text: &str) -> Result<Aig> {
         let rhs = rhs.trim();
         match lhs {
             "INORDER" => {
+                if saw_inorder {
+                    return Err(AigError::Duplicate(
+                        "INORDER declared more than once".into(),
+                    ));
+                }
                 saw_inorder = true;
                 for name in rhs.split_whitespace() {
+                    if env.contains_key(name) {
+                        return Err(AigError::Duplicate(format!(
+                            "input '{name}' listed more than once in INORDER"
+                        )));
+                    }
                     let lit = aig.add_input(name);
                     env.insert(name.to_string(), lit);
                 }
             }
             "OUTORDER" => {
+                if saw_outorder {
+                    return Err(AigError::Duplicate(
+                        "OUTORDER declared more than once".into(),
+                    ));
+                }
                 saw_outorder = true;
                 outputs = rhs.split_whitespace().map(|s| s.to_string()).collect();
+                for (i, name) in outputs.iter().enumerate() {
+                    if outputs[..i].contains(name) {
+                        return Err(AigError::Duplicate(format!(
+                            "output '{name}' listed more than once in OUTORDER"
+                        )));
+                    }
+                }
             }
             name => {
                 let tokens = tokenize(rhs)?;
@@ -268,7 +290,13 @@ pub fn read_eqn(text: &str) -> Result<Aig> {
                         "trailing tokens in expression for '{name}'"
                     )));
                 }
-                env.insert(name.to_string(), lit);
+                // Reassigning a signal (or shadowing an input) used to be
+                // accepted silently, with the last assignment winning.
+                if env.insert(name.to_string(), lit).is_some() {
+                    return Err(AigError::Duplicate(format!(
+                        "signal '{name}' is assigned more than once"
+                    )));
+                }
             }
         }
     }
@@ -376,6 +404,32 @@ cout = (a * b) + (cin * w1);
         assert!(read_eqn("f = a;").is_err());
         let text = "INORDER = a;\nf = a;\n";
         assert!(read_eqn(text).is_err());
+    }
+
+    #[test]
+    fn error_on_duplicate_outputs() {
+        let text = "INORDER = a b;\nOUTORDER = f f;\nf = a * b;\n";
+        assert!(matches!(read_eqn(text), Err(AigError::Duplicate(_))));
+        let twice = "INORDER = a;\nOUTORDER = f;\nOUTORDER = f;\nf = a;\n";
+        assert!(matches!(read_eqn(twice), Err(AigError::Duplicate(_))));
+    }
+
+    #[test]
+    fn error_on_reassigned_signal() {
+        // The second assignment used to win silently.
+        let text = "INORDER = a b;\nOUTORDER = f;\nf = a;\nf = b;\n";
+        assert!(matches!(read_eqn(text), Err(AigError::Duplicate(_))));
+        // Shadowing an input is a duplicate too.
+        let shadow = "INORDER = a b;\nOUTORDER = f;\na = b;\nf = a;\n";
+        assert!(matches!(read_eqn(shadow), Err(AigError::Duplicate(_))));
+    }
+
+    #[test]
+    fn error_on_duplicate_declarations() {
+        let text = "INORDER = a;\nINORDER = b;\nOUTORDER = f;\nf = a;\n";
+        assert!(matches!(read_eqn(text), Err(AigError::Duplicate(_))));
+        let dup_input = "INORDER = a a;\nOUTORDER = f;\nf = a;\n";
+        assert!(matches!(read_eqn(dup_input), Err(AigError::Duplicate(_))));
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub enum AigError {
     InvalidNode(String),
     /// The network contains features this crate does not support (e.g. latches).
     Unsupported(String),
+    /// A literal, variable or index lies outside the range the file's own
+    /// header (or declarations) admits.
+    OutOfRange(String),
+    /// A signal, variable or declaration is defined more than once.
+    Duplicate(String),
 }
 
 impl std::fmt::Display for AigError {
@@ -59,6 +64,8 @@ impl std::fmt::Display for AigError {
             AigError::Parse(msg) => write!(f, "parse error: {msg}"),
             AigError::InvalidNode(msg) => write!(f, "invalid node: {msg}"),
             AigError::Unsupported(msg) => write!(f, "unsupported feature: {msg}"),
+            AigError::OutOfRange(msg) => write!(f, "out of range: {msg}"),
+            AigError::Duplicate(msg) => write!(f, "duplicate definition: {msg}"),
         }
     }
 }

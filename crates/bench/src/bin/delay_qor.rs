@@ -1,0 +1,128 @@
+//! Timing-driven choice-mapping QoR: mapped delay (and recovered area) with
+//! choices on vs off across the benchgen circuits, every mapped netlist
+//! CEC-verified against its input.
+//!
+//! The flow runs with the delay-first objective: the delay-optimal first
+//! pass selects cuts over *all* e-class members, then the map →
+//! required-time → area-recovery loop trades the remaining slack for area.
+//! Saturation is deterministic, so the "on" run sees the same baseline as
+//! the "off" run and keeps the (delay, area)-lexicographically better
+//! netlist — the binary asserts delay-on ≤ delay-off and CEC on every
+//! circuit, exiting non-zero on any violation, which makes it a CI smoke
+//! gate (`--smoke` runs a reduced circuit set) as well as the comparison
+//! table.
+//!
+//! Usage: `cargo run -p emorphic-bench --bin delay_qor --release [-- --smoke]`
+//! Set `EMORPHIC_SCALE=tiny|small|default` to control circuit sizes.
+
+use emorphic::flow::{emorphic_map_flow, MapFlowConfig, MapObjective};
+use emorphic_bench::scale_from_env;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = scale_from_env();
+    let circuits: Vec<(String, aig::Aig)> = if smoke {
+        vec![
+            ("adder".into(), benchgen::adder(8).aig),
+            ("multiplier".into(), benchgen::multiplier(4).aig),
+        ]
+    } else {
+        emorphic_bench::suite()
+            .into_iter()
+            .map(|c| (c.name, c.aig))
+            .collect()
+    };
+
+    let base_config = match scale {
+        benchgen::SuiteScale::Default => MapFlowConfig::paper(),
+        _ => MapFlowConfig::fast(),
+    };
+    let config = base_config
+        .with_objective(MapObjective::Delay)
+        .with_recovery_passes(2);
+
+    println!("Timing-driven choice mapping: delay-first QoR with choices on vs off");
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>7} {:>12} {:>12} {:>9} {:>6} {:>9}",
+        "circuit",
+        "ands",
+        "delay-off",
+        "delay-on",
+        "ratio",
+        "area-off",
+        "area-on",
+        "slack-on",
+        "used",
+        "time(s)"
+    );
+
+    let mut violations = 0usize;
+    let mut improved = 0usize;
+    for (name, aig) in &circuits {
+        let off = match emorphic_map_flow(aig, &config.clone().with_choices(false)) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("{name}: choice-free flow failed: {e}");
+                violations += 1;
+                continue;
+            }
+        };
+        let on = match emorphic_map_flow(aig, &config) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("{name}: choice-aware flow failed: {e}");
+                violations += 1;
+                continue;
+            }
+        };
+        let ratio = if off.qor.delay_ps > 0.0 {
+            on.qor.delay_ps / off.qor.delay_ps
+        } else {
+            1.0
+        };
+        println!(
+            "{:<12} {:>8} {:>10.2} {:>10.2} {:>7.4} {:>12.2} {:>12.2} {:>9.2} {:>6} {:>9.2}",
+            name,
+            aig.num_ands(),
+            off.qor.delay_ps,
+            on.qor.delay_ps,
+            ratio,
+            off.qor.area_um2,
+            on.qor.area_um2,
+            on.worst_slack_ps,
+            if on.used_choices { "yes" } else { "no" },
+            off.runtime.as_secs_f64() + on.runtime.as_secs_f64(),
+        );
+        if !off.verified || !on.verified {
+            eprintln!(
+                "{name}: CEC verification FAILED (off: {}, on: {})",
+                off.verified, on.verified
+            );
+            violations += 1;
+        }
+        if on.qor.delay_ps > off.qor.delay_ps + 1e-9 {
+            eprintln!(
+                "{name}: choice-aware delay {} worse than choice-free {}",
+                on.qor.delay_ps, off.qor.delay_ps
+            );
+            violations += 1;
+        }
+        if on.worst_slack_ps < -1e-9 {
+            eprintln!("{name}: negative worst slack {}", on.worst_slack_ps);
+            violations += 1;
+        }
+        if on.qor.delay_ps < off.qor.delay_ps - 1e-9 {
+            improved += 1;
+        }
+    }
+
+    println!(
+        "\n{} circuit(s), {} strictly improved by choices, {} violation(s)",
+        circuits.len(),
+        improved,
+        violations
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

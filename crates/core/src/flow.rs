@@ -370,17 +370,35 @@ impl From<MapError> for MapFlowError {
     }
 }
 
+/// Which metric the choice-aware mapping flow optimizes first when choosing
+/// between the choice-aware and choice-free netlists of the same run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapObjective {
+    /// Area first, delay as the tie-breaker (the PR-4 behavior).
+    #[default]
+    Area,
+    /// Delay first, area as the tie-breaker (the timing-driven scenario:
+    /// meet delay, then recover area).
+    Delay,
+}
+
 /// Configuration of [`emorphic_map_flow`].
 #[derive(Debug, Clone)]
 pub struct MapFlowConfig {
     /// Saturation, mapping, library and CEC knobs (shared with
-    /// [`emorphic_flow`]).
+    /// [`emorphic_flow`]). `flow.map_options` carries the delay target and
+    /// the recovery-pass count (see [`MapFlowConfig::with_delay_target_ps`]
+    /// and [`MapFlowConfig::with_recovery_passes`]).
     pub flow: FlowConfig,
     /// Choice-export configuration (members per class, ranking cost).
     pub choices: ChoiceConfig,
     /// Map with choices (`false` degenerates to mapping the extracted
     /// representative network, the apples-to-apples baseline).
     pub use_choices: bool,
+    /// Primary selection metric between the choice-aware and choice-free
+    /// netlists. The kept netlist is never worse than the baseline on this
+    /// metric, and never worse on the secondary one at equal primary.
+    pub objective: MapObjective,
 }
 
 impl MapFlowConfig {
@@ -390,6 +408,7 @@ impl MapFlowConfig {
             flow: FlowConfig::paper(),
             choices: ChoiceConfig::default(),
             use_choices: true,
+            objective: MapObjective::Area,
         }
     }
 
@@ -399,6 +418,7 @@ impl MapFlowConfig {
             flow: FlowConfig::fast(),
             choices: ChoiceConfig::default(),
             use_choices: true,
+            objective: MapObjective::Area,
         }
     }
 
@@ -406,6 +426,29 @@ impl MapFlowConfig {
     #[must_use]
     pub fn with_choices(mut self, use_choices: bool) -> Self {
         self.use_choices = use_choices;
+        self
+    }
+
+    /// Sets the primary selection metric.
+    #[must_use]
+    pub fn with_objective(mut self, objective: MapObjective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the mapper's delay target in ps (targets below the achievable
+    /// critical path are floored at it; extra slack is traded for area by
+    /// the recovery passes).
+    #[must_use]
+    pub fn with_delay_target_ps(mut self, target: f64) -> Self {
+        self.flow.map_options.delay_target_ps = Some(target);
+        self
+    }
+
+    /// Sets the number of map → required-time → recover passes.
+    #[must_use]
+    pub fn with_recovery_passes(mut self, passes: usize) -> Self {
+        self.flow.map_options.area_passes = passes;
         self
     }
 }
@@ -423,6 +466,9 @@ pub struct MapFlowResult {
     pub base_qor: Qor,
     /// Whether the choice-aware netlist won the selection.
     pub used_choices: bool,
+    /// Worst slack of the kept netlist in ps: effective delay target minus
+    /// critical-path delay (non-negative by construction).
+    pub worst_slack_ps: f64,
     /// Whether SAT CEC *proved* the mapped netlist equivalent to the input.
     pub verified: bool,
     /// Choice-export statistics (live classes, alternatives, rejections).
@@ -505,8 +551,19 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
         if let Ok(choice_netlist) =
             try_map_to_cells_with_choices(&network, &config.flow.library, &config.flow.map_options)
         {
-            let better = (choice_netlist.area_um2(), choice_netlist.delay_ps())
-                < (netlist.area_um2(), netlist.delay_ps());
+            // Keep the netlist that wins on the configured objective:
+            // lexicographic on (primary, secondary), so the kept result is
+            // Pareto-no-worse than the baseline on the primary metric.
+            let better = match config.objective {
+                MapObjective::Area => {
+                    (choice_netlist.area_um2(), choice_netlist.delay_ps())
+                        < (netlist.area_um2(), netlist.delay_ps())
+                }
+                MapObjective::Delay => {
+                    (choice_netlist.delay_ps(), choice_netlist.area_um2())
+                        < (netlist.delay_ps(), netlist.area_um2())
+                }
+            };
             if better {
                 used_choices = true;
                 netlist = choice_netlist;
@@ -536,11 +593,13 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
 
     let mut qor = netlist.qor();
     qor.name = aig.name().to_string();
+    let worst_slack_ps = netlist.worst_slack_ps();
     Ok(MapFlowResult {
         qor,
         base_qor,
         netlist,
         used_choices,
+        worst_slack_ps,
         verified,
         export,
         egraph_nodes: egraph.total_nodes(),
@@ -675,6 +734,46 @@ mod tests {
             "identical saturation must give identical representative mapping"
         );
         assert!(with_choices.qor.area_um2 <= without.qor.area_um2 + 1e-9);
+    }
+
+    #[test]
+    fn map_flow_delay_objective_never_worse_on_delay() {
+        // With the delay objective, the kept netlist's delay can never
+        // exceed the choice-free baseline's (both runs see the same
+        // deterministic saturation, and the flow keeps the delay-better
+        // netlist).
+        let circuit = benchgen::adder(6).aig;
+        let config = MapFlowConfig::fast().with_objective(MapObjective::Delay);
+        let with_choices = emorphic_map_flow(&circuit, &config).unwrap();
+        let without = emorphic_map_flow(&circuit, &config.clone().with_choices(false)).unwrap();
+        assert!(with_choices.verified);
+        assert!(without.verified);
+        assert!(with_choices.qor.delay_ps <= without.qor.delay_ps + 1e-9);
+        assert!(with_choices.worst_slack_ps >= -1e-9);
+    }
+
+    #[test]
+    fn map_flow_delay_target_and_recovery_knobs() {
+        let circuit = benchgen::adder(6).aig;
+        // Delay-optimal run fixes the achievable critical path.
+        let optimal =
+            emorphic_map_flow(&circuit, &MapFlowConfig::fast().with_recovery_passes(0)).unwrap();
+        let target = optimal.qor.delay_ps * 1.5;
+        let relaxed = emorphic_map_flow(
+            &circuit,
+            &MapFlowConfig::fast()
+                .with_delay_target_ps(target)
+                .with_recovery_passes(2),
+        )
+        .unwrap();
+        assert!(relaxed.verified);
+        // The recovered area never exceeds the delay-optimal mapping's, and
+        // the kept netlist honors the target up to the baseline's own
+        // achievable critical path (a floored target is reported, not faked).
+        assert!(relaxed.qor.area_um2 <= optimal.qor.area_um2 + 1e-9);
+        assert!(relaxed.qor.delay_ps <= target.max(relaxed.base_qor.delay_ps) + 1e-9);
+        assert!(relaxed.netlist.delay_target_ps() >= relaxed.qor.delay_ps - 1e-9);
+        assert!(relaxed.worst_slack_ps >= -1e-9);
     }
 
     #[test]

@@ -19,6 +19,9 @@ use egraph::{Runner, Scheduler};
 use emorphic::flow::{emorphic_map_flow, MapFlowConfig};
 use emorphic::{aig_to_egraph, all_rules};
 use proptest::prelude::*;
+use techmap::cell::try_map_to_cells_with_choices;
+use techmap::library::asap7_like;
+use techmap::MapOptions;
 
 /// Copies `aig`'s logic into a fresh network whose single output is `lit`
 /// (all primary inputs retained), so two internal literals can be compared
@@ -97,6 +100,62 @@ proptest! {
         let repr = network.repr_network();
         let res = check_equivalence(&circuit, &repr, &options);
         prop_assert!(res.is_equivalent(), "representative network differs: {res:?}");
+    }
+
+    /// Timing-driven recovery over a choice network: after every
+    /// area-recovery pass the mapped netlist stays equivalent to the input
+    /// AIG (exhaustively checked over all input patterns) and its worst-case
+    /// arrival never exceeds the pre-recovery (delay-optimal) critical path.
+    #[test]
+    fn area_recovery_preserves_function_and_critical_path(
+        seed in 0u64..10_000,
+        num_ands in 8usize..60,
+        num_inputs in 3usize..7,
+    ) {
+        let circuit = benchgen::random_aig(num_inputs, num_ands, 2, seed);
+        let network = saturate_and_export(&circuit, 4);
+        let library = asap7_like();
+        let source = network.aig();
+        // Pre-recovery critical path: the delay-optimal pass, no recovery.
+        let optimal = try_map_to_cells_with_choices(
+            &network,
+            &library,
+            &MapOptions { area_passes: 0, ..MapOptions::default() },
+        ).expect("mappable");
+        let mut last_area = f64::INFINITY;
+        for passes in 0..=3usize {
+            let netlist = try_map_to_cells_with_choices(
+                &network,
+                &library,
+                &MapOptions { area_passes: passes, ..MapOptions::default() },
+            ).expect("mappable");
+            // Worst-case arrival never exceeds the pre-recovery critical
+            // path (no delay target: recovery may only shuffle area).
+            prop_assert!(
+                netlist.delay_ps() <= optimal.delay_ps() + 1e-9,
+                "passes {passes}: delay {} vs pre-recovery {}",
+                netlist.delay_ps(),
+                optimal.delay_ps()
+            );
+            // More passes never increase area (keep-best recovery).
+            prop_assert!(
+                netlist.area_um2() <= last_area + 1e-9,
+                "passes {passes}: area {} grew past {last_area}",
+                netlist.area_um2()
+            );
+            last_area = netlist.area_um2();
+            // The mapped netlist computes the source network's function on
+            // every input pattern (the source is CEC-equivalent to the
+            // input circuit by the member-soundness property above).
+            for pattern in 0..(1usize << num_inputs) {
+                let bits: Vec<bool> = (0..num_inputs).map(|i| pattern >> i & 1 == 1).collect();
+                prop_assert_eq!(
+                    netlist.evaluate(source, &bits),
+                    circuit.evaluate(&bits),
+                    "passes {} pattern {}", passes, pattern
+                );
+            }
+        }
     }
 }
 

@@ -10,11 +10,30 @@
 use crate::cuts::{enumerate_cuts, enumerate_cuts_with_choices, CutSet, CutsOptions};
 use crate::library::CellLibrary;
 use crate::qor::Qor;
+use crate::timing::{assign_pin_delays, gate_arrival};
 use crate::truth::{expand_to_4, full_mask};
 use crate::{MapError, MapOptions};
 use aig::{Aig, AigNode, Lit, NodeId};
 use choices::ChoiceAig;
 use std::collections::HashMap;
+
+/// Slop for floating-point timing comparisons.
+const EPS: f64 = 1e-9;
+
+/// Gathers a cut's leaf arrivals into a caller-provided stack buffer (cuts
+/// are capped at 6 leaves), so the mapper's innermost loops stay
+/// allocation-free end to end, matching the fixed-buffer design of
+/// [`crate::timing`].
+fn gather_leaf_arrivals<'a>(
+    cut: &crate::cuts::Cut,
+    arrival: &[f64],
+    buf: &'a mut [f64; 8],
+) -> &'a [f64] {
+    for (slot, leaf) in buf.iter_mut().zip(&cut.leaves) {
+        *slot = arrival[leaf.index()];
+    }
+    &buf[..cut.leaves.len()]
+}
 
 /// One instantiated cell in the mapped netlist.
 #[derive(Debug, Clone)]
@@ -31,8 +50,11 @@ pub struct MappedGate {
     pub truth: u64,
     /// Cell area in µm².
     pub area_um2: f64,
-    /// Cell delay in ps.
+    /// Worst-case cell delay in ps (max of [`MappedGate::pin_delays_ps`]).
     pub delay_ps: f64,
+    /// Pin-to-output delays of the instantiated cell in ps, applied to the
+    /// leaves through the conservative sorted pairing of [`crate::timing`].
+    pub pin_delays_ps: Vec<f64>,
 }
 
 /// How each primary output is driven in the mapped netlist.
@@ -46,7 +68,9 @@ pub enum OutputDriver {
     Constant(bool),
 }
 
-/// A mapped standard-cell netlist with its quality metrics.
+/// A mapped standard-cell netlist with its quality metrics and full static
+/// timing annotation (per-gate arrival and required times under the
+/// load-independent pin-to-pin model of [`crate::timing`]).
 #[derive(Debug, Clone)]
 pub struct Netlist {
     /// Design name.
@@ -60,6 +84,15 @@ pub struct Netlist {
     area_um2: f64,
     delay_ps: f64,
     levels: u32,
+    /// Arrival time (ps) of each gate's output, aligned with `gates`.
+    arrival_ps: Vec<f64>,
+    /// Required time (ps) of each gate's output, aligned with `gates`.
+    required_ps: Vec<f64>,
+    /// The effective required time at every primary output: the delay
+    /// target, floored at the delay-optimal critical path.
+    target_ps: f64,
+    /// Gate index by root node.
+    gate_index: HashMap<NodeId, usize>,
 }
 
 impl Netlist {
@@ -81,6 +114,49 @@ impl Netlist {
     /// Number of gates (including output inverters).
     pub fn num_gates(&self) -> usize {
         self.gates.len() + self.num_inverters
+    }
+
+    /// The effective required time at the primary outputs in ps: the
+    /// requested delay target, floored at the delay-optimal critical path
+    /// (a target the cut set cannot meet is reported as unmet slack, never
+    /// as a fictitious required time below what is achievable).
+    pub fn delay_target_ps(&self) -> f64 {
+        self.target_ps
+    }
+
+    /// Arrival time of a mapped gate root in ps (`None` for primary inputs
+    /// — which arrive at 0 — and nodes off the cover).
+    pub fn arrival_ps_of(&self, node: NodeId) -> Option<f64> {
+        self.gate_index.get(&node).map(|&g| self.arrival_ps[g])
+    }
+
+    /// Required time of a mapped gate root in ps (`None` off the cover).
+    pub fn required_ps_of(&self, node: NodeId) -> Option<f64> {
+        self.gate_index.get(&node).map(|&g| self.required_ps[g])
+    }
+
+    /// Slack of a mapped gate root in ps: required minus arrival. Negative
+    /// slack appears only when the delay target is below the achievable
+    /// critical path.
+    pub fn slack_ps_of(&self, node: NodeId) -> Option<f64> {
+        let g = *self.gate_index.get(&node)?;
+        Some(self.required_ps[g] - self.arrival_ps[g])
+    }
+
+    /// Worst slack over the primary outputs in ps: effective target minus
+    /// critical-path delay (non-negative by construction).
+    pub fn worst_slack_ps(&self) -> f64 {
+        self.target_ps - self.delay_ps
+    }
+
+    /// Per-gate arrival times (aligned with [`Netlist::gates`]).
+    pub fn gate_arrivals_ps(&self) -> &[f64] {
+        &self.arrival_ps
+    }
+
+    /// Per-gate required times (aligned with [`Netlist::gates`]).
+    pub fn gate_requireds_ps(&self) -> &[f64] {
+        &self.required_ps
     }
 
     /// Returns the quality-of-results record of this netlist.
@@ -176,11 +252,87 @@ fn synthesize_truth(aig: &mut Aig, truth: u64, leaves: &[Lit]) -> Lit {
     aig.mux(leaves[k], f1, f0)
 }
 
+#[derive(Clone)]
 struct Choice {
     cut_index: usize,
     cell: usize,
     arrival: f64,
     area_flow: f64,
+}
+
+/// One cover derived from a per-node cut selection: which nodes are used,
+/// their freshly recomputed arrival times, and the exact (not flow-estimated)
+/// area/delay of the induced netlist.
+struct Cover {
+    needed: Vec<bool>,
+    /// Per-node arrival in ps, recomputed bottom-up over the cover only —
+    /// this is the timing the final netlist reports, independent of any
+    /// stale DP state.
+    arrival: Vec<f64>,
+    area_um2: f64,
+    delay_ps: f64,
+}
+
+/// Derives the cover induced by `choice` and measures it exactly.
+fn derive_cover(
+    aig: &Aig,
+    cuts: &CutSet,
+    choice: &[Option<Choice>],
+    library: &CellLibrary,
+    inv_delay_ps: f64,
+    inv_area_um2: f64,
+) -> Cover {
+    let mut needed = vec![false; aig.num_nodes()];
+    let mut stack: Vec<NodeId> = aig
+        .outputs()
+        .iter()
+        .map(|l| l.node())
+        .filter(|n| aig.node(*n).is_and())
+        .collect();
+    while let Some(id) = stack.pop() {
+        if needed[id.index()] {
+            continue;
+        }
+        needed[id.index()] = true;
+        let ch = choice[id.index()].as_ref().expect("mapped node");
+        for leaf in &cuts.cuts(id)[ch.cut_index].leaves {
+            if aig.node(*leaf).is_and() {
+                stack.push(*leaf);
+            }
+        }
+    }
+    let mut arrival = vec![0f64; aig.num_nodes()];
+    let mut area = 0.0;
+    for id in aig.and_ids() {
+        if !needed[id.index()] {
+            continue;
+        }
+        let ch = choice[id.index()].as_ref().expect("mapped node");
+        let cut = &cuts.cuts(id)[ch.cut_index];
+        let cell = library.cell(ch.cell);
+        let mut buf = [0.0f64; 8];
+        let leaf_arrivals = gather_leaf_arrivals(cut, &arrival, &mut buf);
+        arrival[id.index()] = gate_arrival(leaf_arrivals, &cell.pin_delays_ps);
+        area += cell.area_um2;
+    }
+    let mut delay = 0f64;
+    for &po in aig.outputs() {
+        if matches!(aig.node(po.node()), AigNode::Const) {
+            continue;
+        }
+        let mut arr = arrival[po.node().index()];
+        if po.is_complemented() {
+            arr += inv_delay_ps;
+            area += inv_area_um2;
+        }
+        delay = delay.max(arr);
+    }
+    Cover {
+        needed,
+        arrival,
+        area_um2: area,
+        delay_ps: delay,
+    }
 }
 
 /// Maps an AIG onto the given standard-cell library.
@@ -234,8 +386,21 @@ fn cell_cut_options(options: &MapOptions) -> CutsOptions {
     }
 }
 
-/// The shared covering core: delay-oriented pass, area-flow recovery and
-/// cover derivation over an already enumerated cut set.
+/// The shared covering core: the classic *map → required → recover* loop.
+///
+/// 1. A delay-optimal first pass selects, for every node, the cut/cell pair
+///    with the earliest arrival under the pin-to-pin model (ties broken by
+///    area flow). Over a choice network the cut sets already pool every
+///    e-class member's structures, so this pass is depth-optimal across the
+///    whole recorded e-space.
+/// 2. Required times are propagated backward from the primary outputs at the
+///    effective target (the requested delay target, floored at the achieved
+///    critical path) through the selected cuts.
+/// 3. Each area-recovery pass re-selects cheaper cuts on nodes whose slack
+///    allows it — over a choice network this can swap in a *different
+///    e-class member's* cut — then measures the induced cover exactly and
+///    keeps it only if it strictly reduces area without busting the target,
+///    so more passes are monotonically never worse.
 fn map_with_cuts(
     aig: &Aig,
     cuts: &CutSet,
@@ -245,6 +410,7 @@ fn map_with_cuts(
     let fanouts = aig.fanout_counts();
     let inverter = library.inverter().ok_or(MapError::MissingInverter)?;
     let inv_cell = library.cell(inverter);
+    let (inv_delay, inv_area) = (inv_cell.delay_ps, inv_cell.area_um2);
 
     // Memoized Boolean matching: cut truth (4-var expanded) -> best cell.
     let mut match_cache: HashMap<u16, Option<usize>> = HashMap::new();
@@ -259,7 +425,7 @@ fn map_with_cuts(
     let mut area_flow = vec![0f64; aig.num_nodes()];
     let mut choice: Vec<Option<Choice>> = (0..aig.num_nodes()).map(|_| None).collect();
 
-    // Delay-oriented covering pass.
+    // Delay-optimal covering pass.
     for id in aig.and_ids() {
         let mut best: Option<Choice> = None;
         for (ci, cut) in cuts.cuts(id).iter().enumerate() {
@@ -270,12 +436,9 @@ fn map_with_cuts(
                 continue;
             };
             let cell = library.cell(cell_idx);
-            let arr = cell.delay_ps
-                + cut
-                    .leaves
-                    .iter()
-                    .map(|l| arrival[l.index()])
-                    .fold(0.0, f64::max);
+            let mut buf = [0.0f64; 8];
+            let leaf_arrivals = gather_leaf_arrivals(cut, &arrival, &mut buf);
+            let arr = gate_arrival(leaf_arrivals, &cell.pin_delays_ps);
             let af = cell.area_um2
                 + cut
                     .leaves
@@ -301,15 +464,22 @@ fn map_with_cuts(
         choice[id.index()] = Some(best);
     }
 
-    let worst_output_arrival = aig
-        .outputs()
-        .iter()
-        .map(|l| arrival[l.node().index()])
-        .fold(0.0, f64::max);
+    // The delay-optimal cover is the initial best snapshot; its critical
+    // path floors the effective delay target (a tighter request cannot be
+    // met by this cut set and is *reported* as such, never faked).
+    let mut best_cover = derive_cover(aig, cuts, &choice, library, inv_delay, inv_area);
+    let target = match options.delay_target_ps {
+        Some(t) => t.max(best_cover.delay_ps),
+        None => best_cover.delay_ps,
+    };
+    let mut best_state = (choice.clone(), arrival.clone(), area_flow.clone());
 
-    // Area-flow recovery pass(es).
+    // Area-recovery passes: re-select off-critical nodes for area, measure
+    // the induced cover exactly, and keep it only if it is strictly smaller
+    // without exceeding the target. A failed pass is rolled back, so the
+    // sequence of accepted covers is monotone in both metrics.
     for _ in 0..options.area_passes {
-        let required = compute_required(aig, cuts, &choice, worst_output_arrival, library);
+        let required = compute_required(aig, cuts, &choice, &arrival, target, library, inv_delay);
         for id in aig.and_ids() {
             let mut best: Option<Choice> = None;
             for (ci, cut) in cuts.cuts(id).iter().enumerate() {
@@ -320,13 +490,10 @@ fn map_with_cuts(
                     continue;
                 };
                 let cell = library.cell(cell_idx);
-                let arr = cell.delay_ps
-                    + cut
-                        .leaves
-                        .iter()
-                        .map(|l| arrival[l.index()])
-                        .fold(0.0, f64::max);
-                if arr > required[id.index()] + 1e-9 {
+                let mut buf = [0.0f64; 8];
+                let leaf_arrivals = gather_leaf_arrivals(cut, &arrival, &mut buf);
+                let arr = gate_arrival(leaf_arrivals, &cell.pin_delays_ps);
+                if arr > required[id.index()] + EPS {
                     continue;
                 }
                 let af = cell.area_um2
@@ -354,46 +521,39 @@ fn map_with_cuts(
                 choice[id.index()] = Some(best);
             }
         }
-    }
-
-    // Derive the cover from the outputs.
-    let mut needed = vec![false; aig.num_nodes()];
-    let mut stack: Vec<NodeId> = aig
-        .outputs()
-        .iter()
-        .map(|l| l.node())
-        .filter(|n| aig.node(*n).is_and())
-        .collect();
-    while let Some(id) = stack.pop() {
-        if needed[id.index()] {
-            continue;
-        }
-        needed[id.index()] = true;
-        let ch = choice[id.index()].as_ref().expect("mapped node");
-        for leaf in &cuts.cuts(id)[ch.cut_index].leaves {
-            if aig.node(*leaf).is_and() {
-                stack.push(*leaf);
-            }
+        let cover = derive_cover(aig, cuts, &choice, library, inv_delay, inv_area);
+        if cover.delay_ps <= target + EPS && cover.area_um2 < best_cover.area_um2 - EPS {
+            best_cover = cover;
+            best_state = (choice.clone(), arrival.clone(), area_flow.clone());
+        } else {
+            // Roll back so the next pass restarts from the accepted state:
+            // running k+1 passes can never end worse than running k.
+            (choice, arrival, area_flow) = best_state.clone();
         }
     }
+    let (choice, _, _) = best_state;
+    let cover = best_cover;
 
+    // Emit the netlist from the best cover, with per-gate timing annotation.
     let mut gates = Vec::new();
-    let mut area = 0.0;
+    let mut gate_index: HashMap<NodeId, usize> = HashMap::new();
+    let mut arrival_ps = Vec::new();
     let mut level = vec![0u32; aig.num_nodes()];
     for id in aig.and_ids() {
-        if !needed[id.index()] {
+        if !cover.needed[id.index()] {
             continue;
         }
         let ch = choice[id.index()].as_ref().expect("mapped node");
         let cut = &cuts.cuts(id)[ch.cut_index];
         let cell = library.cell(ch.cell);
-        area += cell.area_um2;
         level[id.index()] = 1 + cut
             .leaves
             .iter()
             .map(|l| level[l.index()])
             .max()
             .unwrap_or(0);
+        gate_index.insert(id, gates.len());
+        arrival_ps.push(cover.arrival[id.index()]);
         gates.push(MappedGate {
             cell: ch.cell,
             cell_name: cell.name.clone(),
@@ -402,60 +562,91 @@ fn map_with_cuts(
             truth: cut.truth,
             area_um2: cell.area_um2,
             delay_ps: cell.delay_ps,
+            pin_delays_ps: cell.pin_delays_ps.clone(),
         });
     }
 
     // Output drivers: add inverters where the PO uses the complemented phase.
     let mut outputs = Vec::with_capacity(aig.num_outputs());
     let mut num_inverters = 0usize;
-    let mut delay: f64 = 0.0;
     let mut levels: u32 = 0;
     for &po in aig.outputs() {
         let node = po.node();
         let driver = match aig.node(node) {
             AigNode::Const => OutputDriver::Constant(po.is_complemented()),
             _ => {
-                let mut arr = arrival[node.index()];
-                let mut lev = level[node.index()];
-                let driver = if po.is_complemented() {
+                let lev = level[node.index()];
+                if po.is_complemented() {
                     num_inverters += 1;
-                    area += inv_cell.area_um2;
-                    arr += inv_cell.delay_ps;
-                    lev += 1;
+                    levels = levels.max(lev + 1);
                     OutputDriver::Inverted(node)
                 } else {
+                    levels = levels.max(lev);
                     OutputDriver::Direct(node)
-                };
-                delay = delay.max(arr);
-                levels = levels.max(lev);
-                driver
+                }
             }
         };
         outputs.push(driver);
     }
+
+    // Required times over the emitted netlist: the same backward propagation
+    // the recovery loop uses, evaluated on the final cover's fresh arrivals,
+    // so meeting the target at the outputs implies non-negative slack on
+    // every gate.
+    let required = compute_required(
+        aig,
+        cuts,
+        &choice,
+        &cover.arrival,
+        target,
+        library,
+        inv_delay,
+    );
+    let required_ps: Vec<f64> = gates.iter().map(|g| required[g.root.index()]).collect();
 
     Ok(Netlist {
         name: aig.name().to_string(),
         gates,
         outputs,
         num_inverters,
-        area_um2: area,
-        delay_ps: delay,
+        area_um2: cover.area_um2,
+        delay_ps: cover.delay_ps,
         levels,
+        arrival_ps,
+        required_ps,
+        target_ps: target,
+        gate_index,
     })
 }
 
+/// Backward required-time propagation over the *current selection*: every
+/// primary output must settle by `target` (minus an output inverter where
+/// the PO is complemented), and each selected cut distributes its root's
+/// requirement to its leaves through the same conservative pin pairing the
+/// forward arrivals use (`arrival` supplies the per-node arrival times the
+/// pairing ranks by — the DP state during recovery, the final cover's fresh
+/// times when annotating the emitted netlist). Nodes outside the current
+/// cover stay permissive at `target`; the recovery loop re-measures the
+/// real cover after every pass, so an over-permissive requirement can waste
+/// a pass but never corrupt the result.
 fn compute_required(
     aig: &Aig,
     cuts: &crate::cuts::CutSet,
     choice: &[Option<Choice>],
-    worst_arrival: f64,
+    arrival: &[f64],
+    target: f64,
     library: &CellLibrary,
+    inv_delay_ps: f64,
 ) -> Vec<f64> {
     let mut required = vec![f64::INFINITY; aig.num_nodes()];
     for po in aig.outputs() {
         let idx = po.node().index();
-        required[idx] = required[idx].min(worst_arrival);
+        let req = if po.is_complemented() {
+            target - inv_delay_ps
+        } else {
+            target
+        };
+        required[idx] = required[idx].min(req);
     }
     for id in aig.and_ids().collect::<Vec<_>>().into_iter().rev() {
         if !required[id.index()].is_finite() {
@@ -463,8 +654,12 @@ fn compute_required(
         }
         if let Some(ch) = &choice[id.index()] {
             let cell = library.cell(ch.cell);
-            let req = required[id.index()] - cell.delay_ps;
-            for leaf in &cuts.cuts(id)[ch.cut_index].leaves {
+            let cut = &cuts.cuts(id)[ch.cut_index];
+            let mut buf = [0.0f64; 8];
+            let leaf_arrivals = gather_leaf_arrivals(cut, arrival, &mut buf);
+            let assigned = assign_pin_delays(leaf_arrivals, &cell.pin_delays_ps);
+            for (leaf, d) in cut.leaves.iter().zip(&assigned) {
+                let req = required[id.index()] - d;
                 if required[leaf.index()] > req {
                     required[leaf.index()] = req;
                 }
@@ -473,7 +668,7 @@ fn compute_required(
     }
     for r in &mut required {
         if !r.is_finite() {
-            *r = worst_arrival;
+            *r = target;
         }
     }
     required
@@ -601,6 +796,71 @@ mod tests {
                 || netlist.gates[0].cell_name.starts_with("XNOR")
         );
         check_netlist_equiv(&aig, &netlist);
+    }
+
+    #[test]
+    fn timing_annotation_is_self_consistent() {
+        let aig = adder(5);
+        let lib = asap7_like();
+        let netlist = map_to_cells(&aig, &lib, &MapOptions::default());
+        // Recompute every gate arrival independently in topological order.
+        let mut arr: std::collections::HashMap<aig::NodeId, f64> = HashMap::new();
+        for (g, gate) in netlist.gates.iter().enumerate() {
+            let leaf_arrivals: Vec<f64> = gate
+                .leaves
+                .iter()
+                .map(|l| arr.get(l).copied().unwrap_or(0.0))
+                .collect();
+            let recomputed = crate::timing::gate_arrival(&leaf_arrivals, &gate.pin_delays_ps);
+            assert_eq!(recomputed, netlist.gate_arrivals_ps()[g]);
+            assert_eq!(netlist.arrival_ps_of(gate.root), Some(recomputed));
+            arr.insert(gate.root, recomputed);
+        }
+        // With no delay target, the effective target is the critical path,
+        // output slack is exactly zero and every gate has non-negative slack.
+        assert_eq!(netlist.delay_target_ps(), netlist.delay_ps());
+        assert_eq!(netlist.worst_slack_ps(), 0.0);
+        for gate in &netlist.gates {
+            let slack = netlist.slack_ps_of(gate.root).unwrap();
+            assert!(slack >= -1e-9, "gate {:?} slack {slack}", gate.root);
+            assert!(
+                netlist.required_ps_of(gate.root).unwrap()
+                    >= netlist.arrival_ps_of(gate.root).unwrap() - 1e-9
+            );
+        }
+        // Primary inputs are not gate roots.
+        assert_eq!(netlist.arrival_ps_of(aig.inputs()[0]), None);
+    }
+
+    #[test]
+    fn delay_target_trades_slack_for_area_but_never_busts() {
+        let aig = adder(6);
+        let lib = asap7_like();
+        let optimal = map_to_cells(
+            &aig,
+            &lib,
+            &MapOptions {
+                area_passes: 0,
+                ..MapOptions::default()
+            },
+        );
+        let target = optimal.delay_ps() * 1.5;
+        let relaxed = map_to_cells(
+            &aig,
+            &lib,
+            &MapOptions::default()
+                .with_delay_target_ps(target)
+                .with_area_passes(3),
+        );
+        assert!((relaxed.delay_target_ps() - target).abs() < 1e-9);
+        assert!(relaxed.delay_ps() <= target + 1e-9);
+        assert!(relaxed.area_um2() <= optimal.area_um2() + 1e-9);
+        assert!(relaxed.worst_slack_ps() >= -1e-9);
+        check_netlist_equiv(&aig, &relaxed);
+        // A target below the achievable critical path is floored at it.
+        let floored = map_to_cells(&aig, &lib, &MapOptions::default().with_delay_target_ps(1.0));
+        assert!(floored.delay_target_ps() >= optimal.delay_ps() - 1e-9);
+        assert!(floored.delay_ps() >= optimal.delay_ps() - 1e-9);
     }
 
     #[test]

@@ -104,6 +104,38 @@ fn expand_truth(cut: &Cut, merged: &[NodeId]) -> u64 {
     out
 }
 
+/// Library-independent per-node estimates driving the 3-dimensional
+/// dominance pruning: `arr` is the unit-delay depth of the node's best cut
+/// (LUT levels), `area` the optimistic cut-count of its cheapest cover.
+struct Estimates {
+    arr: Vec<u32>,
+    area: Vec<f64>,
+}
+
+impl Estimates {
+    fn new(capacity: usize) -> Self {
+        Estimates {
+            arr: Vec::with_capacity(capacity),
+            area: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Unit-delay arrival estimate of a cut: one level above its deepest leaf.
+    fn cut_arr(&self, cut: &Cut) -> u32 {
+        1 + cut
+            .leaves
+            .iter()
+            .map(|l| self.arr[l.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Optimistic area estimate of a cut: itself plus its leaves' best areas.
+    fn cut_area(&self, cut: &Cut) -> f64 {
+        1.0 + cut.leaves.iter().map(|l| self.area[l.index()]).sum::<f64>()
+    }
+}
+
 fn merge_cuts(a: &Cut, b: &Cut, fanin0: Lit, fanin1: Lit, max_size: usize) -> Option<Cut> {
     let mut leaves: Vec<NodeId> = a.leaves.clone();
     for &l in &b.leaves {
@@ -138,6 +170,7 @@ fn and_node_cuts(
     fanin0: Lit,
     fanin1: Lit,
     all: &[Vec<Cut>],
+    est: &mut Estimates,
     options: &CutsOptions,
 ) -> Vec<Cut> {
     let mut merged: Vec<Cut> = Vec::new();
@@ -153,22 +186,107 @@ fn and_node_cuts(
             }
         }
     }
-    prune_and_cap(merged, id, options)
+    let anchor = anchor_leaves(fanin0, fanin1);
+    prune_and_cap(merged, id, Some(anchor), est, options)
 }
 
-/// Removes dominated cuts (keep minimal leaf sets), truncates to the priority
-/// limit and appends the trivial cut.
-fn prune_and_cap(mut merged: Vec<Cut>, id: NodeId, options: &CutsOptions) -> Vec<Cut> {
-    let mut kept: Vec<Cut> = Vec::new();
-    merged.sort_by_key(|c| c.size());
-    for cut in merged {
-        if !kept.iter().any(|k| k.dominates(&cut)) {
-            kept.push(cut);
+/// The direct fanin cut's leaves (sorted): the "anchor" every AND node must
+/// keep (or a subset of it) so the standard-cell mapper always sees a cut
+/// with a trivially matchable function.
+fn anchor_leaves(fanin0: Lit, fanin1: Lit) -> Vec<NodeId> {
+    let mut anchor = vec![fanin0.node(), fanin1.node()];
+    anchor.sort_unstable();
+    anchor.dedup();
+    anchor
+}
+
+/// Three-dimensional dominance pruning (inputs × area × arrival): a cut is
+/// dropped only if another cut has a *subset* of its leaves, an arrival
+/// estimate no later, and an area estimate no larger — so a wider cut that
+/// reaches shallower logic survives next to a narrow-but-deep one. Survivors
+/// are ranked arrival-first (then size, then area) and truncated to the
+/// priority limit, except that a cut covering the `anchor` (the direct
+/// fanin cut or a subset of it) is always retained so the node stays
+/// library-matchable; the trivial cut is appended last. Finally the node's
+/// own estimates are updated from the kept cuts.
+fn prune_and_cap(
+    merged: Vec<Cut>,
+    id: NodeId,
+    anchor: Option<Vec<NodeId>>,
+    est: &mut Estimates,
+    options: &CutsOptions,
+) -> Vec<Cut> {
+    let mut scored: Vec<(Cut, u32, f64)> = merged
+        .into_iter()
+        .map(|c| {
+            let arr = est.cut_arr(&c);
+            let area = est.cut_area(&c);
+            (c, arr, area)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        a.1.cmp(&b.1)
+            .then(a.0.size().cmp(&b.0.size()))
+            .then(a.2.total_cmp(&b.2))
+            .then(a.0.leaves.cmp(&b.0.leaves))
+    });
+    let mut kept: Vec<(Cut, u32, f64)> = Vec::new();
+    for (cut, arr, area) in scored {
+        let dominated = kept
+            .iter()
+            .any(|(k, karr, karea)| k.dominates(&cut) && *karr <= arr && *karea <= area);
+        if !dominated {
+            kept.push((cut, arr, area));
         }
     }
+    // The anchor (or a leaf-subset of it, which is what can have displaced
+    // it in the dominance filter) must survive the truncation.
+    let is_sub = |c: &Cut, anchor: &[NodeId]| c.leaves.iter().all(|l| anchor.contains(l));
+    let rescue = anchor.and_then(|anchor| {
+        let inside = kept
+            .iter()
+            .take(options.cut_limit)
+            .any(|(c, _, _)| is_sub(c, &anchor));
+        if inside {
+            None
+        } else {
+            kept.iter()
+                .position(|(c, _, _)| is_sub(c, &anchor))
+                .map(|pos| kept[pos].clone())
+        }
+    });
     kept.truncate(options.cut_limit);
-    kept.push(Cut::trivial(id));
-    kept
+    if let Some(rescued) = rescue {
+        if kept.len() == options.cut_limit {
+            kept.pop();
+        }
+        kept.push(rescued);
+    }
+    let node_arr = kept.iter().map(|(_, arr, _)| *arr).min().unwrap_or(0);
+    let node_area = kept
+        .iter()
+        .map(|(_, _, area)| *area)
+        .fold(f64::INFINITY, f64::min);
+    set_estimate(
+        est,
+        id,
+        node_arr,
+        if kept.is_empty() { 0.0 } else { node_area },
+    );
+    let mut cuts: Vec<Cut> = kept.into_iter().map(|(c, _, _)| c).collect();
+    cuts.push(Cut::trivial(id));
+    cuts
+}
+
+/// Records a node's estimates, growing or overwriting as needed (class
+/// finalization revisits the representative after its initial pass).
+fn set_estimate(est: &mut Estimates, id: NodeId, arr: u32, area: f64) {
+    if id.index() >= est.arr.len() {
+        est.arr.resize(id.index() + 1, 0);
+        est.area.resize(id.index() + 1, 0.0);
+    }
+    est.arr[id.index()] = arr;
+    est.area[id.index()] = area;
 }
 
 /// Enumerates priority cuts for every node of `aig`.
@@ -179,14 +297,23 @@ pub fn enumerate_cuts(aig: &Aig, options: &CutsOptions) -> CutSet {
     assert!(options.cut_size <= 6, "cut size is limited to 6 leaves");
     assert!(options.cut_size >= 2, "cut size must be at least 2");
     let mut all: Vec<Vec<Cut>> = Vec::with_capacity(aig.num_nodes());
+    let mut est = Estimates::new(aig.num_nodes());
     for id in aig.node_ids() {
         let cuts = match aig.node(id) {
-            AigNode::Const => vec![Cut {
-                leaves: Vec::new(),
-                truth: 0,
-            }],
-            AigNode::Input { .. } => vec![Cut::trivial(id)],
-            AigNode::And { fanin0, fanin1 } => and_node_cuts(id, *fanin0, *fanin1, &all, options),
+            AigNode::Const => {
+                set_estimate(&mut est, id, 0, 0.0);
+                vec![Cut {
+                    leaves: Vec::new(),
+                    truth: 0,
+                }]
+            }
+            AigNode::Input { .. } => {
+                set_estimate(&mut est, id, 0, 0.0);
+                vec![Cut::trivial(id)]
+            }
+            AigNode::And { fanin0, fanin1 } => {
+                and_node_cuts(id, *fanin0, *fanin1, &all, &mut est, options)
+            }
         };
         all.push(cuts);
     }
@@ -202,6 +329,7 @@ fn finalize_class(
     node: NodeId,
     choices: &ChoiceAig,
     all: &mut [Vec<Cut>],
+    est: &mut Estimates,
     finalized: &mut [bool],
     options: &CutsOptions,
 ) {
@@ -238,7 +366,16 @@ fn finalize_class(
             });
         }
     }
-    all[node.index()] = prune_and_cap(merged, node, options);
+    // Re-pruning over the pooled member cuts also refreshes the
+    // representative's depth/area estimates, so a class whose alternative
+    // member reaches shallower logic advertises the better (depth-optimal)
+    // estimate to every fanout — the choice-aware analogue of the
+    // depth-optimal first pass.
+    let anchor = match choices.aig().node(node) {
+        AigNode::And { fanin0, fanin1 } => Some(anchor_leaves(*fanin0, *fanin1)),
+        _ => None,
+    };
+    all[node.index()] = prune_and_cap(merged, node, anchor, est, options);
 }
 
 /// Enumerates priority cuts over a choice network: the cuts stored on a
@@ -259,19 +396,40 @@ pub fn enumerate_cuts_with_choices(choices: &ChoiceAig, options: &CutsOptions) -
     assert!(options.cut_size >= 2, "cut size must be at least 2");
     let aig = choices.aig();
     let mut all: Vec<Vec<Cut>> = Vec::with_capacity(aig.num_nodes());
+    let mut est = Estimates::new(aig.num_nodes());
     let mut finalized: Vec<bool> = vec![false; aig.num_nodes()];
     for id in aig.node_ids() {
         let cuts = match aig.node(id) {
-            AigNode::Const => vec![Cut {
-                leaves: Vec::new(),
-                truth: 0,
-            }],
-            AigNode::Input { .. } => vec![Cut::trivial(id)],
+            AigNode::Const => {
+                set_estimate(&mut est, id, 0, 0.0);
+                vec![Cut {
+                    leaves: Vec::new(),
+                    truth: 0,
+                }]
+            }
+            AigNode::Input { .. } => {
+                set_estimate(&mut est, id, 0, 0.0);
+                vec![Cut::trivial(id)]
+            }
             AigNode::And { fanin0, fanin1 } => {
                 let (fanin0, fanin1) = (*fanin0, *fanin1);
-                finalize_class(fanin0.node(), choices, &mut all, &mut finalized, options);
-                finalize_class(fanin1.node(), choices, &mut all, &mut finalized, options);
-                and_node_cuts(id, fanin0, fanin1, &all, options)
+                finalize_class(
+                    fanin0.node(),
+                    choices,
+                    &mut all,
+                    &mut est,
+                    &mut finalized,
+                    options,
+                );
+                finalize_class(
+                    fanin1.node(),
+                    choices,
+                    &mut all,
+                    &mut est,
+                    &mut finalized,
+                    options,
+                );
+                and_node_cuts(id, fanin0, fanin1, &all, &mut est, options)
             }
         };
         all.push(cuts);
@@ -279,7 +437,7 @@ pub fn enumerate_cuts_with_choices(choices: &ChoiceAig, options: &CutsOptions) -
     // Classes only consumed by the outputs (or not at all) are finalized now
     // so the mapper sees their choices too.
     for id in aig.node_ids() {
-        finalize_class(id, choices, &mut all, &mut finalized, options);
+        finalize_class(id, choices, &mut all, &mut est, &mut finalized, options);
     }
     CutSet { cuts: all }
 }
@@ -382,18 +540,52 @@ mod tests {
 
     #[test]
     fn dominated_cuts_are_removed() {
-        let (aig, f) = sample();
+        // 3-D dominance: a stored cut may only be leaf-subset-dominated by
+        // another stored cut if it wins on the arrival or area estimate.
+        // Recompute the estimates independently: node depth = min over its
+        // stored non-trivial cuts of (1 + max leaf depth), node area = min
+        // over cuts of (1 + sum of leaf areas), PIs at 0.
+        let (aig, _) = sample();
         let cuts = enumerate_cuts(&aig, &CutsOptions::default());
-        let root_cuts = cuts.cuts(f.node());
-        for (i, a) in root_cuts.iter().enumerate() {
-            for (j, b) in root_cuts.iter().enumerate() {
-                if i != j && a.leaves != b.leaves {
-                    // No stored cut strictly dominates another stored cut
-                    // (the trivial cut can never be dominated since the root
-                    // is not a leaf of any other cut).
-                    assert!(!(a.dominates(b) && a.size() < b.size()) || b.leaves == vec![f.node()]);
+        let mut depth = vec![0u32; aig.num_nodes()];
+        let mut area = vec![0f64; aig.num_nodes()];
+        let cut_depth = |c: &Cut, depth: &[u32]| {
+            1 + c.leaves.iter().map(|l| depth[l.index()]).max().unwrap_or(0)
+        };
+        let cut_area =
+            |c: &Cut, area: &[f64]| 1.0 + c.leaves.iter().map(|l| area[l.index()]).sum::<f64>();
+        for id in aig.and_ids() {
+            let non_trivial: Vec<&Cut> = cuts
+                .cuts(id)
+                .iter()
+                .filter(|c| c.leaves != vec![id])
+                .collect();
+            assert!(!non_trivial.is_empty());
+            for (i, a) in non_trivial.iter().enumerate() {
+                for (j, b) in non_trivial.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let fully_dominated = a.dominates(b)
+                        && a.leaves != b.leaves
+                        && cut_depth(a, &depth) <= cut_depth(b, &depth)
+                        && cut_area(a, &area) <= cut_area(b, &area);
+                    assert!(
+                        !fully_dominated,
+                        "cut {:?} is 3-D dominated by {:?} at node {id}",
+                        b.leaves, a.leaves
+                    );
                 }
             }
+            depth[id.index()] = non_trivial
+                .iter()
+                .map(|c| cut_depth(c, &depth))
+                .min()
+                .unwrap();
+            area[id.index()] = non_trivial
+                .iter()
+                .map(|c| cut_area(c, &area))
+                .fold(f64::INFINITY, f64::min);
         }
     }
 

@@ -41,6 +41,7 @@ pub mod library;
 pub mod lut;
 mod qor;
 pub mod sop;
+pub mod timing;
 pub mod truth;
 pub mod verilog;
 
@@ -85,8 +86,18 @@ pub struct MapOptions {
     pub cut_size: usize,
     /// Maximum number of priority cuts stored per node (C).
     pub cut_limit: usize,
-    /// Number of area-recovery passes after the delay-oriented pass.
+    /// Number of area-recovery passes after the delay-oriented pass. Each
+    /// pass is measured exactly and kept only if it strictly reduces area
+    /// without exceeding the delay target, so more passes are never worse.
     pub area_passes: usize,
+    /// Delay target for standard-cell mapping in ps. `None` (the default)
+    /// holds the delay-optimal critical path; a looser target lets the
+    /// recovery passes trade the extra slack for area. Targets below the
+    /// achievable critical path are floored at it.
+    pub delay_target_ps: Option<f64>,
+    /// Delay target for LUT mapping in levels (the unit-delay analogue of
+    /// [`MapOptions::delay_target_ps`]).
+    pub delay_target_levels: Option<u32>,
 }
 
 impl Default for MapOptions {
@@ -95,6 +106,8 @@ impl Default for MapOptions {
             cut_size: 4,
             cut_limit: 8,
             area_passes: 1,
+            delay_target_ps: None,
+            delay_target_levels: None,
         }
     }
 }
@@ -104,8 +117,21 @@ impl MapOptions {
     pub fn lut6() -> Self {
         MapOptions {
             cut_size: 6,
-            cut_limit: 8,
-            area_passes: 1,
+            ..MapOptions::default()
         }
+    }
+
+    /// Sets the standard-cell delay target in ps.
+    #[must_use]
+    pub fn with_delay_target_ps(mut self, target: f64) -> Self {
+        self.delay_target_ps = Some(target);
+        self
+    }
+
+    /// Sets the number of area-recovery passes.
+    #[must_use]
+    pub fn with_area_passes(mut self, passes: usize) -> Self {
+        self.area_passes = passes;
+        self
     }
 }

@@ -21,12 +21,19 @@ pub struct Cell {
     pub function: u16,
     /// Cell area in µm².
     pub area_um2: f64,
-    /// Worst-case pin-to-output delay in ps.
+    /// Worst-case pin-to-output delay in ps (the maximum of
+    /// [`Cell::pin_delays_ps`]).
     pub delay_ps: f64,
+    /// Load-independent pin-to-output delay of each input pin in ps, in
+    /// library pin order. Boolean matching does not track the NPN input
+    /// permutation, so the mapper pairs these with cut-leaf arrivals through
+    /// the conservative sorted pairing of [`crate::timing`] rather than by
+    /// position.
+    pub pin_delays_ps: Vec<f64>,
 }
 
 impl Cell {
-    /// Creates a cell, checking the input arity.
+    /// Creates a cell with a uniform pin-to-output delay on every input pin.
     pub fn new(
         name: impl Into<String>,
         num_inputs: usize,
@@ -34,16 +41,44 @@ impl Cell {
         area_um2: f64,
         delay_ps: f64,
     ) -> Self {
+        Cell::with_pin_delays(
+            name,
+            num_inputs,
+            function,
+            area_um2,
+            vec![delay_ps; num_inputs],
+        )
+    }
+
+    /// Creates a cell with an explicit pin-to-output delay per input pin.
+    ///
+    /// # Panics
+    /// Panics if the arity exceeds 4 or `pin_delays_ps` does not list exactly
+    /// one delay per input pin.
+    pub fn with_pin_delays(
+        name: impl Into<String>,
+        num_inputs: usize,
+        function: u16,
+        area_um2: f64,
+        pin_delays_ps: Vec<f64>,
+    ) -> Self {
         assert!(
             num_inputs <= 4,
             "cells of more than 4 inputs are not supported"
         );
+        assert_eq!(
+            pin_delays_ps.len(),
+            num_inputs,
+            "one pin delay per input pin"
+        );
+        let delay_ps = pin_delays_ps.iter().copied().fold(0.0, f64::max);
         Cell {
             name: name.into(),
             num_inputs,
             function,
             area_um2,
             delay_ps,
+            pin_delays_ps,
         }
     }
 
@@ -157,7 +192,11 @@ mod tt {
 ///
 /// Areas are in µm² and delays in ps, chosen to be representative of a
 /// 7.5-track 7-nm library: an inverter is ~0.05 µm² and ~10 ps, a NAND2
-/// ~0.07 µm² and ~14 ps, with complex cells scaled accordingly.
+/// ~0.07 µm² and ~14 ps, with complex cells scaled accordingly. Each
+/// multi-input cell lists one delay per input pin: the first pin is the
+/// slowest (the value historically reported as the cell delay) and later
+/// pins are progressively faster, the usual stack-position asymmetry of
+/// static CMOS gates.
 pub fn asap7_like() -> CellLibrary {
     use tt::{mask, A, B, C, D};
     let mut lib = CellLibrary::new();
@@ -165,90 +204,57 @@ pub fn asap7_like() -> CellLibrary {
     let m3 = mask(3);
     let m4 = mask(4);
 
+    /// Spreads a worst-case delay over `n` pins: pin 0 keeps `worst`, each
+    /// later pin is 8% faster than the previous one.
+    fn pins(worst: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| worst * 0.92f64.powi(i as i32)).collect()
+    }
+
     // Single-input cells.
     lib.add(Cell::new("INVx1", 1, !A & mask(1), 0.0486, 10.0));
     lib.add(Cell::new("BUFx2", 1, A & mask(1), 0.0648, 16.0));
 
     // Two-input cells.
-    lib.add(Cell::new("NAND2x1", 2, !(A & B) & m2, 0.0648, 14.0));
-    lib.add(Cell::new("NOR2x1", 2, !(A | B) & m2, 0.0648, 15.0));
-    lib.add(Cell::new("AND2x2", 2, A & B & m2, 0.0810, 20.0));
-    lib.add(Cell::new("OR2x2", 2, (A | B) & m2, 0.0810, 21.0));
-    lib.add(Cell::new("XOR2x1", 2, (A ^ B) & m2, 0.1134, 26.0));
-    lib.add(Cell::new("XNOR2x1", 2, !(A ^ B) & m2, 0.1134, 26.0));
+    let cell2 = |name: &str, f: u16, area: f64, worst: f64| {
+        Cell::with_pin_delays(name, 2, f & m2, area, pins(worst, 2))
+    };
+    lib.add(cell2("NAND2x1", !(A & B), 0.0648, 14.0));
+    lib.add(cell2("NOR2x1", !(A | B), 0.0648, 15.0));
+    lib.add(cell2("AND2x2", A & B, 0.0810, 20.0));
+    lib.add(cell2("OR2x2", A | B, 0.0810, 21.0));
+    lib.add(cell2("XOR2x1", A ^ B, 0.1134, 26.0));
+    lib.add(cell2("XNOR2x1", !(A ^ B), 0.1134, 26.0));
 
     // Three-input cells.
-    lib.add(Cell::new("NAND3x1", 3, !(A & B & C) & m3, 0.0810, 18.0));
-    lib.add(Cell::new("NOR3x1", 3, !(A | B | C) & m3, 0.0810, 20.0));
-    lib.add(Cell::new("AND3x1", 3, A & B & C & m3, 0.0972, 24.0));
-    lib.add(Cell::new("OR3x1", 3, (A | B | C) & m3, 0.0972, 25.0));
-    lib.add(Cell::new("AOI21x1", 3, !((A & B) | C) & m3, 0.0810, 17.0));
-    lib.add(Cell::new("OAI21x1", 3, !((A | B) & C) & m3, 0.0810, 17.0));
-    lib.add(Cell::new("AO21x1", 3, ((A & B) | C) & m3, 0.0972, 23.0));
-    lib.add(Cell::new("OA21x1", 3, ((A | B) & C) & m3, 0.0972, 23.0));
-    lib.add(Cell::new(
-        "MAJ3x1",
-        3,
-        ((A & B) | (B & C) | (A & C)) & m3,
-        0.1296,
-        27.0,
-    ));
-    lib.add(Cell::new("XOR3x1", 3, (A ^ B ^ C) & m3, 0.1782, 34.0));
-    lib.add(Cell::new(
-        "MUX2x1",
-        3,
-        ((C & A) | (!C & B)) & m3,
-        0.1134,
-        25.0,
-    ));
+    let cell3 = |name: &str, f: u16, area: f64, worst: f64| {
+        Cell::with_pin_delays(name, 3, f & m3, area, pins(worst, 3))
+    };
+    lib.add(cell3("NAND3x1", !(A & B & C), 0.0810, 18.0));
+    lib.add(cell3("NOR3x1", !(A | B | C), 0.0810, 20.0));
+    lib.add(cell3("AND3x1", A & B & C, 0.0972, 24.0));
+    lib.add(cell3("OR3x1", A | B | C, 0.0972, 25.0));
+    lib.add(cell3("AOI21x1", !((A & B) | C), 0.0810, 17.0));
+    lib.add(cell3("OAI21x1", !((A | B) & C), 0.0810, 17.0));
+    lib.add(cell3("AO21x1", (A & B) | C, 0.0972, 23.0));
+    lib.add(cell3("OA21x1", (A | B) & C, 0.0972, 23.0));
+    lib.add(cell3("MAJ3x1", (A & B) | (B & C) | (A & C), 0.1296, 27.0));
+    lib.add(cell3("XOR3x1", A ^ B ^ C, 0.1782, 34.0));
+    lib.add(cell3("MUX2x1", (C & A) | (!C & B), 0.1134, 25.0));
 
     // Four-input cells.
-    lib.add(Cell::new("NAND4x1", 4, !(A & B & C & D) & m4, 0.0972, 22.0));
-    lib.add(Cell::new("NOR4x1", 4, !(A | B | C | D) & m4, 0.0972, 25.0));
-    lib.add(Cell::new("AND4x1", 4, A & B & C & D & m4, 0.1134, 27.0));
-    lib.add(Cell::new("OR4x1", 4, (A | B | C | D) & m4, 0.1134, 28.0));
-    lib.add(Cell::new(
-        "AOI22x1",
-        4,
-        !((A & B) | (C & D)) & m4,
-        0.0972,
-        20.0,
-    ));
-    lib.add(Cell::new(
-        "OAI22x1",
-        4,
-        !((A | B) & (C | D)) & m4,
-        0.0972,
-        20.0,
-    ));
-    lib.add(Cell::new(
-        "AO22x1",
-        4,
-        ((A & B) | (C & D)) & m4,
-        0.1134,
-        26.0,
-    ));
-    lib.add(Cell::new(
-        "OA22x1",
-        4,
-        ((A | B) & (C | D)) & m4,
-        0.1134,
-        26.0,
-    ));
-    lib.add(Cell::new(
-        "AOI211x1",
-        4,
-        !((A & B) | C | D) & m4,
-        0.0972,
-        21.0,
-    ));
-    lib.add(Cell::new(
-        "OAI211x1",
-        4,
-        !((A | B) & C & D) & m4,
-        0.0972,
-        21.0,
-    ));
+    let cell4 = |name: &str, f: u16, area: f64, worst: f64| {
+        Cell::with_pin_delays(name, 4, f & m4, area, pins(worst, 4))
+    };
+    lib.add(cell4("NAND4x1", !(A & B & C & D), 0.0972, 22.0));
+    lib.add(cell4("NOR4x1", !(A | B | C | D), 0.0972, 25.0));
+    lib.add(cell4("AND4x1", A & B & C & D, 0.1134, 27.0));
+    lib.add(cell4("OR4x1", A | B | C | D, 0.1134, 28.0));
+    lib.add(cell4("AOI22x1", !((A & B) | (C & D)), 0.0972, 20.0));
+    lib.add(cell4("OAI22x1", !((A | B) & (C | D)), 0.0972, 20.0));
+    lib.add(cell4("AO22x1", (A & B) | (C & D), 0.1134, 26.0));
+    lib.add(cell4("OA22x1", (A | B) & (C | D), 0.1134, 26.0));
+    lib.add(cell4("AOI211x1", !((A & B) | C | D), 0.0972, 21.0));
+    lib.add(cell4("OAI211x1", !((A | B) & C & D), 0.0972, 21.0));
 
     lib
 }
@@ -268,11 +274,27 @@ mod tests {
         for cell in lib.cells() {
             assert!(cell.area_um2 > 0.0, "{}", cell.name);
             assert!(cell.delay_ps > 0.0, "{}", cell.name);
+            assert_eq!(cell.pin_delays_ps.len(), cell.num_inputs, "{}", cell.name);
+            let worst = cell.pin_delays_ps.iter().copied().fold(0.0, f64::max);
+            assert_eq!(cell.delay_ps, worst, "{}", cell.name);
+            assert!(cell.pin_delays_ps.iter().all(|&d| d > 0.0), "{}", cell.name);
             assert!(cell.num_inputs >= 1 && cell.num_inputs <= 4);
             // The function must fit in 2^n bits.
             let extra = (cell.function as u64) & !full_mask(cell.num_inputs);
             assert_eq!(extra, 0, "{} has bits outside its arity", cell.name);
         }
+    }
+
+    #[test]
+    fn multi_input_cells_have_asymmetric_pins() {
+        let lib = asap7_like();
+        let nand2 = lib.cells().find(|c| c.name == "NAND2x1").unwrap();
+        assert_eq!(nand2.pin_delays_ps.len(), 2);
+        assert!(nand2.pin_delays_ps[0] > nand2.pin_delays_ps[1]);
+        assert_eq!(nand2.delay_ps, nand2.pin_delays_ps[0]);
+        // The uniform constructor replicates the single delay.
+        let c = Cell::new("T", 3, 0b1000_0000, 1.0, 5.0);
+        assert_eq!(c.pin_delays_ps, vec![5.0, 5.0, 5.0]);
     }
 
     #[test]

@@ -27,8 +27,18 @@ pub struct LutMapping {
     pub luts: Vec<Lut>,
     /// LUT depth of the mapping (levels on the longest PI→PO path).
     pub depth: u32,
-    /// Per-node arrival times in LUT levels (0 for inputs/constants).
+    /// Per-node arrival times in LUT levels over the *final cover* (LUTs
+    /// use the load-independent unit-delay model: every pin costs 1 level).
+    /// Inputs, constants and AND nodes outside the cover read 0 — only
+    /// covered roots carry a meaningful arrival.
     pub arrival: Vec<u32>,
+    /// Per-node required times in LUT levels, propagated backward from the
+    /// effective depth target (nodes off the cover stay at the target).
+    pub required: Vec<u32>,
+    /// The effective depth target: the requested
+    /// [`crate::MapOptions::delay_target_levels`], floored at the
+    /// delay-optimal depth.
+    pub target_levels: u32,
 }
 
 impl LutMapping {
@@ -36,8 +46,17 @@ impl LutMapping {
     pub fn num_luts(&self) -> usize {
         self.luts.len()
     }
+
+    /// Slack of a *covered* node in levels: required minus arrival
+    /// (saturating at 0 from below; the unit-delay model cannot miss its
+    /// own floor). Off-cover nodes read the full target — their arrival
+    /// slot is 0 and their requirement is permissive.
+    pub fn slack(&self, node: NodeId) -> u32 {
+        self.required[node.index()].saturating_sub(self.arrival[node.index()])
+    }
 }
 
+#[derive(Clone)]
 struct Choice {
     cut_index: usize,
     arrival: u32,
@@ -119,11 +138,18 @@ fn map_luts_with_cuts(aig: &Aig, cuts: &CutSet, options: &MapOptions) -> LutMapp
         .map(|l| arrival[l.node().index()])
         .max()
         .unwrap_or(0);
+    // The effective depth target: a requested target below the achievable
+    // depth is floored at it; a looser one frees slack for area recovery.
+    let target = options.delay_target_levels.unwrap_or(depth).max(depth);
+
+    let mut best_cover = measure_cover(aig, cuts, &choice);
+    let mut best_state = (choice.clone(), arrival.clone(), area_flow.clone());
 
     // Area-flow recovery passes: keep arrival within the required time while
-    // minimizing area flow.
+    // minimizing area flow; each pass is measured exactly and rolled back
+    // unless it strictly shrinks the cover without exceeding the target.
     for _ in 0..options.area_passes {
-        let required = compute_required(aig, cuts, &choice, depth);
+        let required = compute_required(aig, cuts, &choice, target);
         for id in aig.and_ids() {
             let node_cuts = cuts.cuts(id);
             let mut best: Option<Choice> = None;
@@ -164,9 +190,49 @@ fn map_luts_with_cuts(aig: &Aig, cuts: &CutSet, options: &MapOptions) -> LutMapp
                 choice[id.index()] = Some(best);
             }
         }
+        let cover = measure_cover(aig, cuts, &choice);
+        if cover.1 <= target && cover.0 < best_cover.0 {
+            best_cover = cover;
+            best_state = (choice.clone(), arrival.clone(), area_flow.clone());
+        } else {
+            // Roll back the whole DP state (selection *and* the arrival /
+            // area-flow arrays), so the next pass evaluates candidates
+            // against the accepted selection, not the rejected one.
+            (choice, arrival, area_flow) = best_state.clone();
+        }
     }
+    let (choice, _, _) = best_state;
 
-    // Derive the cover from the outputs.
+    // Derive the cover and its fresh arrival times from the kept selection.
+    let (needed, arrival) = cover_arrivals(aig, cuts, &choice);
+    let mut luts = Vec::new();
+    for id in aig.and_ids() {
+        if needed[id.index()] {
+            let ch = choice[id.index()].as_ref().expect("mapped node");
+            luts.push(Lut {
+                root: id,
+                cut: cuts.cuts(id)[ch.cut_index].clone(),
+            });
+        }
+    }
+    let required = compute_required(aig, cuts, &choice, target);
+
+    LutMapping {
+        luts,
+        depth: best_cover.1,
+        arrival,
+        required,
+        target_levels: target,
+    }
+}
+
+/// Marks the cover induced by `choice` and recomputes its arrival times
+/// bottom-up over the covered nodes only.
+fn cover_arrivals(
+    aig: &Aig,
+    cuts: &crate::cuts::CutSet,
+    choice: &[Option<Choice>],
+) -> (Vec<bool>, Vec<u32>) {
     let mut needed = vec![false; aig.num_nodes()];
     let mut stack: Vec<NodeId> = aig
         .outputs()
@@ -186,35 +252,45 @@ fn map_luts_with_cuts(aig: &Aig, cuts: &CutSet, options: &MapOptions) -> LutMapp
             }
         }
     }
-
-    let mut luts = Vec::new();
+    let mut arrival = vec![0u32; aig.num_nodes()];
     for id in aig.and_ids() {
-        if needed[id.index()] {
-            let ch = choice[id.index()].as_ref().expect("mapped node");
-            luts.push(Lut {
-                root: id,
-                cut: cuts.cuts(id)[ch.cut_index].clone(),
-            });
+        if !needed[id.index()] {
+            continue;
         }
+        let ch = choice[id.index()].as_ref().expect("mapped node");
+        arrival[id.index()] = 1 + cuts.cuts(id)[ch.cut_index]
+            .leaves
+            .iter()
+            .map(|l| arrival[l.index()])
+            .max()
+            .unwrap_or(0);
     }
+    (needed, arrival)
+}
 
-    LutMapping {
-        luts,
-        depth,
-        arrival,
-    }
+/// Exact (LUT count, depth) of the cover induced by `choice`.
+fn measure_cover(aig: &Aig, cuts: &crate::cuts::CutSet, choice: &[Option<Choice>]) -> (usize, u32) {
+    let (needed, arrival) = cover_arrivals(aig, cuts, choice);
+    let num_luts = needed.iter().filter(|&&n| n).count();
+    let depth = aig
+        .outputs()
+        .iter()
+        .map(|l| arrival[l.node().index()])
+        .max()
+        .unwrap_or(0);
+    (num_luts, depth)
 }
 
 fn compute_required(
     aig: &Aig,
     cuts: &crate::cuts::CutSet,
     choice: &[Option<Choice>],
-    depth: u32,
+    target: u32,
 ) -> Vec<u32> {
     let mut required = vec![u32::MAX; aig.num_nodes()];
     for po in aig.outputs() {
         let idx = po.node().index();
-        required[idx] = depth;
+        required[idx] = target;
     }
     // Reverse topological order.
     for id in aig.and_ids().collect::<Vec<_>>().into_iter().rev() {
@@ -233,7 +309,7 @@ fn compute_required(
     // Unconstrained nodes keep a permissive requirement.
     for r in &mut required {
         if *r == u32::MAX {
-            *r = depth;
+            *r = target;
         }
     }
     required
@@ -308,8 +384,7 @@ mod tests {
             &aig,
             &MapOptions {
                 cut_size: 4,
-                cut_limit: 8,
-                area_passes: 1,
+                ..MapOptions::default()
             },
         );
         assert!(m6.depth <= m4.depth);
@@ -347,8 +422,8 @@ mod tests {
             &aig,
             &MapOptions {
                 cut_size: 6,
-                cut_limit: 8,
                 area_passes: 0,
+                ..MapOptions::default()
             },
         );
         assert_eq!(with_area.depth, without_area.depth);

@@ -1,0 +1,103 @@
+//! Regression tests for the monotone timing knobs of the standard-cell
+//! mapper, pinned on fixed benchgen circuits:
+//!
+//! * more area-recovery passes never increase area at a fixed delay target
+//!   (the recovery loop measures each pass exactly and keeps only strict
+//!   improvements), and
+//! * tightening the delay target never makes the mapper *report* a delay
+//!   below the true achievable critical path (impossible targets are
+//!   floored, not faked).
+
+use techmap::cell::{map_to_cells, Netlist};
+use techmap::library::asap7_like;
+use techmap::MapOptions;
+
+fn fixed_circuits() -> Vec<aig::Aig> {
+    vec![
+        benchgen::adder(8).aig,
+        benchgen::multiplier(4).aig,
+        benchgen::arbiter(8).aig,
+        benchgen::square_root(8).aig,
+    ]
+}
+
+fn map(circuit: &aig::Aig, passes: usize, target: Option<f64>) -> Netlist {
+    map_to_cells(
+        circuit,
+        &asap7_like(),
+        &MapOptions {
+            area_passes: passes,
+            delay_target_ps: target,
+            ..MapOptions::default()
+        },
+    )
+}
+
+#[test]
+fn more_recovery_passes_never_increase_area_at_fixed_target() {
+    for circuit in fixed_circuits() {
+        let optimal = map(&circuit, 0, None);
+        for &target in &[None, Some(optimal.delay_ps() * 1.3), Some(f64::MAX / 4.0)] {
+            let mut last_area = f64::INFINITY;
+            for passes in 0..4usize {
+                let netlist = map(&circuit, passes, target);
+                assert!(
+                    netlist.area_um2() <= last_area + 1e-9,
+                    "{}: target {target:?}, {passes} passes grew area {} past {last_area}",
+                    circuit.name(),
+                    netlist.area_um2()
+                );
+                last_area = netlist.area_um2();
+                // The target (floored at the critical path) is always met.
+                assert!(netlist.delay_ps() <= netlist.delay_target_ps() + 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn tightening_the_target_never_fakes_a_faster_netlist() {
+    for circuit in fixed_circuits() {
+        let optimal = map(&circuit, 0, None);
+        let critical = optimal.delay_ps();
+        // Targets from impossible to generous: the reported delay never
+        // drops below the delay-optimal critical path, and the effective
+        // target never drops below it either.
+        for scale in [0.0, 0.25, 0.5, 0.9, 1.0, 1.5, 4.0] {
+            let netlist = map(&circuit, 2, Some(critical * scale));
+            assert!(
+                netlist.delay_ps() >= critical - 1e-9,
+                "{}: target scale {scale} reported delay {} below critical {critical}",
+                circuit.name(),
+                netlist.delay_ps()
+            );
+            assert!(
+                netlist.delay_target_ps() >= critical - 1e-9,
+                "{}: effective target {} below critical {critical}",
+                circuit.name(),
+                netlist.delay_target_ps()
+            );
+            assert!(netlist.worst_slack_ps() >= -1e-9);
+        }
+    }
+}
+
+#[test]
+fn loose_targets_monotonically_admit_recovery() {
+    // A looser target can only relax the recovery constraints; the kept
+    // netlist never exceeds the delay-optimal area (keep-best) and always
+    // meets its own effective target.
+    for circuit in fixed_circuits() {
+        let optimal = map(&circuit, 0, None);
+        for scale in [1.0, 1.2, 2.0, 8.0] {
+            let target = optimal.delay_ps() * scale;
+            let netlist = map(&circuit, 3, Some(target));
+            assert!(
+                netlist.area_um2() <= optimal.area_um2() + 1e-9,
+                "{}",
+                circuit.name()
+            );
+            assert!(netlist.delay_ps() <= target + 1e-9, "{}", circuit.name());
+        }
+    }
+}

@@ -260,6 +260,13 @@ impl Arbitrary for bool {
     }
 }
 
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().random_range(self.clone())
+    }
+}
+
 impl Strategy for AnyPrimitive<f64> {
     type Value = f64;
     fn sample(&self, rng: &mut TestRng) -> f64 {
@@ -297,6 +304,8 @@ impl_strategy_tuple! {
     (A: 0, B: 1, C: 2, D: 3)
     (A: 0, B: 1, C: 2, D: 3, E: 4)
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
 }
 
 /// Configuration accepted by `#![proptest_config(...)]`.
