@@ -5,7 +5,7 @@ use costmodel::TechMapCost;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use egraph::{Runner, Scheduler};
 use emorphic::extract::sa::{SaExtractor, SaOptions};
-use emorphic::extract::{bottom_up_extract, bottom_up_extract_unpruned, ExtractionCost};
+use emorphic::extract::{BottomUpEngine, ExtractBudget, ExtractionCost, ExtractionEngine};
 use emorphic::{aig_to_egraph, all_rules};
 use std::hint::black_box;
 use techmap::library::asap7_like;
@@ -37,21 +37,21 @@ fn bench_pruning(c: &mut Criterion) {
     group.sample_size(10);
     for width in [5usize, 8] {
         let conv = saturated(width, 4);
+        let budget = ExtractBudget::unlimited();
         group.bench_with_input(
             BenchmarkId::new("pruned", conv.egraph.total_nodes()),
             &conv,
-            |b, conv| b.iter(|| black_box(bottom_up_extract(&conv.egraph, ExtractionCost::Depth))),
+            |b, conv| {
+                let engine = BottomUpEngine::new(ExtractionCost::Depth);
+                b.iter(|| black_box(engine.extract(&conv.egraph, &conv.roots, &budget)))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("unpruned", conv.egraph.total_nodes()),
             &conv,
             |b, conv| {
-                b.iter(|| {
-                    black_box(bottom_up_extract_unpruned(
-                        &conv.egraph,
-                        ExtractionCost::Depth,
-                    ))
-                })
+                let engine = BottomUpEngine::new(ExtractionCost::Depth).with_pruning(false);
+                b.iter(|| black_box(engine.extract(&conv.egraph, &conv.roots, &budget)))
             },
         );
     }

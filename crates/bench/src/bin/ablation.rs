@@ -7,7 +7,9 @@
 use costmodel::{CostEvaluator, TechMapCost};
 use egraph::{Runner, Scheduler};
 use emorphic::extract::sa::{SaExtractor, SaOptions};
-use emorphic::extract::{bottom_up_extract, bottom_up_extract_unpruned, ExtractionCost};
+use emorphic::extract::{
+    bottom_up_extract, BottomUpEngine, ExtractBudget, ExtractionCost, ExtractionEngine,
+};
 use emorphic::{aig_to_egraph, all_rules, selection_to_aig};
 use emorphic_bench::scale_from_env;
 use std::time::Instant;
@@ -75,11 +77,19 @@ fn main() {
 
     // 2. Solution-space pruning on/off.
     println!("\n[2] solution-space pruning (bottom-up extraction)");
+    let budget = ExtractBudget::unlimited();
     let t = Instant::now();
-    let (_, pruned_stats) = bottom_up_extract(&saturated.egraph, ExtractionCost::Depth);
+    let pruned_stats = BottomUpEngine::new(ExtractionCost::Depth)
+        .extract(&saturated.egraph, &saturated.roots, &budget)
+        .expect("pruned extraction")
+        .stats;
     let pruned_time = t.elapsed();
     let t = Instant::now();
-    let (_, unpruned_stats) = bottom_up_extract_unpruned(&saturated.egraph, ExtractionCost::Depth);
+    let unpruned_stats = BottomUpEngine::new(ExtractionCost::Depth)
+        .with_pruning(false)
+        .extract(&saturated.egraph, &saturated.roots, &budget)
+        .expect("unpruned extraction")
+        .stats;
     let unpruned_time = t.elapsed();
     println!(
         "  pruned  : {:>10} node evaluations, {:>8.3}s",

@@ -1,0 +1,223 @@
+//! Extraction-engine QoR: mapped area/delay/levels and extraction wall time
+//! for every [`ExtractionEngine`] across the benchgen circuits, each
+//! extracted network CEC-verified against the input.
+//!
+//! Each circuit is saturated once; every engine then extracts from the same
+//! e-graph, so the comparison isolates the extraction policy. The portfolio
+//! races the other engines under an area-first mapped scorer, so its mapped
+//! area can never be worse than the single-engine SA row — the binary asserts
+//! exactly that, plus CEC on every extraction, exiting non-zero on any
+//! violation. Results are also written to `BENCH_extract.json`.
+//!
+//! Usage: `cargo run -p emorphic-bench --bin extract_qor --release [-- --smoke]`
+//! Set `EMORPHIC_SCALE=tiny|small|default` to control circuit sizes.
+
+use cec::{check_equivalence, CecOptions, CecResult};
+use costmodel::{CostEvaluator, TechMapCost};
+use egraph::{Runner, Scheduler};
+use emorphic::extract::sa::{SaEngine, SaOptions};
+use emorphic::extract::{
+    BottomUpEngine, ExtractBudget, ExtractionCost, ExtractionEngine, GlobalGreedyDagEngine,
+    PortfolioEngine, PortfolioScorer, SlackAwareEngine,
+};
+use emorphic::{aig_to_egraph, all_rules, try_selection_to_aig};
+use emorphic_bench::scale_from_env;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use techmap::library::asap7_like;
+
+#[derive(Serialize)]
+struct EngineRecord {
+    circuit: String,
+    engine: String,
+    ands: usize,
+    area_um2: f64,
+    delay_ps: f64,
+    levels: u32,
+    extract_s: f64,
+    verified: bool,
+}
+
+fn saturate(
+    conversion: &emorphic::convert::ConversionResult,
+    iterations: usize,
+    node_limit: usize,
+) -> emorphic::convert::ConversionResult {
+    let runner = Runner::with_egraph(conversion.egraph.clone())
+        .with_iter_limit(iterations)
+        .with_node_limit(node_limit)
+        .with_scheduler(Scheduler::Backoff {
+            match_limit: 500,
+            ban_length: 2,
+        })
+        .run(&all_rules());
+    emorphic::convert::ConversionResult {
+        roots: conversion
+            .roots
+            .iter()
+            .map(|&r| runner.egraph.find(r))
+            .collect(),
+        egraph: runner.egraph,
+        ..conversion.clone()
+    }
+}
+
+fn engines(sa: &SaOptions, evaluator: &Arc<dyn CostEvaluator>) -> Vec<Box<dyn ExtractionEngine>> {
+    vec![
+        Box::new(BottomUpEngine::new(ExtractionCost::Size)),
+        Box::new(GlobalGreedyDagEngine::new()),
+        Box::new(SlackAwareEngine::new()),
+        Box::new(SaEngine::new(sa.clone(), evaluator.clone())),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = scale_from_env();
+    let circuits: Vec<(String, aig::Aig)> = if smoke {
+        vec![
+            ("adder".into(), benchgen::adder(8).aig),
+            ("multiplier".into(), benchgen::multiplier(4).aig),
+        ]
+    } else {
+        emorphic_bench::suite()
+            .into_iter()
+            .map(|c| (c.name, c.aig))
+            .collect()
+    };
+    let (iterations, node_limit, sa) = match scale {
+        benchgen::SuiteScale::Tiny => (2, 8_000, SaOptions::fast()),
+        benchgen::SuiteScale::Small => (3, 30_000, SaOptions::fast()),
+        benchgen::SuiteScale::Default => (
+            4,
+            60_000,
+            SaOptions::new().with_iterations(3).with_threads(2),
+        ),
+    };
+    let library = asap7_like();
+    let mapper = TechMapCost::new(library.clone());
+    let evaluator: Arc<dyn CostEvaluator> = Arc::new(mapper.clone());
+    let cec_options = CecOptions {
+        conflict_budget: Some(100_000),
+        ..CecOptions::default()
+    };
+
+    println!("Extraction-engine QoR: mapped area/delay per engine, same saturated e-graph");
+    println!(
+        "{:<12} {:<18} {:>8} {:>12} {:>10} {:>7} {:>10} {:>5}",
+        "circuit", "engine", "ands", "area", "delay", "levels", "extract(s)", "cec"
+    );
+
+    let mut records: Vec<EngineRecord> = Vec::new();
+    let mut violations = 0usize;
+    for (name, circuit) in &circuits {
+        let saturated = saturate(&aig_to_egraph(circuit), iterations, node_limit);
+        let budget = ExtractBudget::unlimited();
+        let mut named: Vec<(String, Box<dyn ExtractionEngine>)> = engines(&sa, &evaluator)
+            .into_iter()
+            .map(|e| (e.name().to_string(), e))
+            .collect();
+        named.push((
+            "portfolio".into(),
+            Box::new(PortfolioEngine::new(engines(&sa, &evaluator)).with_scorer(
+                PortfolioScorer::Mapped {
+                    library: library.clone(),
+                    delay_first: false,
+                },
+            )),
+        ));
+        let mut sa_area = f64::NAN;
+        let mut portfolio_area = f64::NAN;
+        for (engine_name, engine) in &named {
+            let t = Instant::now();
+            let extraction = match engine.extract(&saturated.egraph, &saturated.roots, &budget) {
+                Ok(extraction) => extraction,
+                Err(e) => {
+                    eprintln!("{name}/{engine_name}: extraction failed: {e}");
+                    violations += 1;
+                    continue;
+                }
+            };
+            let extract_s = t.elapsed().as_secs_f64();
+            let extracted = match try_selection_to_aig(
+                &saturated.egraph,
+                &extraction.selection,
+                &saturated.roots,
+                &saturated.input_names,
+                &saturated.output_names,
+                name,
+            ) {
+                Ok(aig) => aig,
+                Err(e) => {
+                    eprintln!("{name}/{engine_name}: invalid selection: {e}");
+                    violations += 1;
+                    continue;
+                }
+            };
+            let qor = mapper.qor(&extracted);
+            let verified = match check_equivalence(circuit, &extracted, &cec_options) {
+                CecResult::Equivalent => true,
+                CecResult::NotEquivalent(cex) => {
+                    eprintln!(
+                        "{name}/{engine_name}: NOT equivalent (output {})",
+                        cex.output
+                    );
+                    false
+                }
+                CecResult::Unknown => {
+                    eprintln!("{name}/{engine_name}: CEC inconclusive under budget");
+                    false
+                }
+            };
+            if !verified {
+                violations += 1;
+            }
+            if engine_name == "sa" {
+                sa_area = qor.area_um2;
+            }
+            if engine_name == "portfolio" {
+                portfolio_area = qor.area_um2;
+            }
+            println!(
+                "{:<12} {:<18} {:>8} {:>12.2} {:>10.2} {:>7} {:>10.3} {:>5}",
+                name,
+                engine_name,
+                circuit.num_ands(),
+                qor.area_um2,
+                qor.delay_ps,
+                qor.levels,
+                extract_s,
+                if verified { "ok" } else { "FAIL" }
+            );
+            records.push(EngineRecord {
+                circuit: name.clone(),
+                engine: engine_name.clone(),
+                ands: circuit.num_ands(),
+                area_um2: qor.area_um2,
+                delay_ps: qor.delay_ps,
+                levels: qor.levels,
+                extract_s,
+                verified,
+            });
+        }
+        if portfolio_area > sa_area + 1e-9 {
+            eprintln!(
+                "{name}: portfolio area {portfolio_area} worse than single-engine SA {sa_area}"
+            );
+            violations += 1;
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&records).expect("records serialize");
+    std::fs::write("BENCH_extract.json", json).expect("write BENCH_extract.json");
+    println!(
+        "\n{} circuit(s) x {} engine rows, {} violation(s); wrote BENCH_extract.json",
+        circuits.len(),
+        records.len(),
+        violations
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

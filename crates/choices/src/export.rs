@@ -34,7 +34,8 @@ pub enum BoolExpr {
 }
 
 impl BoolExpr {
-    fn children(&self) -> [Option<Id>; 2] {
+    /// The child class slots of this operator (`None` for unused slots).
+    pub fn children(&self) -> [Option<Id>; 2] {
         match *self {
             BoolExpr::Const(_) | BoolExpr::Var(_) => [None, None],
             BoolExpr::Not(c) => [Some(c), None],
@@ -42,7 +43,9 @@ impl BoolExpr {
         }
     }
 
-    fn map_children(self, mut f: impl FnMut(Id) -> Id) -> Self {
+    /// Rewrites every child class id with `f` (used to canonicalize children
+    /// against an e-graph's union-find).
+    pub fn map_children(self, mut f: impl FnMut(Id) -> Id) -> Self {
         match self {
             BoolExpr::Const(_) | BoolExpr::Var(_) => self,
             BoolExpr::Not(c) => BoolExpr::Not(f(c)),
@@ -124,39 +127,31 @@ fn expr_cost(
     Some(combined.saturating_add(gate))
 }
 
-/// Exports a saturated (rebuilt) e-graph as a [`ChoiceAig`].
+/// A per-class selection driving the choice export: the representative
+/// realization (`best`) and its cost (`costs`) for every realizable class.
 ///
-/// `roots` are the output classes (one per output name); `Var(i)` maps to
-/// `input_names[i]`. The representative of every class is its cheapest
-/// realization under `config.cost` (the same greedy bottom-up selection a
-/// choice-free extraction would make), and up to `config.max_choices - 1`
-/// alternatives per class ride along for the mapper.
-///
-/// # Errors
-/// Returns a [`ChoiceError`] if a root class has no realizable term, a
-/// variable index is out of range, or the roots and output names disagree in
-/// length.
-pub fn egraph_to_choices<L: BoolNode>(
-    egraph: &EGraph<L>,
-    roots: &[Id],
-    input_names: &[String],
-    output_names: &[String],
-    name: &str,
-    config: &ChoiceConfig,
-) -> Result<(ChoiceAig, ExportStats), ChoiceError> {
-    if roots.len() != output_names.len() {
-        return Err(ChoiceError::NoSelection(format!(
-            "{} roots but {} output names",
-            roots.len(),
-            output_names.len()
-        )));
-    }
-    let ids = egraph.class_ids_sorted();
+/// Produced either by the exporter's own greedy sweep
+/// ([`greedy_class_selection`]) or by an external extraction engine whose
+/// per-class choices are translated to [`BoolExpr`]s — the dependency
+/// inversion that lets alternative extractors shape which class members a
+/// [`ChoiceAig`] keeps without this crate knowing about them.
+#[derive(Debug, Clone, Default)]
+pub struct ClassSelection {
+    /// The selected realization per class, children canonicalized.
+    pub best: FxHashMap<Id, BoolExpr>,
+    /// The per-class cost ranking used to order choice members; classes
+    /// missing here are treated as unrealizable.
+    pub costs: FxHashMap<Id, u64>,
+}
 
-    // ------------------------------------------------------------------
-    // Pass 1: greedy bottom-up best cost and node per class (deterministic
-    // sweep order; converges to the least fixpoint).
-    // ------------------------------------------------------------------
+/// The exporter's default per-class selection: a greedy bottom-up sweep to
+/// the least-fixpoint cost under `config.cost` (the same selection a
+/// choice-free extraction would make).
+pub fn greedy_class_selection<L: BoolNode>(
+    egraph: &EGraph<L>,
+    config: &ChoiceConfig,
+) -> ClassSelection {
+    let ids = egraph.class_ids_sorted();
     let mut costs: FxHashMap<Id, u64> = FxHashMap::default();
     let mut best: FxHashMap<Id, BoolExpr> = FxHashMap::default();
     let mut changed = true;
@@ -177,9 +172,75 @@ pub fn egraph_to_choices<L: BoolNode>(
             }
         }
     }
+    ClassSelection { best, costs }
+}
+
+/// Exports a saturated (rebuilt) e-graph as a [`ChoiceAig`].
+///
+/// `roots` are the output classes (one per output name); `Var(i)` maps to
+/// `input_names[i]`. The representative of every class is its cheapest
+/// realization under `config.cost` (the same greedy bottom-up selection a
+/// choice-free extraction would make), and up to `config.max_choices - 1`
+/// alternatives per class ride along for the mapper. To let a different
+/// extraction engine pick the representatives, use
+/// [`egraph_to_choices_with_selection`].
+///
+/// # Errors
+/// Returns a [`ChoiceError`] if a root class has no realizable term, a
+/// variable index is out of range, or the roots and output names disagree in
+/// length.
+pub fn egraph_to_choices<L: BoolNode>(
+    egraph: &EGraph<L>,
+    roots: &[Id],
+    input_names: &[String],
+    output_names: &[String],
+    name: &str,
+    config: &ChoiceConfig,
+) -> Result<(ChoiceAig, ExportStats), ChoiceError> {
+    let selection = greedy_class_selection(egraph, config);
+    egraph_to_choices_with_selection(
+        egraph,
+        roots,
+        input_names,
+        output_names,
+        name,
+        config,
+        &selection,
+    )
+}
+
+/// Exports a saturated e-graph as a [`ChoiceAig`] around an externally
+/// chosen per-class selection: `selection.best` supplies every class
+/// representative (an extraction engine's choices), `selection.costs` ranks
+/// the alternatives riding along.
+///
+/// # Errors
+/// In addition to the [`egraph_to_choices`] errors, returns
+/// [`ChoiceError::NoSelection`] when the selection is incomplete (a
+/// representative references a class without one) or cyclic — external
+/// selections are not trusted to be well-formed.
+#[allow(clippy::too_many_arguments)]
+pub fn egraph_to_choices_with_selection<L: BoolNode>(
+    egraph: &EGraph<L>,
+    roots: &[Id],
+    input_names: &[String],
+    output_names: &[String],
+    name: &str,
+    config: &ChoiceConfig,
+    selection: &ClassSelection,
+) -> Result<(ChoiceAig, ExportStats), ChoiceError> {
+    if roots.len() != output_names.len() {
+        return Err(ChoiceError::NoSelection(format!(
+            "{} roots but {} output names",
+            roots.len(),
+            output_names.len()
+        )));
+    }
+    let best = &selection.best;
+    let costs = &selection.costs;
     for &root in roots {
         let root = egraph.find(root);
-        if !costs.contains_key(&root) {
+        if !costs.contains_key(&root) || !best.contains_key(&root) {
             return Err(ChoiceError::NoSelection(format!(
                 "root class {root} has no realizable term"
             )));
@@ -189,38 +250,55 @@ pub fn egraph_to_choices<L: BoolNode>(
     // ------------------------------------------------------------------
     // Pass 2: heights over the representative DAG. `h` strictly increases
     // along every representative edge (including through `Not`), so "all
-    // child classes strictly lower" certifies class-level acyclicity.
+    // child classes strictly lower" certifies class-level acyclicity. The
+    // walk is defensive (two-color DFS): an external selection that is
+    // incomplete or cyclic surfaces as a typed error instead of an index
+    // panic or an unbounded loop.
     // ------------------------------------------------------------------
     let mut heights: FxHashMap<Id, u64> = FxHashMap::default();
+    let mut visiting: FxHashSet<Id> = FxHashSet::default();
     for &start in best.keys() {
         if heights.contains_key(&start) {
             continue;
         }
-        let mut stack = vec![start];
-        while let Some(&top) = stack.last() {
+        let mut stack: Vec<(Id, bool)> = vec![(start, false)];
+        while let Some((top, ready)) = stack.pop() {
             if heights.contains_key(&top) {
-                stack.pop();
                 continue;
             }
-            let expr = &best[&top];
-            let mut ready = true;
-            let mut max_child = 0u64;
-            for child in expr.children().into_iter().flatten() {
-                match heights.get(&child) {
-                    Some(&h) => max_child = max_child.max(h),
-                    None => {
-                        ready = false;
-                        stack.push(child);
-                    }
-                }
-            }
+            let Some(expr) = best.get(&top) else {
+                return Err(ChoiceError::NoSelection(format!(
+                    "selection is incomplete: class {top} has no selected member"
+                )));
+            };
             if ready {
+                let mut max_child = 0u64;
+                for child in expr.children().into_iter().flatten() {
+                    max_child = max_child.max(heights.get(&child).copied().unwrap_or(0));
+                }
                 let h = match expr {
                     BoolExpr::Const(_) | BoolExpr::Var(_) => 0,
                     _ => 1 + max_child,
                 };
                 heights.insert(top, h);
-                stack.pop();
+                visiting.remove(&top);
+            } else {
+                if !visiting.insert(top) {
+                    return Err(ChoiceError::NoSelection(format!(
+                        "selection is cyclic through class {top}"
+                    )));
+                }
+                stack.push((top, true));
+                for child in expr.children().into_iter().flatten() {
+                    if !heights.contains_key(&child) {
+                        if visiting.contains(&child) {
+                            return Err(ChoiceError::NoSelection(format!(
+                                "selection is cyclic through class {child}"
+                            )));
+                        }
+                        stack.push((child, false));
+                    }
+                }
             }
         }
     }
@@ -526,6 +604,74 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ChoiceError::UnknownInput(_)));
+    }
+
+    #[test]
+    fn external_selection_matches_inline_greedy() {
+        let (eg, root) = saturate(&["(| (& x0 x1) x2)", "(& (| x0 x2) (| x1 x2))"]);
+        let config = ChoiceConfig::default();
+        let selection = greedy_class_selection(&eg, &config);
+        let a = export(&eg, &[eg.find(root)], 3, &config);
+        let b = egraph_to_choices_with_selection(
+            &eg,
+            &[eg.find(root)],
+            &names(3),
+            &["f".to_string()],
+            "test",
+            &config,
+            &selection,
+        )
+        .unwrap();
+        assert_eq!(a.0.classes(), b.0.classes());
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn incomplete_external_selection_is_an_error() {
+        let (eg, root) = saturate(&["(& x0 x1)"]);
+        let root = eg.find(root);
+        // A selection whose root member references a class with no selection.
+        let mut selection = greedy_class_selection(&eg, &ChoiceConfig::default());
+        let child = selection.best[&root]
+            .children()
+            .into_iter()
+            .flatten()
+            .next()
+            .unwrap();
+        selection.best.remove(&child);
+        let err = egraph_to_choices_with_selection(
+            &eg,
+            &[root],
+            &names(2),
+            &["f".to_string()],
+            "test",
+            &ChoiceConfig::default(),
+            &selection,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChoiceError::NoSelection(_)), "{err}");
+    }
+
+    #[test]
+    fn cyclic_external_selection_is_an_error() {
+        let (eg, root) = saturate(&["(& x0 x1)"]);
+        let root = eg.find(root);
+        // Hand-build a cyclic "selection": the root realizes as Not(root).
+        let mut selection = ClassSelection::default();
+        selection.best.insert(root, BoolExpr::Not(root));
+        selection.costs.insert(root, 1);
+        let err = egraph_to_choices_with_selection(
+            &eg,
+            &[root],
+            &names(2),
+            &["f".to_string()],
+            "test",
+            &ChoiceConfig::default(),
+            &selection,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ChoiceError::NoSelection(_)), "{err}");
+        assert!(err.to_string().contains("cyclic"), "{err}");
     }
 
     #[test]

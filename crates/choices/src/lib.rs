@@ -36,7 +36,10 @@
 mod export;
 mod network;
 
-pub use export::{egraph_to_choices, BoolExpr, BoolNode, ChoiceConfig, ChoiceCost, ExportStats};
+pub use export::{
+    egraph_to_choices, egraph_to_choices_with_selection, greedy_class_selection, BoolExpr,
+    BoolNode, ChoiceConfig, ChoiceCost, ClassSelection, ExportStats,
+};
 pub use network::{check_members_equivalent, ChoiceAig, ChoiceClass, RebuildStats};
 
 /// Errors produced while building or validating a choice network.

@@ -218,9 +218,15 @@ pub fn esyn_backward(
     output_names: &[String],
     limits: &EsynLimits,
 ) -> Result<(Aig, Duration), EsynFailure> {
-    use egraph::{AstSize, Extractor};
+    use crate::extract::{BottomUpEngine, ExtractBudget, ExtractionCost, ExtractionEngine};
     let start = Instant::now();
-    let extractor = Extractor::new(&conversion.egraph, AstSize);
+    let extraction = BottomUpEngine::new(ExtractionCost::Size)
+        .extract(
+            &conversion.egraph,
+            &conversion.roots,
+            &ExtractBudget::unlimited(),
+        )
+        .expect("forward conversion adds a concrete term per root");
     let mut aig = Aig::new("esyn_backward");
     let inputs: Vec<aig::Lit> = input_names
         .iter()
@@ -228,7 +234,7 @@ pub fn esyn_backward(
         .collect();
     let mut built = 0u64;
     for (root, name) in conversion.roots.iter().zip(output_names) {
-        let (_, expr) = extractor.find_best(*root);
+        let expr = extraction.selection.to_recexpr(&conversion.egraph, *root);
         // Tree-expand the extracted term output by output.
         let mut lits: Vec<aig::Lit> = Vec::with_capacity(expr.len());
         for node in expr.as_ref() {

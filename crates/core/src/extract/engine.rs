@@ -1,0 +1,745 @@
+//! The [`ExtractionEngine`] trait: one API over every way of pulling a
+//! concrete design out of the saturated e-space, plus the deterministic
+//! [`PortfolioEngine`] that races several engines in parallel.
+
+use crate::extract::{
+    bottom_up_with_costs, try_selection_cost, ExtractStats, ExtractionCost, Selection,
+};
+use crate::lang::BoolLang;
+use egraph::{EGraph, FxHashMap, Id, SelectionError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use techmap::cell::map_to_cells;
+use techmap::library::CellLibrary;
+use techmap::MapOptions;
+
+/// Work limits handed to an engine.
+///
+/// `max_evaluations` is expressed in abstract work units (candidate e-node
+/// evaluations), so a budgeted run is **deterministic** — the same budget
+/// always cuts the search at the same point regardless of machine speed.
+/// `time_limit` is a coarse wall-clock backstop; setting it trades that
+/// determinism for predictability of the wall time. Engines are *anytime*:
+/// refinement engines start from a complete bottom-up base selection, so an
+/// exhausted budget yields a valid (merely less optimized) extraction, never
+/// an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExtractBudget {
+    /// Maximum candidate evaluations (`None` = unlimited).
+    pub max_evaluations: Option<u64>,
+    /// Wall-clock backstop, checked coarsely (`None` = unlimited). Using it
+    /// makes budgeted results machine-dependent.
+    pub time_limit: Option<Duration>,
+}
+
+impl ExtractBudget {
+    /// No limits: every engine runs to its natural fixpoint.
+    pub fn unlimited() -> Self {
+        ExtractBudget::default()
+    }
+
+    /// Caps candidate evaluations (deterministic work-unit budget).
+    #[must_use]
+    pub fn with_max_evaluations(mut self, max: u64) -> Self {
+        self.max_evaluations = Some(max);
+        self
+    }
+
+    /// Adds a coarse wall-clock backstop (trades determinism for wall time).
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Returns `true` once `evaluations` work units exhaust the budget or the
+    /// elapsed time passes the backstop (checked by the caller at a coarse
+    /// granularity).
+    pub(crate) fn exhausted(&self, evaluations: u64, started: Instant) -> bool {
+        if self.max_evaluations.is_some_and(|max| evaluations >= max) {
+            return true;
+        }
+        self.time_limit
+            .is_some_and(|limit| started.elapsed() >= limit)
+    }
+}
+
+/// Why an extraction failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// A root class has no realizable term (no finite-cost selection).
+    Unrealizable(Id),
+    /// The produced selection was incomplete or cyclic (an engine bug
+    /// surfaced by the checked cost/conversion paths).
+    Selection(SelectionError),
+    /// A portfolio was run with no member engines.
+    NoEngines,
+    /// Every portfolio member failed; the message lists the per-engine
+    /// errors.
+    AllEnginesFailed(String),
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::Unrealizable(id) => {
+                write!(f, "root class {id} has no realizable term")
+            }
+            ExtractError::Selection(e) => write!(f, "invalid selection: {e}"),
+            ExtractError::NoEngines => write!(f, "portfolio has no engines"),
+            ExtractError::AllEnginesFailed(msg) => {
+                write!(f, "every portfolio engine failed: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl From<SelectionError> for ExtractError {
+    fn from(e: SelectionError) -> Self {
+        ExtractError::Selection(e)
+    }
+}
+
+/// The result of one engine run: a complete per-class selection, a per-class
+/// cost map (the metric the engine optimized, used e.g. to rank choice-class
+/// members), and run statistics.
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// One chosen e-node per realizable class; complete and acyclic over
+    /// every class reachable from the roots.
+    pub selection: Selection,
+    /// Per-class cost under the engine's metric (tree size, arrival depth,
+    /// ...). Keys cover at least every class in `selection`.
+    pub class_costs: FxHashMap<Id, u64>,
+    /// Work and timing statistics.
+    pub stats: ExtractStats,
+}
+
+/// One way of extracting a concrete design from a saturated e-graph.
+///
+/// Implementations must be deterministic for a fixed input and budget, and
+/// `Send + Sync` so a [`PortfolioEngine`] can race them on scoped threads.
+///
+/// # Implementing a custom engine
+///
+/// An engine only has to produce a complete, acyclic [`Selection`] for every
+/// class reachable from the roots. The simplest way is to start from the
+/// exact bottom-up DP and post-process it:
+///
+/// ```
+/// use egraph::{EGraph, Id};
+/// use emorphic::extract::{
+///     BottomUpEngine, ExtractBudget, ExtractError, Extraction, ExtractionCost, ExtractionEngine,
+/// };
+/// use emorphic::BoolLang;
+///
+/// /// Prefers the depth-optimal selection but reports tree-size class costs,
+/// /// so choice ranking favors small alternatives of a depth-held base.
+/// struct DepthBaseSizeRank;
+///
+/// impl ExtractionEngine for DepthBaseSizeRank {
+///     fn name(&self) -> &'static str {
+///         "depth-base-size-rank"
+///     }
+///
+///     fn extract(
+///         &self,
+///         egraph: &EGraph<BoolLang>,
+///         roots: &[Id],
+///         budget: &ExtractBudget,
+///     ) -> Result<Extraction, ExtractError> {
+///         let depth = BottomUpEngine::new(ExtractionCost::Depth).extract(egraph, roots, budget)?;
+///         let size = BottomUpEngine::new(ExtractionCost::Size).extract(egraph, roots, budget)?;
+///         Ok(Extraction {
+///             selection: depth.selection,
+///             class_costs: size.class_costs,
+///             stats: depth.stats,
+///         })
+///     }
+/// }
+///
+/// let conv = emorphic::aig_to_egraph(&benchgen::adder(3).aig);
+/// let result = DepthBaseSizeRank
+///     .extract(&conv.egraph, &conv.roots, &ExtractBudget::unlimited())
+///     .unwrap();
+/// assert!(result.selection.node(conv.roots[0]).is_some());
+/// ```
+pub trait ExtractionEngine: Send + Sync {
+    /// Short stable name used in reports and stats.
+    fn name(&self) -> &'static str;
+
+    /// Extracts one design from `egraph` rooted at `roots` under `budget`.
+    ///
+    /// # Errors
+    /// Returns an [`ExtractError`] if a root is unrealizable or the engine
+    /// cannot produce a complete selection.
+    fn extract(
+        &self,
+        egraph: &EGraph<BoolLang>,
+        roots: &[Id],
+        budget: &ExtractBudget,
+    ) -> Result<Extraction, ExtractError>;
+}
+
+/// Which engine a flow uses (see `FlowConfig::extractor` and
+/// `MapFlowConfig::extractor`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExtractorKind {
+    /// The simulated-annealing extractor guided by the flow's cost model
+    /// (the paper's Algorithm 1; the historical default of `emorphic_flow`).
+    #[default]
+    Sa,
+    /// Exact bottom-up DP minimizing tree size.
+    BottomUp,
+    /// Greedy refinement under true DAG cost (shared subgraphs charged once).
+    GlobalGreedyDag,
+    /// Depth-held, slack-driven area recovery.
+    SlackAware,
+    /// All of the above raced in parallel, best QoR wins deterministically.
+    Portfolio,
+}
+
+/// Per-engine outcome of a (portfolio) run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Engine name.
+    pub engine: String,
+    /// DAG gate count of the engine's selection (0 when the engine failed).
+    pub size_cost: u64,
+    /// Gate depth of the engine's selection (0 when the engine failed).
+    pub depth_cost: u64,
+    /// The engine's own statistics.
+    pub stats: ExtractStats,
+    /// Whether this engine's result was kept.
+    pub won: bool,
+    /// The error message when the engine failed.
+    pub error: Option<String>,
+}
+
+/// Builds the report row for a single (non-portfolio) engine run.
+pub(crate) fn report_for(
+    egraph: &EGraph<BoolLang>,
+    roots: &[Id],
+    name: &str,
+    result: &Result<Extraction, ExtractError>,
+    won: bool,
+) -> EngineReport {
+    match result {
+        Ok(extraction) => EngineReport {
+            engine: name.to_string(),
+            size_cost: try_selection_cost(
+                egraph,
+                &extraction.selection,
+                roots,
+                ExtractionCost::Size,
+            )
+            .unwrap_or(0),
+            depth_cost: try_selection_cost(
+                egraph,
+                &extraction.selection,
+                roots,
+                ExtractionCost::Depth,
+            )
+            .unwrap_or(0),
+            stats: extraction.stats,
+            won,
+            error: None,
+        },
+        Err(e) => EngineReport {
+            engine: name.to_string(),
+            size_cost: 0,
+            depth_cost: 0,
+            stats: ExtractStats::default(),
+            won: false,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Exact bottom-up extraction: the greedy DP over a structural tree cost,
+/// with solution-space pruning on (worklist) or off (fixpoint sweeps).
+///
+/// This engine ignores the budget: it is the cheap base every other engine
+/// refines from, and a partial DP would not be a valid selection.
+#[derive(Debug, Clone, Copy)]
+pub struct BottomUpEngine {
+    cost: ExtractionCost,
+    pruned: bool,
+}
+
+impl BottomUpEngine {
+    /// An engine minimizing the given structural cost, with pruning on.
+    pub fn new(cost: ExtractionCost) -> Self {
+        BottomUpEngine { cost, pruned: true }
+    }
+
+    /// Toggles solution-space pruning (`false` selects the naive fixpoint
+    /// sweeps the Fig. 6 ablation contrasts against; same selection costs,
+    /// many more node evaluations).
+    #[must_use]
+    pub fn with_pruning(mut self, pruned: bool) -> Self {
+        self.pruned = pruned;
+        self
+    }
+}
+
+impl ExtractionEngine for BottomUpEngine {
+    fn name(&self) -> &'static str {
+        match (self.cost, self.pruned) {
+            (ExtractionCost::Size, true) => "bottom-up-size",
+            (ExtractionCost::Depth, true) => "bottom-up-depth",
+            (ExtractionCost::Size, false) => "bottom-up-size-unpruned",
+            (ExtractionCost::Depth, false) => "bottom-up-depth-unpruned",
+        }
+    }
+
+    fn extract(
+        &self,
+        egraph: &EGraph<BoolLang>,
+        roots: &[Id],
+        _budget: &ExtractBudget,
+    ) -> Result<Extraction, ExtractError> {
+        let start = Instant::now();
+        let (selection, class_costs, mut stats) =
+            bottom_up_with_costs(egraph, self.cost, self.pruned);
+        for &root in roots {
+            let root = egraph.find(root);
+            if !selection.choices.contains_key(&root) {
+                return Err(ExtractError::Unrealizable(root));
+            }
+        }
+        stats.runtime = start.elapsed();
+        Ok(Extraction {
+            selection,
+            class_costs,
+            stats,
+        })
+    }
+}
+
+/// How a [`PortfolioEngine`] scores candidate extractions.
+#[derive(Debug, Clone)]
+pub enum PortfolioScorer {
+    /// Structural score: `(primary, secondary)` = (the given cost, the other
+    /// one). Cheap and fully deterministic.
+    Structural(ExtractionCost),
+    /// Technology-mapped score: each candidate is rebuilt as an AIG
+    /// (synthetic port names; mapping ignores names) and mapped against the
+    /// library. `delay_first` picks `(delay, area)` vs `(area, delay)`.
+    Mapped {
+        /// The standard-cell library to map against.
+        library: CellLibrary,
+        /// `true` scores `(delay_ps, area_um2)`, `false` `(area_um2,
+        /// delay_ps)`.
+        delay_first: bool,
+    },
+}
+
+impl PortfolioScorer {
+    /// Scores one extraction as a `(primary, secondary)` pair (lower wins).
+    fn score(
+        &self,
+        egraph: &EGraph<BoolLang>,
+        roots: &[Id],
+        extraction: &Extraction,
+    ) -> Result<(f64, f64), ExtractError> {
+        match self {
+            PortfolioScorer::Structural(primary) => {
+                let size =
+                    try_selection_cost(egraph, &extraction.selection, roots, ExtractionCost::Size)?;
+                let depth = try_selection_cost(
+                    egraph,
+                    &extraction.selection,
+                    roots,
+                    ExtractionCost::Depth,
+                )?;
+                Ok(match primary {
+                    ExtractionCost::Size => (size as f64, depth as f64),
+                    ExtractionCost::Depth => (depth as f64, size as f64),
+                })
+            }
+            PortfolioScorer::Mapped {
+                library,
+                delay_first,
+            } => {
+                let aig = selection_to_named_aig(egraph, roots, &extraction.selection)?;
+                let qor = map_to_cells(&aig, library, &MapOptions::default()).qor();
+                Ok(if *delay_first {
+                    (qor.delay_ps, qor.area_um2)
+                } else {
+                    (qor.area_um2, qor.delay_ps)
+                })
+            }
+        }
+    }
+}
+
+/// Rebuilds a selection as an AIG with synthesized port names (`x<i>` inputs
+/// covering every `Var` index in the e-graph, `o<k>` outputs), for scoring
+/// purposes where names are irrelevant.
+pub(crate) fn selection_to_named_aig(
+    egraph: &EGraph<BoolLang>,
+    roots: &[Id],
+    selection: &Selection,
+) -> Result<aig::Aig, ExtractError> {
+    let (input_names, output_names) = synthetic_names(egraph, roots.len());
+    crate::convert::try_selection_to_aig(
+        egraph,
+        selection,
+        roots,
+        &input_names,
+        &output_names,
+        "extracted",
+    )
+    .map_err(ExtractError::from)
+}
+
+/// Synthesizes `x0..xN` input names (covering the largest `Var` index in the
+/// e-graph) and `o0..oK` output names.
+pub(crate) fn synthetic_names(
+    egraph: &EGraph<BoolLang>,
+    num_outputs: usize,
+) -> (Vec<String>, Vec<String>) {
+    let num_inputs = egraph
+        .classes()
+        .flat_map(|class| class.nodes.iter())
+        .filter_map(|node| match node {
+            BoolLang::Var(i) => Some(*i as usize + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let input_names = (0..num_inputs).map(|i| format!("x{i}")).collect();
+    let output_names = (0..num_outputs).map(|k| format!("o{k}")).collect();
+    (input_names, output_names)
+}
+
+/// Races a set of engines in parallel on scoped threads and keeps the best
+/// result.
+///
+/// The winner is picked **deterministically**: every engine runs to
+/// completion under its budget, all successful results are scored with the
+/// configured [`PortfolioScorer`], and the lowest `(primary, secondary,
+/// engine index)` triple wins — so the fixed engine order breaks exact ties
+/// and the outcome is bit-identical at any thread count.
+pub struct PortfolioEngine {
+    engines: Vec<Box<dyn ExtractionEngine>>,
+    threads: usize,
+    scorer: PortfolioScorer,
+}
+
+impl PortfolioEngine {
+    /// A portfolio over the given engines, scored structurally by size and
+    /// racing one thread per engine.
+    pub fn new(engines: Vec<Box<dyn ExtractionEngine>>) -> Self {
+        let threads = engines.len().max(1);
+        PortfolioEngine {
+            engines,
+            threads,
+            scorer: PortfolioScorer::Structural(ExtractionCost::Size),
+        }
+    }
+
+    /// Sets the number of worker threads (results are identical for every
+    /// value; only wall-clock time changes).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the candidate scorer.
+    #[must_use]
+    pub fn with_scorer(mut self, scorer: PortfolioScorer) -> Self {
+        self.scorer = scorer;
+        self
+    }
+
+    /// Number of member engines.
+    pub fn num_engines(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Runs every engine under `budget` and returns the winning extraction
+    /// plus one report per engine (in engine order).
+    ///
+    /// # Errors
+    /// Returns [`ExtractError::NoEngines`] for an empty portfolio and
+    /// [`ExtractError::AllEnginesFailed`] when no engine produced a result.
+    pub fn extract_with_reports(
+        &self,
+        egraph: &EGraph<BoolLang>,
+        roots: &[Id],
+        budget: &ExtractBudget,
+    ) -> Result<(Extraction, Vec<EngineReport>), ExtractError> {
+        if self.engines.is_empty() {
+            return Err(ExtractError::NoEngines);
+        }
+
+        // PR-3 worker-pool pattern: scoped threads pull engine indices from a
+        // shared atomic counter; results land in their slot, so the outcome
+        // is independent of scheduling.
+        let slots: Vec<Mutex<Option<Result<Extraction, ExtractError>>>> =
+            (0..self.engines.len()).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(self.engines.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= self.engines.len() {
+                        break;
+                    }
+                    let result = self.engines[index].extract(egraph, roots, budget);
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        let results: Vec<Result<Extraction, ExtractError>> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every engine index was processed")
+            })
+            .collect();
+
+        // Deterministic selection: score successes, lowest
+        // (primary, secondary, engine index) wins.
+        let mut winner: Option<(usize, (f64, f64))> = None;
+        let mut scored: Vec<Option<(f64, f64)>> = Vec::with_capacity(results.len());
+        for (index, result) in results.iter().enumerate() {
+            let score = match result {
+                Ok(extraction) => self.score_or_none(egraph, roots, extraction),
+                Err(_) => None,
+            };
+            if let Some(score) = score {
+                let better = match &winner {
+                    None => true,
+                    // Strict comparison: ties keep the earlier engine.
+                    Some((_, best)) => score < *best,
+                };
+                if better {
+                    winner = Some((index, score));
+                }
+            }
+            scored.push(score);
+        }
+
+        let Some((winner_index, _)) = winner else {
+            let errors: Vec<String> = results
+                .iter()
+                .enumerate()
+                .map(|(i, r)| match r {
+                    Ok(_) => format!("{}: unscorable selection", self.engines[i].name()),
+                    Err(e) => format!("{}: {e}", self.engines[i].name()),
+                })
+                .collect();
+            return Err(ExtractError::AllEnginesFailed(errors.join("; ")));
+        };
+
+        let reports: Vec<EngineReport> = results
+            .iter()
+            .enumerate()
+            .map(|(i, result)| {
+                let mut report = report_for(
+                    egraph,
+                    roots,
+                    self.engines[i].name(),
+                    result,
+                    i == winner_index,
+                );
+                if result.is_ok() && scored[i].is_none() {
+                    report.error = Some("selection could not be scored".to_string());
+                }
+                report
+            })
+            .collect();
+
+        let mut results = results;
+        let extraction = results
+            .swap_remove(winner_index)
+            .expect("winner was a successful result");
+        Ok((extraction, reports))
+    }
+
+    /// Scores an extraction, folding score errors (incomplete selection) into
+    /// `None` so a buggy engine loses instead of sinking the portfolio.
+    fn score_or_none(
+        &self,
+        egraph: &EGraph<BoolLang>,
+        roots: &[Id],
+        extraction: &Extraction,
+    ) -> Option<(f64, f64)> {
+        self.scorer.score(egraph, roots, extraction).ok()
+    }
+}
+
+impl std::fmt::Debug for PortfolioEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortfolioEngine")
+            .field(
+                "engines",
+                &self.engines.iter().map(|e| e.name()).collect::<Vec<_>>(),
+            )
+            .field("threads", &self.threads)
+            .field("scorer", &self.scorer)
+            .finish()
+    }
+}
+
+impl ExtractionEngine for PortfolioEngine {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn extract(
+        &self,
+        egraph: &EGraph<BoolLang>,
+        roots: &[Id],
+        budget: &ExtractBudget,
+    ) -> Result<Extraction, ExtractError> {
+        self.extract_with_reports(egraph, roots, budget)
+            .map(|(extraction, _)| extraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::test_util::saturated_egraph;
+    use crate::extract::{GlobalGreedyDagEngine, SlackAwareEngine};
+
+    fn default_portfolio() -> PortfolioEngine {
+        PortfolioEngine::new(vec![
+            Box::new(BottomUpEngine::new(ExtractionCost::Size)),
+            Box::new(BottomUpEngine::new(ExtractionCost::Depth)),
+            Box::new(GlobalGreedyDagEngine::new()),
+            Box::new(SlackAwareEngine::new()),
+        ])
+    }
+
+    #[test]
+    fn bottom_up_engine_matches_free_function() {
+        let aig = benchgen::adder(4).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 3);
+        let engine = BottomUpEngine::new(ExtractionCost::Size);
+        let extraction = engine
+            .extract(&egraph, &roots, &ExtractBudget::unlimited())
+            .unwrap();
+        let (free, _) = crate::extract::bottom_up_extract(&egraph, ExtractionCost::Size);
+        assert_eq!(extraction.selection.choices, free.choices);
+        // The cost map covers the selection and runtime was measured.
+        for id in extraction.selection.choices.keys() {
+            assert!(extraction.class_costs.contains_key(id));
+        }
+        assert!(extraction.stats.nodes_evaluated > 0);
+    }
+
+    #[test]
+    fn pruned_and_unpruned_engines_agree_on_root_cost() {
+        let aig = benchgen::adder(4).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 3);
+        let budget = ExtractBudget::unlimited();
+        let pruned = BottomUpEngine::new(ExtractionCost::Depth)
+            .extract(&egraph, &roots, &budget)
+            .unwrap();
+        let unpruned = BottomUpEngine::new(ExtractionCost::Depth)
+            .with_pruning(false)
+            .extract(&egraph, &roots, &budget)
+            .unwrap();
+        let d_p =
+            try_selection_cost(&egraph, &pruned.selection, &roots, ExtractionCost::Depth).unwrap();
+        let d_u = try_selection_cost(&egraph, &unpruned.selection, &roots, ExtractionCost::Depth)
+            .unwrap();
+        assert_eq!(d_p, d_u);
+        assert!(pruned.stats.nodes_evaluated <= unpruned.stats.nodes_evaluated);
+    }
+
+    #[test]
+    fn extract_errors_format_usefully() {
+        let missing = ExtractError::Selection(SelectionError::Missing(egraph::Id(3)));
+        assert!(missing.to_string().contains("invalid selection"));
+        assert!(ExtractError::NoEngines.to_string().contains("no engines"));
+        let unrealizable = ExtractError::Unrealizable(egraph::Id(7));
+        assert!(unrealizable.to_string().contains("no realizable term"));
+    }
+
+    #[test]
+    fn portfolio_is_deterministic_across_thread_counts() {
+        let aig = benchgen::adder(5).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 3);
+        let budget = ExtractBudget::unlimited();
+        let serial = default_portfolio()
+            .with_threads(1)
+            .extract_with_reports(&egraph, &roots, &budget)
+            .unwrap();
+        let parallel = default_portfolio()
+            .with_threads(4)
+            .extract_with_reports(&egraph, &roots, &budget)
+            .unwrap();
+        assert_eq!(serial.0.selection.choices, parallel.0.selection.choices);
+        let winner = |reports: &[EngineReport]| {
+            reports
+                .iter()
+                .find(|r| r.won)
+                .map(|r| r.engine.clone())
+                .unwrap()
+        };
+        assert_eq!(winner(&serial.1), winner(&parallel.1));
+    }
+
+    #[test]
+    fn portfolio_never_worse_than_any_member_on_the_score() {
+        let aig = benchgen::adder(5).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 3);
+        let budget = ExtractBudget::unlimited();
+        let portfolio = default_portfolio();
+        let (best, reports) = portfolio
+            .extract_with_reports(&egraph, &roots, &budget)
+            .unwrap();
+        let best_size =
+            try_selection_cost(&egraph, &best.selection, &roots, ExtractionCost::Size).unwrap();
+        for report in &reports {
+            assert!(
+                report.error.is_none(),
+                "{}: {:?}",
+                report.engine,
+                report.error
+            );
+            assert!(
+                best_size <= report.size_cost
+                    || reports.iter().any(|r| r.won && r.size_cost == best_size),
+                "portfolio size {best_size} vs {} from {}",
+                report.size_cost,
+                report.engine
+            );
+            assert!(best_size <= report.size_cost, "size scorer picks the min");
+        }
+        assert_eq!(reports.iter().filter(|r| r.won).count(), 1);
+    }
+
+    #[test]
+    fn empty_portfolio_is_an_error() {
+        let aig = benchgen::adder(3).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 2);
+        let err = PortfolioEngine::new(Vec::new())
+            .extract(&egraph, &roots, &ExtractBudget::unlimited())
+            .unwrap_err();
+        assert!(matches!(err, ExtractError::NoEngines));
+    }
+
+    #[test]
+    fn budget_builders_compose() {
+        let budget = ExtractBudget::unlimited()
+            .with_max_evaluations(100)
+            .with_time_limit(Duration::from_secs(1));
+        assert_eq!(budget.max_evaluations, Some(100));
+        assert_eq!(budget.time_limit, Some(Duration::from_secs(1)));
+        assert!(budget.exhausted(100, Instant::now()));
+        assert!(!budget.exhausted(99, Instant::now()));
+    }
+}

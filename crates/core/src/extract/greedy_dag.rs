@@ -1,0 +1,357 @@
+//! Greedy extraction under **true DAG cost**: shared subgraphs are charged
+//! once, so the engine can undo the tree-cost DP's habit of picking locally
+//! small nodes that duplicate logic globally.
+
+use crate::extract::engine::{ExtractBudget, ExtractError, Extraction, ExtractionEngine};
+use crate::extract::{bottom_up_with_costs, node_cost, ExtractStats, ExtractionCost, Selection};
+use crate::lang::BoolLang;
+use egraph::{EGraph, FxHashMap, Id, Language};
+use std::time::Instant;
+
+/// Greedy DAG-cost refinement.
+///
+/// Starts from the exact tree-cost DP selection and repeatedly tries to
+/// switch one class's chosen e-node to an alternative, keeping the switch iff
+/// the number of **live gates** (distinct AND/OR classes reachable from the
+/// roots) strictly decreases. Liveness is tracked incrementally with
+/// reference counts, so each candidate costs O(touched subgraph) instead of
+/// O(V).
+///
+/// Acyclicity is maintained by a height-admission rule: a candidate node is
+/// only considered when every child's height (longest selection path to a
+/// leaf, every edge counting) is strictly below the class's own height. A
+/// hypothetical new cycle through the class would need a selection path from
+/// a child back to the class, which would force the class's height below the
+/// child's — contradicting the admission check — so no admissible switch can
+/// create a cycle.
+///
+/// The refinement loop is deterministic (classes in sorted-id order, nodes in
+/// class order) and *anytime*: an exhausted [`ExtractBudget`] simply stops
+/// refinement, leaving a valid selection.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalGreedyDagEngine;
+
+impl GlobalGreedyDagEngine {
+    /// Creates the engine (it has no knobs).
+    pub fn new() -> Self {
+        GlobalGreedyDagEngine
+    }
+}
+
+/// Heights of every selected class: leaves are 0, every selection edge adds 1
+/// (including through `Not`, which is free in gates but still an edge a cycle
+/// could run through). The selection is acyclic by invariant.
+fn selection_heights(
+    egraph: &EGraph<BoolLang>,
+    selection: &FxHashMap<Id, BoolLang>,
+) -> FxHashMap<Id, u64> {
+    let mut heights: FxHashMap<Id, u64> = FxHashMap::default();
+    let mut stack: Vec<(Id, bool)> = Vec::new();
+    for &start in selection.keys() {
+        stack.push((start, false));
+        while let Some((id, ready)) = stack.pop() {
+            if heights.contains_key(&id) {
+                continue;
+            }
+            let Some(node) = selection.get(&id) else {
+                // Unreferenced stale entry pointing outside the selection;
+                // height 0 keeps it inert (it can never be admitted anyway).
+                heights.insert(id, 0);
+                continue;
+            };
+            if ready {
+                let mut h = 0u64;
+                for &c in node.children() {
+                    h = h.max(1 + heights.get(&egraph.find(c)).copied().unwrap_or(0));
+                }
+                heights.insert(id, h);
+            } else {
+                stack.push((id, true));
+                for &c in node.children() {
+                    let c = egraph.find(c);
+                    if !heights.contains_key(&c) {
+                        stack.push((c, false));
+                    }
+                }
+            }
+        }
+    }
+    heights
+}
+
+/// Incremental liveness tracker over a selection: per-class reference counts
+/// from the roots plus the running count of live gate classes.
+struct Liveness {
+    refs: FxHashMap<Id, u64>,
+    live_gates: u64,
+}
+
+impl Liveness {
+    fn new(egraph: &EGraph<BoolLang>, selection: &FxHashMap<Id, BoolLang>, roots: &[Id]) -> Self {
+        let mut live = Liveness {
+            refs: FxHashMap::default(),
+            live_gates: 0,
+        };
+        for &root in roots {
+            live.inc(egraph, selection, egraph.find(root));
+        }
+        live
+    }
+
+    /// Adds one reference to `id`, cascading into its children when the class
+    /// becomes newly live.
+    fn inc(&mut self, egraph: &EGraph<BoolLang>, selection: &FxHashMap<Id, BoolLang>, id: Id) {
+        let mut stack = vec![id];
+        while let Some(x) = stack.pop() {
+            let count = self.refs.entry(x).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                if let Some(node) = selection.get(&x) {
+                    self.live_gates += node_cost(node);
+                    for &c in node.children() {
+                        stack.push(egraph.find(c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes one reference from `id`, cascading when the class dies.
+    fn dec(&mut self, egraph: &EGraph<BoolLang>, selection: &FxHashMap<Id, BoolLang>, id: Id) {
+        let mut stack = vec![id];
+        while let Some(x) = stack.pop() {
+            let count = self
+                .refs
+                .get_mut(&x)
+                .expect("decrement of an unreferenced class");
+            *count -= 1;
+            if *count == 0 {
+                if let Some(node) = selection.get(&x) {
+                    self.live_gates -= node_cost(node);
+                    for &c in node.children() {
+                        stack.push(egraph.find(c));
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_live(&self, id: Id) -> bool {
+        self.refs.get(&id).is_some_and(|&c| c > 0)
+    }
+}
+
+impl ExtractionEngine for GlobalGreedyDagEngine {
+    fn name(&self) -> &'static str {
+        "global-greedy-dag"
+    }
+
+    fn extract(
+        &self,
+        egraph: &EGraph<BoolLang>,
+        roots: &[Id],
+        budget: &ExtractBudget,
+    ) -> Result<Extraction, ExtractError> {
+        let start = Instant::now();
+        let (base, class_costs, base_stats) =
+            bottom_up_with_costs(egraph, ExtractionCost::Size, true);
+        let mut selection = base.choices;
+        let roots: Vec<Id> = roots.iter().map(|&r| egraph.find(r)).collect();
+        for &root in &roots {
+            if !selection.contains_key(&root) {
+                return Err(ExtractError::Unrealizable(root));
+            }
+        }
+
+        let mut stats = ExtractStats {
+            nodes_evaluated: base_stats.nodes_evaluated,
+            improvements: 0,
+            runtime: Default::default(),
+        };
+        let mut heights = selection_heights(egraph, &selection);
+        let mut live = Liveness::new(egraph, &selection, &roots);
+        let class_order = egraph.class_ids_sorted();
+
+        // Each accepted switch strictly decreases `live_gates` (a nonnegative
+        // integer), so the refinement terminates; the loop ends at the first
+        // full pass with no accepted switch or when the budget runs out.
+        let mut evaluations = 0u64;
+        'refine: loop {
+            let mut accepted_this_pass = false;
+            for &class_id in &class_order {
+                if !live.is_live(class_id) || !selection.contains_key(&class_id) {
+                    continue;
+                }
+                let class_height = heights.get(&class_id).copied().unwrap_or(0);
+                for node in &egraph.class(class_id).nodes {
+                    if evaluations.is_multiple_of(256) && budget.exhausted(evaluations, start) {
+                        break 'refine;
+                    }
+                    evaluations += 1;
+                    stats.nodes_evaluated += 1;
+
+                    let current = &selection[&class_id];
+                    if node == current {
+                        continue;
+                    }
+                    // Height admission: every child must sit strictly below
+                    // this class, and be realizable at all.
+                    let admissible = node.children().iter().all(|&c| {
+                        let c = egraph.find(c);
+                        selection.contains_key(&c)
+                            && heights.get(&c).is_some_and(|&ch| ch < class_height)
+                    });
+                    if !admissible {
+                        continue;
+                    }
+
+                    // Tentatively switch and measure the live-gate delta.
+                    let before = live.live_gates;
+                    let old = selection
+                        .insert(class_id, node.clone())
+                        .expect("class was selected");
+                    live.live_gates += node_cost(node);
+                    live.live_gates -= node_cost(&old);
+                    for &c in node.children() {
+                        live.inc(egraph, &selection, egraph.find(c));
+                    }
+                    for &c in old.children() {
+                        live.dec(egraph, &selection, egraph.find(c));
+                    }
+
+                    if live.live_gates < before {
+                        stats.improvements += 1;
+                        accepted_this_pass = true;
+                        heights = selection_heights(egraph, &selection);
+                    } else {
+                        // Revert exactly: put the old node back and undo the
+                        // reference-count changes in reverse.
+                        for &c in node.children() {
+                            live.dec(egraph, &selection, egraph.find(c));
+                        }
+                        let node_back = selection
+                            .insert(class_id, old)
+                            .expect("class still selected");
+                        let old = &selection[&class_id];
+                        live.live_gates += node_cost(old);
+                        live.live_gates -= node_cost(&node_back);
+                        for &c in old.children() {
+                            live.inc(egraph, &selection, egraph.find(c));
+                        }
+                        debug_assert_eq!(live.live_gates, before, "revert must be exact");
+                    }
+                }
+            }
+            if !accepted_this_pass {
+                break;
+            }
+        }
+
+        stats.runtime = start.elapsed();
+        Ok(Extraction {
+            selection: Selection { choices: selection },
+            class_costs,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::test_util::saturated_egraph;
+    use crate::extract::{try_selection_cost, BottomUpEngine};
+
+    #[test]
+    fn dag_cost_not_worse_than_tree_cost_selection() {
+        for (name, aig, iters) in [
+            ("adder", benchgen::adder(5).aig, 3),
+            ("mult", benchgen::multiplier(3).aig, 2),
+        ] {
+            let (egraph, roots) = saturated_egraph(&aig, iters);
+            let budget = ExtractBudget::unlimited();
+            let tree = BottomUpEngine::new(ExtractionCost::Size)
+                .extract(&egraph, &roots, &budget)
+                .unwrap();
+            let dag = GlobalGreedyDagEngine::new()
+                .extract(&egraph, &roots, &budget)
+                .unwrap();
+            let tree_size =
+                try_selection_cost(&egraph, &tree.selection, &roots, ExtractionCost::Size).unwrap();
+            let dag_size =
+                try_selection_cost(&egraph, &dag.selection, &roots, ExtractionCost::Size).unwrap();
+            assert!(
+                dag_size <= tree_size,
+                "{name}: dag {dag_size} vs tree {tree_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_stays_acyclic_and_complete() {
+        let aig = benchgen::multiplier(3).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 2);
+        let extraction = GlobalGreedyDagEngine::new()
+            .extract(&egraph, &roots, &ExtractBudget::unlimited())
+            .unwrap();
+        // try_selection_cost(Depth) walks with cycle detection: Ok proves the
+        // refined selection is still complete and acyclic from the roots.
+        try_selection_cost(
+            &egraph,
+            &extraction.selection,
+            &roots,
+            ExtractionCost::Depth,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn extraction_is_equivalent_to_input() {
+        let aig = benchgen::adder(4).aig;
+        let conv = crate::convert::aig_to_egraph(&aig);
+        let (egraph, roots) = saturated_egraph(&aig, 3);
+        let extraction = GlobalGreedyDagEngine::new()
+            .extract(&egraph, &roots, &ExtractBudget::unlimited())
+            .unwrap();
+        let back = crate::convert::try_selection_to_aig(
+            &egraph,
+            &extraction.selection,
+            &roots,
+            &conv.input_names,
+            &conv.output_names,
+            "greedy-dag",
+        )
+        .unwrap();
+        for p in 0..(1usize << aig.num_inputs()) {
+            let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| p >> i & 1 == 1).collect();
+            assert_eq!(aig.evaluate(&bits), back.evaluate(&bits), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_still_yields_a_valid_selection() {
+        let aig = benchgen::adder(5).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 3);
+        let tight = ExtractBudget::unlimited().with_max_evaluations(1);
+        let extraction = GlobalGreedyDagEngine::new()
+            .extract(&egraph, &roots, &tight)
+            .unwrap();
+        try_selection_cost(&egraph, &extraction.selection, &roots, ExtractionCost::Size).unwrap();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let aig = benchgen::adder(5).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 3);
+        let budget = ExtractBudget::unlimited();
+        let a = GlobalGreedyDagEngine::new()
+            .extract(&egraph, &roots, &budget)
+            .unwrap();
+        let b = GlobalGreedyDagEngine::new()
+            .extract(&egraph, &roots, &budget)
+            .unwrap();
+        assert_eq!(a.selection.choices, b.selection.choices);
+        assert_eq!(a.stats.nodes_evaluated, b.stats.nodes_evaluated);
+        assert_eq!(a.stats.improvements, b.stats.improvements);
+    }
+}

@@ -1,11 +1,37 @@
-//! E-graph extraction: pruned bottom-up extraction and the simulated
-//! annealing extractor.
+//! E-graph extraction: the [`ExtractionEngine`] trait, its engines, and the
+//! shared bottom-up dynamic program they build on.
+//!
+//! Four engines ship behind the one trait:
+//!
+//! * [`BottomUpEngine`] — the exact greedy DP (pruned worklist or unpruned
+//!   fixpoint sweeps) minimizing a structural tree cost.
+//! * [`GlobalGreedyDagEngine`] — greedy refinement that charges shared
+//!   subgraphs once (true DAG cost instead of tree cost).
+//! * [`SlackAwareEngine`] — depth/slack-driven selection: hold the critical
+//!   depth, spend per-class slack on smaller structures.
+//! * [`sa::SaEngine`] — the paper's simulated-annealing extractor guided by a
+//!   [`costmodel::CostEvaluator`].
+//!
+//! [`PortfolioEngine`] races any set of them in parallel and picks the best
+//! result deterministically.
 
+pub mod engine;
+pub mod greedy_dag;
 pub mod sa;
+pub mod slack;
+
+pub use engine::{
+    BottomUpEngine, EngineReport, ExtractBudget, ExtractError, Extraction, ExtractionEngine,
+    ExtractorKind, PortfolioEngine, PortfolioScorer,
+};
+pub use greedy_dag::GlobalGreedyDagEngine;
+pub use sa::SaEngine;
+pub use slack::SlackAwareEngine;
 
 use crate::lang::BoolLang;
-use egraph::{DagSelection, EGraph, FxHashMap, Id, Language};
+use egraph::{DagSelection, EGraph, FxHashMap, Id, Language, SelectionError};
 use std::collections::VecDeque;
+use std::time::Duration;
 
 /// A concrete choice of one e-node per e-class over the Boolean language.
 pub type Selection = DagSelection<BoolLang>;
@@ -21,144 +47,158 @@ pub enum ExtractionCost {
 
 /// Per-node gate cost: AND/OR count as one gate, inverters and leaves are free
 /// (inverters are edge attributes in the AIG back-end).
-fn node_cost(node: &BoolLang) -> u64 {
+pub(crate) fn node_cost(node: &BoolLang) -> u64 {
     match node {
         BoolLang::And(_) | BoolLang::Or(_) => 1,
         BoolLang::Not(_) | BoolLang::Const(_) | BoolLang::Var(_) => 0,
     }
 }
 
-/// Statistics of one extraction run, used by the solution-space-pruning
-/// ablation (Fig. 6).
+/// Statistics of one extraction run, shared by every engine (and used by the
+/// solution-space-pruning ablation, Fig. 6).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExtractStats {
     /// Number of e-node cost evaluations performed.
     pub nodes_evaluated: usize,
     /// Number of class-cost improvements committed.
     pub improvements: usize,
+    /// Wall-clock time of the run ([`Duration::ZERO`] when not measured).
+    pub runtime: Duration,
 }
 
-/// Greedy bottom-up extraction with **solution-space pruning**: a worklist
-/// seeded with the leaf e-nodes; a class's parents are only re-examined when
-/// the class's best cost improves, and e-nodes are never re-evaluated when
-/// none of their children changed (their cached cost in `Costs_map` stays
-/// valid). Returns the selection plus evaluation statistics.
+/// The shared bottom-up dynamic program: per-class least-fixpoint cost and
+/// the node realizing it. `pruned` selects between the worklist algorithm
+/// (solution-space pruning, Fig. 6) and the naive fixpoint sweeps it is
+/// ablated against; both converge to the same per-class costs.
+pub(crate) fn bottom_up_with_costs(
+    egraph: &EGraph<BoolLang>,
+    cost_kind: ExtractionCost,
+    pruned: bool,
+) -> (Selection, FxHashMap<Id, u64>, ExtractStats) {
+    let mut stats = ExtractStats::default();
+    let mut costs: FxHashMap<Id, u64> = FxHashMap::default();
+    let mut choices: FxHashMap<Id, BoolLang> = FxHashMap::default();
+
+    if pruned {
+        // Worklist seeded with the leaf e-nodes; a class's parents are only
+        // re-examined when the class's best cost improves, and e-nodes are
+        // never re-evaluated when none of their children changed.
+        let parent_index = egraph.parent_index();
+        let mut queue: VecDeque<(Id, BoolLang)> = VecDeque::new();
+        for class in egraph.classes() {
+            for node in &class.nodes {
+                if node.is_leaf() {
+                    queue.push_back((class.id, node.clone()));
+                }
+            }
+        }
+        while let Some((class_id, node)) = queue.pop_front() {
+            // All children must already have a cost, otherwise the node will
+            // be re-enqueued when the missing child class gets one.
+            let mut ready = true;
+            let mut combined = 0u64;
+            for &child in node.children() {
+                match costs.get(&egraph.find(child)) {
+                    Some(&c) => {
+                        combined = match cost_kind {
+                            ExtractionCost::Size => combined.saturating_add(c),
+                            ExtractionCost::Depth => combined.max(c),
+                        }
+                    }
+                    None => {
+                        ready = false;
+                        break;
+                    }
+                }
+            }
+            if !ready {
+                continue;
+            }
+            stats.nodes_evaluated += 1;
+            let new_cost = combined.saturating_add(node_cost(&node));
+            let previous = costs.get(&class_id).copied();
+            if previous.is_none_or(|prev| new_cost < prev) {
+                costs.insert(class_id, new_cost);
+                choices.insert(class_id, node);
+                stats.improvements += 1;
+                if let Some(parents) = parent_index.get(&class_id) {
+                    for (parent_class, parent_node) in parents {
+                        queue.push_back((*parent_class, parent_node.clone()));
+                    }
+                }
+            }
+        }
+    } else {
+        // Unpruned baseline: repeatedly sweep every e-node of every class
+        // until a fixpoint, re-evaluating node costs even when nothing
+        // changed underneath (the behaviour Fig. 6 contrasts against).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for class in egraph.classes() {
+                for node in &class.nodes {
+                    let mut ready = true;
+                    let mut combined = 0u64;
+                    for &child in node.children() {
+                        match costs.get(&egraph.find(child)) {
+                            Some(&c) => {
+                                combined = match cost_kind {
+                                    ExtractionCost::Size => combined.saturating_add(c),
+                                    ExtractionCost::Depth => combined.max(c),
+                                }
+                            }
+                            None => {
+                                ready = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !ready {
+                        continue;
+                    }
+                    stats.nodes_evaluated += 1;
+                    let new_cost = combined.saturating_add(node_cost(node));
+                    if costs.get(&class.id).is_none_or(|&prev| new_cost < prev) {
+                        costs.insert(class.id, new_cost);
+                        choices.insert(class.id, node.clone());
+                        stats.improvements += 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    (Selection { choices }, costs, stats)
+}
+
+/// Greedy bottom-up extraction with **solution-space pruning** (Fig. 6).
+///
+/// Kept as a plain function for the annealing chains and the tests; external
+/// callers should go through [`BottomUpEngine`], which also reports the
+/// per-class cost map.
 pub fn bottom_up_extract(
     egraph: &EGraph<BoolLang>,
     cost_kind: ExtractionCost,
 ) -> (Selection, ExtractStats) {
-    let mut stats = ExtractStats::default();
-    let parent_index = egraph.parent_index();
-    let mut costs: FxHashMap<Id, u64> = FxHashMap::default();
-    let mut choices: FxHashMap<Id, BoolLang> = FxHashMap::default();
-
-    // Seed the queue with the leaf e-nodes of every class.
-    let mut queue: VecDeque<(Id, BoolLang)> = VecDeque::new();
-    for class in egraph.classes() {
-        for node in &class.nodes {
-            if node.is_leaf() {
-                queue.push_back((class.id, node.clone()));
-            }
-        }
-    }
-
-    while let Some((class_id, node)) = queue.pop_front() {
-        // All children must already have a cost, otherwise the node will be
-        // re-enqueued when the missing child class gets one.
-        let mut ready = true;
-        let mut combined = 0u64;
-        for &child in node.children() {
-            match costs.get(&egraph.find(child)) {
-                Some(&c) => {
-                    combined = match cost_kind {
-                        ExtractionCost::Size => combined.saturating_add(c),
-                        ExtractionCost::Depth => combined.max(c),
-                    }
-                }
-                None => {
-                    ready = false;
-                    break;
-                }
-            }
-        }
-        if !ready {
-            continue;
-        }
-        stats.nodes_evaluated += 1;
-        let new_cost = combined.saturating_add(node_cost(&node));
-        let previous = costs.get(&class_id).copied();
-        if previous.is_none_or(|prev| new_cost < prev) {
-            costs.insert(class_id, new_cost);
-            choices.insert(class_id, node);
-            stats.improvements += 1;
-            // Propagate to the parents of this class (solution-space pruning:
-            // nodes whose children did not improve are never revisited).
-            if let Some(parents) = parent_index.get(&class_id) {
-                for (parent_class, parent_node) in parents {
-                    queue.push_back((*parent_class, parent_node.clone()));
-                }
-            }
-        }
-    }
-
-    (Selection { choices }, stats)
+    let (selection, _, stats) = bottom_up_with_costs(egraph, cost_kind, true);
+    (selection, stats)
 }
 
-/// Baseline extraction without pruning: repeatedly sweeps every e-node of
-/// every class until a fixpoint is reached, re-evaluating node costs even when
-/// nothing changed underneath (the behaviour Fig. 6 contrasts against).
-pub fn bottom_up_extract_unpruned(
-    egraph: &EGraph<BoolLang>,
-    cost_kind: ExtractionCost,
-) -> (Selection, ExtractStats) {
-    let mut stats = ExtractStats::default();
-    let mut costs: FxHashMap<Id, u64> = FxHashMap::default();
-    let mut choices: FxHashMap<Id, BoolLang> = FxHashMap::default();
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for class in egraph.classes() {
-            for node in &class.nodes {
-                let mut ready = true;
-                let mut combined = 0u64;
-                for &child in node.children() {
-                    match costs.get(&egraph.find(child)) {
-                        Some(&c) => {
-                            combined = match cost_kind {
-                                ExtractionCost::Size => combined.saturating_add(c),
-                                ExtractionCost::Depth => combined.max(c),
-                            }
-                        }
-                        None => {
-                            ready = false;
-                            break;
-                        }
-                    }
-                }
-                if !ready {
-                    continue;
-                }
-                stats.nodes_evaluated += 1;
-                let new_cost = combined.saturating_add(node_cost(node));
-                if costs.get(&class.id).is_none_or(|&prev| new_cost < prev) {
-                    costs.insert(class.id, new_cost);
-                    choices.insert(class.id, node.clone());
-                    stats.improvements += 1;
-                    changed = true;
-                }
-            }
-        }
-    }
-    (Selection { choices }, stats)
-}
-
-/// Computes the structural cost of a selection at the given roots.
-pub fn selection_cost(
+/// Computes the structural cost of a selection at the given roots, reporting
+/// a reachable class without a selected node as a typed error instead of
+/// silently treating it as free (which would let an engine bug masquerade as
+/// an excellent extraction).
+///
+/// # Errors
+/// Returns [`SelectionError::Missing`] if a reachable class has no selected
+/// node, or [`SelectionError::Cyclic`] if the depth cost meets a cycle.
+pub fn try_selection_cost(
     egraph: &EGraph<BoolLang>,
     selection: &Selection,
     roots: &[Id],
     cost_kind: ExtractionCost,
-) -> u64 {
+) -> Result<u64, SelectionError> {
     match cost_kind {
         ExtractionCost::Size => {
             // Count distinct gate classes reachable under the selection.
@@ -169,59 +209,74 @@ pub fn selection_cost(
                 if !seen.insert(id) {
                     continue;
                 }
-                if let Some(node) = selection.node(id) {
-                    total += node_cost(node);
-                    for &child in node.children() {
-                        stack.push(egraph.find(child));
-                    }
+                let node = selection.node(id).ok_or(SelectionError::Missing(id))?;
+                total += node_cost(node);
+                for &child in node.children() {
+                    stack.push(egraph.find(child));
                 }
             }
-            total
+            Ok(total)
         }
         ExtractionCost::Depth => {
-            let mut memo: FxHashMap<Id, u64> = FxHashMap::default();
+            // Two-color memo: `None` marks an in-progress class, so a back
+            // edge surfaces as `Cyclic` instead of reading a guard value.
+            let mut memo: FxHashMap<Id, Option<u64>> = FxHashMap::default();
             fn depth_of(
                 egraph: &EGraph<BoolLang>,
                 selection: &Selection,
                 id: Id,
-                memo: &mut FxHashMap<Id, u64>,
-            ) -> u64 {
-                if let Some(&d) = memo.get(&id) {
-                    return d;
+                memo: &mut FxHashMap<Id, Option<u64>>,
+            ) -> Result<u64, SelectionError> {
+                match memo.get(&id) {
+                    Some(Some(d)) => return Ok(*d),
+                    Some(None) => return Err(SelectionError::Cyclic(id)),
+                    None => {}
                 }
-                memo.insert(id, 0);
-                let d = match selection.node(id) {
-                    Some(node) => {
-                        let child_max = node
-                            .children()
-                            .iter()
-                            .map(|&c| depth_of(egraph, selection, egraph.find(c), memo))
-                            .max()
-                            .unwrap_or(0);
-                        child_max + node_cost(node)
-                    }
-                    None => 0,
-                };
-                memo.insert(id, d);
-                d
+                memo.insert(id, None);
+                let node = selection.node(id).ok_or(SelectionError::Missing(id))?;
+                let mut child_max = 0u64;
+                for &c in node.children() {
+                    child_max = child_max.max(depth_of(egraph, selection, egraph.find(c), memo)?);
+                }
+                let d = child_max + node_cost(node);
+                memo.insert(id, Some(d));
+                Ok(d)
             }
-            roots
-                .iter()
-                .map(|&r| depth_of(egraph, selection, egraph.find(r), &mut memo))
-                .max()
-                .unwrap_or(0)
+            let mut best = 0u64;
+            for &r in roots {
+                best = best.max(depth_of(egraph, selection, egraph.find(r), &mut memo)?);
+            }
+            Ok(best)
         }
     }
 }
 
+/// Computes the structural cost of a selection at the given roots.
+///
+/// # Panics
+/// Panics if a reachable class has no selected node or the selection is
+/// cyclic; [`try_selection_cost`] reports the same conditions as a typed
+/// [`SelectionError`] instead.
+pub fn selection_cost(
+    egraph: &EGraph<BoolLang>,
+    selection: &Selection,
+    roots: &[Id],
+    cost_kind: ExtractionCost,
+) -> u64 {
+    try_selection_cost(egraph, selection, roots, cost_kind).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Test-only helper shared by the engine modules' unit tests.
 #[cfg(test)]
-mod tests {
+pub(crate) mod test_util {
     use super::*;
     use crate::convert::aig_to_egraph;
     use crate::rules::all_rules;
     use egraph::{Runner, Scheduler};
 
-    fn saturated_egraph(aig: &aig::Aig, iters: usize) -> (EGraph<BoolLang>, Vec<Id>) {
+    /// Converts and saturates a circuit with small-test knobs, returning the
+    /// e-graph and canonical roots.
+    pub(crate) fn saturated_egraph(aig: &aig::Aig, iters: usize) -> (EGraph<BoolLang>, Vec<Id>) {
         let conv = aig_to_egraph(aig);
         let runner = Runner::with_egraph(conv.egraph)
             .with_iter_limit(iters)
@@ -234,6 +289,13 @@ mod tests {
         let roots = conv.roots.iter().map(|&r| runner.egraph.find(r)).collect();
         (runner.egraph, roots)
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_util::saturated_egraph;
+    use super::*;
+    use crate::convert::aig_to_egraph;
 
     #[test]
     fn pruned_and_unpruned_agree_on_cost() {
@@ -242,8 +304,8 @@ mod tests {
         // tree cost, so equally-optimal selections may differ in DAG sharing).
         let aig = benchgen::adder(4).aig;
         let (egraph, roots) = saturated_egraph(&aig, 3);
-        let (sel_p, _) = bottom_up_extract(&egraph, ExtractionCost::Depth);
-        let (sel_u, _) = bottom_up_extract_unpruned(&egraph, ExtractionCost::Depth);
+        let (sel_p, _, _) = bottom_up_with_costs(&egraph, ExtractionCost::Depth, true);
+        let (sel_u, _, _) = bottom_up_with_costs(&egraph, ExtractionCost::Depth, false);
         let cost_p = selection_cost(&egraph, &sel_p, &roots, ExtractionCost::Depth);
         let cost_u = selection_cost(&egraph, &sel_u, &roots, ExtractionCost::Depth);
         assert_eq!(cost_p, cost_u);
@@ -253,8 +315,8 @@ mod tests {
     fn pruning_reduces_evaluations() {
         let aig = benchgen::adder(5).aig;
         let (egraph, _roots) = saturated_egraph(&aig, 3);
-        let (_, stats_p) = bottom_up_extract(&egraph, ExtractionCost::Size);
-        let (_, stats_u) = bottom_up_extract_unpruned(&egraph, ExtractionCost::Size);
+        let (_, _, stats_p) = bottom_up_with_costs(&egraph, ExtractionCost::Size, true);
+        let (_, _, stats_u) = bottom_up_with_costs(&egraph, ExtractionCost::Size, false);
         assert!(
             stats_p.nodes_evaluated < stats_u.nodes_evaluated,
             "pruned {} vs unpruned {}",
@@ -313,5 +375,25 @@ mod tests {
             let bits: Vec<bool> = (0..aig.num_inputs()).map(|i| p >> i & 1 == 1).collect();
             assert_eq!(aig.evaluate(&bits), back.evaluate(&bits), "pattern {p}");
         }
+    }
+
+    #[test]
+    fn try_selection_cost_reports_missing_classes() {
+        let aig = benchgen::adder(3).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 2);
+        let empty = Selection {
+            choices: FxHashMap::default(),
+        };
+        for kind in [ExtractionCost::Size, ExtractionCost::Depth] {
+            let err = try_selection_cost(&egraph, &empty, &roots, kind).unwrap_err();
+            assert!(matches!(err, SelectionError::Missing(_)), "{err}");
+        }
+        // A complete selection reports Ok and matches the panicking wrapper.
+        let (selection, _) = bottom_up_extract(&egraph, ExtractionCost::Size);
+        let ok = try_selection_cost(&egraph, &selection, &roots, ExtractionCost::Size).unwrap();
+        assert_eq!(
+            ok,
+            selection_cost(&egraph, &selection, &roots, ExtractionCost::Size)
+        );
     }
 }

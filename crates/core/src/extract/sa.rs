@@ -6,10 +6,16 @@
 //! [`CostEvaluator`] (technology mapping or the learned model), and accepts
 //! or rejects moves with the Metropolis criterion under the Section IV-A
 //! cooling schedule. Several annealing chains run in parallel threads and the
-//! best mapped solution wins.
+//! best mapped solution wins. [`SaEngine`] adapts the extractor to the
+//! [`ExtractionEngine`] trait.
 
 use crate::convert::{selection_to_aig, ConversionResult};
-use crate::extract::{bottom_up_extract, ExtractionCost, Selection};
+use crate::extract::engine::{
+    synthetic_names, ExtractBudget, ExtractError, Extraction, ExtractionEngine,
+};
+use crate::extract::{
+    bottom_up_extract, bottom_up_with_costs, ExtractStats, ExtractionCost, Selection,
+};
 use crate::lang::BoolLang;
 use aig::Aig;
 use costmodel::CostEvaluator;
@@ -17,6 +23,7 @@ use egraph::{EGraph, FxHashMap, Id, Language};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Options of the simulated-annealing extractor.
@@ -52,6 +59,12 @@ impl Default for SaOptions {
 }
 
 impl SaOptions {
+    /// The paper's default configuration (alias of `Default`), as a starting
+    /// point for the `with_*` builders.
+    pub fn new() -> Self {
+        SaOptions::default()
+    }
+
     /// A reduced configuration for unit tests and examples.
     pub fn fast() -> Self {
         SaOptions {
@@ -60,6 +73,49 @@ impl SaOptions {
             ..SaOptions::default()
         }
     }
+
+    /// Sets the number of annealing iterations per chain.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the initial temperature `T1`.
+    #[must_use]
+    pub fn with_initial_temperature(mut self, t1: f64) -> Self {
+        self.initial_temperature = t1;
+        self
+    }
+
+    /// Sets the probability of vetoing an improving move during neighbor
+    /// generation.
+    #[must_use]
+    pub fn with_p_random(mut self, p_random: f64) -> Self {
+        self.p_random = p_random;
+        self
+    }
+
+    /// Sets the number of parallel annealing chains.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the RNG seed (each chain derives its own stream from it).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the structural cost used during neighbor generation.
+    #[must_use]
+    pub fn with_neighbor_cost(mut self, cost: ExtractionCost) -> Self {
+        self.neighbor_cost = cost;
+        self
+    }
 }
 
 /// Outcome of one annealing chain.
@@ -67,10 +123,9 @@ impl SaOptions {
 pub struct ChainResult {
     /// Best cost reached by the chain.
     pub best_cost: f64,
-    /// Number of accepted moves.
-    pub accepted: usize,
-    /// Number of rejected moves.
-    pub rejected: usize,
+    /// The chain's statistics: `nodes_evaluated` counts candidate circuits
+    /// evaluated, `improvements` counts accepted moves.
+    pub stats: ExtractStats,
 }
 
 /// The overall result of SA extraction.
@@ -78,12 +133,17 @@ pub struct ChainResult {
 pub struct SaResult {
     /// The best extracted circuit across all chains.
     pub best_aig: Aig,
+    /// The e-node selection realizing [`SaResult::best_aig`].
+    pub best_selection: Selection,
     /// Its evaluator cost.
     pub best_cost: f64,
     /// Cost of the greedy initial solution (before annealing).
     pub initial_cost: f64,
     /// Per-chain outcomes.
     pub chains: Vec<ChainResult>,
+    /// Aggregate statistics over all chains (runtime is wall-clock, not the
+    /// sum of chain times).
+    pub stats: ExtractStats,
     /// Total wall-clock time of the extraction.
     pub runtime: Duration,
 }
@@ -107,67 +167,102 @@ impl SaExtractor {
         conversion: &ConversionResult,
         evaluator: &dyn CostEvaluator,
     ) -> SaResult {
-        let start = Instant::now();
-        let egraph = &conversion.egraph;
-        let roots = &conversion.roots;
-
-        // Greedy initial solution shared by all chains.
-        let (initial_selection, _) = bottom_up_extract(egraph, self.options.neighbor_cost);
-        let initial_aig = selection_to_aig(
-            egraph,
-            &initial_selection,
-            roots,
+        extract_from_parts(
+            &conversion.egraph,
+            &conversion.roots,
             &conversion.input_names,
             &conversion.output_names,
             &conversion.name,
-        );
-        let initial_cost = evaluator.evaluate(&initial_aig);
+            evaluator,
+            &self.options,
+            self.options.iterations,
+        )
+    }
+}
 
-        let threads = self.options.threads.max(1);
-        let chain_outputs: Vec<(Aig, f64, ChainResult)> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for chain_index in 0..threads {
-                let options = self.options.clone();
-                let initial_selection = initial_selection.clone();
-                let initial_aig = initial_aig.clone();
-                handles.push(scope.spawn(move || {
-                    run_chain(
-                        egraph,
-                        roots,
-                        conversion,
-                        evaluator,
-                        initial_selection,
-                        initial_aig,
-                        initial_cost,
-                        &options,
-                        chain_index,
-                    )
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("annealing chain panicked"))
-                .collect()
-        });
+/// The core SA run, shared by [`SaExtractor`] (caller-provided port names)
+/// and [`SaEngine`] (synthetic names, budget-capped iterations).
+#[allow(clippy::too_many_arguments)]
+fn extract_from_parts(
+    egraph: &EGraph<BoolLang>,
+    roots: &[Id],
+    input_names: &[String],
+    output_names: &[String],
+    name: &str,
+    evaluator: &dyn CostEvaluator,
+    options: &SaOptions,
+    iterations: usize,
+) -> SaResult {
+    let start = Instant::now();
 
-        let mut best_aig = initial_aig;
-        let mut best_cost = initial_cost;
-        let mut chains = Vec::with_capacity(chain_outputs.len());
-        for (aig, cost, chain) in chain_outputs {
-            if cost < best_cost {
-                best_cost = cost;
-                best_aig = aig;
-            }
-            chains.push(chain);
+    // Greedy initial solution shared by all chains.
+    let (initial_selection, _) = bottom_up_extract(egraph, options.neighbor_cost);
+    let initial_aig = selection_to_aig(
+        egraph,
+        &initial_selection,
+        roots,
+        input_names,
+        output_names,
+        name,
+    );
+    let initial_cost = evaluator.evaluate(&initial_aig);
+
+    let threads = options.threads.max(1);
+    let chain_outputs: Vec<(Selection, Aig, f64, ChainResult)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for chain_index in 0..threads {
+            let options = options.clone();
+            let initial_selection = initial_selection.clone();
+            let initial_aig = initial_aig.clone();
+            handles.push(scope.spawn(move || {
+                run_chain(
+                    egraph,
+                    roots,
+                    input_names,
+                    output_names,
+                    name,
+                    evaluator,
+                    initial_selection,
+                    initial_aig,
+                    initial_cost,
+                    &options,
+                    iterations,
+                    chain_index,
+                )
+            }));
         }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("annealing chain panicked"))
+            .collect()
+    });
 
-        SaResult {
-            best_aig,
-            best_cost,
-            initial_cost,
-            chains,
-            runtime: start.elapsed(),
+    let mut best_aig = initial_aig;
+    let mut best_selection = initial_selection;
+    let mut best_cost = initial_cost;
+    let mut chains = Vec::with_capacity(chain_outputs.len());
+    let mut stats = ExtractStats::default();
+    for (selection, aig, cost, chain) in chain_outputs {
+        if cost < best_cost {
+            best_cost = cost;
+            best_aig = aig;
+            best_selection = selection;
         }
+        stats.nodes_evaluated += chain.stats.nodes_evaluated;
+        stats.improvements += chain.stats.improvements;
+        chains.push(chain);
+    }
+    let runtime = start.elapsed();
+    stats.runtime = runtime;
+
+    SaResult {
+        best_aig,
+        best_selection,
+        best_cost,
+        initial_cost,
+        chains,
+        stats,
+        runtime,
     }
 }
 
@@ -175,27 +270,30 @@ impl SaExtractor {
 fn run_chain(
     egraph: &EGraph<BoolLang>,
     roots: &[Id],
-    conversion: &ConversionResult,
+    input_names: &[String],
+    output_names: &[String],
+    name: &str,
     evaluator: &dyn CostEvaluator,
     initial_selection: Selection,
     initial_aig: Aig,
     initial_cost: f64,
     options: &SaOptions,
+    iterations: usize,
     chain_index: usize,
-) -> (Aig, f64, ChainResult) {
+) -> (Selection, Aig, f64, ChainResult) {
     let mut rng =
         StdRng::seed_from_u64(options.seed ^ (chain_index as u64).wrapping_mul(0x9E37_79B9));
-    let mut current_selection = initial_selection;
+    let mut current_selection = initial_selection.clone();
     let mut current_cost = initial_cost;
+    let mut best_selection = initial_selection;
     let mut best_aig = initial_aig;
     let mut best_cost = initial_cost;
     let mut temperature = options.initial_temperature;
-    let mut accepted = 0usize;
-    let mut rejected = 0usize;
+    let mut stats = ExtractStats::default();
     // One parent-index build per chain, shared by every neighbor generation.
     let parent_index = egraph.parent_index();
 
-    for iteration in 1..=options.iterations {
+    for iteration in 1..=iterations {
         let neighbor = generate_neighbor(
             egraph,
             &parent_index,
@@ -204,15 +302,10 @@ fn run_chain(
             options.p_random,
             &mut rng,
         );
-        let candidate_aig = selection_to_aig(
-            egraph,
-            &neighbor,
-            roots,
-            &conversion.input_names,
-            &conversion.output_names,
-            &conversion.name,
-        );
+        let candidate_aig =
+            selection_to_aig(egraph, &neighbor, roots, input_names, output_names, name);
         let candidate_cost = evaluator.evaluate(&candidate_aig);
+        stats.nodes_evaluated += 1;
         let delta = candidate_cost - current_cost;
 
         let accept = if delta < 0.0 {
@@ -225,27 +318,100 @@ fn run_chain(
         if accept {
             current_selection = neighbor;
             current_cost = candidate_cost;
-            accepted += 1;
+            stats.improvements += 1;
             if candidate_cost < best_cost {
                 best_cost = candidate_cost;
                 best_aig = candidate_aig;
+                best_selection = current_selection.clone();
             }
-        } else {
-            rejected += 1;
         }
 
-        temperature = cooled_temperature(temperature, delta, iteration, options.iterations);
+        temperature = cooled_temperature(temperature, delta, iteration, iterations);
     }
 
     (
+        best_selection,
         best_aig,
         best_cost,
-        ChainResult {
-            best_cost,
-            accepted,
-            rejected,
-        },
+        ChainResult { best_cost, stats },
     )
+}
+
+/// The [`ExtractionEngine`] adapter of the SA extractor.
+///
+/// Port names are synthesized for the candidate circuits (evaluators map the
+/// netlist; names are irrelevant to cost), and the selection realizing the
+/// best circuit is returned. The budget's `max_evaluations` caps the total
+/// candidate evaluations across all chains by shortening each chain
+/// deterministically; the wall-clock backstop is not consulted (chains check
+/// no clocks, keeping results machine-independent).
+pub struct SaEngine {
+    options: SaOptions,
+    evaluator: Arc<dyn CostEvaluator>,
+}
+
+impl SaEngine {
+    /// Creates an SA engine annealing under the given evaluator.
+    pub fn new(options: SaOptions, evaluator: Arc<dyn CostEvaluator>) -> Self {
+        SaEngine { options, evaluator }
+    }
+}
+
+impl std::fmt::Debug for SaEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SaEngine")
+            .field("options", &self.options)
+            .field("evaluator", &self.evaluator.name())
+            .finish()
+    }
+}
+
+impl ExtractionEngine for SaEngine {
+    fn name(&self) -> &'static str {
+        "sa"
+    }
+
+    fn extract(
+        &self,
+        egraph: &EGraph<BoolLang>,
+        roots: &[Id],
+        budget: &ExtractBudget,
+    ) -> Result<Extraction, ExtractError> {
+        let start = Instant::now();
+        let threads = self.options.threads.max(1);
+        let iterations = match budget.max_evaluations {
+            Some(max) => (max as usize / threads).min(self.options.iterations),
+            None => self.options.iterations,
+        };
+        let (input_names, output_names) = synthetic_names(egraph, roots.len());
+        // Realizability check up front: SA's greedy seed panics on
+        // unrealizable roots, the engine API reports them as typed errors.
+        let (seed_selection, class_costs, _) =
+            bottom_up_with_costs(egraph, ExtractionCost::Size, true);
+        for &root in roots {
+            let root = egraph.find(root);
+            if !seed_selection.choices.contains_key(&root) {
+                return Err(ExtractError::Unrealizable(root));
+            }
+        }
+        let result = extract_from_parts(
+            egraph,
+            roots,
+            &input_names,
+            &output_names,
+            "sa-extracted",
+            self.evaluator.as_ref(),
+            &self.options,
+            iterations,
+        );
+        let mut stats = result.stats;
+        stats.runtime = start.elapsed();
+        Ok(Extraction {
+            selection: result.best_selection,
+            class_costs,
+            stats,
+        })
+    }
 }
 
 /// The Section IV-A cooling schedule, applied at the end of `iteration`
@@ -403,6 +569,23 @@ mod tests {
     }
 
     #[test]
+    fn builder_knobs_compose() {
+        let options = SaOptions::new()
+            .with_iterations(7)
+            .with_initial_temperature(500.0)
+            .with_p_random(0.25)
+            .with_threads(3)
+            .with_seed(42)
+            .with_neighbor_cost(ExtractionCost::Size);
+        assert_eq!(options.iterations, 7);
+        assert_eq!(options.initial_temperature, 500.0);
+        assert_eq!(options.p_random, 0.25);
+        assert_eq!(options.threads, 3);
+        assert_eq!(options.seed, 42);
+        assert_eq!(options.neighbor_cost, ExtractionCost::Size);
+    }
+
+    #[test]
     fn neighbor_generation_preserves_function() {
         let aig = benchgen::adder(4).aig;
         let conv = saturated_conversion(&aig, 3);
@@ -441,8 +624,22 @@ mod tests {
         assert!(check_equivalence(&aig, &result.best_aig, &CecOptions::default()).is_equivalent());
         assert_eq!(result.chains.len(), 2);
         for chain in &result.chains {
-            assert_eq!(chain.accepted + chain.rejected, 2);
+            assert_eq!(chain.stats.nodes_evaluated, 2);
+            assert!(chain.stats.improvements <= chain.stats.nodes_evaluated);
         }
+        assert_eq!(result.stats.nodes_evaluated, 4);
+        // The reported best selection realizes the reported best circuit.
+        let realized = selection_to_aig(
+            &conv.egraph,
+            &result.best_selection,
+            &conv.roots,
+            &conv.input_names,
+            &conv.output_names,
+            &conv.name,
+        );
+        assert!(
+            check_equivalence(&realized, &result.best_aig, &CecOptions::default()).is_equivalent()
+        );
     }
 
     #[test]
@@ -450,16 +647,17 @@ mod tests {
         let aig = benchgen::adder(4).aig;
         let conv = saturated_conversion(&aig, 2);
         let evaluator = TechMapCost::new(asap7_like());
-        let options = SaOptions {
-            threads: 1,
-            iterations: 2,
-            seed: 7,
-            ..SaOptions::default()
-        };
+        let options = SaOptions::new()
+            .with_threads(1)
+            .with_iterations(2)
+            .with_seed(7);
         let a = SaExtractor::new(options.clone()).extract(&conv, &evaluator);
         let b = SaExtractor::new(options).extract(&conv, &evaluator);
         assert_eq!(a.best_cost, b.best_cost);
-        assert_eq!(a.chains[0].accepted, b.chains[0].accepted);
+        assert_eq!(
+            a.chains[0].stats.improvements,
+            b.chains[0].stats.improvements
+        );
     }
 
     #[test]
@@ -467,22 +665,54 @@ mod tests {
         let aig = benchgen::adder(4).aig;
         let conv = saturated_conversion(&aig, 3);
         let evaluator = TechMapCost::new(asap7_like());
-        let single = SaExtractor::new(SaOptions {
-            threads: 1,
-            iterations: 2,
-            seed: 3,
-            ..SaOptions::default()
-        })
+        let single = SaExtractor::new(
+            SaOptions::new()
+                .with_threads(1)
+                .with_iterations(2)
+                .with_seed(3),
+        )
         .extract(&conv, &evaluator);
-        let quad = SaExtractor::new(SaOptions {
-            threads: 4,
-            iterations: 2,
-            seed: 3,
-            ..SaOptions::default()
-        })
+        let quad = SaExtractor::new(
+            SaOptions::new()
+                .with_threads(4)
+                .with_iterations(2)
+                .with_seed(3),
+        )
         .extract(&conv, &evaluator);
         // The single-thread chain is one of the four (same seed), so the
         // parallel best can only be equal or better.
         assert!(quad.best_cost <= single.best_cost + 1e-9);
+    }
+
+    #[test]
+    fn sa_engine_is_budget_capped_and_equivalent() {
+        let aig = benchgen::adder(4).aig;
+        let conv = saturated_conversion(&aig, 3);
+        let evaluator: Arc<dyn CostEvaluator> = Arc::new(TechMapCost::new(asap7_like()));
+        let engine = SaEngine::new(SaOptions::fast().with_seed(11), evaluator);
+        // 2 threads × 2 iterations uncapped; a budget of 2 evaluations caps
+        // each chain at 1 iteration.
+        let capped = engine
+            .extract(
+                &conv.egraph,
+                &conv.roots,
+                &ExtractBudget::unlimited().with_max_evaluations(2),
+            )
+            .unwrap();
+        assert_eq!(capped.stats.nodes_evaluated, 2);
+        let full = engine
+            .extract(&conv.egraph, &conv.roots, &ExtractBudget::unlimited())
+            .unwrap();
+        assert_eq!(full.stats.nodes_evaluated, 4);
+        let back = crate::convert::try_selection_to_aig(
+            &conv.egraph,
+            &full.selection,
+            &conv.roots,
+            &conv.input_names,
+            &conv.output_names,
+            "sa-engine",
+        )
+        .unwrap();
+        assert!(check_equivalence(&aig, &back, &CecOptions::default()).is_equivalent());
     }
 }

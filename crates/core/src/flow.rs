@@ -15,14 +15,25 @@
 //! e-graph conversion, SA extraction) used to regenerate Fig. 9.
 
 use crate::convert::aig_to_egraph;
-use crate::extract::sa::{SaExtractor, SaOptions};
+use crate::extract::engine::report_for;
+use crate::extract::sa::{SaEngine, SaOptions};
+use crate::extract::{
+    BottomUpEngine, EngineReport, ExtractBudget, ExtractError, Extraction, ExtractionCost,
+    ExtractionEngine, ExtractorKind, GlobalGreedyDagEngine, PortfolioEngine, PortfolioScorer,
+    SlackAwareEngine,
+};
+use crate::lang::BoolLang;
 use crate::rules::all_rules;
 use aig::Aig;
 use cec::{check_equivalence, CecOptions};
-use choices::{egraph_to_choices, ChoiceConfig, ChoiceError, ExportStats};
-use costmodel::{LearnedCost, TechMapCost};
-use egraph::{Runner, Scheduler};
+use choices::{
+    egraph_to_choices_with_selection, BoolNode, ChoiceConfig, ChoiceCost, ChoiceError,
+    ClassSelection, ExportStats,
+};
+use costmodel::{CostEvaluator, LearnedCost, TechMapCost};
+use egraph::{EGraph, Id, Runner, Scheduler};
 use logic_opt::{dch_like, DchOptions};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use techmap::cell::{map_to_cells, try_map_to_cells, try_map_to_cells_with_choices, Netlist};
 use techmap::library::{asap7_like, CellLibrary};
@@ -65,6 +76,11 @@ pub struct FlowConfig {
     pub search_threads: usize,
     /// Simulated-annealing extraction options.
     pub sa: SaOptions,
+    /// Which extraction engine pulls the resynthesized design out of the
+    /// saturated e-graph (see [`ExtractorKind`]).
+    pub extractor: ExtractorKind,
+    /// Work budget handed to the extraction engine.
+    pub extract_budget: ExtractBudget,
     /// Cost model used during extraction.
     pub cost_mode: CostMode,
     /// Verify the resynthesized circuit against the input with CEC.
@@ -94,6 +110,8 @@ impl FlowConfig {
                 threads: 4,
                 ..SaOptions::default()
             },
+            extractor: ExtractorKind::Sa,
+            extract_budget: ExtractBudget::unlimited(),
             cost_mode: CostMode::Quality,
             verify: true,
             cec: CecOptions {
@@ -127,6 +145,87 @@ impl FlowConfig {
         self.cost_mode = CostMode::Runtime(model);
         self.sa.threads = 6;
         self
+    }
+
+    /// Selects the extraction engine.
+    #[must_use]
+    pub fn with_extractor(mut self, extractor: ExtractorKind) -> Self {
+        self.extractor = extractor;
+        self
+    }
+
+    /// Sets the extraction work budget.
+    #[must_use]
+    pub fn with_extract_budget(mut self, budget: ExtractBudget) -> Self {
+        self.extract_budget = budget;
+        self
+    }
+}
+
+/// Runs the configured extraction engine and returns its result plus one
+/// report per engine involved (one row for a single engine, one per member
+/// for a portfolio).
+#[allow(clippy::too_many_arguments)]
+fn run_extraction(
+    kind: ExtractorKind,
+    sa_options: &SaOptions,
+    evaluator: Arc<dyn CostEvaluator>,
+    library: &CellLibrary,
+    structural_cost: ExtractionCost,
+    delay_first: bool,
+    egraph: &EGraph<BoolLang>,
+    roots: &[Id],
+    budget: &ExtractBudget,
+) -> (Result<Extraction, ExtractError>, Vec<EngineReport>) {
+    match kind {
+        ExtractorKind::Portfolio => {
+            let portfolio = PortfolioEngine::new(vec![
+                Box::new(BottomUpEngine::new(structural_cost)),
+                Box::new(GlobalGreedyDagEngine::new()),
+                Box::new(SlackAwareEngine::new()),
+                Box::new(SaEngine::new(sa_options.clone(), evaluator)),
+            ])
+            .with_scorer(PortfolioScorer::Mapped {
+                library: library.clone(),
+                delay_first,
+            });
+            match portfolio.extract_with_reports(egraph, roots, budget) {
+                Ok((extraction, reports)) => (Ok(extraction), reports),
+                Err(e) => (Err(e), Vec::new()),
+            }
+        }
+        _ => {
+            let engine: Box<dyn ExtractionEngine> = match kind {
+                ExtractorKind::Sa => Box::new(SaEngine::new(sa_options.clone(), evaluator)),
+                ExtractorKind::BottomUp => Box::new(BottomUpEngine::new(structural_cost)),
+                ExtractorKind::GlobalGreedyDag => Box::new(GlobalGreedyDagEngine::new()),
+                ExtractorKind::SlackAware => Box::new(SlackAwareEngine::new()),
+                ExtractorKind::Portfolio => unreachable!("handled above"),
+            };
+            let result = engine.extract(egraph, roots, budget);
+            let won = result.is_ok();
+            let report = report_for(egraph, roots, engine.name(), &result, won);
+            (result, vec![report])
+        }
+    }
+}
+
+/// Translates an engine extraction into the choice exporter's per-class
+/// selection (the engine's chosen e-node per class, children canonicalized,
+/// plus its cost map for ranking alternatives).
+fn extraction_to_class_selection(
+    egraph: &EGraph<BoolLang>,
+    extraction: &Extraction,
+) -> ClassSelection {
+    let mut best = egraph::FxHashMap::default();
+    for (&id, node) in &extraction.selection.choices {
+        if let Some(expr) = node.as_bool() {
+            best.insert(id, expr.map_children(|c| egraph.find(c)));
+        }
+    }
+    ClassSelection {
+        best,
+        costs: extraction.class_costs.clone(),
     }
 }
 
@@ -195,6 +294,9 @@ pub struct FlowResult {
     /// Per-iteration reports of the saturation phase (empty for the baseline
     /// flow), including e-node counts and incremental-rebuild timings.
     pub saturation: Vec<egraph::IterationReport>,
+    /// One report per extraction engine involved (a single row for one
+    /// engine, one per member for a portfolio; empty for the baseline flow).
+    pub extraction_engines: Vec<EngineReport>,
 }
 
 fn conventional_round(aig: &Aig, config: &FlowConfig, with_sop: bool) -> (Aig, Qor) {
@@ -234,6 +336,7 @@ pub fn baseline_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         egraph_nodes: 0,
         egraph_classes: 0,
         saturation: Vec::new(),
+        extraction_engines: Vec::new(),
     }
 }
 
@@ -287,12 +390,36 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     let egraph_nodes = saturated.egraph.total_nodes();
     let egraph_classes = saturated.egraph.num_classes();
 
-    let techmap_cost = TechMapCost::new(config.library.clone());
-    let sa = SaExtractor::new(config.sa.clone());
-    let sa_result = match &config.cost_mode {
-        CostMode::Quality => sa.extract(&saturated, &techmap_cost),
-        CostMode::Runtime(model) => sa.extract(&saturated, model),
+    let evaluator: Arc<dyn CostEvaluator> = match &config.cost_mode {
+        CostMode::Quality => Arc::new(TechMapCost::new(config.library.clone())),
+        CostMode::Runtime(model) => Arc::new(model.clone()),
     };
+    // The flow is delay-oriented, so the portfolio scores candidates by
+    // mapped (delay, area).
+    let (extraction, extraction_engines) = run_extraction(
+        config.extractor,
+        &config.sa,
+        evaluator,
+        &config.library,
+        ExtractionCost::Size,
+        true,
+        &saturated.egraph,
+        &saturated.roots,
+        &config.extract_budget,
+    );
+    // A failed extraction (unrealizable root, empty portfolio) falls back to
+    // the pre-resynthesis network; the failure stays visible in the reports.
+    let extracted_aig = extraction.ok().and_then(|extraction| {
+        crate::convert::try_selection_to_aig(
+            &saturated.egraph,
+            &extraction.selection,
+            &saturated.roots,
+            &saturated.input_names,
+            &saturated.output_names,
+            &saturated.name,
+        )
+        .ok()
+    });
     let extraction_time = t_extract.elapsed();
 
     // Verify, and fall back to the pre-resynthesis network on a proven
@@ -300,7 +427,7 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     // (simulation inside `check_equivalence` already failed to refute it)
     // but leaves `verified` false.
     let mut verified = true;
-    let mut resynthesized = sa_result.best_aig;
+    let mut resynthesized = extracted_aig.unwrap_or_else(|| current.clone());
     let t_verify = Instant::now();
     if config.verify {
         match check_equivalence(&current, &resynthesized, &config.cec) {
@@ -335,12 +462,15 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         egraph_nodes,
         egraph_classes,
         saturation,
+        extraction_engines,
     }
 }
 
 /// Errors of the choice-aware mapping flow.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MapFlowError {
+    /// The extraction engine could not produce a per-class selection.
+    Extract(ExtractError),
     /// The e-graph could not be exported as a choice network.
     Choice(ChoiceError),
     /// Technology mapping failed (typed, instead of aborting the process).
@@ -350,6 +480,7 @@ pub enum MapFlowError {
 impl std::fmt::Display for MapFlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            MapFlowError::Extract(e) => write!(f, "extraction failed: {e}"),
             MapFlowError::Choice(e) => write!(f, "choice export failed: {e}"),
             MapFlowError::Map(e) => write!(f, "technology mapping failed: {e}"),
         }
@@ -357,6 +488,12 @@ impl std::fmt::Display for MapFlowError {
 }
 
 impl std::error::Error for MapFlowError {}
+
+impl From<ExtractError> for MapFlowError {
+    fn from(e: ExtractError) -> Self {
+        MapFlowError::Extract(e)
+    }
+}
 
 impl From<ChoiceError> for MapFlowError {
     fn from(e: ChoiceError) -> Self {
@@ -399,6 +536,11 @@ pub struct MapFlowConfig {
     /// netlists. The kept netlist is never worse than the baseline on this
     /// metric, and never worse on the secondary one at equal primary.
     pub objective: MapObjective,
+    /// Which extraction engine picks the class representatives the choice
+    /// export is built around. The default [`ExtractorKind::BottomUp`] is the
+    /// greedy selection the exporter historically made inline; any other
+    /// engine reshapes which members every choice class keeps.
+    pub extractor: ExtractorKind,
 }
 
 impl MapFlowConfig {
@@ -409,6 +551,7 @@ impl MapFlowConfig {
             choices: ChoiceConfig::default(),
             use_choices: true,
             objective: MapObjective::Area,
+            extractor: ExtractorKind::BottomUp,
         }
     }
 
@@ -419,7 +562,15 @@ impl MapFlowConfig {
             choices: ChoiceConfig::default(),
             use_choices: true,
             objective: MapObjective::Area,
+            extractor: ExtractorKind::BottomUp,
         }
+    }
+
+    /// Selects the extraction engine driving the class representatives.
+    #[must_use]
+    pub fn with_extractor(mut self, extractor: ExtractorKind) -> Self {
+        self.extractor = extractor;
+        self
     }
 
     /// Enables or disables choice-aware mapping.
@@ -473,6 +624,9 @@ pub struct MapFlowResult {
     pub verified: bool,
     /// Choice-export statistics (live classes, alternatives, rejections).
     pub export: ExportStats,
+    /// One report per extraction engine involved in picking the class
+    /// representatives.
+    pub engines: Vec<EngineReport>,
     /// E-nodes after saturation.
     pub egraph_nodes: usize,
     /// E-classes after saturation.
@@ -513,6 +667,28 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
     let egraph = runner.egraph;
     let roots: Vec<egraph::Id> = conversion.roots.iter().map(|&r| egraph.find(r)).collect();
 
+    // Engine-driven per-class selection: the configured engine picks every
+    // class representative, and the exporter builds the choice network
+    // around that selection.
+    let structural_cost = match config.choices.cost {
+        ChoiceCost::Size => ExtractionCost::Size,
+        ChoiceCost::Depth => ExtractionCost::Depth,
+    };
+    let evaluator: Arc<dyn CostEvaluator> = Arc::new(TechMapCost::new(config.flow.library.clone()));
+    let (extraction, engines) = run_extraction(
+        config.extractor,
+        &config.flow.sa,
+        evaluator,
+        &config.flow.library,
+        structural_cost,
+        config.objective == MapObjective::Delay,
+        &egraph,
+        &roots,
+        &config.flow.extract_budget,
+    );
+    let extraction = extraction?;
+    let selection = extraction_to_class_selection(&egraph, &extraction);
+
     // Choice export: the whole e-space, not one extracted design.
     let export_config = ChoiceConfig {
         max_choices: if config.use_choices {
@@ -522,13 +698,14 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
         },
         cost: config.choices.cost,
     };
-    let (network, export) = egraph_to_choices(
+    let (network, export) = egraph_to_choices_with_selection(
         &egraph,
         &roots,
         &conversion.input_names,
         &conversion.output_names,
         &conversion.name,
         &export_config,
+        &selection,
     )?;
 
     // Choice-free baseline: map the representative cone only.
@@ -602,6 +779,7 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
         worst_slack_ps,
         verified,
         export,
+        engines,
         egraph_nodes: egraph.total_nodes(),
         egraph_classes: egraph.num_classes(),
         runtime: start.elapsed(),

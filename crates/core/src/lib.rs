@@ -11,9 +11,10 @@
 //!   (Section III-D1), with the S-expression-based E-Syn baseline in
 //!   [`esyn`] for the Table III comparison.
 //! * [`dsl`] — the intermediate JSON DSL of Fig. 7.
-//! * [`extract`] — bottom-up extraction with **solution-space pruning**
-//!   (Fig. 6) and the **simulated-annealing extractor** of Algorithm 1 /
-//!   Fig. 4, with multi-threaded parallel annealing batches.
+//! * [`extract`] — the [`ExtractionEngine`] API over bottom-up extraction
+//!   with **solution-space pruning** (Fig. 6), DAG-cost and slack-aware
+//!   refinement, and the **simulated-annealing extractor** of Algorithm 1 /
+//!   Fig. 4, raced in parallel by [`PortfolioEngine`].
 //! * [`flow`] — the end-to-end synthesis flows: the delay-oriented baseline
 //!   `(st; if -g -K 6 -C 8)(st; dch; map)×4` and the E-morphic flow that
 //!   inserts e-graph resynthesis before the final mapping round, with the
@@ -44,8 +45,12 @@ pub mod report;
 pub mod rules;
 
 pub use convert::{aig_to_egraph, selection_to_aig, try_selection_to_aig, ConversionResult};
-pub use extract::sa::{SaExtractor, SaOptions, SaResult};
-pub use extract::{bottom_up_extract, ExtractionCost, Selection};
+pub use extract::sa::{SaEngine, SaExtractor, SaOptions, SaResult};
+pub use extract::{
+    bottom_up_extract, BottomUpEngine, EngineReport, ExtractBudget, ExtractError, ExtractStats,
+    Extraction, ExtractionCost, ExtractionEngine, ExtractorKind, GlobalGreedyDagEngine,
+    PortfolioEngine, PortfolioScorer, Selection, SlackAwareEngine,
+};
 pub use flow::{
     baseline_flow, emorphic_flow, emorphic_map_flow, FlowConfig, FlowResult, MapFlowConfig,
     MapFlowError, MapFlowResult,

@@ -1,0 +1,158 @@
+//! Differential property tests for the [`ExtractionEngine`] implementations.
+//!
+//! Three guarantees are pinned here, on random circuits pushed through real
+//! saturation rather than hand-picked examples:
+//!
+//! 1. **DAG cost dominance**: the global greedy DAG engine's true DAG size
+//!    never exceeds the tree-cost bottom-up selection's DAG size (the DAG
+//!    refinement starts from that selection and only accepts strict
+//!    live-gate improvements).
+//! 2. **Functional soundness**: every engine's extraction is equivalent to
+//!    the input circuit (exhaustively evaluated over all input patterns).
+//! 3. **Portfolio determinism**: the portfolio winner is bit-identical
+//!    whether the member engines race on one thread or many.
+//!
+//! `PROPTEST_CASES` scales the random-circuit coverage.
+
+use costmodel::TechMapCost;
+use egraph::{Runner, Scheduler};
+use emorphic::extract::sa::{SaEngine, SaOptions};
+use emorphic::extract::{
+    BottomUpEngine, ExtractBudget, ExtractionCost, ExtractionEngine, GlobalGreedyDagEngine,
+    PortfolioEngine, SlackAwareEngine,
+};
+use emorphic::{aig_to_egraph, all_rules, try_selection_to_aig};
+use proptest::prelude::*;
+use std::sync::Arc;
+use techmap::library::asap7_like;
+
+/// Saturates a circuit and returns the rewritten conversion result.
+fn saturate(aig: &aig::Aig) -> emorphic::convert::ConversionResult {
+    let conversion = aig_to_egraph(aig);
+    let runner = Runner::with_egraph(conversion.egraph.clone())
+        .with_iter_limit(2)
+        .with_node_limit(8_000)
+        .with_scheduler(Scheduler::Backoff {
+            match_limit: 400,
+            ban_length: 2,
+        })
+        .run(&all_rules());
+    emorphic::convert::ConversionResult {
+        roots: conversion
+            .roots
+            .iter()
+            .map(|&r| runner.egraph.find(r))
+            .collect(),
+        egraph: runner.egraph,
+        ..conversion
+    }
+}
+
+/// All four concrete engines, boxed for racing or iteration.
+fn all_engines() -> Vec<Box<dyn ExtractionEngine>> {
+    vec![
+        Box::new(BottomUpEngine::new(ExtractionCost::Size)),
+        Box::new(GlobalGreedyDagEngine::new()),
+        Box::new(SlackAwareEngine::new()),
+        Box::new(SaEngine::new(
+            SaOptions::fast(),
+            Arc::new(TechMapCost::new(asap7_like())),
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The global greedy DAG engine's true DAG size never exceeds the DAG
+    /// size of the exact tree-cost DP it refines.
+    #[test]
+    fn greedy_dag_cost_never_exceeds_tree_cost_selection(
+        seed in 0u64..10_000,
+        num_ands in 8usize..60,
+        num_inputs in 3usize..7,
+    ) {
+        let circuit = benchgen::random_aig(num_inputs, num_ands, 2, seed);
+        let saturated = saturate(&circuit);
+        let budget = ExtractBudget::unlimited();
+        let tree = BottomUpEngine::new(ExtractionCost::Size)
+            .extract(&saturated.egraph, &saturated.roots, &budget)
+            .expect("tree DP extracts");
+        let dag = GlobalGreedyDagEngine::new()
+            .extract(&saturated.egraph, &saturated.roots, &budget)
+            .expect("DAG refinement extracts");
+        let tree_size = tree
+            .selection
+            .try_dag_size(&saturated.egraph, &saturated.roots)
+            .expect("tree selection valid");
+        let dag_size = dag
+            .selection
+            .try_dag_size(&saturated.egraph, &saturated.roots)
+            .expect("DAG selection valid");
+        prop_assert!(
+            dag_size <= tree_size,
+            "DAG engine selected {dag_size} nodes vs tree DP's {tree_size}"
+        );
+    }
+
+    /// Every engine's extraction computes the input circuit's function on
+    /// every input pattern.
+    #[test]
+    fn every_engine_extraction_is_equivalent(
+        seed in 0u64..10_000,
+        num_ands in 8usize..40,
+        num_inputs in 3usize..6,
+    ) {
+        let circuit = benchgen::random_aig(num_inputs, num_ands, 2, seed);
+        let saturated = saturate(&circuit);
+        let budget = ExtractBudget::unlimited();
+        for engine in all_engines() {
+            let extraction = engine
+                .extract(&saturated.egraph, &saturated.roots, &budget)
+                .expect("engine extracts");
+            let extracted = try_selection_to_aig(
+                &saturated.egraph,
+                &extraction.selection,
+                &saturated.roots,
+                &saturated.input_names,
+                &saturated.output_names,
+                &saturated.name,
+            )
+            .expect("selection realizes");
+            for pattern in 0..(1usize << num_inputs) {
+                let bits: Vec<bool> = (0..num_inputs).map(|i| pattern >> i & 1 == 1).collect();
+                prop_assert_eq!(
+                    extracted.evaluate(&bits),
+                    circuit.evaluate(&bits),
+                    "{} pattern {}", engine.name(), pattern
+                );
+            }
+        }
+    }
+
+    /// The portfolio winner is bit-identical whether the members race on one
+    /// thread or four.
+    #[test]
+    fn portfolio_winner_is_thread_count_invariant(
+        seed in 0u64..10_000,
+        num_ands in 8usize..40,
+        num_inputs in 3usize..6,
+    ) {
+        let circuit = benchgen::random_aig(num_inputs, num_ands, 2, seed);
+        let saturated = saturate(&circuit);
+        let budget = ExtractBudget::unlimited();
+        let serial = PortfolioEngine::new(all_engines())
+            .with_threads(1)
+            .extract(&saturated.egraph, &saturated.roots, &budget)
+            .expect("serial portfolio extracts");
+        let parallel = PortfolioEngine::new(all_engines())
+            .with_threads(4)
+            .extract(&saturated.egraph, &saturated.roots, &budget)
+            .expect("parallel portfolio extracts");
+        prop_assert_eq!(
+            &serial.selection.choices,
+            &parallel.selection.choices,
+            "portfolio winner depends on thread count"
+        );
+    }
+}

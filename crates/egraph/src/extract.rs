@@ -170,6 +170,12 @@ impl<L: Language> DagSelection<L> {
 
     /// Number of distinct classes reachable from `roots` under the selection
     /// (the DAG size of the extracted circuit).
+    ///
+    /// Debug builds assert that every reachable class has a selected node; in
+    /// release builds an unselected class silently contributes size 1 and is
+    /// not traversed (the historical permissive behavior). Use
+    /// [`DagSelection::try_dag_size`] to surface incomplete selections as a
+    /// typed error instead.
     pub fn dag_size(&self, egraph: &EGraph<L>, roots: &[Id]) -> usize {
         let mut seen: FxHashSet<Id> = FxHashSet::default();
         let mut stack: Vec<Id> = roots.iter().map(|&r| egraph.find(r)).collect();
@@ -177,6 +183,10 @@ impl<L: Language> DagSelection<L> {
             if !seen.insert(id) {
                 continue;
             }
+            debug_assert!(
+                self.choices.contains_key(&id),
+                "dag_size over an incomplete selection: class {id} has no node"
+            );
             if let Some(node) = self.choices.get(&id) {
                 for &c in node.children() {
                     stack.push(egraph.find(c));
@@ -186,7 +196,35 @@ impl<L: Language> DagSelection<L> {
         seen.len()
     }
 
+    /// Like [`DagSelection::dag_size`], but reports a reachable class without
+    /// a selected node as a typed [`SelectionError`] instead of silently
+    /// treating it as a zero-cost leaf (which lets an engine bug masquerade
+    /// as an excellent extraction).
+    ///
+    /// # Errors
+    /// Returns [`SelectionError::Missing`] if a class reachable from the
+    /// roots has no selected node.
+    pub fn try_dag_size(&self, egraph: &EGraph<L>, roots: &[Id]) -> Result<usize, SelectionError> {
+        let mut seen: FxHashSet<Id> = FxHashSet::default();
+        let mut stack: Vec<Id> = roots.iter().map(|&r| egraph.find(r)).collect();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let node = self.choices.get(&id).ok_or(SelectionError::Missing(id))?;
+            for &c in node.children() {
+                stack.push(egraph.find(c));
+            }
+        }
+        Ok(seen.len())
+    }
+
     /// Longest path (in chosen nodes) from any root to a leaf.
+    ///
+    /// Debug builds assert the selection is complete over the reachable
+    /// classes; release builds keep the historical permissive behavior
+    /// (missing classes count as depth 0). Use [`DagSelection::try_depth`]
+    /// for the typed-error variant.
     pub fn depth(&self, egraph: &EGraph<L>, roots: &[Id]) -> usize {
         let mut memo: FxHashMap<Id, usize> = FxHashMap::default();
         fn rec<L: Language>(
@@ -199,6 +237,10 @@ impl<L: Language> DagSelection<L> {
                 return d;
             }
             memo.insert(id, 0); // guard against cycles
+            debug_assert!(
+                sel.choices.contains_key(&id),
+                "depth over an incomplete selection: class {id} has no node"
+            );
             let d = match sel.choices.get(&id) {
                 Some(node) => {
                     1 + node
@@ -218,6 +260,45 @@ impl<L: Language> DagSelection<L> {
             .map(|&r| rec(self, egraph, egraph.find(r), &mut memo))
             .max()
             .unwrap_or(0)
+    }
+
+    /// Like [`DagSelection::depth`], but reports incomplete and cyclic
+    /// selections as typed [`SelectionError`]s instead of folding them into
+    /// a too-small depth.
+    ///
+    /// # Errors
+    /// Returns [`SelectionError::Missing`] if a reachable class has no
+    /// selected node, or [`SelectionError::Cyclic`] if the selection loops.
+    pub fn try_depth(&self, egraph: &EGraph<L>, roots: &[Id]) -> Result<usize, SelectionError> {
+        // Two-color DFS: `None` in `memo` marks an in-progress class, so a
+        // back edge is detected as a cycle instead of reading the guard 0.
+        let mut memo: FxHashMap<Id, Option<usize>> = FxHashMap::default();
+        fn rec<L: Language>(
+            sel: &DagSelection<L>,
+            egraph: &EGraph<L>,
+            id: Id,
+            memo: &mut FxHashMap<Id, Option<usize>>,
+        ) -> Result<usize, SelectionError> {
+            match memo.get(&id) {
+                Some(Some(d)) => return Ok(*d),
+                Some(None) => return Err(SelectionError::Cyclic(id)),
+                None => {}
+            }
+            memo.insert(id, None);
+            let node = sel.choices.get(&id).ok_or(SelectionError::Missing(id))?;
+            let mut max_child = 0usize;
+            for &c in node.children() {
+                max_child = max_child.max(rec(sel, egraph, egraph.find(c), memo)?);
+            }
+            let d = 1 + max_child;
+            memo.insert(id, Some(d));
+            Ok(d)
+        }
+        let mut best = 0usize;
+        for &r in roots {
+            best = best.max(rec(self, egraph, egraph.find(r), &mut memo)?);
+        }
+        Ok(best)
     }
 }
 
