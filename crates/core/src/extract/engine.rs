@@ -207,9 +207,11 @@ pub enum ExtractorKind {
 pub struct EngineReport {
     /// Engine name.
     pub engine: String,
-    /// DAG gate count of the engine's selection (0 when the engine failed).
+    /// DAG gate count of the engine's selection (0 when the engine failed or
+    /// its selection could not be scored — `error` says why).
     pub size_cost: u64,
-    /// Gate depth of the engine's selection (0 when the engine failed).
+    /// Gate depth of the engine's selection (0 when the engine failed or its
+    /// selection could not be scored — `error` says why).
     pub depth_cost: u64,
     /// The engine's own statistics.
     pub stats: ExtractStats,
@@ -228,26 +230,28 @@ pub(crate) fn report_for(
     won: bool,
 ) -> EngineReport {
     match result {
-        Ok(extraction) => EngineReport {
-            engine: name.to_string(),
-            size_cost: try_selection_cost(
-                egraph,
-                &extraction.selection,
-                roots,
-                ExtractionCost::Size,
-            )
-            .unwrap_or(0),
-            depth_cost: try_selection_cost(
-                egraph,
-                &extraction.selection,
-                roots,
-                ExtractionCost::Depth,
-            )
-            .unwrap_or(0),
-            stats: extraction.stats,
-            won,
-            error: None,
-        },
+        Ok(extraction) => {
+            let size =
+                try_selection_cost(egraph, &extraction.selection, roots, ExtractionCost::Size);
+            let depth =
+                try_selection_cost(egraph, &extraction.selection, roots, ExtractionCost::Depth);
+            // An Ok result whose selection cannot be scored (incomplete or
+            // cyclic — an engine bug) must not masquerade as a perfect
+            // zero-cost extraction: surface the scoring failure as the
+            // report's error.
+            let error = match (&size, &depth) {
+                (Err(e), _) | (_, Err(e)) => Some(format!("selection could not be scored: {e}")),
+                _ => None,
+            };
+            EngineReport {
+                engine: name.to_string(),
+                size_cost: size.unwrap_or(0),
+                depth_cost: depth.unwrap_or(0),
+                stats: extraction.stats,
+                won,
+                error,
+            }
+        }
         Err(e) => EngineReport {
             engine: name.to_string(),
             size_cost: 0,
@@ -552,7 +556,10 @@ impl PortfolioEngine {
                     result,
                     i == winner_index,
                 );
-                if result.is_ok() && scored[i].is_none() {
+                // `report_for` already flags structurally unscorable
+                // selections; this additionally covers scorer-specific
+                // failures (e.g. a mapped score over a valid selection).
+                if result.is_ok() && scored[i].is_none() && report.error.is_none() {
                     report.error = Some("selection could not be scored".to_string());
                 }
                 report
@@ -657,6 +664,31 @@ mod tests {
             .unwrap();
         assert_eq!(d_p, d_u);
         assert!(pruned.stats.nodes_evaluated <= unpruned.stats.nodes_evaluated);
+    }
+
+    #[test]
+    fn report_flags_ok_but_unscorable_extraction() {
+        let aig = benchgen::adder(3).aig;
+        let (egraph, roots) = saturated_egraph(&aig, 2);
+        // An engine-bug shape: Ok result with an empty (incomplete) selection.
+        let broken = Extraction {
+            selection: Selection {
+                choices: FxHashMap::default(),
+            },
+            class_costs: FxHashMap::default(),
+            stats: ExtractStats::default(),
+        };
+        let report = report_for(&egraph, &roots, "broken", &Ok(broken), true);
+        assert!(
+            report
+                .error
+                .as_deref()
+                .is_some_and(|e| e.contains("could not be scored")),
+            "scoring failure must be surfaced, got {:?}",
+            report.error
+        );
+        assert_eq!(report.size_cost, 0);
+        assert_eq!(report.depth_cost, 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::extract::engine::{ExtractBudget, ExtractError, Extraction, ExtractionEngine};
 use crate::extract::{bottom_up_with_costs, node_cost, ExtractStats, ExtractionCost, Selection};
 use crate::lang::BoolLang;
-use egraph::{EGraph, FxHashMap, Id, Language};
+use egraph::{EGraph, FxHashMap, FxHashSet, Id, Language};
 use std::time::Instant;
 
 /// Greedy DAG-cost refinement.
@@ -40,12 +40,15 @@ impl GlobalGreedyDagEngine {
 
 /// Heights of every selected class: leaves are 0, every selection edge adds 1
 /// (including through `Not`, which is free in gates but still an edge a cycle
-/// could run through). The selection is acyclic by invariant.
+/// could run through). The selection is acyclic by invariant; a cycle guard
+/// still pins in-progress classes re-met by the DFS so a violated invariant
+/// terminates (loudly, in debug builds) instead of hanging the walk.
 fn selection_heights(
     egraph: &EGraph<BoolLang>,
     selection: &FxHashMap<Id, BoolLang>,
 ) -> FxHashMap<Id, u64> {
     let mut heights: FxHashMap<Id, u64> = FxHashMap::default();
+    let mut open: FxHashSet<Id> = FxHashSet::default();
     let mut stack: Vec<(Id, bool)> = Vec::new();
     for &start in selection.keys() {
         stack.push((start, false));
@@ -60,12 +63,20 @@ fn selection_heights(
                 continue;
             };
             if ready {
+                open.remove(&id);
                 let mut h = 0u64;
                 for &c in node.children() {
                     h = h.max(1 + heights.get(&egraph.find(c)).copied().unwrap_or(0));
                 }
                 heights.insert(id, h);
             } else {
+                if !open.insert(id) {
+                    // Re-met while its own subtree is still being resolved:
+                    // the selection contains a cycle through this class.
+                    debug_assert!(false, "cycle in selection through class {id}");
+                    heights.insert(id, 0);
+                    continue;
+                }
                 stack.push((id, true));
                 for &c in node.children() {
                     let c = egraph.find(c);
@@ -182,7 +193,6 @@ impl ExtractionEngine for GlobalGreedyDagEngine {
                 if !live.is_live(class_id) || !selection.contains_key(&class_id) {
                     continue;
                 }
-                let class_height = heights.get(&class_id).copied().unwrap_or(0);
                 for node in &egraph.class(class_id).nodes {
                     if evaluations.is_multiple_of(256) && budget.exhausted(evaluations, start) {
                         break 'refine;
@@ -195,7 +205,14 @@ impl ExtractionEngine for GlobalGreedyDagEngine {
                         continue;
                     }
                     // Height admission: every child must sit strictly below
-                    // this class, and be realizable at all.
+                    // this class, and be realizable at all. The class's own
+                    // height must be re-read for every candidate: an accepted
+                    // switch for an earlier node of this same class recomputes
+                    // all heights and can *lower* this class's height, and
+                    // admitting against the stale larger value would let a
+                    // child whose selection path reaches back here slip
+                    // through, creating a cycle.
+                    let class_height = heights.get(&class_id).copied().unwrap_or(0);
                     let admissible = node.children().iter().all(|&c| {
                         let c = egraph.find(c);
                         selection.contains_key(&c)
@@ -337,6 +354,74 @@ mod tests {
             .extract(&egraph, &roots, &tight)
             .unwrap();
         try_selection_cost(&egraph, &extraction.selection, &roots, ExtractionCost::Size).unwrap();
+    }
+
+    /// Regression: the per-class height must be re-read after an accepted
+    /// switch. This e-graph is built so the tree DP picks a tall node for
+    /// class `C` (height 6), the greedy pass first accepts a short
+    /// alternative (dropping `C`'s height to 4), and a later alternative of
+    /// `C` has child `D = And(C, x)` whose recomputed height (5) sits below
+    /// the stale 6 but above the fresh 4. Admitting it against the stale
+    /// height created the cycle `C -> D -> C` and hung `selection_heights`.
+    #[test]
+    fn stale_class_height_cannot_admit_a_cycle() {
+        let mut eg: EGraph<BoolLang> = EGraph::new();
+        let x = eg.add(BoolLang::Var(0));
+        let y = eg.add(BoolLang::Var(1));
+        // Tall AND chain (tree size 5, height 5), reachable only through
+        // `C`'s DP pick.
+        let mut a = eg.add(BoolLang::and(x, y));
+        for _ in 0..4 {
+            a = eg.add(BoolLang::and(a, y));
+        }
+        // Short OR chain (tree size 3, height 3): the first alternative.
+        let mut m = eg.add(BoolLang::or(x, y));
+        for _ in 0..2 {
+            m = eg.add(BoolLang::or(m, y));
+        }
+        // Class C: DP picks `And(a, x)` (tree cost 6 < 7); `And(m, m)` is the
+        // greedy's first accepted switch (kills the 5-gate chain, adds 3).
+        let c = eg.add(BoolLang::and(a, x));
+        let c1 = eg.add(BoolLang::and(m, m));
+        eg.union(c, c1);
+        eg.rebuild();
+        // D sits above C; the root keeps D (and through it C) live.
+        let d = eg.add(BoolLang::and(eg.find(c), x));
+        let root = eg.add(BoolLang::or(d, x));
+        // The poisoned alternative: switching C to `And(d, x)` closes the
+        // cycle C -> D -> C.
+        let c2 = eg.add(BoolLang::and(d, x));
+        eg.union(c, c2);
+        eg.rebuild();
+
+        let roots = vec![eg.find(root)];
+        let (tree, _) = crate::extract::bottom_up_extract(&eg, ExtractionCost::Size);
+        let tree_size = try_selection_cost(&eg, &tree, &roots, ExtractionCost::Size).unwrap();
+        let extraction = GlobalGreedyDagEngine::new()
+            .extract(&eg, &roots, &ExtractBudget::unlimited())
+            .unwrap();
+        // Depth walks with cycle detection: Ok proves acyclicity.
+        try_selection_cost(&eg, &extraction.selection, &roots, ExtractionCost::Depth).unwrap();
+        let dag_size =
+            try_selection_cost(&eg, &extraction.selection, &roots, ExtractionCost::Size).unwrap();
+        assert!(dag_size <= tree_size, "dag {dag_size} vs tree {tree_size}");
+    }
+
+    /// The height walk's cycle guard terminates (and trips in debug builds)
+    /// on a cyclic selection instead of spinning forever.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cycle in selection")]
+    fn selection_heights_flags_a_cyclic_selection() {
+        let mut eg: EGraph<BoolLang> = EGraph::new();
+        let x = eg.add(BoolLang::Var(0));
+        let p = eg.add(BoolLang::and(x, x));
+        let q = eg.add(BoolLang::and(p, x));
+        eg.rebuild();
+        let mut selection: FxHashMap<Id, BoolLang> = FxHashMap::default();
+        selection.insert(p, BoolLang::and(q, q));
+        selection.insert(q, BoolLang::and(p, p));
+        selection_heights(&eg, &selection);
     }
 
     #[test]

@@ -396,7 +396,7 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     };
     // The flow is delay-oriented, so the portfolio scores candidates by
     // mapped (delay, area).
-    let (extraction, extraction_engines) = run_extraction(
+    let (extraction, mut extraction_engines) = run_extraction(
         config.extractor,
         &config.sa,
         evaluator,
@@ -408,18 +408,30 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         &config.extract_budget,
     );
     // A failed extraction (unrealizable root, empty portfolio) falls back to
-    // the pre-resynthesis network; the failure stays visible in the reports.
-    let extracted_aig = extraction.ok().and_then(|extraction| {
-        crate::convert::try_selection_to_aig(
+    // the pre-resynthesis network, and so does a winning selection the
+    // backward conversion rejects — in that case the conversion error is
+    // recorded on the winning engine's report (and its win stripped, since
+    // its result was not kept) so the failure stays visible in the reports.
+    let extracted_aig = match extraction {
+        Ok(extraction) => match crate::convert::try_selection_to_aig(
             &saturated.egraph,
             &extraction.selection,
             &saturated.roots,
             &saturated.input_names,
             &saturated.output_names,
             &saturated.name,
-        )
-        .ok()
-    });
+        ) {
+            Ok(aig) => Some(aig),
+            Err(e) => {
+                if let Some(report) = extraction_engines.iter_mut().find(|r| r.won) {
+                    report.won = false;
+                    report.error = Some(format!("selection-to-AIG conversion failed: {e}"));
+                }
+                None
+            }
+        },
+        Err(_) => None,
+    };
     let extraction_time = t_extract.elapsed();
 
     // Verify, and fall back to the pre-resynthesis network on a proven
