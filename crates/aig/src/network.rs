@@ -132,6 +132,13 @@ impl Aig {
         self.outputs[index] = lit;
     }
 
+    /// Removes all primary outputs (the driving logic stays until a
+    /// [`Aig::cleanup`]). Useful for carving out single-output cones.
+    pub fn clear_outputs(&mut self) {
+        self.outputs.clear();
+        self.output_names.clear();
+    }
+
     /// Creates (or reuses) the AND of two literals, applying constant folding
     /// and trivial-case simplification before structural hashing.
     pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
@@ -519,6 +526,21 @@ impl Aig {
     /// # Panics
     /// Panics if `inputs.len()` differs from the number of primary inputs.
     pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
+        let values = self.evaluate_nodes(inputs);
+        self.outputs
+            .iter()
+            .map(|lit| values[lit.node().index()] ^ lit.is_complemented())
+            .collect()
+    }
+
+    /// Evaluates the network on a single Boolean input assignment, returning
+    /// the value of *every node* (indexed by node id, uncomplemented). Used
+    /// by counterexample-guided sweeping to split candidate equivalence
+    /// classes on a distinguishing input pattern.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn evaluate_nodes(&self, inputs: &[bool]) -> Vec<bool> {
         assert_eq!(
             inputs.len(),
             self.inputs.len(),
@@ -538,10 +560,7 @@ impl Aig {
                 }
             };
         }
-        self.outputs
-            .iter()
-            .map(|lit| values[lit.node().index()] ^ lit.is_complemented())
-            .collect()
+        values
     }
 }
 

@@ -15,6 +15,12 @@
 
 #![warn(missing_docs)]
 
+/// Default per-SAT-call conflict budget shared by [`CecOptions`] and
+/// [`SweepOptions`]: verification is bounded by default, so a hard miter
+/// returns [`CecResult::Unknown`] instead of spinning when callers forget to
+/// thread an explicit budget.
+pub const DEFAULT_CONFLICT_BUDGET: u64 = 10_000;
+
 mod miter;
 mod sweep;
 mod tseitin;

@@ -12,7 +12,8 @@ pub struct CecOptions {
     pub sim_words: usize,
     /// Seed for random simulation.
     pub sim_seed: u64,
-    /// Conflict budget per SAT call (`None` = unlimited).
+    /// Conflict budget per SAT call (`None` = unlimited). Defaults to the
+    /// same bounded [`crate::DEFAULT_CONFLICT_BUDGET`] as [`SweepOptions`].
     pub conflict_budget: Option<u64>,
     /// Check each output pair with its own SAT call instead of one global
     /// miter (usually faster for many-output circuits).
@@ -24,7 +25,7 @@ impl Default for CecOptions {
         CecOptions {
             sim_words: 16,
             sim_seed: 0xE5EED,
-            conflict_budget: None,
+            conflict_budget: Some(crate::DEFAULT_CONFLICT_BUDGET),
             per_output: true,
         }
     }

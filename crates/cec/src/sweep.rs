@@ -3,12 +3,20 @@
 //!
 //! Sweeping is the mechanism behind the `dch`-style structural choice
 //! computation used by `logic-opt`: candidate equivalences are proposed by
-//! bit-parallel random simulation and then proved (or refuted) one by one
-//! with SAT.
+//! bit-parallel random simulation and then proved (or refuted) with SAT on a
+//! single incremental solver shared across the whole sweep.
+//!
+//! When a proof attempt *fails*, the SAT model is a distinguishing input
+//! pattern. With [`SweepOptions::cex_refinement`] enabled (the default) that
+//! pattern is resimulated through the network and used to split the current
+//! and all still-pending candidate classes (ABC fraig-style counterexample
+//! refinement), so one refuted pair prunes every other candidate pair the
+//! pattern distinguishes — without further SAT calls.
 
 use crate::tseitin::AigCnf;
 use aig::{Aig, Lit as ALit, Simulator};
 use sat::{Lit as SLit, SatResult, Solver};
+use std::collections::VecDeque;
 
 /// Options controlling a sweep.
 #[derive(Debug, Clone)]
@@ -21,6 +29,9 @@ pub struct SweepOptions {
     pub conflict_budget: Option<u64>,
     /// Skip candidate classes larger than this (guards worst-case blowup).
     pub max_class_size: usize,
+    /// Resimulate SAT counterexamples to split remaining candidate classes
+    /// before spending further SAT calls on them.
+    pub cex_refinement: bool,
 }
 
 impl Default for SweepOptions {
@@ -28,8 +39,9 @@ impl Default for SweepOptions {
         SweepOptions {
             sim_words: 8,
             sim_seed: 0x5EEDu64,
-            conflict_budget: Some(10_000),
+            conflict_budget: Some(crate::DEFAULT_CONFLICT_BUDGET),
             max_class_size: 64,
+            cex_refinement: true,
         }
     }
 }
@@ -47,6 +59,11 @@ pub struct SweepStats {
     pub unknown: usize,
     /// AND nodes removed by merging (in [`SatSweeper::sweep`]).
     pub merged_nodes: usize,
+    /// Counterexample patterns resimulated for class refinement.
+    pub resimulations: usize,
+    /// Candidate members moved out of their class by a counterexample
+    /// (each avoided at least one SAT call).
+    pub cex_splits: usize,
 }
 
 /// Groups of functionally equivalent literals.
@@ -129,27 +146,85 @@ impl SatSweeper {
         solver.set_conflict_budget(self.options.conflict_budget);
         let cnf = AigCnf::encode(&mut solver, aig, None);
 
+        let mut pending: VecDeque<Vec<ALit>> = candidate_classes.into();
         let mut proved_classes = Vec::new();
-        for class in candidate_classes {
+        while let Some(mut class) = pending.pop_front() {
             let rep = class[0];
             // The representative is stored uncomplemented; members carry the
             // relative phase.
             let rep_node = rep.node();
             let mut proved: Vec<ALit> = vec![ALit::new(rep_node, false)];
-            for &member in &class[1..] {
+            let mut idx = 1;
+            while idx < class.len() {
+                let member = class[idx];
                 let phase = member.is_complemented() != rep.is_complemented();
                 let a = cnf.node(rep_node);
                 let b = cnf.node(member.node());
                 let b = if phase { !b } else { b };
                 match prove_equal(&mut solver, a, b, &mut stats) {
-                    Verdict::Equal => proved.push(ALit::new(member.node(), phase)),
-                    Verdict::Different | Verdict::Unknown => {}
+                    Verdict::Equal => {
+                        proved.push(ALit::new(member.node(), phase));
+                        idx += 1;
+                    }
+                    Verdict::Unknown => idx += 1,
+                    Verdict::Different => {
+                        if !self.options.cex_refinement {
+                            idx += 1;
+                            continue;
+                        }
+                        // The SAT model is a distinguishing input pattern:
+                        // resimulate it and split every candidate class it
+                        // distinguishes. The refuted member is guaranteed to
+                        // disagree with the representative, so the current
+                        // class always shrinks.
+                        let pattern: Vec<bool> = cnf
+                            .input_lits
+                            .iter()
+                            .map(|&l| solver.value(l).unwrap_or(false))
+                            .collect();
+                        let values = aig.evaluate_nodes(&pattern);
+                        stats.resimulations += 1;
+                        let rep_val = values[rep_node.index()] ^ rep.is_complemented();
+                        let tail: Vec<ALit> = class.split_off(idx);
+                        let (agree, disagree): (Vec<ALit>, Vec<ALit>) =
+                            tail.into_iter().partition(|m| {
+                                values[m.node().index()] ^ m.is_complemented() == rep_val
+                            });
+                        stats.cex_splits += disagree.len();
+                        class.extend(agree);
+                        // The split-off group is still internally candidate-
+                        // equivalent; node order (and thus the topologically
+                        // earliest representative) is preserved.
+                        if disagree.len() >= 2 {
+                            pending.push_back(disagree);
+                        }
+                        let mut new_classes: Vec<Vec<ALit>> = Vec::new();
+                        for queued in pending.iter_mut() {
+                            let old: Vec<ALit> = std::mem::take(queued);
+                            let q_rep_val =
+                                values[old[0].node().index()] ^ old[0].is_complemented();
+                            let (same, split): (Vec<ALit>, Vec<ALit>) =
+                                old.into_iter().partition(|m| {
+                                    values[m.node().index()] ^ m.is_complemented() == q_rep_val
+                                });
+                            stats.cex_splits += split.len();
+                            *queued = same;
+                            if split.len() >= 2 {
+                                new_classes.push(split);
+                            }
+                        }
+                        pending.retain(|c| c.len() >= 2);
+                        pending.extend(new_classes);
+                    }
                 }
             }
             if proved.len() >= 2 {
                 proved_classes.push(proved);
             }
         }
+        // Splitting appends refined classes out of order; restore the
+        // deterministic by-representative order.
+        proved_classes.sort_by_key(|c| c[0].node());
         (
             EquivClasses {
                 classes: proved_classes,

@@ -1,10 +1,11 @@
 //! Tseitin encoding of AIGs into CNF.
 
 use aig::{Aig, AigNode, Lit as ALit, NodeId};
-use sat::{cnf, Lit as SLit, Solver};
+use sat::{cnf, ClauseSink, Lit as SLit};
 
-/// The CNF image of an AIG inside a [`Solver`]: one SAT variable per AIG node
-/// plus a constant-false variable.
+/// The CNF image of an AIG inside a [`ClauseSink`] (a solver, the reference
+/// oracle or a plain CNF container): one SAT variable per AIG node plus a
+/// constant-false variable.
 #[derive(Debug, Clone)]
 pub struct AigCnf {
     /// SAT literal corresponding to each AIG node (uncomplemented).
@@ -21,7 +22,11 @@ impl AigCnf {
     ///
     /// # Panics
     /// Panics if `shared_inputs` is provided with the wrong length.
-    pub fn encode(solver: &mut Solver, aig: &Aig, shared_inputs: Option<&[SLit]>) -> Self {
+    pub fn encode<S: ClauseSink>(
+        solver: &mut S,
+        aig: &Aig,
+        shared_inputs: Option<&[SLit]>,
+    ) -> Self {
         if let Some(shared) = shared_inputs {
             assert_eq!(
                 shared.len(),
@@ -93,7 +98,7 @@ impl AigCnf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sat::SatResult;
+    use sat::{SatResult, Solver};
 
     fn full_adder() -> Aig {
         let mut aig = Aig::new("fa");

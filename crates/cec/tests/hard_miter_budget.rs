@@ -1,0 +1,92 @@
+//! The bounded-by-default guarantee: a genuinely hard miter under
+//! `CecOptions::default()` must come back [`CecResult::Unknown`] within the
+//! default conflict budget instead of spinning — the regression for the old
+//! `conflict_budget: None` default that could hang the monolithic CEC path.
+
+use aig::{Aig, Lit as ALit};
+use cec::{check_equivalence, CecOptions, CecResult};
+
+/// Rebuilds `aig` with its primary inputs permuted: input `i` of the copy
+/// reads original input `perm[i]`.
+fn permute_inputs(aig: &Aig, perm: &[usize]) -> Aig {
+    assert_eq!(perm.len(), aig.num_inputs());
+    let mut fresh = Aig::new(format!("{}_perm", aig.name()));
+    let fresh_inputs: Vec<ALit> = (0..aig.num_inputs())
+        .map(|i| fresh.add_input(aig.input_name(i)))
+        .collect();
+    let mut map: Vec<Option<ALit>> = vec![None; aig.num_nodes()];
+    map[0] = Some(ALit::FALSE);
+    for (idx, &input) in aig.inputs().iter().enumerate() {
+        map[input.index()] = Some(fresh_inputs[perm[idx]]);
+    }
+    for id in aig.and_ids() {
+        let (f0, f1) = aig.fanins(id);
+        let a = map[f0.node().index()]
+            .expect("fanin built")
+            .xor(f0.is_complemented());
+        let b = map[f1.node().index()]
+            .expect("fanin built")
+            .xor(f1.is_complemented());
+        map[id.index()] = Some(fresh.and(a, b));
+    }
+    for (idx, &po) in aig.outputs().iter().enumerate() {
+        let lit = map[po.node().index()]
+            .expect("output driver built")
+            .xor(po.is_complemented());
+        fresh.add_output(lit, aig.output_name(idx));
+    }
+    fresh
+}
+
+/// `a*b` against `b*a`: equivalent by commutativity, but structurally
+/// unrelated cones — random simulation finds no counterexample and the SAT
+/// proof is exponential-ish, the classic hard miter.
+fn commuted_multiplier(width: usize) -> (Aig, Aig) {
+    let golden = benchgen::multiplier(width).aig;
+    let w = golden.num_inputs() / 2;
+    let perm: Vec<usize> = (0..2 * w).map(|i| (i + w) % (2 * w)).collect();
+    let revised = permute_inputs(&golden, &perm);
+    (golden, revised)
+}
+
+#[test]
+fn default_options_are_bounded() {
+    assert!(
+        CecOptions::default().conflict_budget.is_some(),
+        "CEC must be budget-bounded by default"
+    );
+    assert_eq!(
+        CecOptions::default().conflict_budget,
+        cec::SweepOptions::default().conflict_budget,
+        "CEC and sweep defaults must agree"
+    );
+}
+
+/// Keeps only output `index`, pruning the rest of the cone.
+fn single_output(aig: &Aig, index: usize) -> Aig {
+    let mut trimmed = aig.clone();
+    let kept = aig.outputs()[index];
+    let name = aig.output_name(index).to_string();
+    trimmed.clear_outputs();
+    trimmed.add_output(kept, name);
+    trimmed.cleanup()
+}
+
+#[test]
+fn hard_miter_returns_unknown_under_default_budget() {
+    // The middle product bit of `a*b` vs `b*a` is the classic hard miter;
+    // restricting to that single output keeps the test fast while still
+    // exhausting the default budget.
+    let (golden, revised) = commuted_multiplier(8);
+    let mid = golden.num_outputs() / 2;
+    let res = check_equivalence(
+        &single_output(&golden, mid),
+        &single_output(&revised, mid),
+        &CecOptions::default(),
+    );
+    assert_eq!(
+        res,
+        CecResult::Unknown,
+        "a commuted-multiplier miter should exhaust the default budget"
+    );
+}

@@ -89,6 +89,10 @@ pub struct FlowConfig {
     /// bounded: suite circuits include multipliers, whose miters plain CDCL
     /// cannot close, and an unlimited budget wedges the whole flow.
     pub cec: CecOptions,
+    /// Sweep options used by the fraig-style CEC gate (and anywhere the flow
+    /// SAT-sweeps). Budgeted in lockstep with [`FlowConfig::cec`] so one knob
+    /// bounds every SAT call on the flow's critical path.
+    pub sweep: cec::SweepOptions,
 }
 
 impl FlowConfig {
@@ -118,6 +122,10 @@ impl FlowConfig {
                 conflict_budget: Some(100_000),
                 ..CecOptions::default()
             },
+            sweep: cec::SweepOptions {
+                conflict_budget: Some(100_000),
+                ..cec::SweepOptions::default()
+            },
         }
     }
 
@@ -133,6 +141,10 @@ impl FlowConfig {
             cec: CecOptions {
                 conflict_budget: Some(10_000),
                 ..CecOptions::default()
+            },
+            sweep: cec::SweepOptions {
+                conflict_budget: Some(10_000),
+                ..cec::SweepOptions::default()
             },
             ..FlowConfig::paper()
         }
@@ -772,12 +784,9 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
     let mut verified = true;
     if config.flow.verify {
         let mapped_aig = netlist.to_aig(mapped_source);
-        let sweep = cec::SweepOptions {
-            conflict_budget: config.flow.cec.conflict_budget,
-            ..cec::SweepOptions::default()
-        };
-        verified = cec::check_equivalence_swept(aig, &mapped_aig, &config.flow.cec, &sweep)
-            .is_equivalent();
+        verified =
+            cec::check_equivalence_swept(aig, &mapped_aig, &config.flow.cec, &config.flow.sweep)
+                .is_equivalent();
     }
 
     let mut qor = netlist.qor();

@@ -2,54 +2,83 @@
 //!
 //! These helpers add the clauses that define a fresh output literal as a
 //! Boolean function of input literals, which is how AIGs are translated to
-//! CNF by the `cec` crate.
+//! CNF by the `cec` crate. They are generic over [`ClauseSink`], so the same
+//! encoding can target the main [`Solver`], the [`crate::ReferenceSolver`]
+//! differential oracle, or a plain [`crate::dimacs::CnfFormula`].
 
-use crate::{Lit, Solver};
+use crate::{Lit, Solver, Var};
+
+/// Anything clauses can be encoded into: a solver or a CNF container.
+pub trait ClauseSink {
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> Var;
+    /// Adds a clause. Returns `false` if the sink has become trivially
+    /// unsatisfiable (containers always return `true`).
+    fn add_clause(&mut self, lits: &[Lit]) -> bool;
+}
+
+impl ClauseSink for Solver {
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self)
+    }
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Solver::add_clause(self, lits)
+    }
+}
+
+impl ClauseSink for crate::ReferenceSolver {
+    fn new_var(&mut self) -> Var {
+        crate::ReferenceSolver::new_var(self)
+    }
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        crate::ReferenceSolver::add_clause(self, lits)
+    }
+}
 
 /// Adds clauses asserting `out = a AND b`.
-pub fn encode_and(solver: &mut Solver, out: Lit, a: Lit, b: Lit) {
+pub fn encode_and<S: ClauseSink>(sink: &mut S, out: Lit, a: Lit, b: Lit) {
     // out -> a, out -> b, (a & b) -> out
-    solver.add_clause(&[!out, a]);
-    solver.add_clause(&[!out, b]);
-    solver.add_clause(&[out, !a, !b]);
+    sink.add_clause(&[!out, a]);
+    sink.add_clause(&[!out, b]);
+    sink.add_clause(&[out, !a, !b]);
 }
 
 /// Adds clauses asserting `out = a OR b`.
-pub fn encode_or(solver: &mut Solver, out: Lit, a: Lit, b: Lit) {
-    encode_and(solver, !out, !a, !b);
+pub fn encode_or<S: ClauseSink>(sink: &mut S, out: Lit, a: Lit, b: Lit) {
+    encode_and(sink, !out, !a, !b);
 }
 
 /// Adds clauses asserting `out = a XOR b`.
-pub fn encode_xor(solver: &mut Solver, out: Lit, a: Lit, b: Lit) {
-    solver.add_clause(&[!out, a, b]);
-    solver.add_clause(&[!out, !a, !b]);
-    solver.add_clause(&[out, !a, b]);
-    solver.add_clause(&[out, a, !b]);
+pub fn encode_xor<S: ClauseSink>(sink: &mut S, out: Lit, a: Lit, b: Lit) {
+    sink.add_clause(&[!out, a, b]);
+    sink.add_clause(&[!out, !a, !b]);
+    sink.add_clause(&[out, !a, b]);
+    sink.add_clause(&[out, a, !b]);
 }
 
 /// Adds clauses asserting `out = (a == b)`.
-pub fn encode_equiv(solver: &mut Solver, out: Lit, a: Lit, b: Lit) {
-    encode_xor(solver, !out, a, b);
+pub fn encode_equiv<S: ClauseSink>(sink: &mut S, out: Lit, a: Lit, b: Lit) {
+    encode_xor(sink, !out, a, b);
 }
 
 /// Adds clauses asserting `out = sel ? t : e` (a 2:1 multiplexer).
-pub fn encode_mux(solver: &mut Solver, out: Lit, sel: Lit, t: Lit, e: Lit) {
-    solver.add_clause(&[!sel, !t, out]);
-    solver.add_clause(&[!sel, t, !out]);
-    solver.add_clause(&[sel, !e, out]);
-    solver.add_clause(&[sel, e, !out]);
+pub fn encode_mux<S: ClauseSink>(sink: &mut S, out: Lit, sel: Lit, t: Lit, e: Lit) {
+    sink.add_clause(&[!sel, !t, out]);
+    sink.add_clause(&[!sel, t, !out]);
+    sink.add_clause(&[sel, !e, out]);
+    sink.add_clause(&[sel, e, !out]);
 }
 
 /// Adds clauses asserting that at least one of `lits` is true.
-pub fn encode_at_least_one(solver: &mut Solver, lits: &[Lit]) {
-    solver.add_clause(lits);
+pub fn encode_at_least_one<S: ClauseSink>(sink: &mut S, lits: &[Lit]) {
+    sink.add_clause(lits);
 }
 
 /// Adds pairwise clauses asserting that at most one of `lits` is true.
-pub fn encode_at_most_one(solver: &mut Solver, lits: &[Lit]) {
+pub fn encode_at_most_one<S: ClauseSink>(sink: &mut S, lits: &[Lit]) {
     for i in 0..lits.len() {
         for j in (i + 1)..lits.len() {
-            solver.add_clause(&[!lits[i], !lits[j]]);
+            sink.add_clause(&[!lits[i], !lits[j]]);
         }
     }
 }

@@ -6,7 +6,13 @@
 //! clause-learning loop: two-watched-literal propagation, first-UIP conflict
 //! analysis, VSIDS-style activity decision ordering, phase saving, Luby
 //! restarts and periodic deletion of inactive learnt clauses. Solving under
-//! assumptions is supported for incremental use.
+//! assumptions is supported for incremental use, and
+//! [`Solver::failed_assumptions`] exposes an unsatisfiable assumption core
+//! after an `Unsat`-under-assumptions answer.
+//!
+//! The previous-generation solver is kept as [`ReferenceSolver`]: an
+//! independent implementation used as a differential-testing oracle by the
+//! property tests and by the `sat_qor` benchmark gate.
 //!
 //! # Example
 //!
@@ -29,7 +35,10 @@
 pub mod cnf;
 pub mod dimacs;
 mod literal;
+mod reference;
 mod solver;
 
+pub use cnf::ClauseSink;
 pub use literal::{Lit, Var};
+pub use reference::ReferenceSolver;
 pub use solver::{SatResult, Solver, SolverStats};
