@@ -116,10 +116,10 @@ pub fn extract_cone(aig: &Aig, roots: &[Lit], leaves: Option<&[NodeId]>) -> Cone
                 // well-formed cut this cannot happen because every path from
                 // the root crosses the cut.
                 let a = map[fanin0.node().index()]
-                    .expect("cut does not cover the cone")
+                    .unwrap_or_else(|| unreachable!("cut does not cover the cone"))
                     .xor(fanin0.is_complemented());
                 let b = map[fanin1.node().index()]
-                    .expect("cut does not cover the cone")
+                    .unwrap_or_else(|| unreachable!("cut does not cover the cone"))
                     .xor(fanin1.is_complemented());
                 map[id.index()] = Some(cone.and(a, b));
             }
@@ -129,7 +129,7 @@ pub fn extract_cone(aig: &Aig, roots: &[Lit], leaves: Option<&[NodeId]>) -> Cone
     let mut root_map = Vec::new();
     for (i, root) in roots.iter().enumerate() {
         let lit = map[root.node().index()]
-            .expect("root not reachable")
+            .unwrap_or_else(|| unreachable!("root not reachable"))
             .xor(root.is_complemented());
         cone.add_output(lit, format!("root{i}"));
         root_map.push(*root);

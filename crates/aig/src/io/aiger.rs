@@ -237,10 +237,10 @@ pub fn read_aiger(text: &str) -> Result<Aig> {
     for id in aig.and_ids() {
         let (f0, f1) = aig.fanins(id);
         let a = map[f0.node().index()]
-            .expect("topological")
+            .unwrap_or_else(|| unreachable!("topological"))
             .xor(f0.is_complemented());
         let b = map[f1.node().index()]
-            .expect("topological")
+            .unwrap_or_else(|| unreachable!("topological"))
             .xor(f1.is_complemented());
         map[id.index()] = Some(named.and(a, b));
     }
@@ -258,7 +258,7 @@ pub fn read_aiger(text: &str) -> Result<Aig> {
             lit_in_tmp
         } else {
             map[lit_in_tmp.node().index()]
-                .expect("defined")
+                .unwrap_or_else(|| unreachable!("defined"))
                 .xor(lit_in_tmp.is_complemented())
         };
         let name = output_names[idx]

@@ -311,6 +311,8 @@ impl Aig {
     ///
     /// # Panics
     /// Panics if the node is not an AND gate.
+    // The panic is the documented contract of this accessor.
+    #[allow(clippy::panic)]
     pub fn fanins(&self, id: NodeId) -> (Lit, Lit) {
         match self.node(id) {
             AigNode::And { fanin0, fanin1 } => (*fanin0, *fanin1),
@@ -420,17 +422,17 @@ impl Aig {
         for (i, node) in self.nodes.iter().enumerate() {
             if let AigNode::And { fanin0, fanin1 } = node {
                 let a = map[fanin0.node().index()]
-                    .expect("fanin visited")
+                    .unwrap_or_else(|| unreachable!("fanin visited"))
                     .xor(fanin0.is_complemented());
                 let b = map[fanin1.node().index()]
-                    .expect("fanin visited")
+                    .unwrap_or_else(|| unreachable!("fanin visited"))
                     .xor(fanin1.is_complemented());
                 map[i] = Some(fresh.and(a, b));
             }
         }
         for (idx, lit) in self.outputs.iter().enumerate() {
             let mapped = map[lit.node().index()]
-                .expect("output driver visited")
+                .unwrap_or_else(|| unreachable!("output driver visited"))
                 .xor(lit.is_complemented());
             fresh.add_output(mapped, self.output_names[idx].clone());
         }
@@ -469,17 +471,17 @@ impl Aig {
             }
             if let AigNode::And { fanin0, fanin1 } = node {
                 let a = map[fanin0.node().index()]
-                    .expect("fanin visited")
+                    .unwrap_or_else(|| unreachable!("fanin visited"))
                     .xor(fanin0.is_complemented());
                 let b = map[fanin1.node().index()]
-                    .expect("fanin visited")
+                    .unwrap_or_else(|| unreachable!("fanin visited"))
                     .xor(fanin1.is_complemented());
                 map[i] = Some(fresh.and(a, b));
             }
         }
         for (idx, lit) in self.outputs.iter().enumerate() {
             let mapped = map[lit.node().index()]
-                .expect("output driver visited")
+                .unwrap_or_else(|| unreachable!("output driver visited"))
                 .xor(lit.is_complemented());
             fresh.add_output(mapped, self.output_names[idx].clone());
         }
@@ -561,6 +563,21 @@ impl Aig {
             };
         }
         values
+    }
+
+    /// Raw mutable node storage. Bypasses structural hashing and every
+    /// construction invariant — the `audit` crate's mutation tests use this
+    /// to plant corruptions the auditor must detect. Never call from
+    /// production code.
+    #[doc(hidden)]
+    pub fn tamper_nodes_mut(&mut self) -> &mut Vec<AigNode> {
+        &mut self.nodes
+    }
+
+    /// Raw mutable output list (same caveats as [`Aig::tamper_nodes_mut`]).
+    #[doc(hidden)]
+    pub fn tamper_outputs_mut(&mut self) -> &mut Vec<Lit> {
+        &mut self.outputs
     }
 }
 

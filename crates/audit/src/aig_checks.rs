@@ -1,0 +1,258 @@
+//! Checkers over [`aig::Aig`] networks: fanin sanity, topological order,
+//! structural-hash consistency, dangling/duplicate/trivial ANDs.
+
+use aig::{Aig, AigNode, Lit, NodeId};
+use fxhash::FxHashMap;
+
+use crate::report::{AuditReport, RuleId, Severity};
+use crate::Check;
+
+/// Iterates `(id, fanin0, fanin1)` over the AND nodes, tolerating tampered
+/// node vectors (no panicking accessors).
+fn ands(aig: &Aig) -> impl Iterator<Item = (NodeId, Lit, Lit)> + '_ {
+    aig.node_ids().filter_map(|id| match *aig.node(id) {
+        AigNode::And { fanin0, fanin1 } => Some((id, fanin0, fanin1)),
+        _ => None,
+    })
+}
+
+/// [`RuleId::AigFaninRange`]: every fanin and output literal references an
+/// existing node.
+pub struct FaninRange;
+
+impl Check<Aig> for FaninRange {
+    fn rule(&self) -> RuleId {
+        RuleId::AigFaninRange
+    }
+
+    fn check(&self, aig: &Aig, report: &mut AuditReport) {
+        let n = aig.num_nodes();
+        for (id, f0, f1) in ands(aig) {
+            for (pin, fanin) in [(0, f0), (1, f1)] {
+                if fanin.node().index() >= n {
+                    report.push(
+                        self.rule(),
+                        Severity::Error,
+                        format!("node {}", id.index()),
+                        format!("fanin{pin} references node {} of {n}", fanin.node().index()),
+                    );
+                }
+            }
+        }
+        for (i, output) in aig.outputs().iter().enumerate() {
+            if output.node().index() >= n {
+                report.push(
+                    self.rule(),
+                    Severity::Error,
+                    format!("output {i}"),
+                    format!("references node {} of {n}", output.node().index()),
+                );
+            }
+        }
+    }
+}
+
+/// [`RuleId::AigTopoOrder`]: fanins reference strictly smaller ids. The node
+/// array is creation-ordered, so a forward (or self) reference is the only
+/// way a combinational cycle can exist — this check subsumes acyclicity.
+pub struct TopoOrder;
+
+impl Check<Aig> for TopoOrder {
+    fn rule(&self) -> RuleId {
+        RuleId::AigTopoOrder
+    }
+
+    fn check(&self, aig: &Aig, report: &mut AuditReport) {
+        for (id, f0, f1) in ands(aig) {
+            for (pin, fanin) in [(0, f0), (1, f1)] {
+                if fanin.node().index() >= id.index() {
+                    report.push(
+                        self.rule(),
+                        Severity::Error,
+                        format!("node {}", id.index()),
+                        format!(
+                            "fanin{pin} references node {} (not strictly below); \
+                             the id order is the topological order",
+                            fanin.node().index()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// [`RuleId::AigFaninOrder`]: fanin pairs are stored normalized
+/// (`fanin0.raw() <= fanin1.raw()`), which strash relies on.
+pub struct FaninOrder;
+
+impl Check<Aig> for FaninOrder {
+    fn rule(&self) -> RuleId {
+        RuleId::AigFaninOrder
+    }
+
+    fn check(&self, aig: &Aig, report: &mut AuditReport) {
+        for (id, f0, f1) in ands(aig) {
+            if f0.raw() > f1.raw() {
+                report.push(
+                    self.rule(),
+                    Severity::Error,
+                    format!("node {}", id.index()),
+                    format!(
+                        "fanins ({}, {}) are not in normalized order",
+                        f0.raw(),
+                        f1.raw()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// [`RuleId::AigDuplicateAnd`]: structural hashing must have deduplicated
+/// ANDs, so no two nodes may share a normalized fanin pair.
+pub struct DuplicateAnd;
+
+impl Check<Aig> for DuplicateAnd {
+    fn rule(&self) -> RuleId {
+        RuleId::AigDuplicateAnd
+    }
+
+    fn check(&self, aig: &Aig, report: &mut AuditReport) {
+        let mut seen: FxHashMap<(u32, u32), NodeId> = FxHashMap::default();
+        for (id, f0, f1) in ands(aig) {
+            let key = if f0.raw() <= f1.raw() {
+                (f0.raw(), f1.raw())
+            } else {
+                (f1.raw(), f0.raw())
+            };
+            if let Some(first) = seen.get(&key) {
+                report.push(
+                    self.rule(),
+                    Severity::Error,
+                    format!("node {}", id.index()),
+                    format!(
+                        "duplicates the fanin pair of node {} (strash broken)",
+                        first.index()
+                    ),
+                );
+            } else {
+                seen.insert(key, id);
+            }
+        }
+    }
+}
+
+/// [`RuleId::AigTrivialAnd`]: an AND over identical, complementary or
+/// constant fanins computes a simpler function and should have been folded
+/// by the builder (warning).
+pub struct TrivialAnd;
+
+impl Check<Aig> for TrivialAnd {
+    fn rule(&self) -> RuleId {
+        RuleId::AigTrivialAnd
+    }
+
+    fn check(&self, aig: &Aig, report: &mut AuditReport) {
+        for (id, f0, f1) in ands(aig) {
+            let reason = if f0.node() == f1.node() {
+                Some(if f0 == f1 {
+                    "identical fanins"
+                } else {
+                    "complementary fanins"
+                })
+            } else if f0.is_const() || f1.is_const() {
+                Some("constant fanin")
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                report.push(
+                    self.rule(),
+                    Severity::Warning,
+                    format!("node {}", id.index()),
+                    format!("{reason}; the builder should have simplified this gate"),
+                );
+            }
+        }
+    }
+}
+
+/// [`RuleId::AigDanglingAnd`]: an AND from which no primary output is
+/// reachable (warning). Excluded from the choice-network catalog, where
+/// alternatives dangle by design.
+pub struct DanglingAnd;
+
+impl Check<Aig> for DanglingAnd {
+    fn rule(&self) -> RuleId {
+        RuleId::AigDanglingAnd
+    }
+
+    fn check(&self, aig: &Aig, report: &mut AuditReport) {
+        let n = aig.num_nodes();
+        let mut reachable = vec![false; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for output in aig.outputs() {
+            let node = output.node();
+            if node.index() < n && !reachable[node.index()] {
+                reachable[node.index()] = true;
+                stack.push(node);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            if let AigNode::And { fanin0, fanin1 } = *aig.node(id) {
+                for fanin in [fanin0, fanin1] {
+                    let child = fanin.node();
+                    if child.index() < n && !reachable[child.index()] {
+                        reachable[child.index()] = true;
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        for (id, _, _) in ands(aig) {
+            if !reachable[id.index()] {
+                report.push(
+                    self.rule(),
+                    Severity::Warning,
+                    format!("node {}", id.index()),
+                    "AND is reachable from no primary output",
+                );
+            }
+        }
+    }
+}
+
+/// The full AIG catalog (all six rules, dangling included).
+pub fn aig_catalog() -> Vec<Box<dyn Check<Aig>>> {
+    vec![
+        Box::new(FaninRange),
+        Box::new(TopoOrder),
+        Box::new(FaninOrder),
+        Box::new(DuplicateAnd),
+        Box::new(TrivialAnd),
+        Box::new(DanglingAnd),
+    ]
+}
+
+/// The DAG-shape rules only (no dangling/trivial warnings): the right
+/// catalog for networks where unused or unsimplified nodes are expected,
+/// such as the member AIG underlying a choice network.
+pub fn dag_catalog() -> Vec<Box<dyn Check<Aig>>> {
+    vec![
+        Box::new(FaninRange),
+        Box::new(TopoOrder),
+        Box::new(FaninOrder),
+        Box::new(DuplicateAnd),
+    ]
+}
+
+/// Audits an AIG with the full catalog at the given level.
+pub fn audit_aig(aig: &Aig, level: crate::AuditLevel) -> AuditReport {
+    crate::run_checks(aig, &aig_catalog(), level)
+}
+
+/// Audits an AIG with the DAG-shape rules only (see [`dag_catalog`]).
+pub fn audit_aig_dag_only(aig: &Aig, level: crate::AuditLevel) -> AuditReport {
+    crate::run_checks(aig, &dag_catalog(), level)
+}

@@ -1,0 +1,103 @@
+//! Cross-crate invariant auditor.
+//!
+//! Every artifact that crosses a phase boundary in the E-morphic pipeline —
+//! AIGs, e-graphs, choice networks, mapped netlists, SAT solver state — has
+//! structural invariants that, when silently violated, surface much later as
+//! wrong QoR numbers or verification failures. This crate is a static
+//! analysis over those *in-memory* structures: a catalog of typed checkers
+//! (one [`RuleId`] per invariant) that emit [`Diagnostic`]s into an
+//! [`AuditReport`] instead of panicking or returning stringly-typed errors.
+//!
+//! The flows thread an [`AuditLevel`] through
+//! (`emorphic::FlowConfig::audit_level`): `Off` costs nothing,
+//! `PhaseBoundaries` runs the [`CheckCost::Cheap`] checkers after each phase,
+//! and `Paranoid` adds the expensive simulation-based ones. Every rule in the
+//! catalog is *mutation-tested*: `tests/mutation_audit.rs` deliberately
+//! corrupts each structure (breaks a watch, reorders a choice member,
+//! stale-canonicalizes a hashcons key, skews one arrival) and asserts that
+//! exactly the expected rule fires.
+//!
+//! # Adding a checker
+//!
+//! Implement [`Check`] for the artifact type and add the instance to the
+//! matching catalog function (or pass your own catalog to [`run_checks`]):
+//!
+//! ```
+//! use aig::Aig;
+//! use audit::{run_checks, AuditLevel, AuditReport, Check, CheckCost, RuleId, Severity};
+//!
+//! /// Flags networks that drive no primary output at all.
+//! struct HasOutputs;
+//!
+//! impl Check<Aig> for HasOutputs {
+//!     fn rule(&self) -> RuleId {
+//!         RuleId::Custom("aig-has-outputs")
+//!     }
+//!     fn cost(&self) -> CheckCost {
+//!         CheckCost::Cheap
+//!     }
+//!     fn check(&self, aig: &Aig, report: &mut AuditReport) {
+//!         if aig.num_outputs() == 0 {
+//!             report.push(self.rule(), Severity::Warning, "network", "no primary outputs");
+//!         }
+//!     }
+//! }
+//!
+//! let aig = Aig::new("empty");
+//! let checks: Vec<Box<dyn Check<Aig>>> = vec![Box::new(HasOutputs)];
+//! let report = run_checks(&aig, &checks, AuditLevel::PhaseBoundaries);
+//! assert_eq!(report.checks_run, 1);
+//! assert_eq!(report.fired_rules(), vec![RuleId::Custom("aig-has-outputs")]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod aig_checks;
+mod choice_checks;
+mod egraph_checks;
+mod netlist_checks;
+mod report;
+mod sat_checks;
+
+pub use aig_checks::{aig_catalog, audit_aig, audit_aig_dag_only, dag_catalog};
+pub use choice_checks::{audit_choices, choice_catalog};
+pub use egraph_checks::{audit_egraph, egraph_catalog};
+pub use netlist_checks::{audit_netlist, netlist_catalog, MappedDesign};
+pub use report::{AuditLevel, AuditReport, CheckCost, Diagnostic, RuleId, Severity};
+pub use sat_checks::{audit_solver, sat_catalog};
+
+/// One invariant checker over artifact type `T`.
+///
+/// A checker owns exactly one [`RuleId`] and pushes a [`Diagnostic`] per
+/// violation it finds; it must never panic on corrupted input (the whole
+/// point is diagnosing structures other code would crash on).
+pub trait Check<T: ?Sized> {
+    /// The rule this checker enforces.
+    fn rule(&self) -> RuleId;
+
+    /// How expensive the check is; decides the minimum [`AuditLevel`].
+    fn cost(&self) -> CheckCost {
+        CheckCost::Cheap
+    }
+
+    /// Inspects `artifact`, pushing one diagnostic per violation.
+    fn check(&self, artifact: &T, report: &mut AuditReport);
+}
+
+/// Runs every checker in `checks` whose cost the `level` admits, returning
+/// the aggregated report. At [`AuditLevel::Off`] nothing runs and the report
+/// is empty with `checks_run == 0`.
+pub fn run_checks<T: ?Sized>(
+    artifact: &T,
+    checks: &[Box<dyn Check<T>>],
+    level: AuditLevel,
+) -> AuditReport {
+    let mut report = AuditReport::new();
+    for check in checks {
+        if level.runs(check.cost()) {
+            report.checks_run += 1;
+            check.check(artifact, &mut report);
+        }
+    }
+    report
+}

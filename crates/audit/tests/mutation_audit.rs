@@ -1,0 +1,514 @@
+//! Mutation tests for the checker catalog: every [`RuleId`] gets a test
+//! that starts from a provably-clean artifact, applies one surgical
+//! corruption through the structures' `tamper_*` hooks, and asserts the
+//! expected rule fires. Where a corruption *inherently* violates several
+//! invariants at once (a both-phase duplicate is also a duplicate node, a
+//! congruence break leaves the hashcons pointing across classes) the test
+//! pins the exact fired set or uses a containment assertion with a comment.
+
+// Helper fns here run outside #[test] context, so the clippy.toml
+// test relaxation does not reach them.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use aig::{Aig, AigNode, Lit, NodeId};
+use audit::{
+    aig_catalog, audit_aig, audit_choices, audit_egraph, audit_netlist, audit_solver,
+    choice_catalog, egraph_catalog, netlist_catalog, sat_catalog, AuditLevel, AuditReport, RuleId,
+};
+use choices::{ChoiceAig, ChoiceClass};
+use egraph::EGraph;
+use emorphic::BoolLang;
+use sat::{Lit as SatLit, Solver};
+use techmap::cell::{map_to_cells, OutputDriver};
+use techmap::library::asap7_like;
+use techmap::{MapOptions, Netlist};
+
+fn assert_clean(stage: &str, report: &AuditReport) {
+    assert!(report.is_clean(), "{stage} audit not clean:\n{report}");
+}
+
+// ---------------------------------------------------------------- AIG ----
+
+/// `a`, `b`, `g1 = a & b` (node 3), `g2 = g1 & b` (node 4), output `g2`.
+fn aig_chain() -> Aig {
+    let mut aig = Aig::new("mutant");
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let g1 = aig.and(a, b);
+    let g2 = aig.and(g1, b);
+    aig.add_output(g2, "f");
+    assert_clean("aig base", &audit_aig(&aig, AuditLevel::Paranoid));
+    aig
+}
+
+#[test]
+fn aig_fanin_range_fires_on_out_of_range_output() {
+    let mut aig = Aig::new("mutant");
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let g = aig.and(a, b);
+    aig.add_output(g, "f0");
+    aig.add_output(g, "f1");
+    assert_clean("aig base", &audit_aig(&aig, AuditLevel::Paranoid));
+
+    // Second output now references node 99 of a 4-node network; the first
+    // output keeps the AND reachable so the dangling warning stays quiet.
+    aig.tamper_outputs_mut()[1] = Lit::from_raw(99 << 1);
+    let report = audit_aig(&aig, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::AigFaninRange]);
+}
+
+#[test]
+fn aig_topo_order_fires_on_forward_edge() {
+    let mut aig = aig_chain();
+    // g1 (node 3) now reads g2 (node 4): a forward edge, i.e. a cycle in
+    // the id-indexed array. Fanins stay raw-ordered (4 <= 8) and in range.
+    aig.tamper_nodes_mut()[3] = AigNode::And {
+        fanin0: Lit::from_raw(2 << 1),
+        fanin1: Lit::from_raw(4 << 1),
+    };
+    let report = audit_aig(&aig, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::AigTopoOrder]);
+}
+
+#[test]
+fn aig_fanin_order_fires_on_swapped_fanins() {
+    let mut aig = aig_chain();
+    // g1's fanins stored as (b, a): same normalized pair, wrong raw order.
+    aig.tamper_nodes_mut()[3] = AigNode::And {
+        fanin0: Lit::from_raw(2 << 1),
+        fanin1: Lit::from_raw(1 << 1),
+    };
+    let report = audit_aig(&aig, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::AigFaninOrder]);
+}
+
+#[test]
+fn aig_duplicate_and_fires_on_strash_miss() {
+    let mut aig = aig_chain();
+    // A second AND with g1's exact fanin pair, kept reachable via a new
+    // output so only the strash-consistency rule can fire.
+    aig.tamper_nodes_mut().push(AigNode::And {
+        fanin0: Lit::from_raw(1 << 1),
+        fanin1: Lit::from_raw(2 << 1),
+    });
+    aig.tamper_outputs_mut().push(Lit::from_raw(5 << 1));
+    let report = audit_aig(&aig, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::AigDuplicateAnd]);
+}
+
+#[test]
+fn aig_trivial_and_warns_on_identical_fanins() {
+    let mut aig = aig_chain();
+    aig.tamper_nodes_mut().push(AigNode::And {
+        fanin0: Lit::from_raw(1 << 1),
+        fanin1: Lit::from_raw(1 << 1),
+    });
+    aig.tamper_outputs_mut().push(Lit::from_raw(5 << 1));
+    let report = audit_aig(&aig, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::AigTrivialAnd]);
+    // Trivial ANDs are a warning, not an error.
+    assert!(report.has_no_errors() && !report.is_clean());
+}
+
+#[test]
+fn aig_dangling_and_warns_on_unreachable_node() {
+    let mut aig = aig_chain();
+    // !a & b: a fresh pair (so no duplicate), driven by nothing.
+    aig.tamper_nodes_mut().push(AigNode::And {
+        fanin0: Lit::from_raw(1 << 1).not(),
+        fanin1: Lit::from_raw(2 << 1),
+    });
+    let report = audit_aig(&aig, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::AigDanglingAnd]);
+    assert!(report.has_no_errors() && !report.is_clean());
+}
+
+// ------------------------------------------------------------- EGraph ----
+
+/// `x`, `y`, `x & y`, `x | y` in four distinct classes, rebuilt.
+fn egraph_base() -> (
+    EGraph<BoolLang>,
+    egraph::Id,
+    egraph::Id,
+    egraph::Id,
+    egraph::Id,
+) {
+    let mut eg = EGraph::new();
+    let x = eg.add(BoolLang::Var(0));
+    let y = eg.add(BoolLang::Var(1));
+    let a = eg.add(BoolLang::And([x, y]));
+    let o = eg.add(BoolLang::Or([x, y]));
+    eg.rebuild();
+    assert_clean("egraph base", &audit_egraph(&eg, AuditLevel::Paranoid));
+    (eg, x, y, a, o)
+}
+
+#[test]
+fn egraph_dirty_fires_on_pending_work() {
+    let (mut eg, x, ..) = egraph_base();
+    eg.tamper_pending_push(x);
+    let report = audit_egraph(&eg, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::EgraphDirty]);
+}
+
+#[test]
+fn egraph_union_find_fires_on_corrupt_root_size() {
+    let (mut eg, x, ..) = egraph_base();
+    eg.tamper_unionfind_mut().tamper_set_size(x, 7);
+    let report = audit_egraph(&eg, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::EgraphUnionFind]);
+}
+
+#[test]
+fn egraph_union_find_fires_on_parent_cycle() {
+    let (mut eg, x, y, ..) = egraph_base();
+    // x and y now parent each other: `find` would never terminate. The
+    // class map keyed at x/y also stops canonicalizing, so the class rule
+    // fires collaterally; the union-find rule is the one under test.
+    eg.tamper_unionfind_mut().tamper_set_parent(x, y);
+    eg.tamper_unionfind_mut().tamper_set_parent(y, x);
+    let report = audit_egraph(&eg, AuditLevel::Paranoid);
+    assert!(
+        report.fired_rules().contains(&RuleId::EgraphUnionFind),
+        "expected the union-find rule in {:?}",
+        report.fired_rules()
+    );
+}
+
+#[test]
+fn egraph_canonical_class_fires_on_emptied_class() {
+    let (mut eg, _, y, ..) = egraph_base();
+    // Hollow out y's class, keeping the memo and live counter consistent
+    // so only the class-shape rule can fire.
+    eg.tamper_class_nodes_mut(y).unwrap().clear();
+    eg.tamper_memo_remove(&BoolLang::Var(1));
+    let live = eg.total_nodes();
+    eg.tamper_set_live_nodes(live - 1);
+    let report = audit_egraph(&eg, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::EgraphCanonicalClass]);
+}
+
+#[test]
+fn egraph_canonical_children_fires_on_stale_child() {
+    let mut eg = EGraph::new();
+    let x = eg.add(BoolLang::Var(0));
+    let y = eg.add(BoolLang::Var(1));
+    let n = eg.add(BoolLang::Not(y));
+    let (root, _) = eg.union(x, y);
+    eg.rebuild();
+    assert_clean("egraph base", &audit_egraph(&eg, AuditLevel::Paranoid));
+
+    // Rewrite Not's stored operand back to the merged-away id, moving the
+    // memo entry along so only the canonical-children rule can fire.
+    let loser = if root == x { y } else { x };
+    let n_class = eg.find(n);
+    eg.tamper_class_nodes_mut(n_class).unwrap()[0] = BoolLang::Not(loser);
+    eg.tamper_memo_insert(BoolLang::Not(loser), n_class);
+    eg.tamper_memo_remove(&BoolLang::Not(root));
+    let report = audit_egraph(&eg, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::EgraphCanonicalChildren]);
+}
+
+#[test]
+fn egraph_congruence_fires_on_duplicated_form() {
+    let (mut eg, x, y, _, o) = egraph_base();
+    // The Or class grows a copy of the And node: two classes now hold the
+    // same canonical form. The stray copy also genuinely breaks the
+    // hashcons/parent/op-index invariants, so those may fire alongside.
+    eg.tamper_class_nodes_mut(o)
+        .unwrap()
+        .push(BoolLang::And([x, y]));
+    let live = eg.total_nodes();
+    eg.tamper_set_live_nodes(live + 1);
+    let report = audit_egraph(&eg, AuditLevel::Paranoid);
+    assert!(
+        report.fired_rules().contains(&RuleId::EgraphCongruence),
+        "expected the congruence rule in {:?}",
+        report.fired_rules()
+    );
+}
+
+#[test]
+fn egraph_hashcons_fires_on_missing_memo_entry() {
+    let (mut eg, ..) = egraph_base();
+    eg.tamper_memo_remove(&BoolLang::Var(0));
+    let report = audit_egraph(&eg, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::EgraphHashcons]);
+}
+
+#[test]
+fn egraph_parents_fires_on_dropped_parent_edge() {
+    let (mut eg, x, ..) = egraph_base();
+    // x is used by both the And and the Or node; its parent list forgets.
+    eg.tamper_parents_mut(x).unwrap().clear();
+    let report = audit_egraph(&eg, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::EgraphParents]);
+}
+
+#[test]
+fn egraph_op_index_fires_on_cleared_index() {
+    let (mut eg, ..) = egraph_base();
+    eg.tamper_op_index_clear();
+    let report = audit_egraph(&eg, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::EgraphOpIndex]);
+}
+
+#[test]
+fn egraph_node_count_fires_on_skewed_counter() {
+    let (mut eg, ..) = egraph_base();
+    let live = eg.total_nodes();
+    eg.tamper_set_live_nodes(live + 5);
+    let report = audit_egraph(&eg, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::EgraphNodeCount]);
+}
+
+// ------------------------------------------------------------ Choices ----
+
+/// One class with two genuinely equivalent structures for `a & b & c`:
+/// representative `s2 = a & (b & c)` (node 7), alternative
+/// `s1 = (a & b) & c` (node 5). Returns the network plus `[t1, s1, t2, s2]`.
+fn choice_base() -> (ChoiceAig, [Lit; 4]) {
+    let mut aig = Aig::new("choice-mutant");
+    let a = aig.add_input("a");
+    let b = aig.add_input("b");
+    let c = aig.add_input("c");
+    let t1 = aig.and(a, b);
+    let s1 = aig.and(t1, c);
+    let t2 = aig.and(b, c);
+    let s2 = aig.and(a, t2);
+    aig.add_output(s2, "f");
+    let class = ChoiceClass {
+        members: vec![s2, s1],
+    };
+    let choices = ChoiceAig::new(aig, vec![class]).expect("valid choice network");
+    assert_clean(
+        "choice base",
+        &audit_choices(&choices, AuditLevel::Paranoid),
+    );
+    (choices, [t1, s1, t2, s2])
+}
+
+#[test]
+fn choice_repr_last_fires_on_reordered_members() {
+    let (mut choices, _) = choice_base();
+    // The alternative (smaller node) becomes the representative.
+    choices.tamper_classes_mut()[0].members.swap(0, 1);
+    let report = audit_choices(&choices, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::ChoiceReprLast]);
+}
+
+#[test]
+fn choice_member_valid_fires_on_non_and_member() {
+    let (mut choices, _) = choice_base();
+    // The alternative now names input node 1. PhaseBoundaries keeps the
+    // expensive equivalence check (which would also catch this) out of
+    // the fired set.
+    choices.tamper_classes_mut()[0].members[1] = Lit::from_raw(1 << 1);
+    let report = audit_choices(&choices, AuditLevel::PhaseBoundaries);
+    assert_eq!(report.fired_rules(), vec![RuleId::ChoiceMemberValid]);
+}
+
+#[test]
+fn choice_phase_conflict_fires_on_both_phases() {
+    let (mut choices, [_, s1, _, _]) = choice_base();
+    // s1 joins its own complement: necessarily both a phase conflict and
+    // a duplicate node, so the fired pair is pinned exactly.
+    choices.tamper_classes_mut()[0].members.push(s1.not());
+    let report = audit_choices(&choices, AuditLevel::PhaseBoundaries);
+    assert_eq!(
+        report.fired_rules(),
+        vec![RuleId::ChoicePhaseConflict, RuleId::ChoiceDuplicateMember]
+    );
+}
+
+#[test]
+fn choice_duplicate_member_fires_on_repeated_member() {
+    let (mut choices, [_, s1, _, _]) = choice_base();
+    choices.tamper_classes_mut()[0].members.push(s1);
+    let report = audit_choices(&choices, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::ChoiceDuplicateMember]);
+}
+
+#[test]
+fn choice_member_equiv_fires_on_wrong_function() {
+    let (mut choices, [t1, ..]) = choice_base();
+    // t1 = a & b is a valid, well-ordered AND — but not a & b & c.
+    choices.tamper_classes_mut()[0].members[1] = t1;
+    let report = audit_choices(&choices, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::ChoiceMemberEquiv]);
+}
+
+// ------------------------------------------------------------ Netlist ----
+
+fn netlist_base() -> (Aig, Netlist) {
+    let aig = benchgen::adder(4).aig;
+    let netlist = map_to_cells(&aig, &asap7_like(), &MapOptions::default());
+    assert_clean(
+        "netlist base",
+        &audit_netlist(&aig, &netlist, AuditLevel::Paranoid),
+    );
+    (aig, netlist)
+}
+
+#[test]
+fn netlist_cover_legal_fires_on_unsorted_gates() {
+    let (aig, mut netlist) = netlist_base();
+    // Swap two adjacent *independent* gates (annotations move along), so
+    // fanins still resolve and timing still recomputes bitwise — only the
+    // topological-order rule can fire.
+    let idx = (0..netlist.gates.len() - 1)
+        .find(|&i| {
+            let root = netlist.gates[i].root;
+            !netlist.gates[i + 1].leaves.contains(&root)
+        })
+        .expect("adder netlist has an adjacent independent gate pair");
+    netlist.gates.swap(idx, idx + 1);
+    netlist.tamper_arrival_ps_mut().swap(idx, idx + 1);
+    netlist.tamper_required_ps_mut().swap(idx, idx + 1);
+    let report = audit_netlist(&aig, &netlist, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::NetlistCoverLegal]);
+}
+
+#[test]
+fn netlist_fanin_resolved_fires_on_unmapped_driver() {
+    let (aig, mut netlist) = netlist_base();
+    // K-feasible covers leave cut-interior ANDs unmapped; pointing an
+    // output at one leaves cover legality and gate timing untouched.
+    let roots: std::collections::HashSet<NodeId> = netlist.gates.iter().map(|g| g.root).collect();
+    let unmapped = (1..aig.num_nodes())
+        .map(|i| NodeId(i as u32))
+        .find(|id| aig.node(*id).is_and() && !roots.contains(id))
+        .expect("mapper leaves cut-interior ANDs unmapped");
+    netlist.outputs[0] = OutputDriver::Direct(unmapped);
+    let report = audit_netlist(&aig, &netlist, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::NetlistFaninResolved]);
+}
+
+#[test]
+fn netlist_timing_fires_on_skewed_arrival() {
+    let (aig, mut netlist) = netlist_base();
+    let last = netlist.gates.len() - 1;
+    netlist.tamper_arrival_ps_mut()[last] += 5.0;
+    let report = audit_netlist(&aig, &netlist, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::NetlistTiming]);
+}
+
+// ---------------------------------------------------------------- SAT ----
+
+fn solver_with_long_clause() -> (Solver, Vec<sat::Var>) {
+    let mut solver = Solver::new();
+    let vars: Vec<sat::Var> = (0..3).map(|_| solver.new_var()).collect();
+    assert!(solver.add_clause(&[
+        SatLit::pos(vars[0]),
+        SatLit::pos(vars[1]),
+        SatLit::pos(vars[2]),
+    ]));
+    assert_clean("solver base", &audit_solver(&solver, AuditLevel::Paranoid));
+    (solver, vars)
+}
+
+#[test]
+fn sat_watch_invariant_fires_on_dropped_watcher() {
+    let (mut solver, vars) = solver_with_long_clause();
+    // Drop the head watcher of every literal's list: the single long
+    // clause loses both of its watchers.
+    for &v in &vars {
+        solver.tamper_drop_first_watcher(SatLit::pos(v));
+        solver.tamper_drop_first_watcher(SatLit::neg(v));
+    }
+    let report = audit_solver(&solver, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::SatWatchInvariant]);
+}
+
+#[test]
+fn sat_trail_consistent_fires_on_wrong_level() {
+    let mut solver = Solver::new();
+    let v = solver.new_var();
+    assert!(solver.add_clause(&[SatLit::pos(v)]));
+    assert_clean("solver base", &audit_solver(&solver, AuditLevel::Paranoid));
+
+    // The unit sits in the level-0 trail segment but claims level 3.
+    solver.tamper_set_level(v, 3);
+    let report = audit_solver(&solver, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::SatTrailConsistent]);
+}
+
+#[test]
+fn sat_heap_index_fires_on_desynced_positions() {
+    let mut solver = Solver::new();
+    for _ in 0..3 {
+        solver.new_var();
+    }
+    assert_clean("solver base", &audit_solver(&solver, AuditLevel::Paranoid));
+    solver.tamper_heap_swap_raw();
+    let report = audit_solver(&solver, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::SatHeapIndex]);
+}
+
+#[test]
+fn sat_lbd_bounds_fires_on_absurd_lbd() {
+    let (mut solver, vars) = solver_with_long_clause();
+    solver.tamper_attach_learnt(
+        &[
+            SatLit::neg(vars[0]),
+            SatLit::neg(vars[1]),
+            SatLit::neg(vars[2]),
+        ],
+        99,
+    );
+    let report = audit_solver(&solver, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::SatLbdBounds]);
+}
+
+// --------------------------------------------------------------- Meta ----
+
+/// Every non-[`RuleId::Custom`] rule is owned by exactly one catalog
+/// checker, and the union of the shipped catalogs spans the whole enum —
+/// so the per-rule mutation tests above cover everything the catalogs can
+/// fire.
+#[test]
+fn catalogs_cover_every_rule() {
+    use std::collections::BTreeSet;
+
+    let mut covered: BTreeSet<RuleId> = BTreeSet::new();
+    covered.extend(aig_catalog().iter().map(|c| c.rule()));
+    covered.extend(egraph_catalog::<BoolLang>().iter().map(|c| c.rule()));
+    covered.extend(choice_catalog().iter().map(|c| c.rule()));
+    covered.extend(netlist_catalog().iter().map(|c| c.rule()));
+    covered.extend(sat_catalog().iter().map(|c| c.rule()));
+
+    let all: BTreeSet<RuleId> = [
+        RuleId::AigFaninRange,
+        RuleId::AigTopoOrder,
+        RuleId::AigFaninOrder,
+        RuleId::AigDuplicateAnd,
+        RuleId::AigTrivialAnd,
+        RuleId::AigDanglingAnd,
+        RuleId::EgraphDirty,
+        RuleId::EgraphCanonicalClass,
+        RuleId::EgraphCanonicalChildren,
+        RuleId::EgraphCongruence,
+        RuleId::EgraphHashcons,
+        RuleId::EgraphParents,
+        RuleId::EgraphOpIndex,
+        RuleId::EgraphNodeCount,
+        RuleId::EgraphUnionFind,
+        RuleId::ChoiceReprLast,
+        RuleId::ChoiceMemberValid,
+        RuleId::ChoicePhaseConflict,
+        RuleId::ChoiceDuplicateMember,
+        RuleId::ChoiceMemberEquiv,
+        RuleId::NetlistCoverLegal,
+        RuleId::NetlistFaninResolved,
+        RuleId::NetlistTiming,
+        RuleId::SatWatchInvariant,
+        RuleId::SatTrailConsistent,
+        RuleId::SatHeapIndex,
+        RuleId::SatLbdBounds,
+    ]
+    .into_iter()
+    .collect();
+
+    assert_eq!(covered, all, "catalog rules drifted from the RuleId enum");
+}

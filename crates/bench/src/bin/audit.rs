@@ -1,0 +1,161 @@
+//! Audit gate: runs the `audit` checker catalog over parsed inputs and
+//! end-of-flow artifacts for the whole benchgen suite.
+//!
+//! Three stages per circuit:
+//!
+//! * **Input hygiene** — the circuit is serialized to EQN and ASCII-AIGER
+//!   text, parsed back, and both parses are audited with the *full* AIG
+//!   catalog (including the dangling/trivial-AND warnings a hand-written
+//!   input file could trip).
+//! * **Flow artifacts** — `emorphic_flow` and `emorphic_map_flow` run with
+//!   the requested [`AuditLevel`], so every phase boundary (saturate /
+//!   extract / choice-export / map / sweep) is audited in place; the
+//!   surfaced [`AuditReport`]s are printed and gated here.
+//! * **DIMACS / solver state** — a self-miter CNF round-trips through the
+//!   DIMACS writer and parser, is solved, and the post-solve CDCL state is
+//!   audited with the SAT catalog.
+//!
+//! Warnings are printed but only `Severity::Error` diagnostics (or a parse
+//! failure) make the gate exit non-zero.
+//!
+//! Usage: `cargo run -p emorphic-bench --bin audit --release [-- --smoke] [--paranoid]`
+//! Set `EMORPHIC_SCALE=tiny|small|default` to control circuit sizes.
+
+use aig::io::{read_aiger, read_eqn, write_aiger, write_eqn};
+use aig::Aig;
+use audit::{audit_aig, audit_solver, AuditLevel, AuditReport};
+use cec::AigCnf;
+use emorphic::flow::{emorphic_flow, emorphic_map_flow, FlowConfig, MapFlowConfig};
+use emorphic_bench::{flow_config_for, scale_from_env};
+use sat::dimacs::CnfFormula;
+use sat::{ClauseSink, Lit as SLit};
+use std::time::Instant;
+
+/// Prints a stage report and returns the number of error-severity
+/// diagnostics it carries.
+fn gate(circuit: &str, stage: &str, report: &AuditReport) -> usize {
+    let errors = report.num_errors();
+    if report.is_clean() {
+        println!(
+            "{circuit:<14} {stage:<14} {:>6} checks      clean",
+            report.checks_run
+        );
+    } else {
+        println!(
+            "{circuit:<14} {stage:<14} {:>6} checks {:>4} diagnostic(s), {errors} error(s)",
+            report.checks_run,
+            report.diagnostics.len()
+        );
+        for diagnostic in &report.diagnostics {
+            println!("    {diagnostic}");
+        }
+    }
+    errors
+}
+
+/// Serializes, re-parses and audits one circuit through one text format.
+fn audit_roundtrip(
+    name: &str,
+    stage: &str,
+    level: AuditLevel,
+    text: &str,
+    parse: impl Fn(&str) -> Result<Aig, aig::AigError>,
+) -> usize {
+    match parse(text) {
+        Ok(parsed) => gate(name, stage, &audit_aig(&parsed, level)),
+        Err(e) => {
+            println!("{name:<14} {stage:<14} PARSE FAILURE: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let paranoid = std::env::args().any(|a| a == "--paranoid");
+    let level = if paranoid {
+        AuditLevel::Paranoid
+    } else {
+        AuditLevel::PhaseBoundaries
+    };
+    let scale = scale_from_env();
+    let circuits: Vec<(String, Aig)> = if smoke {
+        vec![
+            ("adder".into(), benchgen::adder(8).aig),
+            ("multiplier".into(), benchgen::multiplier(4).aig),
+        ]
+    } else {
+        emorphic_bench::suite()
+            .into_iter()
+            .map(|c| (c.name, c.aig))
+            .collect()
+    };
+    let flow_config = if smoke {
+        FlowConfig::fast()
+    } else {
+        flow_config_for(scale)
+    }
+    .with_audit_level(level);
+
+    println!(
+        "Audit gate at level {level:?} over {} circuit(s)",
+        circuits.len()
+    );
+    let started = Instant::now();
+    let mut errors = 0usize;
+    for (name, circuit) in &circuits {
+        // Input hygiene: both text formats, full catalog.
+        errors += audit_roundtrip(name, "eqn-parse", level, &write_eqn(circuit), read_eqn);
+        errors += audit_roundtrip(
+            name,
+            "aiger-parse",
+            level,
+            &write_aiger(circuit),
+            read_aiger,
+        );
+
+        // End-of-flow artifacts: the flows audit each phase internally and
+        // surface one absorbed report.
+        let result = emorphic_flow(circuit, &flow_config);
+        errors += gate(name, "flow", &result.audit);
+        let map_config = MapFlowConfig {
+            flow: flow_config.clone(),
+            ..MapFlowConfig::fast()
+        };
+        match emorphic_map_flow(circuit, &map_config) {
+            Ok(result) => errors += gate(name, "map-flow", &result.audit),
+            Err(e) => {
+                println!("{name:<14} {:<14} FLOW FAILURE: {e}", "map-flow");
+                errors += 1;
+            }
+        }
+
+        // DIMACS round-trip and post-solve solver state.
+        let mut cnf = CnfFormula::default();
+        let inputs: Vec<SLit> = (0..circuit.num_inputs())
+            .map(|_| SLit::pos(cnf.new_var()))
+            .collect();
+        let image = AigCnf::encode(&mut cnf, circuit, Some(&inputs));
+        match CnfFormula::parse(&cnf.to_dimacs()) {
+            Ok(parsed) => {
+                let mut solver = parsed.to_solver();
+                let assumptions: Vec<SLit> = image.output_lits.iter().take(2).copied().collect();
+                let _ = solver.solve_with_assumptions(&assumptions);
+                errors += gate(name, "dimacs-solve", &audit_solver(&solver, level));
+            }
+            Err(e) => {
+                println!("{name:<14} {:<14} PARSE FAILURE: {e}", "dimacs-solve");
+                errors += 1;
+            }
+        }
+    }
+
+    println!(
+        "\naudit gate: {} circuit(s), {errors} error(s) in {:.1}s",
+        circuits.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

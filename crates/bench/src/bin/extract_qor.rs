@@ -113,6 +113,13 @@ fn main() {
     let mut violations = 0usize;
     for (name, circuit) in &circuits {
         let saturated = saturate(&aig_to_egraph(circuit), iterations, node_limit);
+        // The shared saturated e-graph must satisfy every structural
+        // invariant before any engine extracts from it.
+        let egraph_audit = audit::audit_egraph(&saturated.egraph, audit::AuditLevel::Paranoid);
+        if !egraph_audit.is_clean() {
+            eprintln!("{name}: saturated e-graph audit failed:\n{egraph_audit}");
+            violations += 1;
+        }
         let budget = ExtractBudget::unlimited();
         let mut named: Vec<(String, Box<dyn ExtractionEngine>)> = engines(&sa, &evaluator)
             .into_iter()
@@ -155,6 +162,11 @@ fn main() {
                     continue;
                 }
             };
+            let aig_audit = audit::audit_aig_dag_only(&extracted, audit::AuditLevel::Paranoid);
+            if !aig_audit.is_clean() {
+                eprintln!("{name}/{engine_name}: extracted AIG audit failed:\n{aig_audit}");
+                violations += 1;
+            }
             let qor = mapper.qor(&extracted);
             let verified = match check_equivalence(circuit, &extracted, &cec_options) {
                 CecResult::Equivalent => true,

@@ -210,6 +210,14 @@ fn main() {
         );
         let new_stats = solver.stats();
 
+        // The post-query solver state must satisfy every structural invariant
+        // (watches, trail, heap, learnt LBDs).
+        let solver_audit = audit::audit_solver(&solver, audit::AuditLevel::Paranoid);
+        if !solver_audit.is_clean() {
+            eprintln!("{name}: solver audit failed:\n{solver_audit}");
+            violations += 1;
+        }
+
         let mut oracle = instance.cnf.to_reference_solver();
         let (old_verdicts, old_bad, old_s) = run_queries(
             &instance,

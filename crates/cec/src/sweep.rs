@@ -257,24 +257,25 @@ impl SatSweeper {
             // If this node is replaced, point it at the (already built)
             // representative instead of building a gate.
             if let Some(rep_lit) = replacement[id.index()] {
-                let base = map[rep_lit.node().index()]
-                    .expect("representative precedes member in topological order");
+                let base = map[rep_lit.node().index()].unwrap_or_else(|| {
+                    unreachable!("representative precedes member in topological order")
+                });
                 map[id.index()] = Some(base.xor(rep_lit.is_complemented()));
                 stats.merged_nodes += 1;
                 continue;
             }
             let (f0, f1) = aig.fanins(id);
             let a = map[f0.node().index()]
-                .expect("fanin built")
+                .unwrap_or_else(|| unreachable!("fanin built"))
                 .xor(f0.is_complemented());
             let b = map[f1.node().index()]
-                .expect("fanin built")
+                .unwrap_or_else(|| unreachable!("fanin built"))
                 .xor(f1.is_complemented());
             map[id.index()] = Some(fresh.and(a, b));
         }
         for (idx, &po) in aig.outputs().iter().enumerate() {
             let lit = map[po.node().index()]
-                .expect("output driver built")
+                .unwrap_or_else(|| unreachable!("output driver built"))
                 .xor(po.is_complemented());
             fresh.add_output(lit, aig.output_name(idx));
         }

@@ -171,6 +171,21 @@ impl ChoiceAig {
         &self.classes
     }
 
+    /// Raw mutable class list. Bypasses every construction invariant — the
+    /// `audit` crate's mutation tests use this to plant corruptions the
+    /// auditor must detect. Never call from production code.
+    #[doc(hidden)]
+    pub fn tamper_classes_mut(&mut self) -> &mut Vec<ChoiceClass> {
+        &mut self.classes
+    }
+
+    /// Raw mutable underlying network (same caveats as
+    /// [`ChoiceAig::tamper_classes_mut`]).
+    #[doc(hidden)]
+    pub fn tamper_aig_mut(&mut self) -> &mut Aig {
+        &mut self.aig
+    }
+
     /// The class represented by `node`, if it is a representative.
     #[inline]
     pub fn class_of(&self, node: NodeId) -> Option<&ChoiceClass> {
@@ -293,7 +308,7 @@ impl ChoiceAig {
                 built_lit.xor(target.is_complemented())
             } else {
                 rebuild.built[target.node().index()]
-                    .expect("constant and input nodes are pre-built")
+                    .unwrap_or_else(|| unreachable!("constant and input nodes are pre-built"))
                     .xor(target.is_complemented())
             };
             outputs.push((lit, src.output_name(idx).to_string()));
@@ -452,10 +467,10 @@ impl Rebuild<'_> {
                 }
             }
             let a = self.built[fanins[0].node().index()]
-                .expect("fanin built")
+                .unwrap_or_else(|| unreachable!("fanin built"))
                 .xor(fanins[0].is_complemented());
             let b = self.built[fanins[1].node().index()]
-                .expect("fanin built")
+                .unwrap_or_else(|| unreachable!("fanin built"))
                 .xor(fanins[1].is_complemented());
             self.built[id.index()] = Some(self.fresh.and(a, b));
             self.color[id.index()] = BLACK;
@@ -490,6 +505,11 @@ pub(crate) fn filter_ordering(classes: Vec<ChoiceClass>) -> (Vec<ChoiceClass>, u
 
 /// Checks (by exhaustive simulation, inputs ≤ 16) that every member of every
 /// class evaluates to the class function. Intended for tests.
+#[deprecated(
+    note = "use `audit::audit_choices` at `AuditLevel::Paranoid` for typed \
+            per-rule diagnostics; this stringly-typed shim is kept for \
+            legacy call sites"
+)]
 pub fn check_members_equivalent(choices: &ChoiceAig) -> Result<(), String> {
     let aig = choices.aig();
     assert!(aig.num_inputs() <= 16, "exhaustive check needs ≤16 inputs");
@@ -534,6 +554,7 @@ fn node_values(aig: &Aig, inputs: &[bool]) -> Vec<bool> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // legacy string-typed check_members_equivalent shim is still exercised here
 mod tests {
     use super::*;
 

@@ -45,7 +45,8 @@ pub fn aig_to_egraph(aig: &Aig) -> ConversionResult {
                      pos: &mut Vec<Option<Id>>,
                      neg: &mut Vec<Option<Id>>|
      -> Id {
-        let base = pos[lit.node().index()].expect("fanin visited before fanout");
+        let base =
+            pos[lit.node().index()].unwrap_or_else(|| unreachable!("fanin visited before fanout"));
         if !lit.is_complemented() {
             return base;
         }
@@ -107,6 +108,7 @@ pub fn selection_to_aig(
     output_names: &[String],
     name: &str,
 ) -> Aig {
+    #[allow(clippy::panic)] // the panic is the documented contract of this wrapper
     try_selection_to_aig(egraph, selection, roots, input_names, output_names, name)
         .unwrap_or_else(|e| panic!("{e}"))
 }
@@ -218,7 +220,9 @@ pub fn recexpr_to_aig(
         };
         lits.push(lit);
     }
-    let root = *lits.last().expect("non-empty expression");
+    let root = *lits
+        .last()
+        .unwrap_or_else(|| unreachable!("non-empty expression"));
     aig.add_output(root, output_name);
     aig.cleanup()
 }

@@ -38,7 +38,8 @@ impl DslDocument {
 
     /// Serializes the document to JSON text.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("DSL serialization cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|_| unreachable!("DSL serialization cannot fail"))
     }
 
     /// Parses a document from JSON text.

@@ -226,7 +226,7 @@ pub fn esyn_backward(
             &conversion.roots,
             &ExtractBudget::unlimited(),
         )
-        .expect("forward conversion adds a concrete term per root");
+        .unwrap_or_else(|_| unreachable!("forward conversion adds a concrete term per root"));
     let mut aig = Aig::new("esyn_backward");
     let inputs: Vec<aig::Lit> = input_names
         .iter()
@@ -260,7 +260,8 @@ pub fn esyn_backward(
             };
             lits.push(lit);
         }
-        aig.add_output(*lits.last().expect("non-empty"), name.clone());
+        let root = *lits.last().unwrap_or_else(|| unreachable!("non-empty"));
+        aig.add_output(root, name.clone());
     }
     Ok((aig.cleanup(), start.elapsed()))
 }

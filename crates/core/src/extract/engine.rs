@@ -498,7 +498,10 @@ impl PortfolioEngine {
                         break;
                     }
                     let result = self.engines[index].extract(egraph, roots, budget);
-                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                    match slots[index].lock() {
+                        Ok(mut slot) => *slot = Some(result),
+                        Err(poisoned) => *poisoned.into_inner() = Some(result),
+                    }
                 });
             }
         });
@@ -506,8 +509,8 @@ impl PortfolioEngine {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every engine index was processed")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .unwrap_or_else(|| unreachable!("every engine index was processed"))
             })
             .collect();
 
@@ -569,7 +572,7 @@ impl PortfolioEngine {
         let mut results = results;
         let extraction = results
             .swap_remove(winner_index)
-            .expect("winner was a successful result");
+            .unwrap_or_else(|_| unreachable!("winner was a successful result"));
         Ok((extraction, reports))
     }
 

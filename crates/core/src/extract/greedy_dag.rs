@@ -134,7 +134,7 @@ impl Liveness {
             let count = self
                 .refs
                 .get_mut(&x)
-                .expect("decrement of an unreferenced class");
+                .unwrap_or_else(|| unreachable!("decrement of an unreferenced class"));
             *count -= 1;
             if *count == 0 {
                 if let Some(node) = selection.get(&x) {
@@ -226,7 +226,7 @@ impl ExtractionEngine for GlobalGreedyDagEngine {
                     let before = live.live_gates;
                     let old = selection
                         .insert(class_id, node.clone())
-                        .expect("class was selected");
+                        .unwrap_or_else(|| unreachable!("class was selected"));
                     live.live_gates += node_cost(node);
                     live.live_gates -= node_cost(&old);
                     for &c in node.children() {
@@ -248,7 +248,7 @@ impl ExtractionEngine for GlobalGreedyDagEngine {
                         }
                         let node_back = selection
                             .insert(class_id, old)
-                            .expect("class still selected");
+                            .unwrap_or_else(|| unreachable!("class still selected"));
                         let old = &selection[&class_id];
                         live.live_gates += node_cost(old);
                         live.live_gates -= node_cost(&node_back);

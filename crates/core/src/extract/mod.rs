@@ -263,6 +263,7 @@ pub fn selection_cost(
     roots: &[Id],
     cost_kind: ExtractionCost,
 ) -> u64 {
+    #[allow(clippy::panic)] // the panic is the documented contract of this wrapper
     try_selection_cost(egraph, selection, roots, cost_kind).unwrap_or_else(|e| panic!("{e}"))
 }
 

@@ -233,7 +233,10 @@ fn extract_from_parts(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("annealing chain panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 

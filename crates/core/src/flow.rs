@@ -25,6 +25,9 @@ use crate::extract::{
 use crate::lang::BoolLang;
 use crate::rules::all_rules;
 use aig::Aig;
+use audit::{
+    audit_aig_dag_only, audit_choices, audit_egraph, audit_netlist, AuditLevel, AuditReport,
+};
 use cec::{check_equivalence, CecOptions};
 use choices::{
     egraph_to_choices_with_selection, BoolNode, ChoiceConfig, ChoiceCost, ChoiceError,
@@ -93,6 +96,12 @@ pub struct FlowConfig {
     /// SAT-sweeps). Budgeted in lockstep with [`FlowConfig::cec`] so one knob
     /// bounds every SAT call on the flow's critical path.
     pub sweep: cec::SweepOptions,
+    /// How much invariant auditing the flow performs at phase boundaries
+    /// (saturate, extract, choice-export, map): [`AuditLevel::Off`] costs
+    /// nothing, `PhaseBoundaries` runs the cheap structural checkers, and
+    /// `Paranoid` adds the exhaustive-simulation ones. Findings surface in
+    /// the flow result's `audit` report instead of aborting the flow.
+    pub audit_level: AuditLevel,
 }
 
 impl FlowConfig {
@@ -126,6 +135,7 @@ impl FlowConfig {
                 conflict_budget: Some(100_000),
                 ..cec::SweepOptions::default()
             },
+            audit_level: AuditLevel::Off,
         }
     }
 
@@ -170,6 +180,13 @@ impl FlowConfig {
     #[must_use]
     pub fn with_extract_budget(mut self, budget: ExtractBudget) -> Self {
         self.extract_budget = budget;
+        self
+    }
+
+    /// Sets the phase-boundary audit level.
+    #[must_use]
+    pub fn with_audit_level(mut self, level: AuditLevel) -> Self {
+        self.audit_level = level;
         self
     }
 }
@@ -309,9 +326,12 @@ pub struct FlowResult {
     /// One report per extraction engine involved (a single row for one
     /// engine, one per member for a portfolio; empty for the baseline flow).
     pub extraction_engines: Vec<EngineReport>,
+    /// Aggregated phase-boundary audit findings (empty at
+    /// [`AuditLevel::Off`]; locations are prefixed with the phase name).
+    pub audit: AuditReport,
 }
 
-fn conventional_round(aig: &Aig, config: &FlowConfig, with_sop: bool) -> (Aig, Qor) {
+fn conventional_round(aig: &Aig, config: &FlowConfig, with_sop: bool) -> (Aig, Netlist) {
     let mut current = aig.strash_copy();
     if with_sop {
         current = sop_balance(&current, &config.lut_options);
@@ -319,7 +339,7 @@ fn conventional_round(aig: &Aig, config: &FlowConfig, with_sop: bool) -> (Aig, Q
     current = current.strash_copy();
     current = dch_like(&current, &config.dch_options);
     let netlist = map_to_cells(&current, &config.library, &config.map_options);
-    (current, netlist.qor())
+    (current, netlist)
 }
 
 /// Runs the delay-oriented baseline flow.
@@ -327,10 +347,15 @@ pub fn baseline_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     let start = Instant::now();
     let mut current = aig.clone();
     let mut qor = map_to_cells(&current, &config.library, &config.map_options).qor();
-    for _ in 0..config.rounds {
-        let (next, round_qor) = conventional_round(&current, config, true);
+    let mut audit = AuditReport::new();
+    for round in 0..config.rounds {
+        let (next, netlist) = conventional_round(&current, config, true);
+        qor = netlist.qor();
+        if round + 1 == config.rounds {
+            audit.absorb("map", audit_netlist(&next, &netlist, config.audit_level));
+            audit.absorb("map", audit_aig_dag_only(&next, config.audit_level));
+        }
         current = next;
-        qor = round_qor;
     }
     qor.name = aig.name().to_string();
     let runtime = start.elapsed();
@@ -349,6 +374,7 @@ pub fn baseline_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         egraph_classes: 0,
         saturation: Vec::new(),
         extraction_engines: Vec::new(),
+        audit,
     }
 }
 
@@ -357,6 +383,7 @@ pub fn baseline_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
 pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     let start = Instant::now();
     let mut conventional_time = Duration::ZERO;
+    let mut audit = AuditReport::new();
 
     // Rounds 1..N-1 of the conventional flow.
     let mut current = aig.clone();
@@ -401,6 +428,12 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     };
     let egraph_nodes = saturated.egraph.total_nodes();
     let egraph_classes = saturated.egraph.num_classes();
+    // Audited inside the `t_extract` bracket so the runtime breakdown keeps
+    // summing to the measured flow runtime.
+    audit.absorb(
+        "saturate",
+        audit_egraph(&saturated.egraph, config.audit_level),
+    );
 
     let evaluator: Arc<dyn CostEvaluator> = match &config.cost_mode {
         CostMode::Quality => Arc::new(TechMapCost::new(config.library.clone())),
@@ -444,6 +477,9 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         },
         Err(_) => None,
     };
+    if let Some(extracted) = &extracted_aig {
+        audit.absorb("extract", audit_aig_dag_only(extracted, config.audit_level));
+    }
     let extraction_time = t_extract.elapsed();
 
     // Verify, and fall back to the pre-resynthesis network on a proven
@@ -468,9 +504,15 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     // Backward conversion time is part of the extraction phase already; the
     // remaining work is the final (st; dch; map) round.
     let t_final = Instant::now();
-    let (final_aig, mut qor) = conventional_round(&resynthesized, config, false);
+    let (final_aig, netlist) = conventional_round(&resynthesized, config, false);
+    audit.absorb(
+        "map",
+        audit_netlist(&final_aig, &netlist, config.audit_level),
+    );
+    audit.absorb("map", audit_aig_dag_only(&final_aig, config.audit_level));
     conventional_time += t_final.elapsed();
 
+    let mut qor = netlist.qor();
     qor.name = aig.name().to_string();
     FlowResult {
         qor,
@@ -487,6 +529,7 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         egraph_classes,
         saturation,
         extraction_engines,
+        audit,
     }
 }
 
@@ -657,6 +700,9 @@ pub struct MapFlowResult {
     pub egraph_classes: usize,
     /// Total wall-clock time.
     pub runtime: Duration,
+    /// Aggregated phase-boundary audit findings (empty at
+    /// [`AuditLevel::Off`]; locations are prefixed with the phase name).
+    pub audit: AuditReport,
 }
 
 /// The choice-aware mapping flow: saturate → export the e-graph as a
@@ -690,6 +736,9 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
         .run(&all_rules());
     let egraph = runner.egraph;
     let roots: Vec<egraph::Id> = conversion.roots.iter().map(|&r| egraph.find(r)).collect();
+    let audit_level = config.flow.audit_level;
+    let mut audit = AuditReport::new();
+    audit.absorb("saturate", audit_egraph(&egraph, audit_level));
 
     // Engine-driven per-class selection: the configured engine picks every
     // class representative, and the exporter builds the choice network
@@ -731,6 +780,7 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
         &export_config,
         &selection,
     )?;
+    audit.absorb("choice-export", audit_choices(&network, audit_level));
 
     // Choice-free baseline: map the representative cone only.
     let repr_network = network.repr_network();
@@ -776,6 +826,7 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
     } else {
         &repr_network
     };
+    audit.absorb("map", audit_netlist(mapped_source, &netlist, audit_level));
 
     // CEC the mapped netlist (re-synthesized into AIG form) against the
     // original input. The sweeping variant merges the structurally aligned
@@ -787,6 +838,7 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
         verified =
             cec::check_equivalence_swept(aig, &mapped_aig, &config.flow.cec, &config.flow.sweep)
                 .is_equivalent();
+        audit.absorb("sweep", audit_aig_dag_only(&mapped_aig, audit_level));
     }
 
     let mut qor = netlist.qor();
@@ -804,6 +856,7 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
         egraph_nodes: egraph.total_nodes(),
         egraph_classes: egraph.num_classes(),
         runtime: start.elapsed(),
+        audit,
     })
 }
 
@@ -840,6 +893,35 @@ mod tests {
             "percentages sum to ~100, got {total}"
         );
         assert!(extract_pct > 0.0);
+    }
+
+    #[test]
+    fn paranoid_audit_is_clean_on_flows() {
+        let circuit = benchgen::adder(6).aig;
+        let config = FlowConfig::fast().with_audit_level(AuditLevel::Paranoid);
+        let result = emorphic_flow(&circuit, &config);
+        assert!(result.audit.checks_run > 0);
+        assert!(result.audit.is_clean(), "{}", result.audit);
+
+        let map_config = MapFlowConfig {
+            flow: config,
+            ..MapFlowConfig::fast()
+        };
+        let map_result = emorphic_map_flow(&circuit, &map_config).unwrap();
+        assert!(map_result.audit.checks_run > 0);
+        assert!(map_result.audit.is_clean(), "{}", map_result.audit);
+
+        let base = baseline_flow(
+            &circuit,
+            &FlowConfig::fast().with_audit_level(AuditLevel::Paranoid),
+        );
+        assert!(base.audit.checks_run > 0);
+        assert!(base.audit.is_clean(), "{}", base.audit);
+
+        // Off runs no checks at all.
+        let off = emorphic_flow(&circuit, &FlowConfig::fast());
+        assert_eq!(off.audit.checks_run, 0);
+        assert!(off.audit.is_clean());
     }
 
     #[test]

@@ -166,7 +166,9 @@ pub fn eval_expr(expr: &RecExpr<BoolLang>, inputs: &[bool]) -> bool {
         };
         values.push(value);
     }
-    *values.last().expect("non-empty expression")
+    *values
+        .last()
+        .unwrap_or_else(|| unreachable!("non-empty expression"))
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@ pub mod lang;
 pub mod report;
 pub mod rules;
 
+pub use audit::{AuditLevel, AuditReport};
 pub use convert::{aig_to_egraph, selection_to_aig, try_selection_to_aig, ConversionResult};
 pub use extract::sa::{SaEngine, SaExtractor, SaOptions, SaResult};
 pub use extract::{

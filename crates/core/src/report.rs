@@ -62,7 +62,8 @@ impl FlowReport {
 
     /// Serializes a list of reports as a JSON array.
     pub fn to_json(reports: &[FlowReport]) -> String {
-        serde_json::to_string_pretty(reports).expect("report serialization cannot fail")
+        serde_json::to_string_pretty(reports)
+            .unwrap_or_else(|_| unreachable!("report serialization cannot fail"))
     }
 
     /// Parses a list of reports from JSON.

@@ -10,6 +10,9 @@ use crate::lang::BoolLang;
 use egraph::Rewrite;
 
 fn rule(name: &str, lhs: &str, rhs: &str) -> Rewrite<BoolLang> {
+    // A malformed built-in rule is a programming error caught by the unit
+    // tests that instantiate every rule table.
+    #[allow(clippy::panic)]
     Rewrite::parse(name, lhs, rhs).unwrap_or_else(|e| panic!("rule {name} failed to parse: {e}"))
 }
 

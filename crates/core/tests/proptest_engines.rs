@@ -14,6 +14,10 @@
 //!
 //! `PROPTEST_CASES` scales the random-circuit coverage.
 
+// Helper fns here run outside #[test] context, so the clippy.toml
+// test relaxation does not reach them.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use costmodel::TechMapCost;
 use egraph::{Runner, Scheduler};
 use emorphic::extract::sa::{SaEngine, SaOptions};

@@ -129,7 +129,8 @@ impl RidgeModel {
 
     /// Serializes the model to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("model serialization cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|_| unreachable!("model serialization cannot fail"))
     }
 
     /// Loads a model from JSON.
@@ -150,8 +151,13 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
-            .expect("non-empty range");
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or_else(|| unreachable!("non-empty range"));
         a.swap(col, pivot);
         b.swap(col, pivot);
         let diag = a[col][col];

@@ -157,7 +157,7 @@ impl<L: Language> EGraph<L> {
         for &child in node.children() {
             self.classes
                 .get_mut(&child)
-                .expect("canonical child class must exist")
+                .unwrap_or_else(|| unreachable!("canonical child class must exist"))
                 .parents
                 .push((node.clone(), id));
         }
@@ -185,7 +185,10 @@ impl<L: Language> EGraph<L> {
             let node = node.map_children(|c| ids[c.index()]);
             ids.push(self.add(node));
         }
-        *ids.last().expect("cannot add an empty expression")
+        match ids.last() {
+            Some(&root) => root,
+            None => unreachable!("cannot add an empty expression"),
+        }
     }
 
     /// Merges two e-classes. Returns the surviving canonical id and whether
@@ -200,11 +203,14 @@ impl<L: Language> EGraph<L> {
         }
         let root = self.unionfind.union(a, b);
         let loser = if root == a { b } else { a };
-        let loser_class = self.classes.remove(&loser).expect("loser class must exist");
+        let loser_class = self
+            .classes
+            .remove(&loser)
+            .unwrap_or_else(|| unreachable!("loser class must exist"));
         let winner = self
             .classes
             .get_mut(&root)
-            .expect("winner class must exist");
+            .unwrap_or_else(|| unreachable!("winner class must exist"));
         winner.nodes.extend(loser_class.nodes);
         winner.parents.extend(loser_class.parents);
         self.n_unions += 1;
@@ -279,7 +285,7 @@ impl<L: Language> EGraph<L> {
         let owner_class = self
             .classes
             .get_mut(&owner)
-            .expect("canonical class must exist");
+            .unwrap_or_else(|| unreachable!("canonical class must exist"));
         if owner_class.parents.is_empty() {
             owner_class.parents = parents;
         } else {
@@ -532,12 +538,101 @@ impl<L: Language> EGraph<L> {
         parents
     }
 
+    // ------------------------------------------------------------------
+    // Audit surface
+    //
+    // Raw read accessors for the `audit` crate's typed invariant checkers.
+    // Unlike `classes()`/`class()` these never debug-assert a clean graph,
+    // so an auditor can inspect a dirty or deliberately corrupted graph
+    // without tripping assertions on the way to its diagnosis.
+    // ------------------------------------------------------------------
+
+    /// Iterates the raw hashcons entries `(node, class-at-insert-time)`.
+    /// Keys may be stale (non-canonical) forms awaiting compaction; readers
+    /// must canonicalize.
+    pub fn memo_entries(&self) -> impl Iterator<Item = (&L, Id)> {
+        self.memo.iter().map(|(node, &id)| (node, id))
+    }
+
+    /// Iterates `(map key, class)` pairs without the clean-graph debug
+    /// assertion of [`EGraph::classes`].
+    pub fn raw_classes(&self) -> impl Iterator<Item = (Id, &EClass<L>)> {
+        self.classes.iter().map(|(&id, class)| (id, class))
+    }
+
+    /// Returns the class stored under exactly this key (no canonicalization,
+    /// no clean-graph assertion).
+    pub fn raw_class(&self, id: Id) -> Option<&EClass<L>> {
+        self.classes.get(&id)
+    }
+
+    /// The union-find over e-class ids.
+    pub fn unionfind(&self) -> &UnionFind {
+        &self.unionfind
+    }
+
+    /// Iterates the operator-discriminator index entries; listed ids may be
+    /// stale (canonicalize on read).
+    pub fn op_index_entries(&self) -> impl Iterator<Item = (u64, &[Id])> {
+        self.classes_by_op
+            .iter()
+            .map(|(&key, ids)| (key, ids.as_slice()))
+    }
+
+    // ------------------------------------------------------------------
+    // Corruption hooks for the `audit` crate's mutation tests. Each one
+    // deliberately breaks a single structure so a test can prove the
+    // corresponding audit rule detects it. Never call from production code.
+    // ------------------------------------------------------------------
+
+    #[doc(hidden)]
+    pub fn tamper_memo_insert(&mut self, node: L, id: Id) {
+        self.memo.insert(node, id);
+    }
+
+    #[doc(hidden)]
+    pub fn tamper_memo_remove(&mut self, node: &L) {
+        self.memo.remove(node);
+    }
+
+    #[doc(hidden)]
+    pub fn tamper_class_nodes_mut(&mut self, id: Id) -> Option<&mut Vec<L>> {
+        self.classes.get_mut(&id).map(|class| &mut class.nodes)
+    }
+
+    #[doc(hidden)]
+    pub fn tamper_parents_mut(&mut self, id: Id) -> Option<&mut Vec<(L, Id)>> {
+        self.classes.get_mut(&id).map(|class| &mut class.parents)
+    }
+
+    #[doc(hidden)]
+    pub fn tamper_set_live_nodes(&mut self, n: usize) {
+        self.live_nodes = n;
+    }
+
+    #[doc(hidden)]
+    pub fn tamper_pending_push(&mut self, id: Id) {
+        self.pending.push(id);
+    }
+
+    #[doc(hidden)]
+    pub fn tamper_op_index_clear(&mut self) {
+        self.classes_by_op.clear();
+    }
+
+    #[doc(hidden)]
+    pub fn tamper_unionfind_mut(&mut self) -> &mut UnionFind {
+        &mut self.unionfind
+    }
+
     /// Checks internal invariants (used by tests and property tests):
     /// every class key is canonical, every node's children are canonical,
     /// no two distinct classes contain the same canonical node, the node
     /// counter matches the class lists, every canonical hashcons entry points
     /// to the class holding its node, and every child edge is covered by the
     /// child's parent list.
+    #[deprecated(note = "use `audit::audit_egraph` for typed per-rule diagnostics; \
+                this stringly-typed shim is kept for legacy call sites")]
     pub fn check_invariants(&self) -> Result<(), String> {
         if self.is_dirty() {
             return Err("e-graph is dirty; call rebuild() first".into());
@@ -669,7 +764,7 @@ impl<L: Language> EGraph<L> {
             .nodes
             .iter()
             .min_by_key(|n| n.children().len())
-            .expect("non-empty class");
+            .unwrap_or_else(|| unreachable!("non-empty class"));
         let node = node.map_children(|c| self.id_to_expr_rec(self.find(c), expr, cache, depth + 1));
         let out = expr.add(node);
         cache.insert(id, out);
@@ -678,6 +773,7 @@ impl<L: Language> EGraph<L> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // legacy string-typed check_invariants shim is still exercised here
 mod tests {
     use super::*;
     use crate::SymbolLang;

@@ -109,6 +109,9 @@ impl<L: Language> DagSelection<L> {
     /// Panics if a reachable class has no selection or the selection is
     /// cyclic; [`DagSelection::try_to_recexpr`] reports the same conditions
     /// as a typed [`SelectionError`] instead.
+    // The panic is the documented contract; `try_to_recexpr` is the
+    // non-panicking form.
+    #[allow(clippy::panic)]
     pub fn to_recexpr(&self, egraph: &EGraph<L>, root: Id) -> RecExpr<L> {
         self.try_to_recexpr(egraph, root)
             .unwrap_or_else(|e| panic!("{e}"))

@@ -394,7 +394,7 @@ impl<L: Language> Pattern<L> {
         match self.ast.node(pat) {
             ENodeOrVar::Var(v) => subst
                 .get(v)
-                .unwrap_or_else(|| panic!("unbound pattern variable {v}")),
+                .unwrap_or_else(|| unreachable!("unbound pattern variable {v}")),
             ENodeOrVar::ENode(node) => {
                 let node = node
                     .clone()

@@ -280,7 +280,10 @@ fn search_phase<L: Language>(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("search worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         for worker_results in collected {

@@ -52,7 +52,8 @@ impl SerializedEGraph {
 
     /// Serializes to a pretty JSON string.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("serialization cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|_| unreachable!("serialization cannot fail"))
     }
 
     /// Parses from JSON.

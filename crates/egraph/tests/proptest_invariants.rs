@@ -3,6 +3,13 @@
 //! maintained parent lists with a from-scratch scan, and soundness of
 //! rewriting/extraction.
 
+// Helper fns here run outside #[test] context, so the clippy.toml
+// test relaxation does not reach them.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+// The deprecated string-typed `check_invariants` shim stays the reference
+// oracle for these differential tests; `audit` carries the typed rules.
+#![allow(deprecated)]
+
 use egraph::{
     AstSize, EGraph, Extractor, FxHashMap, Id, Language, RecExpr, Rewrite, Runner, SymbolLang,
 };

@@ -75,15 +75,16 @@ pub fn balance(aig: &Aig) -> Aig {
         let mut operands: Vec<(Lit, u32)> = leaves
             .iter()
             .map(|l| {
-                let base = map[l.node().index()].expect("leaf built before root");
+                let base =
+                    map[l.node().index()].unwrap_or_else(|| unreachable!("leaf built before root"));
                 (base.xor(l.is_complemented()), level[l.node().index()])
             })
             .collect();
         // Huffman-style reduction: combine the two earliest operands first.
         while operands.len() > 1 {
             operands.sort_by_key(|(_, lev)| std::cmp::Reverse(*lev));
-            let (a, la) = operands.pop().expect("len > 1");
-            let (b, lb) = operands.pop().expect("len > 1");
+            let (a, la) = operands.pop().unwrap_or_else(|| unreachable!("len > 1"));
+            let (b, lb) = operands.pop().unwrap_or_else(|| unreachable!("len > 1"));
             let lit = fresh.and(a, b);
             operands.push((lit, la.max(lb) + 1));
         }
@@ -95,7 +96,7 @@ pub fn balance(aig: &Aig) -> Aig {
     for (idx, po) in aig.outputs().iter().enumerate() {
         let base = match aig.node(po.node()) {
             AigNode::Const => Lit::FALSE,
-            _ => map[po.node().index()].expect("output driver built"),
+            _ => map[po.node().index()].unwrap_or_else(|| unreachable!("output driver built")),
         };
         fresh.add_output(base.xor(po.is_complemented()), aig.output_name(idx));
     }

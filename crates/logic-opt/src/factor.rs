@@ -163,7 +163,7 @@ fn cube_to_tree(cube: &FactorCube) -> FactorTree {
     }
     match lits.len() {
         0 => FactorTree::One,
-        1 => lits.pop().expect("one literal"),
+        1 => lits.pop().unwrap_or_else(|| unreachable!("one literal")),
         _ => FactorTree::And(lits),
     }
 }

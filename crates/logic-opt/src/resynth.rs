@@ -71,10 +71,10 @@ pub fn resynthesize(aig: &Aig, options: &ResynthOptions) -> Aig {
     for id in aig.and_ids() {
         let (f0, f1) = aig.fanins(id);
         let default_a = map[f0.node().index()]
-            .expect("fanin built")
+            .unwrap_or_else(|| unreachable!("fanin built"))
             .xor(f0.is_complemented());
         let default_b = map[f1.node().index()]
-            .expect("fanin built")
+            .unwrap_or_else(|| unreachable!("fanin built"))
             .xor(f1.is_complemented());
 
         // Budget: how many nodes the old implementation of this cone pays for.
@@ -90,7 +90,7 @@ pub fn resynthesize(aig: &Aig, options: &ResynthOptions) -> Aig {
             let leaf_lits: Vec<Lit> = cut
                 .leaves
                 .iter()
-                .map(|l| map[l.index()].expect("leaf built before root"))
+                .map(|l| map[l.index()].unwrap_or_else(|| unreachable!("leaf built before root")))
                 .collect();
             let cubes: Vec<FactorCube> = isop(cut.truth, cut.leaves.len())
                 .iter()
@@ -128,7 +128,7 @@ pub fn resynthesize(aig: &Aig, options: &ResynthOptions) -> Aig {
     for (idx, po) in aig.outputs().iter().enumerate() {
         let base = match aig.node(po.node()) {
             AigNode::Const => Lit::FALSE,
-            _ => map[po.node().index()].expect("output driver built"),
+            _ => map[po.node().index()].unwrap_or_else(|| unreachable!("output driver built")),
         };
         fresh.add_output(base.xor(po.is_complemented()), aig.output_name(idx));
     }

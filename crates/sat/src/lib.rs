@@ -41,4 +41,4 @@ mod solver;
 pub use cnf::ClauseSink;
 pub use literal::{Lit, Var};
 pub use reference::ReferenceSolver;
-pub use solver::{SatResult, Solver, SolverStats};
+pub use solver::{SatResult, Solver, SolverAudit, SolverStats};

@@ -339,15 +339,15 @@ impl ReferenceSolver {
                     break;
                 }
             }
-            let p_lit = p.expect("found literal");
+            let p_lit = p.unwrap_or_else(|| unreachable!("found literal"));
             self.seen[p_lit.var().index()] = false;
             counter -= 1;
             if counter == 0 {
                 learnt[0] = !p_lit;
                 break;
             }
-            clause_idx =
-                self.reason[p_lit.var().index()].expect("non-decision literal has a reason");
+            clause_idx = self.reason[p_lit.var().index()]
+                .unwrap_or_else(|| unreachable!("non-decision literal has a reason"));
         }
 
         // Clear the seen flags of the literals kept in the learnt clause.
@@ -377,7 +377,10 @@ impl ReferenceSolver {
         }
         let bound = self.trail_lim[target_level as usize];
         while self.trail.len() > bound {
-            let lit = self.trail.pop().expect("trail non-empty");
+            let lit = self
+                .trail
+                .pop()
+                .unwrap_or_else(|| unreachable!("trail non-empty"));
             let var = lit.var();
             self.assigns[var.index()] = 0;
             self.reason[var.index()] = None;

@@ -4,6 +4,10 @@
 //! with the *specific* [`DimacsError`] variant, never panic or silently
 //! repair.
 
+// Helper fns here run outside #[test] context, so the clippy.toml
+// test relaxation does not reach them.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use proptest::prelude::*;
 use sat::dimacs::{CnfFormula, DimacsError};
 use sat::{ClauseSink, Lit, SatResult, Var};

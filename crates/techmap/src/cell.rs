@@ -159,6 +159,20 @@ impl Netlist {
         &self.required_ps
     }
 
+    /// Corruption hook for the `audit` crate's mutation tests (skews stored
+    /// arrival annotations); never call from production code.
+    #[doc(hidden)]
+    pub fn tamper_arrival_ps_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.arrival_ps
+    }
+
+    /// Corruption hook for the `audit` crate's mutation tests (skews stored
+    /// required-time annotations); never call from production code.
+    #[doc(hidden)]
+    pub fn tamper_required_ps_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.required_ps
+    }
+
     /// Returns the quality-of-results record of this netlist.
     pub fn qor(&self) -> Qor {
         Qor {
@@ -214,16 +228,20 @@ impl Netlist {
             let leaves: Vec<Lit> = gate
                 .leaves
                 .iter()
-                .map(|l| lits[l.index()].expect("gate leaves precede the gate"))
+                .map(|l| {
+                    lits[l.index()].unwrap_or_else(|| unreachable!("gate leaves precede the gate"))
+                })
                 .collect();
             lits[gate.root.index()] = Some(synthesize_truth(&mut fresh, gate.truth, &leaves));
         }
         for (idx, driver) in self.outputs.iter().enumerate() {
             let lit = match driver {
-                OutputDriver::Direct(node) => lits[node.index()].expect("mapped output driver"),
-                OutputDriver::Inverted(node) => {
-                    lits[node.index()].expect("mapped output driver").not()
+                OutputDriver::Direct(node) => {
+                    lits[node.index()].unwrap_or_else(|| unreachable!("mapped output driver"))
                 }
+                OutputDriver::Inverted(node) => lits[node.index()]
+                    .unwrap_or_else(|| unreachable!("mapped output driver"))
+                    .not(),
                 OutputDriver::Constant(true) => Lit::TRUE,
                 OutputDriver::Constant(false) => Lit::FALSE,
             };
@@ -294,7 +312,9 @@ fn derive_cover(
             continue;
         }
         needed[id.index()] = true;
-        let ch = choice[id.index()].as_ref().expect("mapped node");
+        let ch = choice[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("mapped node"));
         for leaf in &cuts.cuts(id)[ch.cut_index].leaves {
             if aig.node(*leaf).is_and() {
                 stack.push(*leaf);
@@ -307,7 +327,9 @@ fn derive_cover(
         if !needed[id.index()] {
             continue;
         }
-        let ch = choice[id.index()].as_ref().expect("mapped node");
+        let ch = choice[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("mapped node"));
         let cut = &cuts.cuts(id)[ch.cut_index];
         let cell = library.cell(ch.cell);
         let mut buf = [0.0f64; 8];
@@ -341,6 +363,9 @@ fn derive_cover(
 /// Panics if the library lacks an inverter or cannot realize a 2-input AND
 /// (every well-formed library can); [`try_map_to_cells`] reports the same
 /// conditions as a typed [`MapError`] instead.
+// The panic is the documented contract; `try_map_to_cells` is the
+// non-panicking form.
+#[allow(clippy::panic)]
 pub fn map_to_cells(aig: &Aig, library: &CellLibrary, options: &MapOptions) -> Netlist {
     try_map_to_cells(aig, library, options).unwrap_or_else(|e| panic!("{e}"))
 }
@@ -543,7 +568,9 @@ fn map_with_cuts(
         if !cover.needed[id.index()] {
             continue;
         }
-        let ch = choice[id.index()].as_ref().expect("mapped node");
+        let ch = choice[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("mapped node"));
         let cut = &cuts.cuts(id)[ch.cut_index];
         let cell = library.cell(ch.cell);
         level[id.index()] = 1 + cut

@@ -84,7 +84,7 @@ fn expand_truth(cut: &Cut, merged: &[NodeId]) -> u64 {
             merged
                 .iter()
                 .position(|m| m == l)
-                .expect("leaf present in merged cut")
+                .unwrap_or_else(|| unreachable!("leaf present in merged cut"))
         })
         .collect();
     let bits = 1usize << merged.len();

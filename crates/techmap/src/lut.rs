@@ -126,7 +126,8 @@ fn map_luts_with_cuts(aig: &Aig, cuts: &CutSet, options: &MapOptions) -> LutMapp
                 });
             }
         }
-        let best = best.expect("every AND node has at least one non-trivial cut");
+        let best =
+            best.unwrap_or_else(|| unreachable!("every AND node has at least one non-trivial cut"));
         arrival[id.index()] = best.arrival;
         area_flow[id.index()] = best.area_flow;
         choice[id.index()] = Some(best);
@@ -208,7 +209,9 @@ fn map_luts_with_cuts(aig: &Aig, cuts: &CutSet, options: &MapOptions) -> LutMapp
     let mut luts = Vec::new();
     for id in aig.and_ids() {
         if needed[id.index()] {
-            let ch = choice[id.index()].as_ref().expect("mapped node");
+            let ch = choice[id.index()]
+                .as_ref()
+                .unwrap_or_else(|| unreachable!("mapped node"));
             luts.push(Lut {
                 root: id,
                 cut: cuts.cuts(id)[ch.cut_index].clone(),
@@ -245,7 +248,9 @@ fn cover_arrivals(
             continue;
         }
         needed[id.index()] = true;
-        let ch = choice[id.index()].as_ref().expect("mapped node");
+        let ch = choice[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("mapped node"));
         for leaf in &cuts.cuts(id)[ch.cut_index].leaves {
             if aig.node(*leaf).is_and() {
                 stack.push(*leaf);
@@ -257,7 +262,9 @@ fn cover_arrivals(
         if !needed[id.index()] {
             continue;
         }
-        let ch = choice[id.index()].as_ref().expect("mapped node");
+        let ch = choice[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("mapped node"));
         arrival[id.index()] = 1 + cuts.cuts(id)[ch.cut_index]
             .leaves
             .iter()

@@ -35,7 +35,7 @@ pub fn sop_balance(aig: &Aig, options: &MapOptions) -> Aig {
             .cut
             .leaves
             .iter()
-            .map(|l| map[l.index()].expect("leaf built before root"))
+            .map(|l| map[l.index()].unwrap_or_else(|| unreachable!("leaf built before root")))
             .collect();
         let leaf_levels: Vec<u32> = lut.cut.leaves.iter().map(|l| level[l.index()]).collect();
         let (lit, lev) = build_balanced_sop(
@@ -52,7 +52,7 @@ pub fn sop_balance(aig: &Aig, options: &MapOptions) -> Aig {
     for (idx, po) in aig.outputs().iter().enumerate() {
         let base = match aig.node(po.node()) {
             AigNode::Const => Lit::FALSE,
-            _ => map[po.node().index()].expect("output driver built"),
+            _ => map[po.node().index()].unwrap_or_else(|| unreachable!("output driver built")),
         };
         fresh.add_output(base.xor(po.is_complemented()), aig.output_name(idx));
     }
@@ -122,8 +122,8 @@ fn balanced_reduce(aig: &mut Aig, mut operands: Vec<(Lit, u32)>, and: bool) -> (
     while operands.len() > 1 {
         // Pick the two operands with the smallest levels.
         operands.sort_by_key(|(_, lev)| std::cmp::Reverse(*lev));
-        let (a, la) = operands.pop().expect("len > 1");
-        let (b, lb) = operands.pop().expect("len > 1");
+        let (a, la) = operands.pop().unwrap_or_else(|| unreachable!("len > 1"));
+        let (b, lb) = operands.pop().unwrap_or_else(|| unreachable!("len > 1"));
         let lit = if and { aig.and(a, b) } else { aig.or(a, b) };
         operands.push((lit, la.max(lb) + 1));
     }

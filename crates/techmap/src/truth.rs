@@ -148,7 +148,7 @@ fn isop_rec(l: u64, u: u64, nvars: usize) -> (Vec<Cube>, u64) {
     let var = (0..nvars)
         .rev()
         .find(|&v| depends_on(l, v, nvars) || depends_on(u, v, nvars))
-        .expect("non-constant interval must depend on some variable");
+        .unwrap_or_else(|| unreachable!("non-constant interval must depend on some variable"));
 
     let l0 = cofactor0(l, var) & mask;
     let l1 = cofactor1(l, var) & mask;
