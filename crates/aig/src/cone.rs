@@ -1,6 +1,6 @@
 //! Transitive-fanin cones, topological iteration and MFFC computation.
 
-use crate::{Aig, AigNode, Lit, NodeId};
+use crate::{Aig, AigError, AigNode, Lit, NodeId};
 use fxhash::FxHashSet;
 
 /// Iterator over the nodes reachable from a set of roots, in topological
@@ -68,7 +68,36 @@ pub struct Cone {
 /// If `leaves` is `None`, the cone extends down to the host's primary inputs;
 /// otherwise the given nodes are treated as cut points and become the cone's
 /// primary inputs (in the given order).
+///
+/// # Panics
+/// Panics when an explicit leaf set does not dominate the roots or a root
+/// lies outside the network. Callers that cannot rule out either condition —
+/// the windowed partitioner feeds machine-derived cuts through here — should
+/// use [`try_extract_cone`], which surfaces them as typed [`AigError`]s.
 pub fn extract_cone(aig: &Aig, roots: &[Lit], leaves: Option<&[NodeId]>) -> Cone {
+    match try_extract_cone(aig, roots, leaves) {
+        Ok(cone) => cone,
+        Err(e) => unreachable!("extract_cone on an invalid cut: {e}"),
+    }
+}
+
+/// Fallible variant of [`extract_cone`] for machine-derived cuts.
+///
+/// Empty `roots` are allowed (the cone then has the given leaves as inputs
+/// and no outputs), and duplicate leaves map onto one cone input each.
+///
+/// # Errors
+/// * [`AigError::InvalidNode`] — a root or leaf id lies outside the network.
+/// * [`AigError::InvalidCut`] — the explicit leaf set does not dominate the
+///   roots: some root-to-input path crosses no leaf, so logic below the cut
+///   would be pulled into the cone. (Without an explicit cut every primary
+///   input is a leaf, so this cannot fire for `leaves == None`.)
+pub fn try_extract_cone(
+    aig: &Aig,
+    roots: &[Lit],
+    leaves: Option<&[NodeId]>,
+) -> Result<Cone, AigError> {
+    let strict_cut = leaves.is_some();
     let mut cone = Aig::new(format!("{}_cone", aig.name()));
     let mut map: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
     map[NodeId::CONST.index()] = Some(Lit::FALSE);
@@ -76,6 +105,15 @@ pub fn extract_cone(aig: &Aig, roots: &[Lit], leaves: Option<&[NodeId]>) -> Cone
 
     if let Some(leaves) = leaves {
         for &leaf in leaves {
+            if leaf.index() >= aig.num_nodes() {
+                return Err(AigError::InvalidNode(format!(
+                    "cut leaf {leaf} out of range ({} nodes)",
+                    aig.num_nodes()
+                )));
+            }
+            if map[leaf.index()].is_some() {
+                continue; // duplicate leaf: reuse the first input
+            }
             let lit = cone.add_input(format!("{leaf}"));
             map[leaf.index()] = Some(lit);
             leaf_map.push(leaf);
@@ -85,7 +123,17 @@ pub fn extract_cone(aig: &Aig, roots: &[Lit], leaves: Option<&[NodeId]>) -> Cone
     // Walk the fanin of the roots, stopping at explicit leaves so that logic
     // below the cut is not pulled into the cone.
     let mut reachable: FxHashSet<NodeId> = FxHashSet::default();
-    let mut stack: Vec<NodeId> = roots.iter().map(|l| l.node()).collect();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for root in roots {
+        if root.node().index() >= aig.num_nodes() {
+            return Err(AigError::InvalidNode(format!(
+                "root {} out of range ({} nodes)",
+                root.node(),
+                aig.num_nodes()
+            )));
+        }
+        stack.push(root.node());
+    }
     while let Some(id) = stack.pop() {
         if map[id.index()].is_some() || !reachable.insert(id) {
             continue;
@@ -106,21 +154,37 @@ pub fn extract_cone(aig: &Aig, roots: &[Lit], leaves: Option<&[NodeId]>) -> Cone
                 map[id.index()] = Some(Lit::FALSE);
             }
             AigNode::Input { index } => {
+                if strict_cut {
+                    // An explicit cut must terminate every root-to-input
+                    // path; reaching a primary input means some path missed
+                    // the leaf set, and logic below the cut (this input, and
+                    // any gates fed only from it) leaked into the cone.
+                    return Err(AigError::InvalidCut(format!(
+                        "leaf set does not dominate the roots: input {id} is reachable \
+                         without crossing a leaf"
+                    )));
+                }
                 let lit = cone.add_input(aig.input_name(*index as usize));
                 map[id.index()] = Some(lit);
                 leaf_map.push(id);
             }
             AigNode::And { fanin0, fanin1 } => {
-                // When an explicit leaf cuts the cone, fanins below the cut may
-                // be unmapped only if the node itself is above the cut; in a
-                // well-formed cut this cannot happen because every path from
-                // the root crosses the cut.
-                let a = map[fanin0.node().index()]
-                    .unwrap_or_else(|| unreachable!("cut does not cover the cone"))
-                    .xor(fanin0.is_complemented());
-                let b = map[fanin1.node().index()]
-                    .unwrap_or_else(|| unreachable!("cut does not cover the cone"))
-                    .xor(fanin1.is_complemented());
+                // Defense in depth: the topological sweep maps fanins before
+                // fanouts, so an unmapped fanin should be impossible — keep
+                // it a typed error rather than a panic.
+                let fetch = |f: Lit, map: &[Option<Lit>]| -> Result<Lit, AigError> {
+                    map[f.node().index()]
+                        .map(|l| l.xor(f.is_complemented()))
+                        .ok_or_else(|| {
+                            AigError::InvalidCut(format!(
+                                "leaf set does not dominate the roots: node {id} reads {} from \
+                                 below the cut",
+                                f.node()
+                            ))
+                        })
+                };
+                let a = fetch(*fanin0, &map)?;
+                let b = fetch(*fanin1, &map)?;
                 map[id.index()] = Some(cone.and(a, b));
             }
         }
@@ -128,24 +192,31 @@ pub fn extract_cone(aig: &Aig, roots: &[Lit], leaves: Option<&[NodeId]>) -> Cone
 
     let mut root_map = Vec::new();
     for (i, root) in roots.iter().enumerate() {
+        // Reachable roots are always mapped by the walk above; `None` is
+        // impossible here, but stays a typed error for defense in depth.
         let lit = map[root.node().index()]
-            .unwrap_or_else(|| unreachable!("root not reachable"))
+            .ok_or_else(|| AigError::InvalidNode(format!("root {} not reachable", root.node())))?
             .xor(root.is_complemented());
         cone.add_output(lit, format!("root{i}"));
         root_map.push(*root);
     }
 
-    Cone {
+    Ok(Cone {
         aig: cone,
         leaf_map,
         root_map,
-    }
+    })
 }
 
 /// Computes the size of the maximum fanout-free cone (MFFC) of `node`: the
 /// number of AND gates that would become dangling if `node` were removed.
 ///
 /// `fanout_counts` must come from [`Aig::fanout_counts`] on the same network.
+/// Nodes with zero fanout (dangling ANDs, e.g. choice-network alternatives)
+/// are valid arguments: their MFFC is the cone they alone keep alive. The
+/// dereference walk saturates at zero, so a child whose count is already
+/// exhausted — possible when `node` itself dangles and shares logic with
+/// other dangling nodes — never underflows.
 pub fn mffc_size(aig: &Aig, node: NodeId, fanout_counts: &[u32]) -> usize {
     fn deref(aig: &Aig, node: NodeId, counts: &mut [u32]) -> usize {
         if !aig.node(node).is_and() {
@@ -154,12 +225,16 @@ pub fn mffc_size(aig: &Aig, node: NodeId, fanout_counts: &[u32]) -> usize {
         let (f0, f1) = aig.fanins(node);
         let mut size = 1;
         for child in [f0.node(), f1.node()] {
-            counts[child.index()] -= 1;
-            if counts[child.index()] == 0 {
+            let c = &mut counts[child.index()];
+            *c = c.saturating_sub(1);
+            if *c == 0 {
                 size += deref(aig, child, counts);
             }
         }
         size
+    }
+    if node.index() >= aig.num_nodes() {
+        return 0;
     }
     let mut counts = fanout_counts.to_vec();
     deref(aig, node, &mut counts)
@@ -237,6 +312,86 @@ mod tests {
         assert_eq!(cone.aig.num_inputs(), 2);
         assert_eq!(cone.aig.num_ands(), 1);
         assert_eq!(cone.leaf_map, vec![ab_node, c_node]);
+    }
+
+    #[test]
+    fn try_extract_cone_rejects_non_dominating_cut() {
+        // `top = ab & bc` with cut {ab, c_mid}, where `c_mid = bc & c` lies
+        // *beside* the root's bc-path rather than on it: `top` reads `bc`
+        // from below the cut, so the leaf set does not dominate the root.
+        let mut host = Aig::new("deep");
+        let a = host.add_input("a");
+        let b = host.add_input("b");
+        let c = host.add_input("c");
+        let ab = host.and(a, b);
+        let bc = host.and(b, c);
+        let top = host.and(ab, bc);
+        let c_mid = host.and(bc, c);
+        host.add_output(top, "f");
+        host.add_output(c_mid, "g");
+        let err = try_extract_cone(&host, &[top], Some(&[ab.node(), c_mid.node()])).unwrap_err();
+        assert!(matches!(err, crate::AigError::InvalidCut(_)), "{err}");
+    }
+
+    #[test]
+    fn try_extract_cone_with_empty_roots() {
+        // No roots: the cone is just the declared leaves as inputs, no
+        // outputs, no gates. The partitioner hits this for empty windows.
+        let aig = sample();
+        let leaf = aig.inputs()[0];
+        let cone = try_extract_cone(&aig, &[], Some(&[leaf])).unwrap();
+        assert_eq!(cone.aig.num_outputs(), 0);
+        assert_eq!(cone.aig.num_inputs(), 1);
+        assert_eq!(cone.aig.num_ands(), 0);
+        assert_eq!(cone.leaf_map, vec![leaf]);
+        assert!(cone.root_map.is_empty());
+        // Entirely empty call: a valid, empty cone.
+        let empty = try_extract_cone(&aig, &[], None).unwrap();
+        assert_eq!(empty.aig.num_nodes(), 1); // just the constant
+    }
+
+    #[test]
+    fn try_extract_cone_rejects_out_of_range_ids() {
+        let aig = sample();
+        let f = aig.outputs()[0];
+        let bogus = NodeId(999);
+        let err = try_extract_cone(&aig, &[f], Some(&[bogus])).unwrap_err();
+        assert!(matches!(err, crate::AigError::InvalidNode(_)), "{err}");
+        let err = try_extract_cone(&aig, &[Lit::from_raw(999 << 1)], None).unwrap_err();
+        assert!(matches!(err, crate::AigError::InvalidNode(_)), "{err}");
+    }
+
+    #[test]
+    fn try_extract_cone_deduplicates_leaves() {
+        let aig = sample();
+        let f = aig.outputs()[0];
+        let c = aig.inputs()[2];
+        let a = aig.inputs()[0];
+        let b = aig.inputs()[1];
+        let cone = try_extract_cone(&aig, &[f], Some(&[a, b, c, c])).unwrap();
+        // The duplicate leaf maps onto one cone input.
+        assert_eq!(cone.leaf_map, vec![a, b, c]);
+        assert_eq!(cone.aig.num_inputs(), 3);
+        assert_eq!(cone.aig.evaluate(&[true, true, true]), vec![true]);
+    }
+
+    #[test]
+    fn mffc_of_zero_fanout_node() {
+        // A dangling AND (fanout 0) still owns its single-fanout cone; the
+        // partitioner seeds from such nodes when choice alternatives dangle.
+        let mut aig = Aig::new("dangling");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let dangling = aig.and(ab, c); // never used as an output
+        let fanouts = aig.fanout_counts();
+        assert_eq!(mffc_size(&aig, dangling.node(), &fanouts), 2);
+        // Inputs and the constant have empty MFFCs.
+        assert_eq!(mffc_size(&aig, a.node(), &fanouts), 0);
+        assert_eq!(mffc_size(&aig, NodeId::CONST, &fanouts), 0);
+        // Out-of-range ids are answered with 0, not a panic.
+        assert_eq!(mffc_size(&aig, NodeId(999), &fanouts), 0);
     }
 
     #[test]

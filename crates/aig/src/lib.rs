@@ -35,7 +35,7 @@ mod network;
 mod sim;
 mod stats;
 
-pub use cone::{extract_cone, mffc_size, tfi, Cone, TopoIter};
+pub use cone::{extract_cone, mffc_size, tfi, try_extract_cone, Cone, TopoIter};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use lit::{Lit, NodeId};
 pub use network::{stack_over_shared_inputs, Aig, AigNode};
@@ -56,6 +56,9 @@ pub enum AigError {
     OutOfRange(String),
     /// A signal, variable or declaration is defined more than once.
     Duplicate(String),
+    /// An explicit cut (leaf set) does not dominate the requested roots:
+    /// some path from a root to a primary input misses every leaf.
+    InvalidCut(String),
 }
 
 impl std::fmt::Display for AigError {
@@ -66,6 +69,7 @@ impl std::fmt::Display for AigError {
             AigError::Unsupported(msg) => write!(f, "unsupported feature: {msg}"),
             AigError::OutOfRange(msg) => write!(f, "out of range: {msg}"),
             AigError::Duplicate(msg) => write!(f, "duplicate definition: {msg}"),
+            AigError::InvalidCut(msg) => write!(f, "invalid cut: {msg}"),
         }
     }
 }

@@ -58,6 +58,7 @@ mod egraph_checks;
 mod netlist_checks;
 mod report;
 mod sat_checks;
+mod window_checks;
 
 pub use aig_checks::{aig_catalog, audit_aig, audit_aig_dag_only, dag_catalog};
 pub use choice_checks::{audit_choices, choice_catalog};
@@ -65,6 +66,9 @@ pub use egraph_checks::{audit_egraph, egraph_catalog};
 pub use netlist_checks::{audit_netlist, netlist_catalog, MappedDesign};
 pub use report::{AuditLevel, AuditReport, CheckCost, Diagnostic, RuleId, Severity};
 pub use sat_checks::{audit_solver, sat_catalog};
+pub use window_checks::{
+    audit_partition, audit_stitched, stitch_catalog, window_catalog, PartitionedAig, StitchedDesign,
+};
 
 /// One invariant checker over artifact type `T`.
 ///

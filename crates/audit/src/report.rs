@@ -95,6 +95,19 @@ pub enum RuleId {
     /// Every live learnt long clause stores an LBD between 1 and its length.
     SatLbdBounds,
 
+    // ---- Windowed saturation ----
+    /// Every AND gate of the host AIG belongs to at least one window volume.
+    WindowCoverage,
+    /// Window leaves form a true cut: the root is interior, interior fanins
+    /// stay in `volume ∪ leaves ∪ {constant}`, and no leaf is interior.
+    WindowLeafCut,
+    /// The stitch translation table maps every boundary literal (window
+    /// leaves and roots, host inputs and output drivers).
+    WindowStitchTable,
+    /// The stitched global choice network's AIG passes the structural DAG
+    /// catalog.
+    WindowChoiceDag,
+
     /// An extension point for checkers defined outside this crate.
     Custom(&'static str),
 }
@@ -130,6 +143,10 @@ impl RuleId {
             RuleId::SatTrailConsistent => "sat-trail-consistent",
             RuleId::SatHeapIndex => "sat-heap-index",
             RuleId::SatLbdBounds => "sat-lbd-bounds",
+            RuleId::WindowCoverage => "window-coverage",
+            RuleId::WindowLeafCut => "window-leaf-cut",
+            RuleId::WindowStitchTable => "window-stitch-table",
+            RuleId::WindowChoiceDag => "window-choice-dag",
             RuleId::Custom(name) => name,
         }
     }

@@ -1,0 +1,281 @@
+//! Checkers over windowed partitions and stitched choice networks. A
+//! [`window::Partition`] only carries node ids into the host AIG it was
+//! carved from, so the checkers run over view structs pairing the two.
+
+use aig::{Aig, NodeId};
+use window::{Partition, Stitched};
+
+use crate::report::{AuditReport, RuleId, Severity};
+use crate::Check;
+
+/// A partition together with the host AIG it was carved from.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionedAig<'a> {
+    /// The host network.
+    pub aig: &'a Aig,
+    /// The window cover.
+    pub partition: &'a Partition,
+}
+
+/// A stitched choice network together with the host AIG and the partition
+/// that produced it.
+#[derive(Debug, Clone, Copy)]
+pub struct StitchedDesign<'a> {
+    /// The host network the stitch rebuilt.
+    pub aig: &'a Aig,
+    /// The window cover the choice spaces came from.
+    pub partition: &'a Partition,
+    /// The stitch product (global choice network + translation table).
+    pub stitched: &'a Stitched,
+}
+
+/// [`RuleId::WindowCoverage`]: every AND gate of the host belongs to at
+/// least one window volume (the partition is a cover, not a sample).
+pub struct Coverage;
+
+impl Check<PartitionedAig<'_>> for Coverage {
+    fn rule(&self) -> RuleId {
+        RuleId::WindowCoverage
+    }
+
+    fn check(&self, design: &PartitionedAig<'_>, report: &mut AuditReport) {
+        let n = design.aig.num_nodes();
+        let mut covered = vec![false; n];
+        for window in &design.partition.windows {
+            for v in &window.volume {
+                if v.index() < n {
+                    covered[v.index()] = true;
+                }
+            }
+        }
+        for id in design.aig.and_ids() {
+            if !covered[id.index()] {
+                report.push(
+                    self.rule(),
+                    Severity::Error,
+                    format!("node {id}"),
+                    "AND gate is covered by no window volume",
+                );
+            }
+        }
+    }
+}
+
+/// [`RuleId::WindowLeafCut`]: each window is a true cut — the root is
+/// interior, interior nodes are AND gates whose fanins stay inside
+/// `volume ∪ leaves ∪ {constant}`, no leaf is also interior, and the
+/// extracted cone's leaf map matches the declared leaves.
+pub struct LeafCut;
+
+impl Check<PartitionedAig<'_>> for LeafCut {
+    fn rule(&self) -> RuleId {
+        RuleId::WindowLeafCut
+    }
+
+    fn check(&self, design: &PartitionedAig<'_>, report: &mut AuditReport) {
+        let n = design.aig.num_nodes();
+        for window in &design.partition.windows {
+            let location = format!("window {}", window.id);
+            if !window.volume.contains(&window.root) {
+                report.push(
+                    self.rule(),
+                    Severity::Error,
+                    location.clone(),
+                    format!("root {} is not in its own volume", window.root),
+                );
+            }
+            for leaf in &window.leaves {
+                if leaf.index() >= n {
+                    report.push(
+                        self.rule(),
+                        Severity::Error,
+                        location.clone(),
+                        format!("leaf {leaf} references node {} of {n}", leaf.index()),
+                    );
+                }
+                if window.volume.contains(leaf) {
+                    report.push(
+                        self.rule(),
+                        Severity::Error,
+                        location.clone(),
+                        format!("leaf {leaf} is also interior (cut crosses the volume)"),
+                    );
+                }
+            }
+            for v in &window.volume {
+                if v.index() >= n {
+                    report.push(
+                        self.rule(),
+                        Severity::Error,
+                        location.clone(),
+                        format!("interior {v} references node {} of {n}", v.index()),
+                    );
+                    continue;
+                }
+                if !design.aig.node(*v).is_and() {
+                    report.push(
+                        self.rule(),
+                        Severity::Error,
+                        location.clone(),
+                        format!("interior {v} is not an AND gate"),
+                    );
+                    continue;
+                }
+                let (f0, f1) = design.aig.fanins(*v);
+                for f in [f0, f1] {
+                    let id = f.node();
+                    if id != NodeId::CONST
+                        && !window.volume.contains(&id)
+                        && !window.leaves.contains(&id)
+                    {
+                        report.push(
+                            self.rule(),
+                            Severity::Error,
+                            location.clone(),
+                            format!("interior {v} reads {id} from outside volume and cut"),
+                        );
+                    }
+                }
+            }
+            if window.cone.leaf_map != window.leaves {
+                report.push(
+                    self.rule(),
+                    Severity::Error,
+                    location,
+                    "extracted cone's leaf map disagrees with the declared leaves",
+                );
+            }
+        }
+    }
+}
+
+/// [`RuleId::WindowStitchTable`]: the stitch translation table maps every
+/// boundary literal — each window's leaves and root, the host's inputs and
+/// output drivers — and is sized to the host node space.
+pub struct StitchTable;
+
+impl Check<StitchedDesign<'_>> for StitchTable {
+    fn rule(&self) -> RuleId {
+        RuleId::WindowStitchTable
+    }
+
+    fn check(&self, design: &StitchedDesign<'_>, report: &mut AuditReport) {
+        let table = &design.stitched.table;
+        if table.len() != design.aig.num_nodes() {
+            report.push(
+                self.rule(),
+                Severity::Error,
+                "table",
+                format!(
+                    "table covers {} node slots but the host has {}",
+                    table.len(),
+                    design.aig.num_nodes()
+                ),
+            );
+            return;
+        }
+        let mapped = |id: NodeId| table.get(id.index()).copied().flatten().is_some();
+        for &input in design.aig.inputs() {
+            if !mapped(input) {
+                report.push(
+                    self.rule(),
+                    Severity::Error,
+                    format!("input {input}"),
+                    "host input has no stitched literal",
+                );
+            }
+        }
+        for (i, out) in design.aig.outputs().iter().enumerate() {
+            if !mapped(out.node()) {
+                report.push(
+                    self.rule(),
+                    Severity::Error,
+                    format!("output {i}"),
+                    format!("output driver {} has no stitched literal", out.node()),
+                );
+            }
+        }
+        for window in &design.partition.windows {
+            let location = format!("window {}", window.id);
+            if !mapped(window.root) {
+                report.push(
+                    self.rule(),
+                    Severity::Error,
+                    location.clone(),
+                    format!("root {} has no stitched literal", window.root),
+                );
+            }
+            for leaf in &window.leaves {
+                if !mapped(*leaf) {
+                    report.push(
+                        self.rule(),
+                        Severity::Error,
+                        location.clone(),
+                        format!("boundary leaf {leaf} has no stitched literal"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// [`RuleId::WindowChoiceDag`]: the stitched choice network's underlying
+/// AIG satisfies the structural DAG catalog (fanin ranges, topological
+/// order, normalized fanins, strash dedup). Violations found by the
+/// delegated catalog are re-emitted under this rule so a stitch bug is
+/// attributable to the stitcher, not to a generic AIG check.
+pub struct ChoiceDag;
+
+impl Check<StitchedDesign<'_>> for ChoiceDag {
+    fn rule(&self) -> RuleId {
+        RuleId::WindowChoiceDag
+    }
+
+    fn check(&self, design: &StitchedDesign<'_>, report: &mut AuditReport) {
+        let inner = crate::run_checks(
+            design.stitched.network.aig(),
+            &crate::aig_checks::dag_catalog(),
+            crate::AuditLevel::PhaseBoundaries,
+        );
+        for diag in inner.diagnostics {
+            report.push(
+                self.rule(),
+                diag.severity,
+                format!("stitched {}", diag.location),
+                format!("[{}] {}", diag.rule, diag.message),
+            );
+        }
+    }
+}
+
+/// The partition-invariant catalog.
+pub fn window_catalog<'a>() -> Vec<Box<dyn Check<PartitionedAig<'a>>>> {
+    vec![Box::new(Coverage), Box::new(LeafCut)]
+}
+
+/// The stitch-invariant catalog.
+pub fn stitch_catalog<'a>() -> Vec<Box<dyn Check<StitchedDesign<'a>>>> {
+    vec![Box::new(StitchTable), Box::new(ChoiceDag)]
+}
+
+/// Audits a window partition against its host AIG at the given level.
+pub fn audit_partition(aig: &Aig, partition: &Partition, level: crate::AuditLevel) -> AuditReport {
+    let design = PartitionedAig { aig, partition };
+    crate::run_checks(&design, &window_catalog(), level)
+}
+
+/// Audits a stitched choice network against its host and partition at the
+/// given level.
+pub fn audit_stitched(
+    aig: &Aig,
+    partition: &Partition,
+    stitched: &Stitched,
+    level: crate::AuditLevel,
+) -> AuditReport {
+    let design = StitchedDesign {
+        aig,
+        partition,
+        stitched,
+    };
+    crate::run_checks(&design, &stitch_catalog(), level)
+}

@@ -12,8 +12,9 @@
 
 use aig::{Aig, AigNode, Lit, NodeId};
 use audit::{
-    aig_catalog, audit_aig, audit_choices, audit_egraph, audit_netlist, audit_solver,
-    choice_catalog, egraph_catalog, netlist_catalog, sat_catalog, AuditLevel, AuditReport, RuleId,
+    aig_catalog, audit_aig, audit_choices, audit_egraph, audit_netlist, audit_partition,
+    audit_solver, audit_stitched, choice_catalog, egraph_catalog, netlist_catalog, sat_catalog,
+    stitch_catalog, window_catalog, AuditLevel, AuditReport, RuleId,
 };
 use choices::{ChoiceAig, ChoiceClass};
 use egraph::EGraph;
@@ -461,6 +462,83 @@ fn sat_lbd_bounds_fires_on_absurd_lbd() {
     assert_eq!(report.fired_rules(), vec![RuleId::SatLbdBounds]);
 }
 
+// ------------------------------------------------------------- Window ----
+
+/// A small adder, partitioned with the default knobs; clean at `Paranoid`.
+fn window_fixture() -> (Aig, window::Partition) {
+    let aig = benchgen::adder(4).aig;
+    let part = window::partition(&aig, &window::WindowOptions::default()).expect("partition");
+    assert_clean(
+        "partition base",
+        &audit_partition(&aig, &part, AuditLevel::Paranoid),
+    );
+    (aig, part)
+}
+
+/// The fixture partition stitched with no choice spaces (bare host rebuild),
+/// clean at `Paranoid`.
+fn stitched_fixture() -> (Aig, window::Partition, window::Stitched) {
+    let (aig, part) = window_fixture();
+    let stitched = window::stitch(&aig, &part, &[]).expect("stitch");
+    assert_clean(
+        "stitch base",
+        &audit_stitched(&aig, &part, &stitched, AuditLevel::Paranoid),
+    );
+    (aig, part, stitched)
+}
+
+#[test]
+fn window_coverage_fires_on_dropped_windows() {
+    let (aig, mut part) = window_fixture();
+    // No windows at all: every AND gate is uncovered. The leaf-cut checker
+    // has nothing to inspect, so exactly the coverage rule fires.
+    part.tamper_windows_mut().clear();
+    let report = audit_partition(&aig, &part, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::WindowCoverage]);
+}
+
+#[test]
+fn window_leaf_cut_fires_on_interior_leaf() {
+    let (aig, mut part) = window_fixture();
+    // The root is now declared a leaf of its own window: the cut crosses the
+    // volume (and the extracted cone's leaf map no longer matches). Coverage
+    // is untouched — the volumes themselves did not change.
+    let windows = part.tamper_windows_mut();
+    let root = windows[0].root;
+    windows[0].leaves.push(root);
+    let report = audit_partition(&aig, &part, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::WindowLeafCut]);
+}
+
+#[test]
+fn window_stitch_table_fires_on_unmapped_boundary() {
+    let (aig, part, mut stitched) = stitched_fixture();
+    // A window leaf loses its translation: the boundary is no longer fully
+    // mapped. The stitched network itself is untouched, so the DAG rule
+    // stays quiet.
+    let leaf = part.windows[0].leaves[0];
+    stitched.tamper_table_mut()[leaf.index()] = None;
+    let report = audit_stitched(&aig, &part, &stitched, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::WindowStitchTable]);
+}
+
+#[test]
+fn window_choice_dag_fires_on_corrupted_stitched_network() {
+    let (aig, part, mut stitched) = stitched_fixture();
+    // Swap one AND's fanins inside the stitched network: the raw order
+    // invariant of the underlying AIG breaks, which the delegated DAG
+    // catalog reports and the stitch checker re-emits under its own rule.
+    let inner = stitched.network.tamper_aig_mut();
+    let and = inner.and_ids().next().expect("stitched AIG has an AND");
+    let (f0, f1) = inner.fanins(and);
+    inner.tamper_nodes_mut()[and.index()] = AigNode::And {
+        fanin0: f1,
+        fanin1: f0,
+    };
+    let report = audit_stitched(&aig, &part, &stitched, AuditLevel::Paranoid);
+    assert_eq!(report.fired_rules(), vec![RuleId::WindowChoiceDag]);
+}
+
 // --------------------------------------------------------------- Meta ----
 
 /// Every non-[`RuleId::Custom`] rule is owned by exactly one catalog
@@ -477,6 +555,8 @@ fn catalogs_cover_every_rule() {
     covered.extend(choice_catalog().iter().map(|c| c.rule()));
     covered.extend(netlist_catalog().iter().map(|c| c.rule()));
     covered.extend(sat_catalog().iter().map(|c| c.rule()));
+    covered.extend(window_catalog().iter().map(|c| c.rule()));
+    covered.extend(stitch_catalog().iter().map(|c| c.rule()));
 
     let all: BTreeSet<RuleId> = [
         RuleId::AigFaninRange,
@@ -506,6 +586,10 @@ fn catalogs_cover_every_rule() {
         RuleId::SatTrailConsistent,
         RuleId::SatHeapIndex,
         RuleId::SatLbdBounds,
+        RuleId::WindowCoverage,
+        RuleId::WindowLeafCut,
+        RuleId::WindowStitchTable,
+        RuleId::WindowChoiceDag,
     ]
     .into_iter()
     .collect();

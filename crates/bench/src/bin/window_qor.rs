@@ -1,0 +1,286 @@
+//! Windowed-saturation QoR gate: the partition → saturate-per-window →
+//! stitch pipeline (`FlowConfig::partitioning`) against monolithic
+//! saturation on the scaling-class circuits it exists for.
+//!
+//! Every circuit runs through [`emorphic::flow::emorphic_map_flow`] twice —
+//! once monolithic, once windowed — and the binary asserts:
+//!
+//! * both mapped netlists are SAT-CEC **proved** equivalent to the input;
+//! * the windowed run actually windowed (a window report with no fallback
+//!   error and a nonzero window count);
+//! * the windowed mapped area is no worse than the monolithic mapped area;
+//! * the windowed decomposition is bit-identical at 1 and 4 search threads
+//!   (same area, delay, gate count and choice-export statistics);
+//! * full runs only (timing on smoke-sized circuits is noise): windowed
+//!   wall time grows **sublinearly** relative to monolithic — the
+//!   largest/smallest runtime ratio of the windowed flow must not exceed
+//!   the monolithic ratio.
+//!
+//! Results go to `BENCH_window.json` (a `{"runs": [...], "sublinearity":
+//! {...}}` object; one row per circuit × mode with QoR, wall time and
+//! window statistics).
+//!
+//! Usage: `cargo run -p emorphic-bench --bin window_qor --release [-- --smoke]`
+//! Set `EMORPHIC_SCALE=tiny|small|default` to control circuit sizes.
+
+use benchgen::BenchCircuit;
+use emorphic::flow::{emorphic_map_flow, MapFlowConfig, MapFlowResult};
+use emorphic_bench::{flow_config_for, scale_from_env};
+use serde::Serialize;
+use std::time::Instant;
+use window::WindowOptions;
+
+#[derive(Serialize)]
+struct RunRecord {
+    circuit: String,
+    ands: usize,
+    mode: String,
+    area_um2: f64,
+    delay_ps: f64,
+    gates: usize,
+    verified: bool,
+    wall_s: f64,
+    windows: usize,
+    covered_ands: usize,
+    windows_skipped: usize,
+    classes: usize,
+    alternatives: usize,
+    partition_s: f64,
+    saturation_s: f64,
+    stitch_s: f64,
+}
+
+#[derive(Serialize)]
+struct Sublinearity {
+    /// Smallest/largest circuit names the ratios were taken over.
+    smallest: String,
+    largest: String,
+    /// wall(largest) / wall(smallest) for each mode.
+    windowed_ratio: f64,
+    monolithic_ratio: f64,
+    /// Whether the sublinearity gate was enforced (full runs only).
+    enforced: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    runs: Vec<RunRecord>,
+    sublinearity: Option<Sublinearity>,
+}
+
+fn record(circuit: &BenchCircuit, mode: &str, result: &MapFlowResult, wall_s: f64) -> RunRecord {
+    let w = result.window.as_ref();
+    RunRecord {
+        circuit: circuit.name.clone(),
+        ands: circuit.aig.num_ands(),
+        mode: mode.into(),
+        area_um2: result.qor.area_um2,
+        delay_ps: result.qor.delay_ps,
+        gates: result.qor.gates,
+        verified: result.verified,
+        wall_s,
+        windows: w.map_or(0, |w| w.windows),
+        covered_ands: w.map_or(0, |w| w.covered_ands),
+        windows_skipped: w.map_or(0, |w| w.windows_skipped),
+        classes: w.map_or(0, |w| w.classes_exported),
+        alternatives: w.map_or(0, |w| w.alternatives),
+        partition_s: w.map_or(0.0, |w| w.partition_time.as_secs_f64()),
+        saturation_s: w.map_or(0.0, |w| w.saturation_time.as_secs_f64()),
+        stitch_s: w.map_or(0.0, |w| w.stitch_time.as_secs_f64()),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = scale_from_env();
+    let circuits: Vec<BenchCircuit> = if smoke {
+        let mut mult = benchgen::multiplier(4);
+        mult.name = "multiplier4".into();
+        let mut add = benchgen::adder(16);
+        add.name = "adder16".into();
+        vec![mult, add, benchgen::crossbar(4, 2)]
+    } else {
+        benchgen::scaling_suite(scale)
+    };
+
+    let mono_config = MapFlowConfig {
+        flow: flow_config_for(scale),
+        ..MapFlowConfig::fast()
+    };
+    let mut win_config = mono_config.clone();
+    win_config.flow = win_config.flow.with_partitioning(WindowOptions::default());
+
+    println!("Windowed-saturation QoR: windowed vs monolithic map flow");
+    println!(
+        "{:<14} {:<11} {:>7} {:>10} {:>9} {:>6} {:>4} {:>8} {:>7} {:>8}",
+        "circuit", "mode", "ands", "area", "delay", "gates", "ok", "windows", "classes", "wall(s)"
+    );
+
+    let mut violations = 0usize;
+    let mut runs: Vec<RunRecord> = Vec::new();
+    // (name, ands, windowed wall, monolithic wall) per circuit, for the
+    // sublinearity ratio.
+    let mut walls: Vec<(String, usize, f64, f64)> = Vec::new();
+
+    for circuit in &circuits {
+        let t = Instant::now();
+        let mono = emorphic_map_flow(&circuit.aig, &mono_config)
+            .unwrap_or_else(|e| panic!("{}: monolithic flow failed: {e}", circuit.name));
+        let mono_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let windowed = emorphic_map_flow(&circuit.aig, &win_config)
+            .unwrap_or_else(|e| panic!("{}: windowed flow failed: {e}", circuit.name));
+        let windowed_s = t.elapsed().as_secs_f64();
+
+        for (mode, result, wall) in [
+            ("monolithic", &mono, mono_s),
+            ("windowed", &windowed, windowed_s),
+        ] {
+            let rec = record(circuit, mode, result, wall);
+            println!(
+                "{:<14} {:<11} {:>7} {:>10.2} {:>9.1} {:>6} {:>4} {:>8} {:>7} {:>8.3}",
+                rec.circuit,
+                rec.mode,
+                rec.ands,
+                rec.area_um2,
+                rec.delay_ps,
+                rec.gates,
+                if rec.verified { "yes" } else { "NO" },
+                rec.windows,
+                rec.classes,
+                rec.wall_s
+            );
+            runs.push(rec);
+        }
+
+        if !mono.verified {
+            eprintln!("{}: monolithic netlist NOT proved equivalent", circuit.name);
+            violations += 1;
+        }
+        if !windowed.verified {
+            eprintln!("{}: windowed netlist NOT proved equivalent", circuit.name);
+            violations += 1;
+        }
+        match windowed.window.as_ref() {
+            None => {
+                eprintln!("{}: windowed run produced no window report", circuit.name);
+                violations += 1;
+            }
+            Some(w) => {
+                if let Some(err) = &w.error {
+                    eprintln!(
+                        "{}: windowed path fell back to monolithic: {err}",
+                        circuit.name
+                    );
+                    violations += 1;
+                } else if w.windows == 0 {
+                    eprintln!("{}: partitioner produced zero windows", circuit.name);
+                    violations += 1;
+                }
+            }
+        }
+        if windowed.qor.area_um2 > mono.qor.area_um2 + 1e-9 {
+            eprintln!(
+                "{}: windowed area worse than monolithic ({:.4} > {:.4})",
+                circuit.name, windowed.qor.area_um2, mono.qor.area_um2
+            );
+            violations += 1;
+        }
+
+        walls.push((
+            circuit.name.clone(),
+            circuit.aig.num_ands(),
+            windowed_s,
+            mono_s,
+        ));
+    }
+
+    // Determinism: the windowed decomposition must be bit-identical at any
+    // worker count. Checked on the smallest circuit (the property is about
+    // the algorithm, not the workload size).
+    if let Some(circuit) = circuits.iter().min_by_key(|c| c.aig.num_ands()) {
+        let mut serial = win_config.clone();
+        serial.flow.search_threads = 1;
+        let mut parallel = win_config.clone();
+        parallel.flow.search_threads = 4;
+        let a = emorphic_map_flow(&circuit.aig, &serial)
+            .unwrap_or_else(|e| panic!("{}: serial windowed flow failed: {e}", circuit.name));
+        let b = emorphic_map_flow(&circuit.aig, &parallel)
+            .unwrap_or_else(|e| panic!("{}: parallel windowed flow failed: {e}", circuit.name));
+        let same = a.qor.area_um2.to_bits() == b.qor.area_um2.to_bits()
+            && a.qor.delay_ps.to_bits() == b.qor.delay_ps.to_bits()
+            && a.qor.gates == b.qor.gates
+            && a.export == b.export;
+        if same {
+            println!(
+                "\ndeterminism: {} identical at 1 and 4 search threads",
+                circuit.name
+            );
+        } else {
+            eprintln!(
+                "{}: windowed flow differs between 1 and 4 search threads",
+                circuit.name
+            );
+            violations += 1;
+        }
+    }
+
+    // Sublinearity: as circuits grow, windowed wall time must not grow
+    // faster than monolithic. Enforced on full runs only — smoke circuits
+    // finish in milliseconds, where the ratio is scheduler noise.
+    let sublinearity = if walls.len() >= 2 {
+        let smallest = walls
+            .iter()
+            .min_by_key(|(_, ands, _, _)| *ands)
+            .expect("nonempty");
+        let largest = walls
+            .iter()
+            .max_by_key(|(_, ands, _, _)| *ands)
+            .expect("nonempty");
+        let windowed_ratio = largest.2 / smallest.2.max(1e-9);
+        let monolithic_ratio = largest.3 / smallest.3.max(1e-9);
+        let enforced = !smoke;
+        if enforced && windowed_ratio > monolithic_ratio {
+            eprintln!(
+                "sublinearity violated: windowed scales worse than monolithic \
+                 ({windowed_ratio:.2}x vs {monolithic_ratio:.2}x from {} to {})",
+                smallest.0, largest.0
+            );
+            violations += 1;
+        }
+        println!(
+            "sublinearity: wall({}) / wall({}) = {:.2}x windowed, {:.2}x monolithic{}",
+            largest.0,
+            smallest.0,
+            windowed_ratio,
+            monolithic_ratio,
+            if enforced {
+                ""
+            } else {
+                " (not enforced in smoke)"
+            }
+        );
+        Some(Sublinearity {
+            smallest: smallest.0.clone(),
+            largest: largest.0.clone(),
+            windowed_ratio,
+            monolithic_ratio,
+            enforced,
+        })
+    } else {
+        None
+    };
+
+    let report = Report { runs, sublinearity };
+    let json = serde_json::to_string_pretty(&report).expect("report serialize");
+    std::fs::write("BENCH_window.json", json).expect("write BENCH_window.json");
+    println!(
+        "\n{} circuit(s), {} violation(s); wrote BENCH_window.json",
+        circuits.len(),
+        violations
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

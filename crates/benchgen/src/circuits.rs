@@ -345,6 +345,55 @@ pub fn mem_ctrl(width: usize) -> BenchCircuit {
     BenchCircuit::new("mem_ctrl", aig)
 }
 
+/// `router`: an `ports × ports` crossbar router over `width`-bit words.
+/// Every output port owns a select address choosing which input port it
+/// reads; the routed word is gated by the selected port's valid bit. The
+/// per-port mux trees share the input words, giving the wide, shallow,
+/// reconvergence-rich structure interconnect fabrics are known for.
+pub fn crossbar(ports: usize, width: usize) -> BenchCircuit {
+    assert!(ports >= 2, "a crossbar needs at least two ports");
+    let mut aig = Aig::new("router");
+    let data: Vec<Vec<Lit>> = (0..ports)
+        .map(|p| word_inputs(&mut aig, &format!("d{p}"), width))
+        .collect();
+    let valid = word_inputs(&mut aig, "valid", ports);
+    let sel_bits = (usize::BITS as usize - (ports - 1).leading_zeros() as usize).max(1);
+    let slots = 1usize << sel_bits;
+    for o in 0..ports {
+        let sel = word_inputs(&mut aig, &format!("sel{o}"), sel_bits);
+        // Mux tree over the input ports; unpopulated slots read as zero
+        // words with the valid bit low.
+        let mut words: Vec<Vec<Lit>> = (0..slots)
+            .map(|i| {
+                if i < ports {
+                    data[i].clone()
+                } else {
+                    constant_word(0, width)
+                }
+            })
+            .collect();
+        let mut valids: Vec<Lit> = (0..slots)
+            .map(|i| if i < ports { valid[i] } else { Lit::FALSE })
+            .collect();
+        for &s in &sel {
+            words = words
+                .chunks(2)
+                .map(|pair| mux_word(&mut aig, s, &pair[1], &pair[0]))
+                .collect();
+            valids = valids
+                .chunks(2)
+                .map(|pair| aig.mux(s, pair[1], pair[0]))
+                .collect();
+        }
+        let routed = &words[0];
+        let ok = valids[0];
+        let gated: Vec<Lit> = routed.iter().map(|&bit| aig.and(bit, ok)).collect();
+        add_word_outputs(&mut aig, &format!("out{o}"), &gated);
+        aig.add_output(ok, format!("out_valid{o}"));
+    }
+    BenchCircuit::new("router", aig)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,5 +606,44 @@ mod tests {
         assert!(divider(12).aig.num_ands() > divider(6).aig.num_ands());
         assert!(adder(32).aig.num_ands() > adder(8).aig.num_ands());
         assert!(arbiter(16).aig.num_ands() > arbiter(4).aig.num_ands());
+        assert!(crossbar(8, 8).aig.num_ands() > crossbar(4, 4).aig.num_ands());
+    }
+
+    #[test]
+    fn crossbar_routes_selected_port() {
+        // 4 ports × 2 bits: output port 0 reads the port its select names,
+        // gated by that port's valid bit.
+        let circuit = crossbar(4, 2);
+        let aig = &circuit.aig;
+        let out0 = aig
+            .output_names()
+            .iter()
+            .position(|n| n == "out0[0]")
+            .unwrap();
+        let out_valid0 = aig
+            .output_names()
+            .iter()
+            .position(|n| n == "out_valid0")
+            .unwrap();
+        let set = |names: &[(&str, bool)]| -> Vec<bool> {
+            let mut inputs = vec![false; aig.num_inputs()];
+            for (name, value) in names {
+                let pos = aig.input_names().iter().position(|n| n == name).unwrap();
+                inputs[pos] = *value;
+            }
+            inputs
+        };
+        // sel0 = 2 (binary 10), port 2 valid, d2 = 0b01.
+        let outs = aig.evaluate(&set(&[
+            ("sel0[1]", true),
+            ("valid[2]", true),
+            ("d2[0]", true),
+        ]));
+        assert!(outs[out0], "bit 0 of port 2 must route to out0");
+        assert!(outs[out_valid0]);
+        // Same route with the valid bit low: gated to zero.
+        let outs = aig.evaluate(&set(&[("sel0[1]", true), ("d2[0]", true)]));
+        assert!(!outs[out0]);
+        assert!(!outs[out_valid0]);
     }
 }

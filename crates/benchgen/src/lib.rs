@@ -25,8 +25,8 @@ mod random;
 pub mod words;
 
 pub use circuits::{
-    adder, arbiter, divider, hypotenuse, log2, mem_ctrl, multiplier, sine, square, square_root,
-    BenchCircuit, SuiteScale,
+    adder, arbiter, crossbar, divider, hypotenuse, log2, mem_ctrl, multiplier, sine, square,
+    square_root, BenchCircuit, SuiteScale,
 };
 pub use random::random_aig;
 
@@ -50,6 +50,37 @@ pub fn epfl_like_suite(scale: SuiteScale) -> Vec<BenchCircuit> {
         sine(w_small),
         adder(2 * w_mid),
     ]
+}
+
+/// Generates the scaling-class circuits used by the windowed-saturation
+/// benchmarks: instances of the regular generators at sizes where monolithic
+/// saturation starts to struggle (up to the paper-style `multiplier64` at
+/// [`SuiteScale::Default`]), plus the crossbar [`router`](crossbar)
+/// interconnect fabric. Names carry the size (`multiplier32`, …) so results
+/// at different scales stay distinguishable.
+pub fn scaling_suite(scale: SuiteScale) -> Vec<BenchCircuit> {
+    fn named(mut circuit: BenchCircuit, name: &str) -> BenchCircuit {
+        circuit.name = name.to_string();
+        circuit
+    }
+    match scale {
+        SuiteScale::Tiny => vec![
+            named(multiplier(8), "multiplier8"),
+            named(adder(32), "adder32"),
+            named(crossbar(4, 4), "router4x4"),
+        ],
+        SuiteScale::Small => vec![
+            named(multiplier(16), "multiplier16"),
+            named(adder(64), "adder64"),
+            named(crossbar(8, 8), "router8x8"),
+        ],
+        SuiteScale::Default => vec![
+            named(multiplier(32), "multiplier32"),
+            named(multiplier(64), "multiplier64"),
+            named(adder(128), "adder128"),
+            named(crossbar(8, 16), "router8x16"),
+        ],
+    }
 }
 
 #[cfg(test)]
@@ -100,5 +131,17 @@ mod tests {
         let small = epfl_like_suite(SuiteScale::Small);
         let total = |s: &[BenchCircuit]| s.iter().map(|c| c.aig.num_ands()).sum::<usize>();
         assert!(total(&small) > total(&tiny));
+    }
+
+    #[test]
+    fn scaling_suite_grows_with_scale() {
+        let tiny = scaling_suite(SuiteScale::Tiny);
+        let small = scaling_suite(SuiteScale::Small);
+        let largest = |s: &[BenchCircuit]| s.iter().map(|c| c.aig.num_ands()).max().unwrap();
+        assert!(largest(&small) > largest(&tiny));
+        // Every circuit carries a size-qualified name.
+        for c in tiny.iter().chain(&small) {
+            assert!(c.name.chars().any(|ch| ch.is_ascii_digit()), "{}", c.name);
+        }
     }
 }

@@ -42,7 +42,7 @@ pub use export::{
 };
 #[allow(deprecated)]
 pub use network::check_members_equivalent;
-pub use network::{ChoiceAig, ChoiceClass, RebuildStats};
+pub use network::{filter_ordering, ChoiceAig, ChoiceClass, RebuildStats};
 
 /// Errors produced while building or validating a choice network.
 #[derive(Debug, Clone, PartialEq, Eq)]

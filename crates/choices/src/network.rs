@@ -485,8 +485,10 @@ impl Rebuild<'_> {
 /// representative collapses onto pre-existing logic), then drops classes
 /// left without alternatives. Returns the surviving classes and the number
 /// of dropped members. The result always satisfies the ordering invariant
-/// checked by [`ChoiceAig::new`].
-pub(crate) fn filter_ordering(classes: Vec<ChoiceClass>) -> (Vec<ChoiceClass>, usize) {
+/// checked by [`ChoiceAig::new`]. Exposed for external builders of choice
+/// networks (e.g. the windowed stitcher) that replay logic into a shared
+/// host and can hit the same strash collisions as the exporter.
+pub fn filter_ordering(classes: Vec<ChoiceClass>) -> (Vec<ChoiceClass>, usize) {
     let mut dropped = 0usize;
     let mut kept: Vec<ChoiceClass> = Vec::new();
     for mut class in classes {

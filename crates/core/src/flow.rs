@@ -24,9 +24,11 @@ use crate::extract::{
 };
 use crate::lang::BoolLang;
 use crate::rules::all_rules;
+use crate::windowed::{saturate_windows, windowed_resynthesis, WindowReport};
 use aig::Aig;
 use audit::{
-    audit_aig_dag_only, audit_choices, audit_egraph, audit_netlist, AuditLevel, AuditReport,
+    audit_aig_dag_only, audit_choices, audit_egraph, audit_netlist, audit_partition,
+    audit_stitched, AuditLevel, AuditReport,
 };
 use cec::{check_equivalence, CecOptions};
 use choices::{
@@ -41,6 +43,7 @@ use std::time::{Duration, Instant};
 use techmap::cell::{map_to_cells, try_map_to_cells, try_map_to_cells_with_choices, Netlist};
 use techmap::library::{asap7_like, CellLibrary};
 use techmap::{sop::sop_balance, MapError, MapOptions, Qor};
+use window::{WindowError, WindowOptions};
 
 /// Which cost model guides the SA extraction (paper Section III-C).
 #[derive(Debug, Clone)]
@@ -102,6 +105,12 @@ pub struct FlowConfig {
     /// `Paranoid` adds the exhaustive-simulation ones. Findings surface in
     /// the flow result's `audit` report instead of aborting the flow.
     pub audit_level: AuditLevel,
+    /// When set, the resynthesis phase runs windowed instead of monolithic:
+    /// the design is carved into reconvergence-bounded windows, each window
+    /// is saturated as an independent e-graph on the worker pool, and the
+    /// results are recombined ([`crate::windowed`]). `None` keeps the
+    /// single-e-graph path.
+    pub partitioning: Option<WindowOptions>,
 }
 
 impl FlowConfig {
@@ -136,6 +145,7 @@ impl FlowConfig {
                 ..cec::SweepOptions::default()
             },
             audit_level: AuditLevel::Off,
+            partitioning: None,
         }
     }
 
@@ -187,6 +197,13 @@ impl FlowConfig {
     #[must_use]
     pub fn with_audit_level(mut self, level: AuditLevel) -> Self {
         self.audit_level = level;
+        self
+    }
+
+    /// Enables windowed saturation with the given partitioning knobs.
+    #[must_use]
+    pub fn with_partitioning(mut self, opts: WindowOptions) -> Self {
+        self.partitioning = Some(opts);
         self
     }
 }
@@ -329,6 +346,11 @@ pub struct FlowResult {
     /// Aggregated phase-boundary audit findings (empty at
     /// [`AuditLevel::Off`]; locations are prefixed with the phase name).
     pub audit: AuditReport,
+    /// Per-window statistics when the resynthesis phase ran windowed
+    /// (`None` on the monolithic and baseline paths). A populated `error`
+    /// field means the windowed path failed and the flow fell back to the
+    /// monolithic e-graph.
+    pub window: Option<WindowReport>,
 }
 
 fn conventional_round(aig: &Aig, config: &FlowConfig, with_sop: bool) -> (Aig, Netlist) {
@@ -375,35 +397,37 @@ pub fn baseline_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         saturation: Vec::new(),
         extraction_engines: Vec::new(),
         audit,
+        window: None,
     }
 }
 
-/// Runs the E-morphic flow: the baseline rounds with e-graph resynthesis
-/// inserted before the final mapping round.
-pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
-    let start = Instant::now();
-    let mut conventional_time = Duration::ZERO;
-    let mut audit = AuditReport::new();
+/// The resynthesis phase's product, shared by the monolithic and windowed
+/// paths of [`emorphic_flow`].
+struct ResynthPhase {
+    /// The resynthesized network (`None` keeps the pre-resynthesis one).
+    extracted: Option<Aig>,
+    conversion_time: Duration,
+    extraction_time: Duration,
+    egraph_nodes: usize,
+    egraph_classes: usize,
+    saturation: Vec<egraph::IterationReport>,
+    engines: Vec<EngineReport>,
+    window: Option<WindowReport>,
+}
 
-    // Rounds 1..N-1 of the conventional flow.
-    let mut current = aig.clone();
-    let pre_rounds = config.rounds.saturating_sub(1);
-    let t0 = Instant::now();
-    for _ in 0..pre_rounds {
-        let (next, _) = conventional_round(&current, config, true);
-        current = next;
-    }
-    // The technology-independent part of the final round (st; if -g).
-    current = sop_balance(&current.strash_copy(), &config.lut_options);
-    conventional_time += t0.elapsed();
-
-    // E-graph resynthesis: conversion, limited rewriting, SA extraction.
+/// The monolithic resynthesis phase: one e-graph over the whole design,
+/// limited rewriting, engine-driven extraction.
+fn monolithic_resynthesis_phase(
+    current: &Aig,
+    config: &FlowConfig,
+    audit: &mut AuditReport,
+) -> ResynthPhase {
     // `t_convert` brackets `aig_to_egraph`, so it already covers the forward
     // pass that the conversion also measures internally as `forward_time`;
     // adding `forward_time` on top would double-count it and inflate the
     // conversion share of the Fig. 9 breakdown.
     let t_convert = Instant::now();
-    let conversion = aig_to_egraph(&current);
+    let conversion = aig_to_egraph(current);
     let conversion_time = t_convert.elapsed();
 
     let t_extract = Instant::now();
@@ -441,7 +465,7 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     };
     // The flow is delay-oriented, so the portfolio scores candidates by
     // mapped (delay, area).
-    let (extraction, mut extraction_engines) = run_extraction(
+    let (extraction, mut engines) = run_extraction(
         config.extractor,
         &config.sa,
         evaluator,
@@ -457,7 +481,7 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     // backward conversion rejects — in that case the conversion error is
     // recorded on the winning engine's report (and its win stripped, since
     // its result was not kept) so the failure stays visible in the reports.
-    let extracted_aig = match extraction {
+    let extracted = match extraction {
         Ok(extraction) => match crate::convert::try_selection_to_aig(
             &saturated.egraph,
             &extraction.selection,
@@ -468,7 +492,7 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         ) {
             Ok(aig) => Some(aig),
             Err(e) => {
-                if let Some(report) = extraction_engines.iter_mut().find(|r| r.won) {
+                if let Some(report) = engines.iter_mut().find(|r| r.won) {
                     report.won = false;
                     report.error = Some(format!("selection-to-AIG conversion failed: {e}"));
                 }
@@ -477,10 +501,96 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         },
         Err(_) => None,
     };
-    if let Some(extracted) = &extracted_aig {
+    if let Some(extracted) = &extracted {
         audit.absorb("extract", audit_aig_dag_only(extracted, config.audit_level));
     }
-    let extraction_time = t_extract.elapsed();
+    ResynthPhase {
+        extracted,
+        conversion_time,
+        extraction_time: t_extract.elapsed(),
+        egraph_nodes,
+        egraph_classes,
+        saturation,
+        engines,
+        window: None,
+    }
+}
+
+/// The windowed resynthesis phase: carve, saturate per window, commit the
+/// shrinking window extractions. A [`WindowError`] falls back to the
+/// monolithic phase, with the error surfaced on the returned
+/// [`WindowReport`] rather than silently masked.
+fn windowed_resynthesis_phase(
+    current: &Aig,
+    opts: &WindowOptions,
+    config: &FlowConfig,
+    audit: &mut AuditReport,
+) -> ResynthPhase {
+    let t_total = Instant::now();
+    match windowed_resynthesis(current, opts, config) {
+        Ok((rebuilt, part, report)) => {
+            audit.absorb(
+                "partition",
+                audit_partition(current, &part, config.audit_level),
+            );
+            audit.absorb("extract", audit_aig_dag_only(&rebuilt, config.audit_level));
+            ResynthPhase {
+                extracted: Some(rebuilt),
+                conversion_time: report.partition_time,
+                extraction_time: t_total.elapsed().saturating_sub(report.partition_time),
+                egraph_nodes: report.egraph_nodes,
+                egraph_classes: report.egraph_classes,
+                saturation: Vec::new(),
+                engines: Vec::new(),
+                window: Some(report),
+            }
+        }
+        Err(e) => {
+            let mut phase = monolithic_resynthesis_phase(current, config, audit);
+            phase.window = Some(WindowReport {
+                error: Some(e.to_string()),
+                ..WindowReport::default()
+            });
+            phase
+        }
+    }
+}
+
+/// Runs the E-morphic flow: the baseline rounds with e-graph resynthesis
+/// inserted before the final mapping round.
+pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
+    let start = Instant::now();
+    let mut conventional_time = Duration::ZERO;
+    let mut audit = AuditReport::new();
+
+    // Rounds 1..N-1 of the conventional flow.
+    let mut current = aig.clone();
+    let pre_rounds = config.rounds.saturating_sub(1);
+    let t0 = Instant::now();
+    for _ in 0..pre_rounds {
+        let (next, _) = conventional_round(&current, config, true);
+        current = next;
+    }
+    // The technology-independent part of the final round (st; if -g).
+    current = sop_balance(&current.strash_copy(), &config.lut_options);
+    conventional_time += t0.elapsed();
+
+    // E-graph resynthesis: monolithic (one e-graph over the whole design) or
+    // windowed (carve → saturate per window → commit), per the config.
+    let phase = match &config.partitioning {
+        Some(opts) => windowed_resynthesis_phase(&current, opts, config, &mut audit),
+        None => monolithic_resynthesis_phase(&current, config, &mut audit),
+    };
+    let ResynthPhase {
+        extracted: extracted_aig,
+        conversion_time,
+        extraction_time,
+        egraph_nodes,
+        egraph_classes,
+        saturation,
+        engines: extraction_engines,
+        window,
+    } = phase;
 
     // Verify, and fall back to the pre-resynthesis network on a proven
     // mismatch. An exhausted SAT budget keeps the resynthesized network
@@ -530,6 +640,7 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
         saturation,
         extraction_engines,
         audit,
+        window,
     }
 }
 
@@ -542,6 +653,8 @@ pub enum MapFlowError {
     Choice(ChoiceError),
     /// Technology mapping failed (typed, instead of aborting the process).
     Map(MapError),
+    /// The windowed saturation path failed (partitioning or stitching).
+    Window(WindowError),
 }
 
 impl std::fmt::Display for MapFlowError {
@@ -550,6 +663,7 @@ impl std::fmt::Display for MapFlowError {
             MapFlowError::Extract(e) => write!(f, "extraction failed: {e}"),
             MapFlowError::Choice(e) => write!(f, "choice export failed: {e}"),
             MapFlowError::Map(e) => write!(f, "technology mapping failed: {e}"),
+            MapFlowError::Window(e) => write!(f, "windowed saturation failed: {e}"),
         }
     }
 }
@@ -571,6 +685,12 @@ impl From<ChoiceError> for MapFlowError {
 impl From<MapError> for MapFlowError {
     fn from(e: MapError) -> Self {
         MapFlowError::Map(e)
+    }
+}
+
+impl From<WindowError> for MapFlowError {
+    fn from(e: WindowError) -> Self {
+        MapFlowError::Window(e)
     }
 }
 
@@ -703,6 +823,9 @@ pub struct MapFlowResult {
     /// Aggregated phase-boundary audit findings (empty at
     /// [`AuditLevel::Off`]; locations are prefixed with the phase name).
     pub audit: AuditReport,
+    /// Per-window statistics when the saturation ran windowed (`None` on the
+    /// monolithic path).
+    pub window: Option<WindowReport>,
 }
 
 /// The choice-aware mapping flow: saturate → export the e-graph as a
@@ -722,7 +845,40 @@ pub struct MapFlowResult {
 /// typed conditions, not panics.
 pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowResult, MapFlowError> {
     let start = Instant::now();
+    let space = match &config.flow.partitioning {
+        Some(opts) => windowed_choice_space(aig, opts, config)?,
+        None => monolithic_choice_space(aig, config)?,
+    };
+    map_choice_space(aig, config, space, start)
+}
 
+/// The recorded e-space handed to choice-aware mapping, with the bookkeeping
+/// each saturation path collects along the way.
+struct ChoiceSpace {
+    network: choices::ChoiceAig,
+    export: ExportStats,
+    engines: Vec<EngineReport>,
+    egraph_nodes: usize,
+    egraph_classes: usize,
+    audit: AuditReport,
+    window: Option<WindowReport>,
+}
+
+/// The export configuration actually handed to the choice exporter:
+/// disabling choices degenerates to one member per class.
+fn effective_choice_config(config: &MapFlowConfig) -> ChoiceConfig {
+    ChoiceConfig {
+        max_choices: if config.use_choices {
+            config.choices.max_choices
+        } else {
+            1
+        },
+        cost: config.choices.cost,
+    }
+}
+
+/// Builds the choice space from one e-graph over the whole design.
+fn monolithic_choice_space(aig: &Aig, config: &MapFlowConfig) -> Result<ChoiceSpace, MapFlowError> {
     // Saturation (same knobs as `emorphic_flow`).
     let conversion = aig_to_egraph(&aig.strash_copy());
     let runner = Runner::with_egraph(conversion.egraph)
@@ -763,23 +919,79 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
     let selection = extraction_to_class_selection(&egraph, &extraction);
 
     // Choice export: the whole e-space, not one extracted design.
-    let export_config = ChoiceConfig {
-        max_choices: if config.use_choices {
-            config.choices.max_choices
-        } else {
-            1
-        },
-        cost: config.choices.cost,
-    };
     let (network, export) = egraph_to_choices_with_selection(
         &egraph,
         &roots,
         &conversion.input_names,
         &conversion.output_names,
         &conversion.name,
-        &export_config,
+        &effective_choice_config(config),
         &selection,
     )?;
+    Ok(ChoiceSpace {
+        network,
+        export,
+        engines,
+        egraph_nodes: egraph.total_nodes(),
+        egraph_classes: egraph.num_classes(),
+        audit,
+        window: None,
+    })
+}
+
+/// Builds the choice space by windowed saturation: carve, saturate each
+/// window as an independent e-graph, stitch the per-window choice spaces
+/// into one global network ([`crate::windowed::saturate_windows`]).
+fn windowed_choice_space(
+    aig: &Aig,
+    opts: &WindowOptions,
+    config: &MapFlowConfig,
+) -> Result<ChoiceSpace, MapFlowError> {
+    let host = aig.strash_copy();
+    let (stitched, part, report) =
+        saturate_windows(&host, opts, &config.flow, &effective_choice_config(config))?;
+    let audit_level = config.flow.audit_level;
+    let mut audit = AuditReport::new();
+    audit.absorb("partition", audit_partition(&host, &part, audit_level));
+    audit.absorb(
+        "stitch",
+        audit_stitched(&host, &part, &stitched, audit_level),
+    );
+    let export = ExportStats {
+        live_classes: stitched.stats.classes,
+        classes: stitched.stats.classes,
+        alternatives: stitched.stats.alternatives,
+        rejected: stitched.stats.dropped_ordering + stitched.stats.dropped_duplicate,
+    };
+    Ok(ChoiceSpace {
+        network: stitched.network,
+        export,
+        engines: Vec::new(),
+        egraph_nodes: report.egraph_nodes,
+        egraph_classes: report.egraph_classes,
+        audit,
+        window: Some(report),
+    })
+}
+
+/// The shared mapping tail: map the representative baseline, map with
+/// choices, keep the better netlist, CEC-verify the kept one.
+fn map_choice_space(
+    aig: &Aig,
+    config: &MapFlowConfig,
+    space: ChoiceSpace,
+    start: Instant,
+) -> Result<MapFlowResult, MapFlowError> {
+    let ChoiceSpace {
+        network,
+        export,
+        engines,
+        egraph_nodes,
+        egraph_classes,
+        mut audit,
+        window,
+    } = space;
+    let audit_level = config.flow.audit_level;
     audit.absorb("choice-export", audit_choices(&network, audit_level));
 
     // Choice-free baseline: map the representative cone only.
@@ -853,10 +1065,11 @@ pub fn emorphic_map_flow(aig: &Aig, config: &MapFlowConfig) -> Result<MapFlowRes
         verified,
         export,
         engines,
-        egraph_nodes: egraph.total_nodes(),
-        egraph_classes: egraph.num_classes(),
+        egraph_nodes,
+        egraph_classes,
         runtime: start.elapsed(),
         audit,
+        window,
     })
 }
 
@@ -1087,5 +1300,43 @@ mod tests {
         let result = emorphic_flow(&circuit, &config);
         assert!(result.verified);
         assert!(result.qor.delay_ps > 0.0);
+    }
+
+    #[test]
+    fn windowed_emorphic_flow_verifies_and_reports_windows() {
+        let circuit = benchgen::adder(8).aig;
+        let config = FlowConfig::fast().with_partitioning(WindowOptions::default());
+        let result = emorphic_flow(&circuit, &config);
+        assert!(result.verified, "windowed flow must stay equivalent");
+        assert!(result.qor.delay_ps > 0.0);
+        let report = result.window.expect("windowed path must report");
+        assert!(report.error.is_none(), "{:?}", report.error);
+        assert!(report.windows > 0);
+        assert!(report.covered_ands > 0);
+        // Monolithic and baseline paths report no window stats.
+        let mono = emorphic_flow(&circuit, &FlowConfig::fast());
+        assert!(mono.window.is_none());
+        let base = baseline_flow(&circuit, &FlowConfig::fast());
+        assert!(base.window.is_none());
+    }
+
+    #[test]
+    fn windowed_map_flow_is_verified_and_audit_clean() {
+        let circuit = benchgen::multiplier(4).aig;
+        let config = MapFlowConfig {
+            flow: FlowConfig::fast()
+                .with_partitioning(WindowOptions::default())
+                .with_audit_level(AuditLevel::Paranoid),
+            ..MapFlowConfig::fast()
+        };
+        let result = emorphic_map_flow(&circuit, &config).unwrap();
+        assert!(result.verified, "windowed mapped netlist must verify");
+        assert!(result.qor.area_um2 > 0.0);
+        assert!(result.audit.checks_run > 0);
+        assert!(result.audit.is_clean(), "{}", result.audit);
+        let report = result.window.expect("windowed path must report");
+        assert!(report.windows > 0);
+        assert!(report.error.is_none());
+        assert!(result.egraph_nodes > 0);
     }
 }

@@ -43,6 +43,7 @@ pub mod flow;
 pub mod lang;
 pub mod report;
 pub mod rules;
+pub mod windowed;
 
 pub use audit::{AuditLevel, AuditReport};
 pub use convert::{aig_to_egraph, selection_to_aig, try_selection_to_aig, ConversionResult};
@@ -58,3 +59,4 @@ pub use flow::{
 };
 pub use lang::BoolLang;
 pub use rules::{all_rules, table1_rules};
+pub use windowed::{saturate_windows, windowed_resynthesis, WindowReport};

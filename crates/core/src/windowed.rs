@@ -1,0 +1,550 @@
+//! Windowed saturation orchestration: carve → saturate → stitch.
+//!
+//! A monolithic e-graph must hold the entire design, so the saturation
+//! budgets of [`crate::flow::FlowConfig`] bite long before industrial sizes.
+//! This module drives the [`window`] subsystem instead: the host AIG is
+//! carved into reconvergence-bounded windows, every window is saturated as
+//! an *independent* e-graph (each with serial search, so results are
+//! bit-identical at any worker count — parallelism comes from racing whole
+//! windows across the pool), and the per-window e-spaces are either
+//!
+//! * stitched into one global [`choices::ChoiceAig`] for choice-aware
+//!   mapping ([`saturate_windows`], used by `emorphic_map_flow`), or
+//! * committed window-by-window, keeping a window's extraction only when it
+//!   shrinks the window cone ([`windowed_resynthesis`], used by
+//!   `emorphic_flow`).
+//!
+//! Budgets are carved from the global configuration: the e-node limit and
+//! the extraction budget are divided across windows (with a floor so tiny
+//! shares stay useful), which is what makes the wall-clock cost grow with
+//! the number of windows — linear in design size — instead of with the
+//! superlinear cost of one giant e-graph.
+
+use crate::convert::aig_to_egraph;
+use crate::extract::{BottomUpEngine, ExtractBudget, ExtractionCost, ExtractionEngine};
+use crate::flow::FlowConfig;
+use crate::lang::BoolLang;
+use crate::rules::all_rules;
+use aig::{Aig, Lit, NodeId};
+use choices::ChoiceConfig;
+use egraph::{EGraph, Id, Runner, Scheduler};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use window::{
+    partition, stitch, Partition, Stitched, Window, WindowChoiceSpace, WindowError, WindowOptions,
+};
+
+/// Floor for the per-window e-node budget: below this a window cannot even
+/// hold its own cone plus a handful of rewrites.
+const MIN_WINDOW_NODE_LIMIT: usize = 256;
+
+/// Per-window statistics of a windowed saturation run, surfaced in the flow
+/// results.
+#[derive(Debug, Clone, Default)]
+pub struct WindowReport {
+    /// Windows the partitioner produced.
+    pub windows: usize,
+    /// Sum of window leaf counts (boundary width).
+    pub total_leaves: usize,
+    /// Host AND gates covered by window volumes.
+    pub covered_ands: usize,
+    /// Windows whose saturation or export produced nothing usable (their
+    /// host logic is kept untouched).
+    pub windows_skipped: usize,
+    /// Windows whose committed extraction beat the original cone
+    /// (committed path only).
+    pub windows_resynthesized: usize,
+    /// Wall-clock time of the partitioning pass.
+    pub partition_time: Duration,
+    /// Wall-clock time of per-window saturation (+ extraction/export).
+    pub saturation_time: Duration,
+    /// Wall-clock time of stitching (choice path) or host rebuild
+    /// (committed path).
+    pub stitch_time: Duration,
+    /// Choice classes exported into the stitched network (choice path only).
+    pub classes_exported: usize,
+    /// Alternatives in the stitched network (choice path only).
+    pub alternatives: usize,
+    /// E-nodes summed over all window e-graphs after saturation.
+    pub egraph_nodes: usize,
+    /// E-classes summed over all window e-graphs after saturation.
+    pub egraph_classes: usize,
+    /// Set when the windowed path failed and the flow fell back to the
+    /// monolithic path; the windowed result was NOT used.
+    pub error: Option<String>,
+}
+
+/// Divides a global extraction budget evenly across `windows`.
+fn carve_budget(global: &ExtractBudget, windows: usize) -> ExtractBudget {
+    let n = windows.max(1) as u64;
+    ExtractBudget {
+        max_evaluations: global.max_evaluations.map(|e| (e / n).max(1_000)),
+        time_limit: global
+            .time_limit
+            .map(|t| (t / windows.max(1) as u32).max(Duration::from_millis(50))),
+    }
+}
+
+/// Divides the global e-node limit across `windows`, with a usable floor.
+fn carve_node_limit(global: usize, windows: usize) -> usize {
+    (global / windows.max(1)).max(MIN_WINDOW_NODE_LIMIT)
+}
+
+/// Interior nodes of `window` that become unreachable once its root is
+/// redirected to a replacement: the root itself, plus (to a fixpoint) every
+/// volume node that drives no primary output and whose AND consumers are all
+/// dead already. Nodes claimed by an earlier committed window are excluded
+/// from the result — they are already counted as removed — but still count
+/// as dead consumers, since they will not keep anything alive. `protected`
+/// nodes are never declared dead: the fanout lists only describe the
+/// original host, and a committed replacement adds consumer edges to its
+/// leaves that those lists cannot see, so leaves of committed windows must
+/// stay out of later dead sets or the accounting overcounts.
+fn dead_interior(
+    window: &Window,
+    fanout_lists: &[Vec<NodeId>],
+    drives_output: &[bool],
+    claimed: &aig::FxHashSet<NodeId>,
+    protected: &aig::FxHashSet<NodeId>,
+) -> Vec<NodeId> {
+    let mut dead: aig::FxHashSet<NodeId> = aig::FxHashSet::default();
+    dead.insert(window.root);
+    loop {
+        let mut changed = false;
+        for &v in window.volume.iter().rev() {
+            if v == window.root
+                || dead.contains(&v)
+                || claimed.contains(&v)
+                || protected.contains(&v)
+                || drives_output[v.index()]
+            {
+                continue;
+            }
+            let gone = fanout_lists[v.index()]
+                .iter()
+                .all(|c| dead.contains(c) || claimed.contains(c));
+            if gone {
+                dead.insert(v);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dead.into_iter().collect()
+}
+
+/// Runs `count` window tasks on `threads` workers pulling from a shared
+/// index. Results are stored by window index, so the outcome is independent
+/// of scheduling order (and therefore of the worker count). `init` builds
+/// per-worker state once (the rewrite-rule set is not cheap enough to build
+/// per window).
+fn run_windows<R, C, I, F>(count: usize, threads: usize, init: I, task: F) -> Vec<Option<R>>
+where
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(usize, &C) -> Option<R> + Sync,
+{
+    let workers = threads.max(1).min(count.max(1));
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..count).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let ctx = init();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= count {
+                        break;
+                    }
+                    let out = task(idx, &ctx);
+                    match results.lock() {
+                        Ok(mut slots) => slots[idx] = out,
+                        Err(mut poisoned) => poisoned.get_mut()[idx] = out,
+                    }
+                }
+            });
+        }
+    });
+    match results.into_inner() {
+        Ok(slots) => slots,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The saturated e-graph of one window cone, with canonicalized roots and
+/// the name context needed to convert back out.
+struct SaturatedCone {
+    egraph: EGraph<BoolLang>,
+    roots: Vec<Id>,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+    name: String,
+}
+
+/// Saturates one window cone with serial search (window-level parallelism
+/// keeps the result thread-count independent).
+fn saturate_cone(
+    cone: &Aig,
+    config: &FlowConfig,
+    node_limit: usize,
+    rules: &[egraph::Rewrite<BoolLang>],
+) -> SaturatedCone {
+    let conversion = aig_to_egraph(cone);
+    let runner = Runner::with_egraph(conversion.egraph)
+        .with_iter_limit(config.rewrite_iterations)
+        .with_node_limit(node_limit)
+        .with_scheduler(Scheduler::Backoff {
+            match_limit: config.match_limit,
+            ban_length: 2,
+        })
+        .with_search_threads(1)
+        .run(rules);
+    let egraph = runner.egraph;
+    let roots = conversion.roots.iter().map(|&r| egraph.find(r)).collect();
+    SaturatedCone {
+        egraph,
+        roots,
+        input_names: conversion.input_names,
+        output_names: conversion.output_names,
+        name: conversion.name,
+    }
+}
+
+/// Carve → saturate per window → export choice classes → stitch into one
+/// global choice network (the `emorphic_map_flow` windowed path).
+///
+/// Windows whose export fails are skipped — their logic survives untouched
+/// in the stitched host — and counted in the report.
+///
+/// # Errors
+/// Propagates [`WindowError`] from partitioning (bad knobs) or stitching
+/// (internal inconsistency); per-window saturation/export failures are
+/// absorbed, not propagated.
+pub fn saturate_windows(
+    aig: &Aig,
+    opts: &WindowOptions,
+    config: &FlowConfig,
+    choices: &ChoiceConfig,
+) -> Result<(Stitched, Partition, WindowReport), WindowError> {
+    let t_part = Instant::now();
+    let part = partition(aig, opts)?;
+    let mut report = WindowReport {
+        windows: part.windows.len(),
+        total_leaves: part.stats.total_leaves,
+        covered_ands: part.stats.covered_ands,
+        partition_time: t_part.elapsed(),
+        ..WindowReport::default()
+    };
+
+    let node_limit = carve_node_limit(config.node_limit, part.windows.len());
+    let t_sat = Instant::now();
+    let results = run_windows(
+        part.windows.len(),
+        config.search_threads,
+        all_rules,
+        |i, rules| {
+            let window = &part.windows[i];
+            let sat = saturate_cone(&window.cone.aig, config, node_limit, rules);
+            let exported = choices::egraph_to_choices(
+                &sat.egraph,
+                &sat.roots,
+                &sat.input_names,
+                &sat.output_names,
+                &sat.name,
+                choices,
+            )
+            .ok()?;
+            Some((
+                exported.0,
+                sat.egraph.total_nodes(),
+                sat.egraph.num_classes(),
+            ))
+        },
+    );
+    report.saturation_time = t_sat.elapsed();
+
+    let mut spaces = Vec::new();
+    for (i, result) in results.into_iter().enumerate() {
+        match result {
+            Some((network, nodes, classes)) => {
+                report.egraph_nodes += nodes;
+                report.egraph_classes += classes;
+                spaces.push(WindowChoiceSpace {
+                    window: i,
+                    choices: network,
+                });
+            }
+            None => report.windows_skipped += 1,
+        }
+    }
+
+    let t_stitch = Instant::now();
+    let stitched = stitch(aig, &part, &spaces)?;
+    report.stitch_time = t_stitch.elapsed();
+    report.classes_exported = stitched.stats.classes;
+    report.alternatives = stitched.stats.alternatives;
+    Ok((stitched, part, report))
+}
+
+/// Carve → saturate per window → extract per window → commit shrinking
+/// replacements into a rebuilt host (the `emorphic_flow` windowed path).
+///
+/// A window's extraction is committed only when it strictly reduces the
+/// window cone's AND count; everything else keeps the original structure,
+/// so the result is never larger than the input.
+///
+/// # Errors
+/// Propagates [`WindowError`] from partitioning or internal translation;
+/// per-window extraction failures are absorbed (the window keeps its
+/// original logic).
+pub fn windowed_resynthesis(
+    aig: &Aig,
+    opts: &WindowOptions,
+    config: &FlowConfig,
+) -> Result<(Aig, Partition, WindowReport), WindowError> {
+    let t_part = Instant::now();
+    let part = partition(aig, opts)?;
+    let mut report = WindowReport {
+        windows: part.windows.len(),
+        total_leaves: part.stats.total_leaves,
+        covered_ands: part.stats.covered_ands,
+        partition_time: t_part.elapsed(),
+        ..WindowReport::default()
+    };
+
+    let node_limit = carve_node_limit(config.node_limit, part.windows.len());
+    let budget = carve_budget(&config.extract_budget, part.windows.len());
+    let t_sat = Instant::now();
+    let results = run_windows(
+        part.windows.len(),
+        config.search_threads,
+        all_rules,
+        |i, rules| {
+            let window = &part.windows[i];
+            let sat = saturate_cone(&window.cone.aig, config, node_limit, rules);
+            let engine = BottomUpEngine::new(ExtractionCost::Size);
+            let extraction = engine.extract(&sat.egraph, &sat.roots, &budget).ok()?;
+            let candidate = crate::convert::try_selection_to_aig(
+                &sat.egraph,
+                &extraction.selection,
+                &sat.roots,
+                &sat.input_names,
+                &sat.output_names,
+                &sat.name,
+            )
+            .ok()?
+            .strash_copy();
+            if candidate.num_ands() < window.cone.aig.num_ands() {
+                Some((
+                    candidate,
+                    sat.egraph.total_nodes(),
+                    sat.egraph.num_classes(),
+                ))
+            } else {
+                None
+            }
+        },
+    );
+    report.saturation_time = t_sat.elapsed();
+
+    // Greedy commit with exact dead-logic accounting. Windows overlap, so a
+    // candidate that merely beats its own cone can still grow the host: the
+    // cone's interior may stay alive through fanouts outside the window while
+    // the replacement adds fresh nodes. A window commits only when its
+    // replacement is smaller than the interior logic that provably dies once
+    // the root is redirected, and a global claimed set keeps overlapping
+    // windows from counting the same dying node twice. With each committed
+    // window strictly net-negative, the rebuilt host never grows.
+    let fanout_lists = aig.fanout_lists();
+    let mut drives_output = vec![false; aig.num_nodes()];
+    for out in aig.outputs() {
+        drives_output[out.node().index()] = true;
+    }
+    let mut claimed: aig::FxHashSet<NodeId> = aig::FxHashSet::default();
+    let mut live_leaves: aig::FxHashSet<NodeId> = aig::FxHashSet::default();
+    let mut replacement_of: aig::FxHashMap<NodeId, Aig> = aig::FxHashMap::default();
+    for (i, result) in results.into_iter().enumerate() {
+        let Some((candidate, nodes, classes)) = result else {
+            report.windows_skipped += 1;
+            continue;
+        };
+        report.egraph_nodes += nodes;
+        report.egraph_classes += classes;
+        let w = &part.windows[i];
+        // A replacement reads its leaves and redirects its root; neither may
+        // be logic an earlier commit already counted as dead.
+        if claimed.contains(&w.root) || w.leaves.iter().any(|l| claimed.contains(l)) {
+            report.windows_skipped += 1;
+            continue;
+        }
+        let dead = dead_interior(w, &fanout_lists, &drives_output, &claimed, &live_leaves);
+        if candidate.num_ands() < dead.len() {
+            claimed.extend(dead);
+            live_leaves.extend(w.leaves.iter().copied());
+            replacement_of.insert(w.root, candidate);
+            report.windows_resynthesized += 1;
+        } else {
+            report.windows_skipped += 1;
+        }
+    }
+    let window_of_root: aig::FxHashMap<NodeId, usize> =
+        part.windows.iter().map(|w| (w.root, w.id)).collect();
+
+    // Rebuild the host, substituting each committed window root with its
+    // extracted cone (translated through the boundary table). Interior nodes
+    // of replaced windows are still rebuilt — other fanouts may read them —
+    // and the final cleanup drops whichever end up dangling.
+    let t_rebuild = Instant::now();
+    let mut g = Aig::new(aig.name());
+    let mut table: Vec<Option<Lit>> = vec![None; aig.num_nodes()];
+    table[NodeId::CONST.index()] = Some(Lit::FALSE);
+    for (i, &input) in aig.inputs().iter().enumerate() {
+        table[input.index()] = Some(g.add_input(aig.input_name(i)));
+    }
+    let translate = |lit: Lit, table: &[Option<Lit>]| -> Result<Lit, WindowError> {
+        table[lit.node().index()]
+            .map(|l| l.xor(lit.is_complemented()))
+            .ok_or_else(|| {
+                WindowError::Translation(format!(
+                    "host node {} has no rebuilt literal yet",
+                    lit.node()
+                ))
+            })
+    };
+    for id in aig.and_ids() {
+        if let Some(replacement) = replacement_of.get(&id) {
+            let window = &part.windows[window_of_root[&id]];
+            let mut leaf_lits = Vec::with_capacity(window.leaves.len());
+            for &leaf in &window.leaves {
+                leaf_lits.push(translate(leaf.lit(), &table)?);
+            }
+            // `copy_logic_into` returns the node map of the replacement;
+            // translate its (single) output literal through it.
+            let map = replacement.copy_logic_into(&mut g, &leaf_lits);
+            let out = replacement.outputs().first().copied().ok_or_else(|| {
+                WindowError::Translation(format!(
+                    "window {} replacement produced no output",
+                    window.id
+                ))
+            })?;
+            table[id.index()] = Some(map[out.node().index()].xor(out.is_complemented()));
+        } else {
+            let (f0, f1) = aig.fanins(id);
+            let a = translate(f0, &table)?;
+            let b = translate(f1, &table)?;
+            table[id.index()] = Some(g.and(a, b));
+        }
+    }
+    for (i, out) in aig.outputs().iter().enumerate() {
+        let lit = translate(*out, &table)?;
+        g.add_output(lit, aig.output_name(i));
+    }
+    let rebuilt = g.cleanup();
+    report.stitch_time = t_rebuild.elapsed();
+    Ok((rebuilt, part, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cec::{check_equivalence, CecOptions};
+
+    #[test]
+    fn windowed_resynthesis_preserves_function_and_never_grows() {
+        let circuit = benchgen::adder(8).aig;
+        let config = FlowConfig::fast();
+        let (rebuilt, part, report) =
+            windowed_resynthesis(&circuit, &WindowOptions::default(), &config).unwrap();
+        assert!(!part.windows.is_empty());
+        assert_eq!(report.windows, part.windows.len());
+        assert!(rebuilt.num_ands() <= circuit.num_ands());
+        let check = check_equivalence(&circuit, &rebuilt, &CecOptions::default());
+        assert!(check.is_equivalent(), "{check:?}");
+    }
+
+    #[test]
+    fn saturate_windows_produces_verified_stitch() {
+        let circuit = benchgen::multiplier(4).aig;
+        let config = FlowConfig::fast();
+        let (stitched, part, report) = saturate_windows(
+            &circuit,
+            &WindowOptions::default(),
+            &config,
+            &ChoiceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.windows, part.windows.len());
+        assert!(report.egraph_nodes > 0);
+        // The stitched representative network is the rebuilt host.
+        let repr = stitched.network.repr_network();
+        let check = check_equivalence(&circuit, &repr, &CecOptions::default());
+        assert!(check.is_equivalent(), "{check:?}");
+    }
+
+    #[test]
+    fn window_results_are_thread_count_independent() {
+        let circuit = benchgen::multiplier(4).aig;
+        let serial = FlowConfig {
+            search_threads: 1,
+            ..FlowConfig::fast()
+        };
+        let parallel = FlowConfig {
+            search_threads: 4,
+            ..FlowConfig::fast()
+        };
+        let (s1, p1, r1) = saturate_windows(
+            &circuit,
+            &WindowOptions::default(),
+            &serial,
+            &ChoiceConfig::default(),
+        )
+        .unwrap();
+        let (s4, p4, r4) = saturate_windows(
+            &circuit,
+            &WindowOptions::default(),
+            &parallel,
+            &ChoiceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(p1.windows.len(), p4.windows.len());
+        for (a, b) in p1.windows.iter().zip(&p4.windows) {
+            assert_eq!(a.root, b.root);
+            assert_eq!(a.leaves, b.leaves);
+            assert_eq!(a.volume, b.volume);
+        }
+        assert_eq!(r1.egraph_nodes, r4.egraph_nodes);
+        assert_eq!(r1.egraph_classes, r4.egraph_classes);
+        assert_eq!(s1.network.aig().num_nodes(), s4.network.aig().num_nodes());
+        assert_eq!(s1.network.num_classes(), s4.network.num_classes());
+        assert_eq!(s1.stats, s4.stats);
+
+        let (c1, _, _) =
+            windowed_resynthesis(&circuit, &WindowOptions::default(), &serial).unwrap();
+        let (c4, _, _) =
+            windowed_resynthesis(&circuit, &WindowOptions::default(), &parallel).unwrap();
+        assert_eq!(c1.num_nodes(), c4.num_nodes());
+        assert_eq!(c1.num_ands(), c4.num_ands());
+        assert_eq!(c1.outputs(), c4.outputs());
+    }
+
+    #[test]
+    fn budget_carving_has_floors() {
+        let carved = carve_budget(
+            &ExtractBudget::unlimited()
+                .with_max_evaluations(10_000)
+                .with_time_limit(Duration::from_millis(100)),
+            1_000,
+        );
+        assert_eq!(carved.max_evaluations, Some(1_000));
+        assert_eq!(carved.time_limit, Some(Duration::from_millis(50)));
+        assert_eq!(carve_node_limit(20_000, 1_000), MIN_WINDOW_NODE_LIMIT);
+        assert_eq!(carve_node_limit(20_000, 4), 5_000);
+        // Unlimited budgets stay unlimited.
+        let unlimited = carve_budget(&ExtractBudget::unlimited(), 8);
+        assert_eq!(unlimited.max_evaluations, None);
+        assert_eq!(unlimited.time_limit, None);
+    }
+}

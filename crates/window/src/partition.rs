@@ -1,0 +1,351 @@
+//! MFFC-seeded, reconvergence-bounded window extraction.
+//!
+//! Seeds are chosen where committed resynthesis has the most room to help:
+//! output drivers and multi-fanout nodes, in descending id (top-down) order
+//! so a window claims its whole cone before smaller seeds inside it are
+//! considered. Each window grows downward from its root by repeatedly
+//! expanding the cut node that keeps the frontier narrowest, bounded by
+//! [`WindowOptions::max_leaves`] and [`WindowOptions::max_volume`]. A final
+//! sweep seeds every AND the primary pass left uncovered, so the partition
+//! always covers the host network.
+
+use crate::{WindowError, WindowOptions};
+use aig::{mffc_size, try_extract_cone, Aig, Cone, NodeId};
+use fxhash::FxHashSet;
+
+/// One reconvergence-bounded window of the host AIG.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Index of this window within its [`Partition`].
+    pub id: usize,
+    /// The host AND node the window is rooted at (unique per window).
+    pub root: NodeId,
+    /// Cut leaves, ascending host id; matches `cone.leaf_map` order.
+    pub leaves: Vec<NodeId>,
+    /// Interior nodes (root included), ascending host id. Every interior
+    /// node's fanins lie in `volume ∪ leaves ∪ {constant}`.
+    pub volume: Vec<NodeId>,
+    /// The extracted sub-circuit: inputs are `leaves`, single output is the
+    /// root function.
+    pub cone: Cone,
+    /// MFFC size of the root at seeding time (1 when the seed pass did not
+    /// need to compute it, i.e. `min_mffc <= 1`).
+    pub mffc: usize,
+}
+
+/// Summary statistics of a [`Partition`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Primary seeds considered (before coverage fallback).
+    pub seeds: usize,
+    /// Windows produced.
+    pub windows: usize,
+    /// Host AND gates covered by at least one window volume. Equals
+    /// `total_ands` by construction.
+    pub covered_ands: usize,
+    /// Host AND gates in total.
+    pub total_ands: usize,
+    /// Sum of leaf counts over all windows.
+    pub total_leaves: usize,
+    /// Widest cut observed.
+    pub max_leaves: usize,
+    /// Largest interior observed.
+    pub max_volume: usize,
+}
+
+/// A complete window cover of a host AIG.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// The windows; roots are unique, volumes may overlap.
+    pub windows: Vec<Window>,
+    /// Summary statistics.
+    pub stats: PartitionStats,
+}
+
+impl Partition {
+    /// Mutable access to the window list, for audit mutation tests only.
+    #[doc(hidden)]
+    pub fn tamper_windows_mut(&mut self) -> &mut Vec<Window> {
+        &mut self.windows
+    }
+}
+
+/// Carves `aig` into reconvergence-bounded windows covering every AND gate.
+///
+/// # Errors
+/// * [`WindowError::InvalidOptions`] — the knobs are unsatisfiable.
+/// * [`WindowError::Cone`] — a window cut was rejected by
+///   [`aig::try_extract_cone`]; construction guarantees dominating cuts, so
+///   this indicates an internal inconsistency and is surfaced typed rather
+///   than panicking.
+pub fn partition(aig: &Aig, opts: &WindowOptions) -> Result<Partition, WindowError> {
+    opts.validate()?;
+    let num_nodes = aig.num_nodes();
+    let fanouts = aig.fanout_counts();
+    let mut drives_output = vec![false; num_nodes];
+    for out in aig.outputs() {
+        drives_output[out.node().index()] = true;
+    }
+
+    let mut covered = vec![false; num_nodes];
+    let mut windows: Vec<Window> = Vec::new();
+    let mut stats = PartitionStats {
+        total_ands: aig.num_ands(),
+        ..PartitionStats::default()
+    };
+
+    // Primary pass: top-down over MFFC-worthy seeds.
+    let mut and_ids: Vec<NodeId> = aig.and_ids().collect();
+    and_ids.sort_unstable_by(|a, b| b.cmp(a));
+    for &seed in &and_ids {
+        let interesting = drives_output[seed.index()] || fanouts[seed.index()] >= 2;
+        if !interesting || covered[seed.index()] {
+            continue;
+        }
+        // `mffc_size` copies the fanout vector (O(n)); every AND has an MFFC
+        // of at least 1 (itself), so skip the walk when the knob cannot
+        // filter anything.
+        let mffc = if opts.min_mffc > 1 {
+            mffc_size(aig, seed, &fanouts)
+        } else {
+            1
+        };
+        if mffc < opts.min_mffc {
+            continue;
+        }
+        stats.seeds += 1;
+        grow_window(
+            aig,
+            seed,
+            mffc,
+            opts,
+            &mut covered,
+            &mut windows,
+            &mut stats,
+        )?;
+    }
+
+    // Coverage fallback: every AND must belong to at least one volume.
+    for &seed in &and_ids {
+        if covered[seed.index()] {
+            continue;
+        }
+        grow_window(aig, seed, 1, opts, &mut covered, &mut windows, &mut stats)?;
+    }
+
+    stats.windows = windows.len();
+    stats.covered_ands = covered
+        .iter()
+        .enumerate()
+        .filter(|(i, &c)| c && aig.node(NodeId(*i as u32)).is_and())
+        .count();
+    Ok(Partition { windows, stats })
+}
+
+/// Grows one window rooted at `root` and records it.
+fn grow_window(
+    aig: &Aig,
+    root: NodeId,
+    mffc: usize,
+    opts: &WindowOptions,
+    covered: &mut [bool],
+    windows: &mut Vec<Window>,
+    stats: &mut PartitionStats,
+) -> Result<(), WindowError> {
+    let mut volume: FxHashSet<NodeId> = FxHashSet::default();
+    let mut cut: FxHashSet<NodeId> = FxHashSet::default();
+    volume.insert(root);
+    let (f0, f1) = aig.fanins(root);
+    for f in [f0, f1] {
+        if f.node() != NodeId::CONST {
+            cut.insert(f.node());
+        }
+    }
+
+    // Greedy frontier growth: expand the cut AND that keeps the cut
+    // narrowest, preferring reconvergent expansions (which *shrink* the
+    // frontier). Ties break toward the largest id so growth is deterministic
+    // and stays near the root.
+    loop {
+        if volume.len() >= opts.max_volume {
+            break;
+        }
+        let mut best: Option<(usize, NodeId)> = None;
+        for &n in &cut {
+            if !aig.node(n).is_and() {
+                continue;
+            }
+            let (g0, g1) = aig.fanins(n);
+            let fresh = [g0, g1]
+                .iter()
+                .filter(|l| {
+                    let id = l.node();
+                    id != NodeId::CONST && !cut.contains(&id) && !volume.contains(&id)
+                })
+                .count();
+            let new_leaves = cut.len() - 1 + fresh;
+            if new_leaves > opts.max_leaves {
+                continue;
+            }
+            let candidate = (new_leaves, n);
+            let better = match best {
+                None => true,
+                Some((bl, bn)) => new_leaves < bl || (new_leaves == bl && n > bn),
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        let Some((_, n)) = best else { break };
+        cut.remove(&n);
+        volume.insert(n);
+        let (g0, g1) = aig.fanins(n);
+        for g in [g0, g1] {
+            let id = g.node();
+            // A fanin already interior must not become a leaf: a node is
+            // never both inside the window and on its boundary.
+            if id != NodeId::CONST && !volume.contains(&id) {
+                cut.insert(id);
+            }
+        }
+    }
+
+    let mut leaves: Vec<NodeId> = cut.into_iter().collect();
+    leaves.sort_unstable();
+    let mut interior: Vec<NodeId> = volume.iter().copied().collect();
+    interior.sort_unstable();
+    let cone = try_extract_cone(aig, &[root.lit()], Some(&leaves))?;
+    for &v in &interior {
+        covered[v.index()] = true;
+    }
+    stats.total_leaves += leaves.len();
+    stats.max_leaves = stats.max_leaves.max(leaves.len());
+    stats.max_volume = stats.max_volume.max(interior.len());
+    windows.push(Window {
+        id: windows.len(),
+        root,
+        leaves,
+        volume: interior,
+        cone,
+        mffc,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_invariants(aig: &Aig, part: &Partition) {
+        // Every AND covered by >= 1 volume.
+        let mut covered = vec![false; aig.num_nodes()];
+        for w in &part.windows {
+            assert!(w.volume.contains(&w.root));
+            for &v in &w.volume {
+                covered[v.index()] = true;
+                assert!(aig.node(v).is_and());
+                // Interior fanins stay inside the window.
+                let (f0, f1) = aig.fanins(v);
+                for f in [f0, f1] {
+                    let id = f.node();
+                    assert!(
+                        id == NodeId::CONST || w.volume.contains(&id) || w.leaves.contains(&id),
+                        "window {} interior {v} reads {id} outside volume+cut",
+                        w.id
+                    );
+                }
+            }
+            for &l in &w.leaves {
+                assert!(!w.volume.contains(&l), "leaf {l} is also interior");
+            }
+            assert_eq!(w.cone.leaf_map, w.leaves);
+            assert_eq!(w.cone.root_map, vec![w.root.lit()]);
+        }
+        for id in aig.and_ids() {
+            assert!(covered[id.index()], "AND {id} not covered");
+        }
+        // Roots are unique.
+        let roots: FxHashSet<NodeId> = part.windows.iter().map(|w| w.root).collect();
+        assert_eq!(roots.len(), part.windows.len());
+    }
+
+    #[test]
+    fn covers_small_circuits() {
+        for bc in benchgen::epfl_like_suite(benchgen::SuiteScale::Tiny) {
+            let part = partition(&bc.aig, &WindowOptions::default()).unwrap();
+            check_invariants(&bc.aig, &part);
+            assert_eq!(part.stats.covered_ands, part.stats.total_ands);
+            assert!(part.stats.max_leaves <= 8);
+            assert!(part.stats.max_volume <= 64);
+        }
+    }
+
+    #[test]
+    fn respects_tight_knobs() {
+        let aig = benchgen::adder(8).aig;
+        let opts = WindowOptions {
+            max_leaves: 4,
+            max_volume: 6,
+            min_mffc: 1,
+        };
+        let part = partition(&aig, &opts).unwrap();
+        check_invariants(&aig, &part);
+        for w in &part.windows {
+            assert!(w.leaves.len() <= 4 || w.volume.len() == 1);
+            assert!(w.volume.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn min_mffc_prunes_primary_seeds_but_not_coverage() {
+        let aig = benchgen::adder(8).aig;
+        let loose = partition(&aig, &WindowOptions::default()).unwrap();
+        let strict = partition(
+            &aig,
+            &WindowOptions {
+                min_mffc: 1000,
+                ..WindowOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(strict.stats.covered_ands, strict.stats.total_ands);
+        assert_eq!(strict.stats.seeds, 0);
+        assert!(loose.stats.seeds > 0);
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let aig = benchgen::adder(4).aig;
+        let err = partition(
+            &aig,
+            &WindowOptions {
+                max_leaves: 1,
+                ..WindowOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, WindowError::InvalidOptions(_)));
+        let err = partition(
+            &aig,
+            &WindowOptions {
+                max_volume: 0,
+                ..WindowOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, WindowError::InvalidOptions(_)));
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let aig = benchgen::multiplier(8).aig;
+        let a = partition(&aig, &WindowOptions::default()).unwrap();
+        let b = partition(&aig, &WindowOptions::default()).unwrap();
+        assert_eq!(a.windows.len(), b.windows.len());
+        for (wa, wb) in a.windows.iter().zip(&b.windows) {
+            assert_eq!(wa.root, wb.root);
+            assert_eq!(wa.leaves, wb.leaves);
+            assert_eq!(wa.volume, wb.volume);
+        }
+    }
+}
