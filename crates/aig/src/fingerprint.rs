@@ -1,0 +1,210 @@
+//! Content-addressed structural fingerprinting of AIG networks.
+//!
+//! The fingerprint is a 128-bit hash of the network's logic structure,
+//! computed bottom-up over the topologically ordered node list. It is
+//! invariant under node renumbering and fanin ordering (AND fanins are
+//! hashed as a canonically sorted pair) and ignores design / signal names,
+//! so two structurally identical networks produce the same fingerprint no
+//! matter how they were built. The synthesis server uses it as the
+//! circuit component of its content-addressed cache keys.
+
+use crate::{Aig, AigNode, NodeId};
+
+// Two independent fxhash-style multiplicative constants, one per 64-bit lane.
+const K0: u64 = 0x517c_c1b7_2722_0a95;
+const K1: u64 = 0x9e37_79b9_7f4a_7c15;
+
+// Domain-separation tags so e.g. an input can never collide with a constant.
+const TAG_CONST: u64 = 0xc0;
+const TAG_INPUT: u64 = 0x11;
+const TAG_AND: u64 = 0xa2;
+const TAG_ROOT: u64 = 0x55;
+
+/// One 128-bit hash state as two 64-bit lanes mixed with distinct constants.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct H(u64, u64);
+
+impl H {
+    #[inline]
+    fn mix(self, v: u64) -> H {
+        H(
+            (self.0.rotate_left(5) ^ v).wrapping_mul(K0),
+            (self.1.rotate_left(23) ^ v.wrapping_mul(K1)).wrapping_mul(K0),
+        )
+    }
+
+    #[inline]
+    fn absorb(self, other: H) -> H {
+        self.mix(other.0).mix(other.1)
+    }
+
+    #[inline]
+    fn value(self) -> u128 {
+        (u128::from(self.0) << 64) | u128::from(self.1)
+    }
+}
+
+impl Aig {
+    /// Returns a 128-bit content hash of the network's logic structure.
+    ///
+    /// Properties:
+    /// * **Renumbering-invariant** — node ids never enter the hash; each
+    ///   node is hashed from its fanins' hashes, and AND fanin pairs are
+    ///   sorted canonically by (hash, phase) before mixing.
+    /// * **Name-blind** — design, input and output names are excluded;
+    ///   only input positions, gate structure, edge phases and the ordered
+    ///   output list matter.
+    /// * **Deterministic** — fixed mixing constants, no per-process seeds,
+    ///   so fingerprints are stable across runs and machines.
+    pub fn structural_fingerprint(&self) -> u128 {
+        let mut hashes: Vec<H> = Vec::with_capacity(self.num_nodes());
+        for idx in 0..self.num_nodes() {
+            let h = match *self.node(NodeId(idx as u32)) {
+                AigNode::Const => H(TAG_CONST, TAG_CONST).mix(TAG_CONST),
+                AigNode::Input { index } => H(TAG_INPUT, TAG_INPUT).mix(u64::from(index)),
+                AigNode::And { fanin0, fanin1 } => {
+                    let pair = |lit: crate::Lit| {
+                        let h = hashes[lit.node().index()];
+                        (h.0, h.1, u64::from(lit.is_complemented()))
+                    };
+                    let (mut a, mut b) = (pair(fanin0), pair(fanin1));
+                    if a > b {
+                        std::mem::swap(&mut a, &mut b);
+                    }
+                    H(TAG_AND, TAG_AND)
+                        .mix(a.0)
+                        .mix(a.1)
+                        .mix(a.2)
+                        .mix(b.0)
+                        .mix(b.1)
+                        .mix(b.2)
+                }
+            };
+            hashes.push(h);
+        }
+        let mut acc = H(TAG_ROOT, TAG_ROOT)
+            .mix(self.num_inputs() as u64)
+            .mix(self.outputs().len() as u64);
+        for &out in self.outputs() {
+            acc = acc
+                .absorb(hashes[out.node().index()])
+                .mix(u64::from(out.is_complemented()));
+        }
+        acc.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn majority() -> Aig {
+        let mut aig = Aig::new("maj");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ab = aig.and(a, b);
+        let bc = aig.and(b, c);
+        let ac = aig.and(a, c);
+        let ab_or_bc = aig.or(ab, bc);
+        let maj = aig.or(ab_or_bc, ac);
+        aig.add_output(maj, "maj");
+        aig
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        assert_eq!(
+            majority().structural_fingerprint(),
+            majority().structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_names() {
+        let mut renamed = majority();
+        renamed.set_name("other");
+        assert_eq!(
+            renamed.structural_fingerprint(),
+            majority().structural_fingerprint()
+        );
+
+        // Same structure built under different signal names.
+        let mut other = Aig::new("maj_renamed");
+        let a = other.add_input("p");
+        let b = other.add_input("q");
+        let c = other.add_input("r");
+        let ab = other.and(a, b);
+        let bc = other.and(b, c);
+        let ac = other.and(a, c);
+        let ab_or_bc = other.or(ab, bc);
+        let maj = other.or(ab_or_bc, ac);
+        other.add_output(maj, "z");
+        assert_eq!(
+            other.structural_fingerprint(),
+            majority().structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_renumbering_invariant() {
+        // Build the same majority function with gates created in a
+        // different order (different node ids, same structure).
+        let mut aig = Aig::new("maj2");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let c = aig.add_input("c");
+        let ac = aig.and(a, c);
+        let bc = aig.and(b, c);
+        let ab = aig.and(a, b);
+        let ab_or_bc = aig.or(ab, bc);
+        let maj = aig.or(ab_or_bc, ac);
+        aig.add_output(maj, "maj");
+        assert_eq!(
+            aig.structural_fingerprint(),
+            majority().structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_structures() {
+        let maj = majority().structural_fingerprint();
+        let add = benchgen_free_adder().structural_fingerprint();
+        assert_ne!(maj, add);
+
+        // Output phase matters.
+        let mut inverted = majority();
+        let lit = inverted.outputs()[0];
+        inverted.set_output(0, !lit);
+        assert_ne!(inverted.structural_fingerprint(), maj);
+
+        // Output order matters.
+        let mut two = majority();
+        let o = two.outputs()[0];
+        two.add_output(!o, "maj_n");
+        let mut swapped = two.clone();
+        swapped.set_output(0, !o);
+        swapped.set_output(1, o);
+        assert_ne!(
+            two.structural_fingerprint(),
+            swapped.structural_fingerprint()
+        );
+    }
+
+    /// A small ripple-carry adder built inline (the `benchgen` crate depends
+    /// on `aig`, not the other way around).
+    fn benchgen_free_adder() -> Aig {
+        let mut aig = Aig::new("add2");
+        let a0 = aig.add_input("a0");
+        let b0 = aig.add_input("b0");
+        let a1 = aig.add_input("a1");
+        let b1 = aig.add_input("b1");
+        let s0 = aig.xor(a0, b0);
+        let c0 = aig.and(a0, b0);
+        let x1 = aig.xor(a1, b1);
+        let s1 = aig.xor(x1, c0);
+        aig.add_output(s0, "s0");
+        aig.add_output(s1, "s1");
+        aig
+    }
+}

@@ -29,6 +29,7 @@
 
 mod cone;
 pub mod dot;
+mod fingerprint;
 pub mod io;
 mod lit;
 mod network;

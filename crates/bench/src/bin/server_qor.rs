@@ -1,0 +1,316 @@
+//! Synthesis-server serving gate: a mixed workload through the persistent
+//! daemon (`emorphic_server::SynthesisServer`), measuring what a service
+//! cares about — throughput, tail latency, cache effectiveness — and
+//! asserting the serving contract:
+//!
+//! * every served netlist is CEC-verified against the submitted circuit
+//!   (both by the server and re-proved independently here);
+//! * resubmitting a circuit is a cache hit at least 10× faster than the
+//!   cold computation it repeats;
+//! * re-running a circuit under a different extraction engine restores the
+//!   stored e-graph checkpoint instead of re-saturating (the expensive
+//!   phase runs once per saturation key);
+//! * a batch of duplicates is served with bit-identical answers no matter
+//!   how the worker pool interleaves.
+//!
+//! Results go to `BENCH_server.json` (jobs/sec, p50/p99 latency, cache hit
+//! rate, per-circuit cold/warm/re-extract rows).
+//!
+//! Usage: `cargo run -p emorphic-bench --bin server_qor --release [-- --smoke]`
+//! Set `EMORPHIC_SCALE=tiny|small|default` to control circuit sizes.
+
+use benchgen::BenchCircuit;
+use emorphic::flow::FlowConfig;
+use emorphic::ExtractorKind;
+use emorphic_bench::{flow_config_for, scale_from_env};
+use emorphic_server::{JobRequest, JobState, ServerOptions, SynthesisServer};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct RunRecord {
+    circuit: String,
+    ands: usize,
+    phase: String,
+    latency_ms: f64,
+    cache_hit: bool,
+    reused_checkpoint: bool,
+    verified: bool,
+    area_um2: f64,
+    delay_ps: f64,
+    egraph_nodes: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    workers: usize,
+    jobs: usize,
+    jobs_per_sec: f64,
+    p50_latency_ms: f64,
+    p99_latency_ms: f64,
+    cache_hit_rate: f64,
+    checkpoint_hits: u64,
+    saturations: u64,
+    min_warm_speedup: f64,
+    runs: Vec<RunRecord>,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+fn serve(
+    server: &SynthesisServer,
+    circuit: &BenchCircuit,
+    config: FlowConfig,
+    phase: &str,
+    runs: &mut Vec<RunRecord>,
+    violations: &mut usize,
+) -> f64 {
+    let t = Instant::now();
+    let id = server.submit(JobRequest::new(circuit.aig.clone(), config));
+    let status = server.wait(id).expect("job vanished");
+    let latency_ms = t.elapsed().as_secs_f64() * 1e3;
+    if status.state != JobState::Completed {
+        eprintln!(
+            "{}: {phase} job ended {:?} instead of completing",
+            circuit.name, status.state
+        );
+        *violations += 1;
+        return latency_ms;
+    }
+    let result = status.result.expect("completed without result");
+    if !result.verified {
+        eprintln!(
+            "{}: {phase} netlist NOT verified by the server",
+            circuit.name
+        );
+        *violations += 1;
+    }
+    // Independent re-proof: the served netlist must be SAT-CEC equivalent
+    // to the circuit that was submitted (swept, to close the arithmetic
+    // miters the monolithic check cannot within the budget).
+    let cec = cec::check_equivalence_swept(
+        &circuit.aig,
+        &result.final_aig,
+        &cec::CecOptions::default(),
+        &cec::SweepOptions::default(),
+    );
+    if !cec.is_equivalent() {
+        eprintln!(
+            "{}: {phase} served netlist failed independent CEC re-proof",
+            circuit.name
+        );
+        *violations += 1;
+    }
+    let rec = RunRecord {
+        circuit: circuit.name.clone(),
+        ands: circuit.aig.num_ands(),
+        phase: phase.into(),
+        latency_ms,
+        cache_hit: status.cache_hit,
+        reused_checkpoint: result.reused_checkpoint,
+        verified: result.verified,
+        area_um2: result.qor.area_um2,
+        delay_ps: result.qor.delay_ps,
+        egraph_nodes: result.egraph_nodes,
+    };
+    println!(
+        "{:<14} {:<10} {:>10.2}ms {:>5} {:>10} {:>4} {:>10.2} {:>9.1}",
+        rec.circuit,
+        rec.phase,
+        rec.latency_ms,
+        if rec.cache_hit { "hit" } else { "miss" },
+        if rec.reused_checkpoint {
+            "restored"
+        } else {
+            "fresh"
+        },
+        if rec.verified { "yes" } else { "NO" },
+        rec.area_um2,
+        rec.delay_ps,
+    );
+    runs.push(rec);
+    latency_ms
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = scale_from_env();
+    let circuits: Vec<BenchCircuit> = if smoke {
+        let mut mult = benchgen::multiplier(4);
+        mult.name = "multiplier4".into();
+        let mut add = benchgen::adder(16);
+        add.name = "adder16".into();
+        vec![mult, add, benchgen::crossbar(4, 2)]
+    } else {
+        benchgen::scaling_suite(scale)
+    };
+    let config = if smoke {
+        FlowConfig::fast()
+    } else {
+        flow_config_for(scale)
+    };
+
+    let workers = 4;
+    let server = SynthesisServer::start(&ServerOptions { workers });
+    println!(
+        "Synthesis-as-a-service gate: {workers} workers, {} circuits",
+        circuits.len()
+    );
+    println!(
+        "{:<14} {:<10} {:>12} {:>5} {:>10} {:>4} {:>10} {:>9}",
+        "circuit", "phase", "latency", "cache", "checkpoint", "ok", "area", "delay"
+    );
+
+    let mut violations = 0usize;
+    let mut runs: Vec<RunRecord> = Vec::new();
+    let mut min_warm_speedup = f64::INFINITY;
+    let wall = Instant::now();
+
+    for circuit in &circuits {
+        // Cold: the full prepare → saturate → extract → verify → map flow.
+        let cold_ms = serve(
+            &server,
+            circuit,
+            config.clone(),
+            "cold",
+            &mut runs,
+            &mut violations,
+        );
+
+        // Warm: the identical request again — must be a pure cache hit.
+        let warm_ms = serve(
+            &server,
+            circuit,
+            config.clone(),
+            "warm",
+            &mut runs,
+            &mut violations,
+        );
+        let warm = runs.last().expect("warm run recorded");
+        if !warm.cache_hit {
+            eprintln!(
+                "{}: warm resubmission missed the result cache",
+                circuit.name
+            );
+            violations += 1;
+        }
+        let speedup = cold_ms / warm_ms.max(1e-6);
+        min_warm_speedup = min_warm_speedup.min(speedup);
+        if speedup < 10.0 {
+            eprintln!(
+                "{}: cached resubmission only {speedup:.1}x faster than cold (gate: 10x)",
+                circuit.name
+            );
+            violations += 1;
+        }
+
+        // Re-extract: a different extraction engine is a different result
+        // key but the same saturation key — the checkpoint must be restored
+        // and the e-graph NOT rebuilt.
+        let saturations_before = server.stats().saturations;
+        let reconfigured = config.clone().with_extractor(match config.extractor {
+            ExtractorKind::BottomUp => ExtractorKind::GlobalGreedyDag,
+            _ => ExtractorKind::BottomUp,
+        });
+        serve(
+            &server,
+            circuit,
+            reconfigured,
+            "re-extract",
+            &mut runs,
+            &mut violations,
+        );
+        let re_extract = runs.last().expect("re-extract run recorded");
+        if !re_extract.reused_checkpoint {
+            eprintln!(
+                "{}: extractor change re-saturated instead of restoring the checkpoint",
+                circuit.name
+            );
+            violations += 1;
+        }
+        if server.stats().saturations != saturations_before {
+            eprintln!("{}: re-extraction ran a fresh saturation", circuit.name);
+            violations += 1;
+        }
+    }
+
+    // Batch of duplicates over the pool: every answer for one cache key must
+    // be the same object (bit-identical serialization).
+    if let Some(circuit) = circuits.first() {
+        let requests = (0..2 * workers)
+            .map(|_| JobRequest::new(circuit.aig.clone(), config.clone()))
+            .collect();
+        let t = Instant::now();
+        let statuses = server.run_batch(requests);
+        let batch_ms = t.elapsed().as_secs_f64() * 1e3;
+        let mut bytes: Vec<String> = Vec::new();
+        for status in statuses {
+            let status = status.expect("batch job vanished");
+            if status.state != JobState::Completed {
+                eprintln!("{}: batch job ended {:?}", circuit.name, status.state);
+                violations += 1;
+                continue;
+            }
+            let result = status.result.expect("completed without result");
+            bytes.push(serde_json::to_string(&result.final_aig).expect("serialize netlist"));
+        }
+        if !bytes.windows(2).all(|w| w[0] == w[1]) {
+            eprintln!(
+                "{}: batch duplicates served non-identical netlists",
+                circuit.name
+            );
+            violations += 1;
+        }
+        println!(
+            "\nbatch: {} duplicate jobs over {workers} workers in {batch_ms:.2}ms, all identical",
+            2 * workers
+        );
+    }
+
+    let wall_s = wall.elapsed().as_secs_f64();
+    let stats = server.stats();
+    let mut sorted_ms: Vec<f64> = runs.iter().map(|r| r.latency_ms).collect();
+    sorted_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let report = Report {
+        workers,
+        jobs: stats.submitted as usize,
+        jobs_per_sec: stats.submitted as f64 / wall_s.max(1e-9),
+        p50_latency_ms: percentile(&sorted_ms, 0.50),
+        p99_latency_ms: percentile(&sorted_ms, 0.99),
+        cache_hit_rate: stats.cache_hits as f64 / (stats.submitted as f64).max(1.0),
+        checkpoint_hits: stats.checkpoint_hits,
+        saturations: stats.saturations,
+        min_warm_speedup,
+        runs,
+    };
+    println!(
+        "served {} jobs at {:.2} jobs/s; p50 {:.2}ms p99 {:.2}ms; \
+         cache hit rate {:.0}%; {} saturations, {} checkpoint restores; \
+         min warm speedup {:.0}x",
+        report.jobs,
+        report.jobs_per_sec,
+        report.p50_latency_ms,
+        report.p99_latency_ms,
+        report.cache_hit_rate * 100.0,
+        report.saturations,
+        report.checkpoint_hits,
+        report.min_warm_speedup,
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serialize");
+    std::fs::write("BENCH_server.json", json).expect("write BENCH_server.json");
+    println!(
+        "{} circuit(s), {} violation(s); wrote BENCH_server.json",
+        circuits.len(),
+        violations
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

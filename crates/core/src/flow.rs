@@ -105,6 +105,11 @@ pub struct FlowConfig {
     /// `Paranoid` adds the exhaustive-simulation ones. Findings surface in
     /// the flow result's `audit` report instead of aborting the flow.
     pub audit_level: AuditLevel,
+    /// Wall-clock limit for the saturation phase (`None` keeps the runner's
+    /// default). The job server maps per-job budgets onto this knob; like
+    /// any wall-clock limit, a run that actually hits it stops at a
+    /// timing-dependent point.
+    pub saturation_time_limit: Option<Duration>,
     /// When set, the resynthesis phase runs windowed instead of monolithic:
     /// the design is carved into reconvergence-bounded windows, each window
     /// is saturated as an independent e-graph on the worker pool, and the
@@ -145,6 +150,7 @@ impl FlowConfig {
                 ..cec::SweepOptions::default()
             },
             audit_level: AuditLevel::Off,
+            saturation_time_limit: None,
             partitioning: None,
         }
     }
@@ -204,6 +210,13 @@ impl FlowConfig {
     #[must_use]
     pub fn with_partitioning(mut self, opts: WindowOptions) -> Self {
         self.partitioning = Some(opts);
+        self
+    }
+
+    /// Caps the saturation phase's wall-clock time (per-job budgets).
+    #[must_use]
+    pub fn with_saturation_time_limit(mut self, limit: Duration) -> Self {
+        self.saturation_time_limit = Some(limit);
         self
     }
 }
@@ -273,6 +286,156 @@ fn extraction_to_class_selection(
         best,
         costs: extraction.class_costs.clone(),
     }
+}
+
+/// The technology-independent prefix of the E-morphic flow: conventional
+/// rounds 1..N-1 followed by the final round's `st; if -g` (SOP balancing).
+/// The result is the network the resynthesis phase saturates.
+pub fn prepare_network(aig: &Aig, config: &FlowConfig) -> Aig {
+    let mut current = aig.clone();
+    for _ in 0..config.rounds.saturating_sub(1) {
+        let (next, _) = conventional_round(&current, config, true);
+        current = next;
+    }
+    sop_balance(&current.strash_copy(), &config.lut_options)
+}
+
+/// A saturated e-graph plus the circuit interface needed to extract a
+/// netlist from it — the product of [`saturate_network`], consumed by
+/// [`extract_network`], and the unit of the server's checkpoint/restore
+/// cycle (one saturation, many extractions).
+#[derive(Debug, Clone)]
+pub struct SaturatedState {
+    /// The saturated (rebuilt) e-graph.
+    pub egraph: EGraph<BoolLang>,
+    /// Canonical root classes, aligned with `output_names`.
+    pub roots: Vec<Id>,
+    /// Design name.
+    pub name: String,
+    /// Primary-input names (`x<i>` corresponds to entry `i`).
+    pub input_names: Vec<String>,
+    /// Primary-output names, aligned with `roots`.
+    pub output_names: Vec<String>,
+    /// Per-iteration saturation reports (empty for a restored checkpoint).
+    pub saturation: Vec<egraph::IterationReport>,
+    /// Why saturation stopped (`None` for a restored checkpoint).
+    pub stop_reason: Option<egraph::StopReason>,
+    /// Wall-clock time of the forward AIG → e-graph conversion.
+    pub conversion_time: Duration,
+    /// Wall-clock time of the saturation itself.
+    pub saturation_time: Duration,
+}
+
+/// Converts `current` to an e-graph and saturates it with the Table-I rule
+/// set under the config's limits. The pure saturation phase of
+/// [`emorphic_flow`], exposed so a job server can snapshot the result and
+/// re-extract it under different knobs without re-saturating.
+pub fn saturate_network(current: &Aig, config: &FlowConfig) -> SaturatedState {
+    saturate_network_with_interrupt(current, config, None)
+}
+
+/// [`saturate_network`] with an optional cooperative interrupt flag wired
+/// into the runner ([`egraph::Runner::with_interrupt`]): setting the flag
+/// preempts the saturation at the next limit checkpoint, leaving the
+/// e-graph rebuilt and consistent with
+/// [`egraph::StopReason::Interrupted`] as the stop reason.
+pub fn saturate_network_with_interrupt(
+    current: &Aig,
+    config: &FlowConfig,
+    interrupt: Option<Arc<std::sync::atomic::AtomicBool>>,
+) -> SaturatedState {
+    let t_convert = Instant::now();
+    let conversion = aig_to_egraph(current);
+    let conversion_time = t_convert.elapsed();
+
+    let t_saturate = Instant::now();
+    let mut runner = Runner::with_egraph(conversion.egraph)
+        .with_iter_limit(config.rewrite_iterations)
+        .with_node_limit(config.node_limit)
+        .with_scheduler(Scheduler::Backoff {
+            match_limit: config.match_limit,
+            ban_length: 2,
+        })
+        .with_search_threads(config.search_threads);
+    if let Some(limit) = config.saturation_time_limit {
+        runner = runner.with_time_limit(limit);
+    }
+    if let Some(flag) = interrupt {
+        runner = runner.with_interrupt(flag);
+    }
+    let runner = runner.run(&all_rules());
+    let roots: Vec<Id> = conversion
+        .roots
+        .iter()
+        .map(|&r| runner.egraph.find(r))
+        .collect();
+    SaturatedState {
+        egraph: runner.egraph,
+        roots,
+        name: conversion.name,
+        input_names: conversion.input_names,
+        output_names: conversion.output_names,
+        saturation: runner.iterations,
+        stop_reason: runner.stop_reason,
+        conversion_time,
+        saturation_time: t_saturate.elapsed(),
+    }
+}
+
+/// Runs the configured extraction engine over a saturated state and converts
+/// the winning selection back to an AIG. The pure extraction phase of
+/// [`emorphic_flow`]: a failed extraction — or a winning selection the
+/// backward conversion rejects — yields `None`, with the failure recorded on
+/// the corresponding engine report instead of being masked.
+pub fn extract_network(
+    state: &SaturatedState,
+    config: &FlowConfig,
+) -> (Option<Aig>, Vec<EngineReport>) {
+    let evaluator: Arc<dyn CostEvaluator> = match &config.cost_mode {
+        CostMode::Quality => Arc::new(TechMapCost::new(config.library.clone())),
+        CostMode::Runtime(model) => Arc::new(model.clone()),
+    };
+    // The flow is delay-oriented, so the portfolio scores candidates by
+    // mapped (delay, area).
+    let (extraction, mut engines) = run_extraction(
+        config.extractor,
+        &config.sa,
+        evaluator,
+        &config.library,
+        ExtractionCost::Size,
+        true,
+        &state.egraph,
+        &state.roots,
+        &config.extract_budget,
+    );
+    let extracted = match extraction {
+        Ok(extraction) => match crate::convert::try_selection_to_aig(
+            &state.egraph,
+            &extraction.selection,
+            &state.roots,
+            &state.input_names,
+            &state.output_names,
+            &state.name,
+        ) {
+            Ok(aig) => Some(aig),
+            Err(e) => {
+                if let Some(report) = engines.iter_mut().find(|r| r.won) {
+                    report.won = false;
+                    report.error = Some(format!("selection-to-AIG conversion failed: {e}"));
+                }
+                None
+            }
+        },
+        Err(_) => None,
+    };
+    (extracted, engines)
+}
+
+/// The final technology-dependent round (`st; dch; map`) of the E-morphic
+/// flow, exposed so re-extracted checkpoints can be re-mapped standalone.
+/// Returns the pre-mapping network and the mapped netlist.
+pub fn map_network(aig: &Aig, config: &FlowConfig) -> (Aig, Netlist) {
+    conventional_round(aig, config, false)
 }
 
 /// Wall-clock breakdown of a flow run (the Fig. 9 data).
@@ -422,95 +585,34 @@ fn monolithic_resynthesis_phase(
     config: &FlowConfig,
     audit: &mut AuditReport,
 ) -> ResynthPhase {
-    // `t_convert` brackets `aig_to_egraph`, so it already covers the forward
-    // pass that the conversion also measures internally as `forward_time`;
-    // adding `forward_time` on top would double-count it and inflate the
-    // conversion share of the Fig. 9 breakdown.
-    let t_convert = Instant::now();
-    let conversion = aig_to_egraph(current);
-    let conversion_time = t_convert.elapsed();
-
+    // `saturate_network` brackets `aig_to_egraph` with its own conversion
+    // timer, which already covers the forward pass the conversion measures
+    // internally as `forward_time`; adding `forward_time` on top would
+    // double-count it and inflate the conversion share of the Fig. 9
+    // breakdown. The saturation time plus the post-saturation bracket below
+    // together reproduce the old single `t_extract` interval.
+    let state = saturate_network(current, config);
     let t_extract = Instant::now();
-    let runner = Runner::with_egraph(conversion.egraph.clone())
-        .with_iter_limit(config.rewrite_iterations)
-        .with_node_limit(config.node_limit)
-        .with_scheduler(Scheduler::Backoff {
-            match_limit: config.match_limit,
-            ban_length: 2,
-        })
-        .with_search_threads(config.search_threads)
-        .run(&all_rules());
-    let saturation = runner.iterations.clone();
-    let saturated = crate::convert::ConversionResult {
-        roots: conversion
-            .roots
-            .iter()
-            .map(|&r| runner.egraph.find(r))
-            .collect(),
-        egraph: runner.egraph,
-        ..conversion
-    };
-    let egraph_nodes = saturated.egraph.total_nodes();
-    let egraph_classes = saturated.egraph.num_classes();
-    // Audited inside the `t_extract` bracket so the runtime breakdown keeps
-    // summing to the measured flow runtime.
-    audit.absorb(
-        "saturate",
-        audit_egraph(&saturated.egraph, config.audit_level),
-    );
+    let egraph_nodes = state.egraph.total_nodes();
+    let egraph_classes = state.egraph.num_classes();
+    audit.absorb("saturate", audit_egraph(&state.egraph, config.audit_level));
 
-    let evaluator: Arc<dyn CostEvaluator> = match &config.cost_mode {
-        CostMode::Quality => Arc::new(TechMapCost::new(config.library.clone())),
-        CostMode::Runtime(model) => Arc::new(model.clone()),
-    };
-    // The flow is delay-oriented, so the portfolio scores candidates by
-    // mapped (delay, area).
-    let (extraction, mut engines) = run_extraction(
-        config.extractor,
-        &config.sa,
-        evaluator,
-        &config.library,
-        ExtractionCost::Size,
-        true,
-        &saturated.egraph,
-        &saturated.roots,
-        &config.extract_budget,
-    );
     // A failed extraction (unrealizable root, empty portfolio) falls back to
     // the pre-resynthesis network, and so does a winning selection the
     // backward conversion rejects — in that case the conversion error is
     // recorded on the winning engine's report (and its win stripped, since
     // its result was not kept) so the failure stays visible in the reports.
-    let extracted = match extraction {
-        Ok(extraction) => match crate::convert::try_selection_to_aig(
-            &saturated.egraph,
-            &extraction.selection,
-            &saturated.roots,
-            &saturated.input_names,
-            &saturated.output_names,
-            &saturated.name,
-        ) {
-            Ok(aig) => Some(aig),
-            Err(e) => {
-                if let Some(report) = engines.iter_mut().find(|r| r.won) {
-                    report.won = false;
-                    report.error = Some(format!("selection-to-AIG conversion failed: {e}"));
-                }
-                None
-            }
-        },
-        Err(_) => None,
-    };
+    let (extracted, engines) = extract_network(&state, config);
     if let Some(extracted) = &extracted {
         audit.absorb("extract", audit_aig_dag_only(extracted, config.audit_level));
     }
     ResynthPhase {
         extracted,
-        conversion_time,
-        extraction_time: t_extract.elapsed(),
+        conversion_time: state.conversion_time,
+        extraction_time: state.saturation_time + t_extract.elapsed(),
         egraph_nodes,
         egraph_classes,
-        saturation,
+        saturation: state.saturation,
         engines,
         window: None,
     }
@@ -563,16 +665,10 @@ pub fn emorphic_flow(aig: &Aig, config: &FlowConfig) -> FlowResult {
     let mut conventional_time = Duration::ZERO;
     let mut audit = AuditReport::new();
 
-    // Rounds 1..N-1 of the conventional flow.
-    let mut current = aig.clone();
-    let pre_rounds = config.rounds.saturating_sub(1);
+    // Rounds 1..N-1 of the conventional flow plus the technology-independent
+    // part of the final round (st; if -g).
     let t0 = Instant::now();
-    for _ in 0..pre_rounds {
-        let (next, _) = conventional_round(&current, config, true);
-        current = next;
-    }
-    // The technology-independent part of the final round (st; if -g).
-    current = sop_balance(&current.strash_copy(), &config.lut_options);
+    let current = prepare_network(aig, config);
     conventional_time += t0.elapsed();
 
     // E-graph resynthesis: monolithic (one e-graph over the whole design) or

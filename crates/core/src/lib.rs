@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod convert;
 pub mod dsl;
 pub mod esyn;
@@ -46,6 +47,7 @@ pub mod rules;
 pub mod windowed;
 
 pub use audit::{AuditLevel, AuditReport};
+pub use checkpoint::FlowCheckpoint;
 pub use convert::{aig_to_egraph, selection_to_aig, try_selection_to_aig, ConversionResult};
 pub use extract::sa::{SaEngine, SaExtractor, SaOptions, SaResult};
 pub use extract::{
@@ -54,9 +56,10 @@ pub use extract::{
     PortfolioEngine, PortfolioScorer, Selection, SlackAwareEngine,
 };
 pub use flow::{
-    baseline_flow, emorphic_flow, emorphic_map_flow, FlowConfig, FlowResult, MapFlowConfig,
-    MapFlowError, MapFlowResult,
+    baseline_flow, emorphic_flow, emorphic_map_flow, extract_network, map_network, prepare_network,
+    saturate_network, saturate_network_with_interrupt, FlowConfig, FlowResult, MapFlowConfig,
+    MapFlowError, MapFlowResult, SaturatedState,
 };
 pub use lang::BoolLang;
-pub use rules::{all_rules, table1_rules};
+pub use rules::{all_rules, rule_set_id, table1_rules};
 pub use windowed::{saturate_windows, windowed_resynthesis, WindowReport};

@@ -87,6 +87,29 @@ pub fn all_rules() -> Vec<Rewrite<BoolLang>> {
     rules
 }
 
+/// A deterministic 64-bit identifier of [`all_rules`]: a hash of every
+/// rule's name and both pattern spellings, in order. It changes whenever a
+/// rule is added, removed, renamed, reordered or edited, so content-addressed
+/// caches keyed on it can never serve results across rule-set revisions.
+/// Fixed mixing constants (no per-process hasher seeds) keep the id stable
+/// across runs and machines.
+pub fn rule_set_id() -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut acc: u64 = all_rules().len() as u64;
+    let mut mix = |s: &str| {
+        for b in s.as_bytes() {
+            acc = (acc.rotate_left(5) ^ u64::from(*b)).wrapping_mul(K);
+        }
+        acc = (acc.rotate_left(5) ^ 0xff).wrapping_mul(K);
+    };
+    for rw in all_rules() {
+        mix(&rw.name);
+        mix(&rw.lhs.to_string());
+        mix(&rw.rhs.to_string());
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,8 @@
 
 use crate::{EGraph, Id, Language, RecExpr, Rewrite, SearchMatches};
 use fxhash::FxHashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a [`Runner`] stopped.
@@ -17,6 +18,10 @@ pub enum StopReason {
     NodeLimit,
     /// The configured wall-clock limit was reached.
     TimeLimit,
+    /// The cooperative interrupt flag ([`Runner::with_interrupt`]) was set,
+    /// e.g. by a job-server cancellation. Checked at the same points as the
+    /// wall-clock limit, so the e-graph is left rebuilt and consistent.
+    Interrupted,
 }
 
 /// Resource limits for a saturation run.
@@ -138,6 +143,7 @@ struct SearchParams {
     threads: usize,
     start: Instant,
     time_limit: Duration,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 /// The merged outcome of one iteration's search phase.
@@ -177,6 +183,7 @@ fn search_phase<L: Language>(
         threads,
         start,
         time_limit,
+        interrupt,
     } = params;
     // The scan start rotates by a fixed odd-prime stride each iteration
     // (staggered per rule) so finite budgets sweep the whole e-graph over
@@ -245,7 +252,12 @@ fn search_phase<L: Language>(
         totals[job.rule].fetch_add(found, Ordering::Relaxed);
         (matches, complete)
     };
-    let over_deadline = || start.elapsed() > time_limit;
+    let over_deadline = || {
+        start.elapsed() > time_limit
+            || interrupt
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+    };
 
     // Execute: inline in job order for one thread, otherwise scoped workers
     // pulling jobs off a shared atomic index. A job skipped because the
@@ -330,6 +342,7 @@ pub struct Runner<L: Language> {
     limits: RunnerLimits,
     scheduler: Scheduler,
     search_threads: usize,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl<L: Language> Default for Runner<L> {
@@ -342,6 +355,7 @@ impl<L: Language> Default for Runner<L> {
             limits: RunnerLimits::default(),
             scheduler: Scheduler::default(),
             search_threads: 1,
+            interrupt: None,
         }
     }
 }
@@ -412,6 +426,18 @@ impl<L: Language> Runner<L> {
         self
     }
 
+    /// Installs a cooperative interrupt flag. Setting the flag (from any
+    /// thread) stops the run at the next limit checkpoint — between search
+    /// shards, between rule applications, and between iterations — with
+    /// [`StopReason::Interrupted`]. Like the wall-clock limit, the e-graph
+    /// is rebuilt before the runner returns, so a preempted run is still
+    /// structurally consistent (just not saturated).
+    #[must_use]
+    pub fn with_interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(flag);
+        self
+    }
+
     /// Returns the configured limits.
     pub fn limits(&self) -> &RunnerLimits {
         &self.limits
@@ -427,9 +453,19 @@ impl<L: Language> Runner<L> {
         if self.egraph.is_dirty() {
             self.egraph.rebuild();
         }
+        let interrupt = self.interrupt.clone();
+        let interrupted = || {
+            interrupt
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+        };
 
         for iteration in 0..self.limits.iter_limit {
             let iter_start = Instant::now();
+            if interrupted() {
+                self.stop_reason = Some(StopReason::Interrupted);
+                break;
+            }
             if start.elapsed() > self.limits.time_limit {
                 self.stop_reason = Some(StopReason::TimeLimit);
                 break;
@@ -459,6 +495,7 @@ impl<L: Language> Runner<L> {
                     threads: self.search_threads,
                     start,
                     time_limit: self.limits.time_limit,
+                    interrupt: interrupt.clone(),
                 },
             );
             let search_time = search_start.elapsed();
@@ -491,6 +528,10 @@ impl<L: Language> Runner<L> {
                 applied.push((rw.name.clone(), changed));
                 if self.egraph.total_nodes() > self.limits.node_limit {
                     hit_limit = Some(StopReason::NodeLimit);
+                    break;
+                }
+                if interrupted() {
+                    hit_limit = Some(StopReason::Interrupted);
                     break;
                 }
                 if start.elapsed() > self.limits.time_limit {
@@ -527,6 +568,10 @@ impl<L: Language> Runner<L> {
             }
             if self.egraph.total_nodes() > self.limits.node_limit {
                 self.stop_reason = Some(StopReason::NodeLimit);
+                break;
+            }
+            if interrupted() {
+                self.stop_reason = Some(StopReason::Interrupted);
                 break;
             }
             if start.elapsed() > self.limits.time_limit {
@@ -746,6 +791,36 @@ mod tests {
         assert_runs_identical(1, 4);
         // More workers than jobs is clamped, not an error.
         assert_runs_identical(1, 64);
+    }
+
+    #[test]
+    fn preset_interrupt_stops_before_first_iteration() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let expr: RecExpr<SymbolLang> = "(+ a (+ b (+ c (+ d (+ e (+ f g))))))".parse().unwrap();
+        let rules = vec![
+            Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::parse("assoc", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
+        ];
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_interrupt(flag)
+            .run(&rules);
+        assert_eq!(runner.stop_reason, Some(StopReason::Interrupted));
+        assert!(runner.iterations.is_empty());
+        // The e-graph is still consistent: the original expression survives.
+        assert!(runner.egraph.num_classes() >= 7);
+    }
+
+    #[test]
+    fn unset_interrupt_flag_changes_nothing() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let expr: RecExpr<SymbolLang> = "(+ a b)".parse().unwrap();
+        let rules = vec![Rewrite::parse("comm", "(+ ?a ?b)", "(+ ?b ?a)").unwrap()];
+        let runner = Runner::default()
+            .with_expr(&expr)
+            .with_interrupt(flag)
+            .run(&rules);
+        assert_eq!(runner.stop_reason, Some(StopReason::Saturated));
     }
 
     #[test]

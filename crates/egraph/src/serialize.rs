@@ -8,7 +8,76 @@
 use crate::{EGraph, FromOp, Id, Language, ParseError};
 use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A structural defect in a serialized snapshot, found by
+/// [`SerializedEGraph::validate`].
+///
+/// Every variant names the offending ids so rejection tests (and users
+/// debugging hand-edited snapshots) can match on the exact failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The JSON `classes` object contains the same key more than once; a
+    /// plain map deserialization would silently keep only one entry.
+    DuplicateClassKey(String),
+    /// A `classes` map key disagrees with the embedded `SerializedClass.id`.
+    KeyMismatch {
+        /// The map key.
+        key: u32,
+        /// The id stored inside the class.
+        id: u32,
+    },
+    /// A class has no e-nodes (unreconstructible: nothing defines it).
+    EmptyClass(u32),
+    /// A node child references a class id that does not exist.
+    MissingChild {
+        /// The class containing the dangling reference.
+        class: u32,
+        /// The referenced, undefined class id.
+        child: u32,
+    },
+    /// A parent entry references a class id that does not exist.
+    MissingParent {
+        /// The class containing the dangling reference.
+        class: u32,
+        /// The referenced, undefined class id.
+        parent: u32,
+    },
+    /// A root references a class id that does not exist.
+    MissingRoot(u32),
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::DuplicateClassKey(key) => {
+                write!(f, "duplicate class key {key:?} in snapshot")
+            }
+            ValidationError::KeyMismatch { key, id } => {
+                write!(f, "class key {key} disagrees with embedded id {id}")
+            }
+            ValidationError::EmptyClass(id) => write!(f, "class {id} has no nodes"),
+            ValidationError::MissingChild { class, child } => {
+                write!(f, "class {class} references undefined child class {child}")
+            }
+            ValidationError::MissingParent { class, parent } => {
+                write!(
+                    f,
+                    "class {class} references undefined parent class {parent}"
+                )
+            }
+            ValidationError::MissingRoot(id) => write!(f, "root class {id} is not defined"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl From<ValidationError> for ParseError {
+    fn from(e: ValidationError) -> Self {
+        ParseError(format!("invalid snapshot: {e}"))
+    }
+}
 
 /// One e-node in serialized form.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,12 +125,78 @@ impl SerializedEGraph {
             .unwrap_or_else(|_| unreachable!("serialization cannot fail"))
     }
 
-    /// Parses from JSON.
+    /// Parses from JSON and validates the snapshot's referential integrity.
+    ///
+    /// Duplicate `classes` keys are rejected (a plain map deserialization
+    /// would silently drop all but one), as is any key that disagrees with
+    /// the embedded class id.
     ///
     /// # Errors
-    /// Returns a [`ParseError`] describing the malformed JSON.
+    /// Returns a [`ParseError`] describing malformed JSON or (via
+    /// [`ValidationError`]) a structurally invalid snapshot.
     pub fn from_json(text: &str) -> Result<Self, ParseError> {
-        serde_json::from_str(text).map_err(|e| ParseError(e.to_string()))
+        // The vendored JSON parser preserves duplicate object keys at the
+        // `Value` level; typed deserialization into a `BTreeMap` would drop
+        // them, so check before converting.
+        let value = serde_json::parse_value_text(text).map_err(|e| ParseError(e.to_string()))?;
+        if let serde::value::Value::Object(entries) = &value {
+            for (key, field) in entries {
+                if key != "classes" {
+                    continue;
+                }
+                if let serde::value::Value::Object(classes) = field {
+                    let mut seen: std::collections::BTreeSet<&str> =
+                        std::collections::BTreeSet::new();
+                    for (class_key, _) in classes {
+                        if !seen.insert(class_key.as_str()) {
+                            return Err(
+                                ValidationError::DuplicateClassKey(class_key.clone()).into()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let parsed: Self =
+            serde::Deserialize::from_value(&value).map_err(|e| ParseError(e.to_string()))?;
+        parsed.validate()?;
+        Ok(parsed)
+    }
+
+    /// Checks the snapshot's referential integrity: every map key equals the
+    /// embedded class id, every class has at least one node, and every
+    /// child / parent / root reference names a defined class.
+    ///
+    /// # Errors
+    /// Returns the first [`ValidationError`] found (classes are visited in
+    /// ascending id order).
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        for (&key, class) in &self.classes {
+            if key != class.id {
+                return Err(ValidationError::KeyMismatch { key, id: class.id });
+            }
+            if class.nodes.is_empty() {
+                return Err(ValidationError::EmptyClass(key));
+            }
+            for node in &class.nodes {
+                for &child in &node.children {
+                    if !self.classes.contains_key(&child) {
+                        return Err(ValidationError::MissingChild { class: key, child });
+                    }
+                }
+            }
+            for &parent in &class.parents {
+                if !self.classes.contains_key(&parent) {
+                    return Err(ValidationError::MissingParent { class: key, parent });
+                }
+            }
+        }
+        for &root in &self.roots {
+            if !self.classes.contains_key(&root) {
+                return Err(ValidationError::MissingRoot(root));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -104,68 +239,117 @@ pub fn to_serialized<L: Language>(egraph: &EGraph<L>, roots: &[Id]) -> Serialize
 /// from serialized ids to new class ids, and the translated roots.
 pub type Deserialized<L> = (EGraph<L>, FxHashMap<u32, Id>, Vec<Id>);
 
+/// Work accounting for [`from_serialized_with_stats`].
+///
+/// The reconstruction is linear: every serialized e-node is materialized
+/// exactly once, so `node_attempts == SerializedEGraph::num_nodes()`. The
+/// deep-chain regression test pins this (the previous worklist algorithm
+/// re-attempted every remaining node on every pass, which was quadratic in
+/// depth on chain-shaped graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReconstructionStats {
+    /// Number of e-node materialization attempts (`egraph.add` calls).
+    pub node_attempts: usize,
+}
+
 /// Reconstructs an e-graph from a serialized snapshot.
 ///
 /// Returns the e-graph plus a mapping from serialized ids to new class ids
 /// and the translated roots.
 ///
 /// # Errors
-/// Returns a [`ParseError`] if an operator cannot be parsed by `L` or if the
-/// snapshot references undefined classes.
+/// Returns a [`ParseError`] if the snapshot fails [`SerializedEGraph::validate`],
+/// if an operator cannot be parsed by `L`, or if classes are cyclically
+/// defined with no base case.
 pub fn from_serialized<L: FromOp>(data: &SerializedEGraph) -> Result<Deserialized<L>, ParseError> {
+    from_serialized_with_stats(data).map(|(d, _)| d)
+}
+
+/// [`from_serialized`], also returning work-accounting statistics.
+///
+/// Scheduling is Kahn-style: each serialized node carries a count of child
+/// classes not yet materialized, classes keep a waiter list of the nodes
+/// blocked on them, and a ready queue drains nodes whose children are all
+/// available. Every node and every child edge is processed exactly once, so
+/// reconstruction is linear in snapshot size regardless of graph depth.
+///
+/// # Errors
+/// Same conditions as [`from_serialized`].
+pub fn from_serialized_with_stats<L: FromOp>(
+    data: &SerializedEGraph,
+) -> Result<(Deserialized<L>, ReconstructionStats), ParseError> {
+    data.validate()?;
     let mut egraph: EGraph<L> = EGraph::new();
     let mut id_map: FxHashMap<u32, Id> = FxHashMap::default();
 
-    // Iterate until every class has been materialized: a class can only be
-    // created once at least one of its nodes has all children available.
-    let mut remaining: Vec<u32> = data.classes.keys().copied().collect();
-    let mut progress = true;
-    while !remaining.is_empty() && progress {
-        progress = false;
-        let mut still: Vec<u32> = Vec::new();
-        for cid in remaining {
-            let class = &data.classes[&cid];
-            // Try to add every node whose children are all mapped.
-            let mut class_new_id: Option<Id> = id_map.get(&cid).copied();
-            let mut added_any = false;
-            for node in &class.nodes {
-                let children: Option<Vec<Id>> = node
-                    .children
-                    .iter()
-                    .map(|c| id_map.get(c).copied())
-                    .collect();
-                let Some(children) = children else { continue };
-                let enode = L::from_op(&node.op, children)?;
-                let new_id = egraph.add(enode);
-                match class_new_id {
-                    Some(existing) => {
-                        egraph.union(existing, new_id);
-                    }
-                    None => {
-                        class_new_id = Some(new_id);
-                        id_map.insert(cid, new_id);
-                    }
-                }
-                added_any = true;
-            }
-            if added_any {
-                progress = true;
-            }
-            // A class stays on the worklist until all of its nodes are in; we
-            // conservatively keep it if any node might still be missing.
-            let fully_done = class.nodes.iter().all(|n| {
-                n.children.iter().all(|c| id_map.contains_key(c)) && id_map.contains_key(&cid)
-            });
-            if !fully_done {
-                still.push(cid);
+    // Flatten (class, node) pairs in deterministic order: ascending class id
+    // (BTreeMap iteration), then node index.
+    let flat: Vec<(u32, &SerializedNode)> = data
+        .classes
+        .iter()
+        .flat_map(|(&cid, class)| class.nodes.iter().map(move |n| (cid, n)))
+        .collect();
+
+    // Per flattened node: number of child references whose class has not yet
+    // been materialized. Duplicate references to the same child class are
+    // counted (and later decremented) once per occurrence, which keeps the
+    // bookkeeping a plain counter.
+    let mut missing: Vec<usize> = vec![0; flat.len()];
+    let mut waiters: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+    let mut ready: VecDeque<usize> = VecDeque::new();
+    for (fi, (_, node)) in flat.iter().enumerate() {
+        let mut count = 0usize;
+        for &child in &node.children {
+            if !id_map.contains_key(&child) {
+                count += 1;
+                waiters.entry(child).or_default().push(fi);
             }
         }
-        remaining = still;
+        missing[fi] = count;
+        if count == 0 {
+            ready.push_back(fi);
+        }
     }
-    if !remaining.is_empty() {
+
+    let mut stats = ReconstructionStats::default();
+    while let Some(fi) = ready.pop_front() {
+        let (cid, node) = flat[fi];
+        stats.node_attempts += 1;
+        let children: Vec<Id> = node
+            .children
+            .iter()
+            .map(|c| {
+                id_map.get(c).copied().ok_or_else(|| {
+                    ParseError(format!("class {c} scheduled before materialization"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let enode = L::from_op(&node.op, children)?;
+        let new_id = egraph.add(enode);
+        match id_map.get(&cid).copied() {
+            Some(existing) => {
+                egraph.union(existing, new_id);
+            }
+            None => {
+                id_map.insert(cid, new_id);
+                // The class just became available: release every node that
+                // was blocked on it.
+                if let Some(blocked) = waiters.remove(&cid) {
+                    for w in blocked {
+                        missing[w] -= 1;
+                        if missing[w] == 0 {
+                            ready.push_back(w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if stats.node_attempts < flat.len() {
         return Err(ParseError(format!(
-            "serialized e-graph has {} classes that could not be reconstructed (cyclic without base case?)",
-            remaining.len()
+            "serialized e-graph has {} nodes that could not be reconstructed (cyclic without base case?)",
+            flat.len() - stats.node_attempts
         )));
     }
     egraph.rebuild();
@@ -180,7 +364,7 @@ pub fn from_serialized<L: FromOp>(data: &SerializedEGraph) -> Result<Deserialize
                 .ok_or_else(|| ParseError(format!("root class {r} missing")))
         })
         .collect::<Result<_, _>>()?;
-    Ok((egraph, id_map, roots))
+    Ok(((egraph, id_map, roots), stats))
 }
 
 #[cfg(test)]
@@ -254,5 +438,126 @@ mod tests {
         let mut ser = to_serialized(&eg, &[root]);
         ser.roots = vec![9999];
         assert!(from_serialized::<SymbolLang>(&ser).is_err());
+        assert_eq!(ser.validate(), Err(ValidationError::MissingRoot(9999)));
+    }
+
+    /// Regression for the quadratic worklist reconstruction: on an n-deep
+    /// chain the old algorithm re-attempted every remaining node on every
+    /// pass (O(n^2) adds); the Kahn-style scheduler materializes each node
+    /// exactly once.
+    #[test]
+    fn deep_chain_reconstruction_is_linear() {
+        let depth = 3000usize;
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let mut id = eg.add(SymbolLang::leaf("x"));
+        for _ in 0..depth {
+            id = eg.add(SymbolLang::new("f", vec![id]));
+        }
+        eg.rebuild();
+        let ser = to_serialized(&eg, &[id]);
+        assert_eq!(ser.num_nodes(), depth + 1);
+
+        let start = std::time::Instant::now();
+        let ((eg2, _map, roots), stats) = from_serialized_with_stats::<SymbolLang>(&ser).unwrap();
+        let elapsed = start.elapsed();
+
+        // Exactly one materialization attempt per serialized node — the
+        // pre-fix code performed ~depth^2/2 attempts on this shape.
+        assert_eq!(stats.node_attempts, ser.num_nodes());
+        assert_eq!(eg2.num_classes(), eg.num_classes());
+        assert_eq!(roots.len(), 1);
+        // Generous wall-clock ceiling: linear reconstruction of 3001 nodes
+        // is milliseconds; the quadratic version took seconds.
+        assert!(
+            elapsed < std::time::Duration::from_secs(2),
+            "reconstruction took {elapsed:?} — quadratic regression?"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_key_id_mismatch() {
+        let (eg, root) = sample_egraph();
+        let mut ser = to_serialized(&eg, &[root]);
+        let (&key, _) = ser.classes.iter().next().unwrap();
+        ser.classes.get_mut(&key).unwrap().id = key + 1000;
+        assert_eq!(
+            ser.validate(),
+            Err(ValidationError::KeyMismatch {
+                key,
+                id: key + 1000
+            })
+        );
+        assert!(from_serialized::<SymbolLang>(&ser).is_err());
+        // The mismatch must also be caught on the JSON path.
+        assert!(SerializedEGraph::from_json(&ser.to_json()).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_class() {
+        let (eg, root) = sample_egraph();
+        let mut ser = to_serialized(&eg, &[root]);
+        let (&key, _) = ser.classes.iter().next().unwrap();
+        ser.classes.get_mut(&key).unwrap().nodes.clear();
+        assert_eq!(ser.validate(), Err(ValidationError::EmptyClass(key)));
+        assert!(from_serialized::<SymbolLang>(&ser).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_dangling_child_and_parent() {
+        let (eg, root) = sample_egraph();
+        let ser = to_serialized(&eg, &[root]);
+
+        let mut bad_child = ser.clone();
+        let class = bad_child
+            .classes
+            .values_mut()
+            .find(|c| c.nodes.iter().any(|n| !n.children.is_empty()))
+            .unwrap();
+        let cid = class.id;
+        class
+            .nodes
+            .iter_mut()
+            .find(|n| !n.children.is_empty())
+            .unwrap()
+            .children[0] = 4242;
+        assert_eq!(
+            bad_child.validate(),
+            Err(ValidationError::MissingChild {
+                class: cid,
+                child: 4242
+            })
+        );
+        assert!(from_serialized::<SymbolLang>(&bad_child).is_err());
+
+        let mut bad_parent = ser.clone();
+        let (&key, _) = bad_parent.classes.iter().next().unwrap();
+        bad_parent.classes.get_mut(&key).unwrap().parents.push(4242);
+        assert_eq!(
+            bad_parent.validate(),
+            Err(ValidationError::MissingParent {
+                class: key,
+                parent: 4242
+            })
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_duplicate_class_keys() {
+        let (eg, root) = sample_egraph();
+        let ser = to_serialized(&eg, &[root]);
+        let json = ser.to_json();
+        // Duplicate the first class entry inside the "classes" object. The
+        // snapshot text stays syntactically valid JSON; a plain map parse
+        // would silently drop one copy.
+        let (&key, class) = ser.classes.iter().next().unwrap();
+        let entry = serde_json::to_string(class).unwrap();
+        let needle = format!("\"{key}\":");
+        let pos = json.find(&needle).unwrap();
+        let mut dup = json.clone();
+        dup.insert_str(pos, &format!("\"{key}\": {entry}, "));
+        let err = SerializedEGraph::from_json(&dup).unwrap_err();
+        assert!(err.0.contains("duplicate class key"), "got: {}", err.0);
+        // The original parses fine.
+        assert!(SerializedEGraph::from_json(&json).is_ok());
     }
 }

@@ -1,0 +1,200 @@
+//! Round-trip property tests of the serialize layer: for random e-graphs,
+//! `to_serialized` → JSON → `from_serialized` must preserve the class
+//! partition, the canonical (cheapest) forms, and the root equivalences —
+//! all checked against an independent reference rebuild that materializes
+//! nodes by brute-force fixpoint scanning (the obviously-correct, slow
+//! oracle the linear Kahn-style reconstruction replaced).
+
+// Helper fns here run outside #[test] context, so the clippy.toml
+// test relaxation does not reach them.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
+use egraph::serialize::{
+    from_serialized, from_serialized_with_stats, to_serialized, SerializedEGraph,
+};
+use egraph::{AstSize, EGraph, Extractor, FromOp, FxHashMap, FxHashSet, Id, SymbolLang};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf(u8),
+    Node(u8, usize, usize),
+    Union(usize, usize),
+}
+
+fn workload() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0u8..6).prop_map(Op::Leaf),
+        (0u8..4, 0usize..1000, 0usize..1000).prop_map(|(o, a, b)| Op::Node(o, a, b)),
+        (0usize..1000, 0usize..1000).prop_map(|(a, b)| Op::Union(a, b)),
+    ];
+    proptest::collection::vec(op, 5..60)
+}
+
+fn apply(ops: &[Op]) -> (EGraph<SymbolLang>, Vec<Id>) {
+    let mut egraph: EGraph<SymbolLang> = EGraph::new();
+    let mut ids: Vec<Id> = vec![egraph.add(SymbolLang::leaf("seed"))];
+    for op in ops {
+        match op {
+            Op::Leaf(l) => ids.push(egraph.add(SymbolLang::leaf(format!("v{l}")))),
+            Op::Node(o, a, b) => {
+                let a = ids[a % ids.len()];
+                let b = ids[b % ids.len()];
+                ids.push(egraph.add(SymbolLang::new(format!("f{o}"), vec![a, b])));
+            }
+            Op::Union(a, b) => {
+                let a = ids[a % ids.len()];
+                let b = ids[b % ids.len()];
+                egraph.union(a, b);
+            }
+        }
+    }
+    egraph.rebuild();
+    (egraph, ids)
+}
+
+/// Reference reconstruction: scan every remaining (class, node) pair over
+/// and over, materializing any node whose children are all available, until
+/// a full pass makes no progress. Quadratic and obviously correct — the
+/// oracle the production Kahn-style scheduler must agree with.
+fn reference_rebuild(data: &SerializedEGraph) -> Option<(EGraph<SymbolLang>, FxHashMap<u32, Id>)> {
+    let mut egraph: EGraph<SymbolLang> = EGraph::new();
+    let mut map: FxHashMap<u32, Id> = FxHashMap::default();
+    let mut done: FxHashSet<(u32, usize)> = FxHashSet::default();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for (&cid, class) in &data.classes {
+            for (i, node) in class.nodes.iter().enumerate() {
+                if done.contains(&(cid, i)) || !node.children.iter().all(|c| map.contains_key(c)) {
+                    continue;
+                }
+                let children: Vec<Id> = node.children.iter().map(|c| map[c]).collect();
+                let lang_node = SymbolLang::from_op(&node.op, children).ok()?;
+                let id = egraph.add(lang_node);
+                match map.get(&cid) {
+                    Some(&existing) => {
+                        egraph.union(existing, id);
+                    }
+                    None => {
+                        map.insert(cid, id);
+                    }
+                }
+                done.insert((cid, i));
+                progress = true;
+            }
+            egraph.rebuild();
+        }
+    }
+    (done.len() == data.num_nodes()).then_some((egraph, map))
+}
+
+/// The equivalence relation induced over a set of serialized class ids by
+/// an id map into an e-graph: which pairs land in the same class.
+fn partition_pairs(
+    egraph: &EGraph<SymbolLang>,
+    map: &FxHashMap<u32, Id>,
+    cids: &[u32],
+) -> Vec<bool> {
+    let mut pairs = Vec::with_capacity(cids.len() * cids.len());
+    for &a in cids {
+        for &b in cids {
+            pairs.push(egraph.find(map[&a]) == egraph.find(map[&b]));
+        }
+    }
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// `to_serialized` → JSON text → `from_json` is the identity on the
+    /// serialized form, and the parsed snapshot passes validation.
+    #[test]
+    fn json_round_trip_is_identity(ops in workload()) {
+        let (egraph, ids) = apply(&ops);
+        let roots = vec![ids[0], *ids.last().unwrap()];
+        let ser = to_serialized(&egraph, &roots);
+        let parsed = SerializedEGraph::from_json(&ser.to_json()).unwrap();
+        prop_assert_eq!(&parsed, &ser);
+    }
+
+    /// The production reconstruction and the brute-force reference rebuild
+    /// induce the same class partition, and both agree with the source
+    /// e-graph on every tracked-id equivalence (including the roots).
+    #[test]
+    fn reconstruction_matches_reference_oracle(ops in workload()) {
+        let (egraph, ids) = apply(&ops);
+        let roots: Vec<Id> = ids.iter().step_by(7).copied().collect();
+        let ser = to_serialized(&egraph, &roots);
+
+        let ((fast, fast_map, fast_roots), stats) =
+            from_serialized_with_stats::<SymbolLang>(&ser).unwrap();
+        let (slow, slow_map) = reference_rebuild(&ser).expect("oracle rebuild failed");
+
+        // Every serialized node is materialized exactly once (the linearity
+        // the Kahn scheduler guarantees).
+        prop_assert_eq!(stats.node_attempts, ser.num_nodes());
+
+        // Same number of classes as the source and as the oracle.
+        prop_assert_eq!(fast.num_classes(), egraph.num_classes());
+        prop_assert_eq!(slow.num_classes(), egraph.num_classes());
+
+        // Identical partition over every serialized class id.
+        let cids: Vec<u32> = ser.classes.keys().copied().collect();
+        prop_assert_eq!(
+            partition_pairs(&fast, &fast_map, &cids),
+            partition_pairs(&slow, &slow_map, &cids)
+        );
+
+        // Tracked ids: equivalence in the source iff equivalence after the
+        // round trip. Serialized class ids are the source's canonical ids,
+        // so `find(id).0` indexes both maps.
+        for &a in &ids {
+            for &b in &ids {
+                let source = egraph.find(a) == egraph.find(b);
+                let restored =
+                    fast.find(fast_map[&egraph.find(a).0]) == fast.find(fast_map[&egraph.find(b).0]);
+                prop_assert_eq!(source, restored);
+            }
+        }
+
+        // Root equivalences survive in order.
+        prop_assert_eq!(fast_roots.len(), roots.len());
+        for (i, &ra) in roots.iter().enumerate() {
+            for (j, &rb) in roots.iter().enumerate() {
+                let source = egraph.find(ra) == egraph.find(rb);
+                let restored = fast.find(fast_roots[i]) == fast.find(fast_roots[j]);
+                prop_assert_eq!(source, restored);
+            }
+        }
+    }
+
+    /// Canonical forms: the cheapest term extractable from every class is
+    /// equally cheap before and after the round trip (the restored graph
+    /// lost no node and invented none).
+    #[test]
+    fn extraction_costs_survive_round_trip(ops in workload()) {
+        let (egraph, ids) = apply(&ops);
+        let roots: Vec<Id> = ids.iter().step_by(5).copied().collect();
+        let ser = to_serialized(&egraph, &roots);
+        let json = ser.to_json();
+        let parsed = SerializedEGraph::from_json(&json).unwrap();
+        let (restored, map, _roots) = from_serialized::<SymbolLang>(&parsed).unwrap();
+
+        let before = Extractor::new(&egraph, AstSize);
+        let after = Extractor::new(&restored, AstSize);
+        for class in egraph.classes() {
+            let (cost_before, term_before) = before.find_best(class.id);
+            let (cost_after, term_after) = after.find_best(map[&class.id.0]);
+            prop_assert_eq!(
+                cost_before,
+                cost_after,
+                "class {} extracts {} before but {} after",
+                class.id.0,
+                term_before,
+                term_after
+            );
+        }
+    }
+}
